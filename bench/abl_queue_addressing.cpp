@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation E8 (DESIGN.md): the cost of locating a victim's task queue.
+ *
+ * Sec. 4.2 argues that placing every core's queue at a fixed SPM offset
+ * lets a thief *compute* the remote queue address, where the naive
+ * runtime must first load a queue pointer from a DRAM-resident table —
+ * traffic that "diminishes the benefit of keeping stealing traffic away
+ * from DRAM". This bench isolates that choice: SPM queues with computed
+ * addressing vs. SPM queues behind a DRAM pointer table, on steal-heavy
+ * workloads.
+ */
+
+#include "bench/support.hpp"
+#include "workloads/fib.hpp"
+#include "workloads/uts.hpp"
+
+using namespace spmrt;
+using namespace spmrt::bench;
+using namespace spmrt::workloads;
+
+int
+main()
+{
+    const int fib_n = scaled<int>(17, 12);
+    std::printf("# Ablation: victim queue addressing (both configs keep "
+                "the queue itself in SPM)\n\n");
+    std::printf("%-12s %-26s %12s %10s %9s\n", "workload", "addressing",
+                "cycles", "DI", "steals");
+
+    struct Mode
+    {
+        const char *label;
+        bool pointer_table;
+    };
+    const Mode modes[] = {
+        {"fixed SPM offset (paper)", false},
+        {"DRAM pointer table", true},
+    };
+
+    for (const Mode &mode : modes) {
+        Machine machine{MachineConfig{}};
+        Addr out = machine.dramAlloc(8, 8);
+        RuntimeConfig cfg = RuntimeConfig::full();
+        cfg.queuePointerTable = mode.pointer_table;
+        WorkStealingRuntime rt(machine, cfg);
+        Cycles cycles = rt.run(
+            [&](TaskContext &tc) { fibKernel(tc, fib_n, out); });
+        std::printf("%-12s %-26s %12" PRIu64 " %10" PRIu64 " %9" PRIu64
+                    "\n",
+                    "Fib", mode.label, cycles,
+                    machine.totalInstructions(),
+                    machine.totalStat(&CoreStats::stealHits));
+    }
+
+    UtsParams tree = UtsParams::geometric(scaled<uint32_t>(9, 7),
+                                          scaled<double>(2.7, 2.0), 42);
+    for (const Mode &mode : modes) {
+        Machine machine{MachineConfig{}};
+        UtsData data = utsSetup(machine, tree);
+        RuntimeConfig cfg = RuntimeConfig::full();
+        cfg.queuePointerTable = mode.pointer_table;
+        WorkStealingRuntime rt(machine, cfg);
+        Cycles cycles =
+            rt.run([&](TaskContext &tc) { utsKernel(tc, data); });
+        std::printf("%-12s %-26s %12" PRIu64 " %10" PRIu64 " %9" PRIu64
+                    "\n",
+                    "UTS", mode.label, cycles,
+                    machine.totalInstructions(),
+                    machine.totalStat(&CoreStats::stealHits));
+    }
+    std::printf("\n# expected: the pointer table adds a DRAM load per "
+                "steal attempt,\n# slowing steal-heavy workloads\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces Fig. 5: the normalized remote-scratchpad load latency heat
+ * map when every core repeatedly loads from core 0's SPM (the situation
+ * created by reference-captured lambda environments before the read-only
+ * duplication optimization).
+ *
+ * Expected shape: latency grows with mesh distance from core 0, with the
+ * Y-direction distance mattering more than X (X-Y routing concentrates
+ * the return traffic, and ruche channels widen X).
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "bench/support.hpp"
+
+using namespace spmrt;
+using namespace spmrt::bench;
+
+int
+main()
+{
+    MachineConfig cfg; // full 16x8 machine
+    Machine machine(cfg);
+    const uint32_t loads = scaled<uint32_t>(200, 40);
+    Addr hot = machine.mem().map().spmBase(0);
+
+    std::vector<double> avg_latency(cfg.numCores(), 0.0);
+    machine.run([&](Core &core) {
+        // Every core periodically reads core 0's scratchpad between
+        // bursts of local compute, mimicking per-iteration reads of a
+        // lambda environment homed there (PageRank's profile in the
+        // paper). Pure back-to-back loads would saturate core 0's SPM
+        // port and flatten the distance gradient.
+        Cycles load_time = 0;
+        for (uint32_t i = 0; i < loads; ++i) {
+            core.tick(24, 12); // body work between environment reads
+            Cycles t0 = core.now();
+            (void)core.load<uint32_t>(hot + (i % 64) * 4);
+            load_time += core.now() - t0;
+        }
+        avg_latency[core.id()] = static_cast<double>(load_time) / loads;
+    });
+
+    double max_latency = 0;
+    for (double latency : avg_latency)
+        max_latency = std::max(max_latency, latency);
+
+    std::printf("# Fig. 5: remote SPM load latency, normalized to the\n"
+                "# slowest core; %ux%u mesh, all cores loading from core "
+                "0\n",
+                cfg.meshCols, cfg.meshRows);
+    for (uint32_t y = 0; y < cfg.meshRows; ++y) {
+        for (uint32_t x = 0; x < cfg.meshCols; ++x) {
+            double norm = avg_latency[cfg.coreAt(x, y)] / max_latency;
+            std::printf("%4.1f", norm);
+        }
+        std::printf("\n");
+    }
+
+    // Shape checks, mirroring the paper's observations.
+    auto rowAvg = [&](uint32_t y) {
+        double total = 0;
+        for (uint32_t x = 0; x < cfg.meshCols; ++x)
+            total += avg_latency[cfg.coreAt(x, y)];
+        return total / cfg.meshCols;
+    };
+    std::printf("\n# row-average latency (cycles):");
+    for (uint32_t y = 0; y < cfg.meshRows; ++y)
+        std::printf(" %.1f", rowAvg(y));
+    std::printf("\n# gradient check: farthest row %.2fx the nearest row\n",
+                rowAvg(cfg.meshRows - 1) / rowAvg(0));
+    return 0;
+}

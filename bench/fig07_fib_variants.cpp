@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces Fig. 7: Fib speedup across the four data-placement variants
+ * of the work-stealing runtime, plus the Fib-S estimate of the software
+ * 2-instruction stack-overflow checking scheme.
+ *
+ * Expected shape (paper): both-in-DRAM slowest; SPM stack matters more
+ * than SPM queue; both-in-SPM fastest; Fib-S slightly below Fib for the
+ * SPM-stack variants and identical when the stack is in DRAM... (the
+ * paper's Fib-S bar equals Fib when everything is in DRAM because the
+ * overflow check never runs a stack in SPM).
+ */
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench/support.hpp"
+#include "workloads/fib.hpp"
+
+using namespace spmrt;
+using namespace spmrt::bench;
+using namespace spmrt::workloads;
+
+int
+main()
+{
+    const int n = scaled<int>(18, 12);
+    std::printf("# Fig. 7: fib(%d) across work-stealing placement "
+                "variants; speedup\n# is relative to the naive "
+                "both-in-DRAM runtime\n\n",
+                n);
+
+    auto run_fib = [&](RuntimeConfig cfg) {
+        Machine machine{MachineConfig{}};
+        Addr out = machine.dramAlloc(8, 8);
+        WorkStealingRuntime rt(machine, cfg);
+        Cycles cycles = rt.run(
+            [&](TaskContext &tc) { fibKernel(tc, n, out); });
+        if (machine.mem().peekAs<int64_t>(out) != fibReference(n))
+            std::printf("!! fib result mismatch\n");
+        return cycles;
+    };
+
+    std::printf("%-8s %-22s %12s %9s\n", "series", "variant", "cycles",
+                "speedup");
+    Cycles baseline = 0;
+    for (const Variant &variant : wsVariants()) {
+        Cycles cycles = run_fib(variant.cfg);
+        if (baseline == 0)
+            baseline = cycles;
+        std::printf("%-8s %-22s %12" PRIu64 " %8.2fx\n", "Fib",
+                    variant.label, cycles,
+                    static_cast<double>(baseline) / cycles);
+    }
+    for (const Variant &variant : wsVariants()) {
+        RuntimeConfig cfg = variant.cfg;
+        cfg.swOverflowCheck = true;
+        Cycles cycles = run_fib(cfg);
+        std::printf("%-8s %-22s %12" PRIu64 " %8.2fx\n", "Fib-S",
+                    variant.label, cycles,
+                    static_cast<double>(baseline) / cycles);
+    }
+    std::printf("\n# paper: best variant ~2x the naive one; Fib-S "
+                "slightly below Fib\n");
+    return 0;
+}

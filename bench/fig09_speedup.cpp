@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces Fig. 9: speedup of every runtime configuration over the
+ * static runtime with stack in SPM, for the workloads that have a static
+ * baseline.
+ *
+ * Expected shape (paper): 1.2x-28.5x speedups for irregular inputs
+ * (PageRank/BFS/SpMV/SpMT on skewed inputs, NQueens, UTS), minimal
+ * overhead or slight gains on balanced ones (MatMul, uniform graphs);
+ * the SPM placement variants add up to ~25% over the naive runtime.
+ */
+
+#include "bench/rows.hpp"
+
+using namespace spmrt;
+using namespace spmrt::bench;
+
+int
+main()
+{
+    std::printf("# Fig. 9: speedup over the static runtime (stack in "
+                "SPM)\n");
+    if (quickMode())
+        std::printf("# QUICK MODE: shrunken inputs\n");
+    std::printf("\n%-10s %-9s", "workload", "input");
+    for (const Variant &variant : table1Variants())
+        std::printf(" %21s", variant.label);
+    std::printf("\n");
+
+    MachineConfig machine_cfg;
+    for (const WorkloadRow &row : table1Rows()) {
+        if (!row.hasStatic)
+            continue; // Fig. 10 covers the spawn-sync workloads
+        // One representative input per workload (the headline one);
+        // table1_main covers the full input matrix.
+        bool representative =
+            (row.workload == "MatMul" && row.input == "128") ||
+            ((row.workload == "PageRank" || row.workload == "BFS" ||
+              row.workload == "SpMV" || row.workload == "SpMT") &&
+             row.input == "email") ||
+            (row.workload == "NQueens" && row.input != "6") ||
+            row.workload == "UTS";
+        if (!representative)
+            continue;
+        std::printf("%-10s %-9s", row.workload.c_str(),
+                    row.input.c_str());
+        double baseline = 0;
+        std::vector<double> cycles;
+        bool all_ok = true;
+        for (const Variant &variant : table1Variants()) {
+            RowInstance instance;
+            RunResult result = runVariant(
+                variant, machine_cfg, row.spmReserve,
+                [&](Machine &machine) {
+                    instance = row.prepare(machine);
+                },
+                [&](TaskContext &tc) { instance.root(tc); },
+                [&](Machine &machine) {
+                    return instance.verify(machine);
+                });
+            all_ok = all_ok && result.verified;
+            cycles.push_back(static_cast<double>(result.cycles));
+            if (std::string(variant.label) == "static spm-stack")
+                baseline = static_cast<double>(result.cycles);
+        }
+        for (double value : cycles)
+            std::printf(" %20.2fx", baseline / value);
+        std::printf("%s\n", all_ok ? "" : "  !! verify failed");
+        std::fflush(stdout);
+    }
+    std::printf("\n# paper: up to 3.94x for statically schedulable "
+                "workloads, up to 28.5x for dynamic ones\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces Fig. 10: MatrixTranspose and CilkSort (the spawn-and-sync
+ * workloads with no static baseline) across the four work-stealing
+ * placement variants, normalized to having both stack and task queue in
+ * SPM.
+ *
+ * Expected shape (paper): both workloads benefit from the SPM stack;
+ * normalized performance of the other variants falls between ~0.6 and
+ * 1.0.
+ */
+
+#include "bench/rows.hpp"
+
+using namespace spmrt;
+using namespace spmrt::bench;
+
+int
+main()
+{
+    std::printf("# Fig. 10: spawn-sync workloads, normalized to "
+                "both-in-SPM\n\n");
+    std::printf("%-10s %-9s %-22s %12s %12s %5s\n", "workload", "input",
+                "variant", "cycles", "normalized", "ok");
+
+    MachineConfig machine_cfg;
+    for (const WorkloadRow &row : table1Rows()) {
+        if (row.hasStatic)
+            continue; // only MatrixTranspose and CilkSort
+        // Run best variant (both SPM) first to get the normalizer.
+        std::vector<std::pair<Variant, RunResult>> results;
+        for (const Variant &variant : wsVariants()) {
+            RowInstance instance;
+            RunResult result = runVariant(
+                variant, machine_cfg, row.spmReserve,
+                [&](Machine &machine) {
+                    instance = row.prepare(machine);
+                },
+                [&](TaskContext &tc) { instance.root(tc); },
+                [&](Machine &machine) {
+                    return instance.verify(machine);
+                });
+            results.emplace_back(variant, result);
+        }
+        double best = static_cast<double>(results.back().second.cycles);
+        for (auto &[variant, result] : results) {
+            std::printf("%-10s %-9s %-22s %12" PRIu64 " %11.2fx %5s\n",
+                        row.workload.c_str(), row.input.c_str(),
+                        variant.label, result.cycles,
+                        best / static_cast<double>(result.cycles),
+                        result.verified ? "yes" : "NO");
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces Fig. 11: workload scaling from 2 to 128 active cores under
+ * the work-stealing runtime with both stack and task queue in SPM,
+ * reported as speedup over one active core. (As in the paper, UTS is
+ * excluded for simulation-time reasons.)
+ *
+ * Expected shape (paper): NQueens and CilkSort scale best; MatMul scales
+ * well (high arithmetic intensity); the memory-bound graph/sparse
+ * kernels flatten as they saturate the single DRAM channel.
+ */
+
+#include "bench/rows.hpp"
+
+using namespace spmrt;
+using namespace spmrt::bench;
+
+namespace {
+
+/** The Fig. 11 subset: one input per workload, smaller than Table 1. */
+std::vector<WorkloadRow>
+scalingRows()
+{
+    std::vector<WorkloadRow> rows;
+    for (WorkloadRow &row : table1Rows()) {
+        // Large-parallelism inputs: a 128-core scaling study needs far
+        // more than 128 leaf tasks or the curve caps at the input's
+        // parallelism instead of the machine's.
+        bool keep =
+            (row.workload == "MatMul" && row.input == "256") ||
+            (row.workload == "PageRank" && row.input == "uniform") ||
+            (row.workload == "BFS" && row.input == "uniform") ||
+            (row.workload == "SpMV" && row.input == "c-58") ||
+            (row.workload == "SpMT" && row.input == "c-58") ||
+            (row.workload == "MatTrans" && row.input == "256") ||
+            (row.workload == "CilkSort" && row.input == "65536") ||
+            (row.workload == "NQueens" && row.input == "8");
+        if (quickMode())
+            keep = (row.workload == "MatMul") ||
+                   (row.workload == "NQueens" && row.input == "7") ||
+                   (row.workload == "CilkSort");
+        if (keep && (rows.empty() || rows.back().workload != row.workload))
+            rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::vector<uint32_t> core_counts = {1, 2, 4, 8, 16, 32, 64, 128};
+    if (quickMode())
+        core_counts = {1, 8, 128};
+
+    std::printf("# Fig. 11: speedup over one active core, work-stealing "
+                "runtime, both in SPM\n\n");
+    std::printf("%-10s", "workload");
+    for (uint32_t cores : core_counts)
+        std::printf(" %8u", cores);
+    std::printf("\n");
+
+    MachineConfig machine_cfg; // full mesh; only N cores participate
+    for (const WorkloadRow &row : scalingRows()) {
+        std::printf("%-10s", row.workload.c_str());
+        double serial = 0;
+        for (uint32_t cores : core_counts) {
+            Variant variant{false, RuntimeConfig::full(), "ws"};
+            variant.cfg.activeCores = cores;
+            RowInstance instance;
+            RunResult result = runVariant(
+                variant, machine_cfg, row.spmReserve,
+                [&](Machine &machine) {
+                    instance = row.prepare(machine);
+                },
+                [&](TaskContext &tc) { instance.root(tc); },
+                [&](Machine &machine) {
+                    return instance.verify(machine);
+                });
+            if (cores == core_counts.front())
+                serial = static_cast<double>(result.cycles);
+            std::printf(" %7.1f%s",
+                        serial / static_cast<double>(result.cycles),
+                        result.verified ? "x" : "!");
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+    std::printf("\n# ideal speedup at 128 cores: 128x\n");
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Host-side microbenchmarks (google-benchmark): the simulator's own
+ * data-structure costs. These measure *host* nanoseconds, not simulated
+ * cycles — they bound how fast the simulator itself can run and catch
+ * regressions in the hot paths (context switch, fluid-server charge,
+ * NoC traversal, RNGs, task registry, allocator).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "mem/alloc.hpp"
+#include "mem/fluid_server.hpp"
+#include "mem/noc.hpp"
+#include "runtime/task.hpp"
+#include "sim/engine.hpp"
+
+namespace spmrt {
+namespace {
+
+void
+BM_Xoshiro(benchmark::State &state)
+{
+    Xoshiro256StarStar rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_Xoshiro);
+
+void
+BM_SplittableSplit(benchmark::State &state)
+{
+    SplittableRng rng(1);
+    uint64_t index = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.split(index++).raw());
+}
+BENCHMARK(BM_SplittableSplit);
+
+void
+BM_FluidServerCharge(benchmark::State &state)
+{
+    FluidServer server(1);
+    Cycles t = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(server.charge(t++, 2));
+}
+BENCHMARK(BM_FluidServerCharge);
+
+void
+BM_NocTraverse(benchmark::State &state)
+{
+    MachineConfig cfg;
+    MeshNoc noc(cfg);
+    Xoshiro256StarStar rng(3);
+    Cycles t = 0;
+    for (auto _ : state) {
+        CoreId src = static_cast<CoreId>(rng.nextBounded(cfg.numCores()));
+        CoreId dst = static_cast<CoreId>(rng.nextBounded(cfg.numCores()));
+        benchmark::DoNotOptimize(noc.traverse(
+            noc.coreEndpoint(src), noc.coreEndpoint(dst), t++, 4));
+    }
+}
+BENCHMARK(BM_NocTraverse);
+
+void
+BM_TaskRegistryAddRemove(benchmark::State &state)
+{
+    TaskRegistry registry;
+    auto *task = makeClosureTask([](TaskContext &) {});
+    for (auto _ : state) {
+        uint32_t id = registry.add(task);
+        registry.remove(id);
+    }
+    delete task;
+}
+BENCHMARK(BM_TaskRegistryAddRemove);
+
+void
+BM_RangeAllocator(benchmark::State &state)
+{
+    RangeAllocator heap(0x1000, 1 << 20);
+    for (auto _ : state) {
+        Addr a = heap.alloc(64, 8);
+        Addr b = heap.alloc(128, 8);
+        heap.release(a);
+        heap.release(b);
+    }
+}
+BENCHMARK(BM_RangeAllocator);
+
+void
+BM_ContextSwitchPair(benchmark::State &state)
+{
+    // Two coroutines ping-ponging through the scheduler: measures the
+    // simulator's fundamental event cost.
+    Engine engine(2, 64 * 1024);
+    uint64_t rounds = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        for (CoreId i = 0; i < 2; ++i) {
+            engine.setBody(i, [&engine, i] {
+                for (int k = 0; k < 1000; ++k) {
+                    engine.advance(i, 1);
+                    engine.syncPoint(i);
+                }
+            });
+        }
+        state.ResumeTiming();
+        engine.run();
+        rounds += 2000;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(rounds));
+}
+BENCHMARK(BM_ContextSwitchPair)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+} // namespace spmrt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Shared infrastructure for the experiment benches.
+ *
+ * Each bench binary regenerates one table or figure of the paper (see
+ * DESIGN.md's per-experiment index). Inputs are scaled-down structural
+ * stand-ins for the paper's datasets so a full run finishes in minutes of
+ * host time on one core; set SPMRT_BENCH_QUICK=1 to shrink them further
+ * for smoke runs. Absolute cycle counts therefore differ from the paper;
+ * the *shape* (who wins, by roughly what factor) is the reproduction
+ * target, and EXPERIMENTS.md records both.
+ */
+
+#ifndef SPMRT_BENCH_SUPPORT_HPP
+#define SPMRT_BENCH_SUPPORT_HPP
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "matrix/generators.hpp"
+#include "parallel/patterns.hpp"
+
+namespace spmrt {
+namespace bench {
+
+/** True when SPMRT_BENCH_QUICK=1 (shrunken smoke-test inputs). */
+inline bool
+quickMode()
+{
+    const char *env = std::getenv("SPMRT_BENCH_QUICK");
+    return env != nullptr && env[0] == '1';
+}
+
+/** Pick between the full-size and quick-mode value. */
+template <typename T>
+T
+scaled(T full, T quick)
+{
+    return quickMode() ? quick : full;
+}
+
+/** One runtime configuration of Table 1. */
+struct Variant
+{
+    bool isStatic;
+    RuntimeConfig cfg;
+    const char *label;
+};
+
+/** The six configurations, in the paper's column order. */
+inline std::vector<Variant>
+table1Variants()
+{
+    RuntimeConfig static_dram;
+    static_dram.stackInSpm = false;
+    RuntimeConfig static_spm;
+    static_spm.stackInSpm = true;
+    return {
+        {true, static_dram, "static dram-stack"},
+        {true, static_spm, "static spm-stack"},
+        {false, RuntimeConfig::naive(), "ws dram/dram"},
+        {false, RuntimeConfig::queueOnly(), "ws dram-stack/spm-q"},
+        {false, RuntimeConfig::stackOnly(), "ws spm-stack/dram-q"},
+        {false, RuntimeConfig::full(), "ws spm/spm"},
+    };
+}
+
+/** The four work-stealing placement variants (Fig. 7 / Fig. 10 order). */
+inline std::vector<Variant>
+wsVariants()
+{
+    return {
+        {false, RuntimeConfig::naive(), "both DRAM"},
+        {false, RuntimeConfig::queueOnly(), "queue in SPM"},
+        {false, RuntimeConfig::stackOnly(), "stack in SPM"},
+        {false, RuntimeConfig::full(), "both SPM"},
+    };
+}
+
+/** Result of one timed kernel execution. */
+struct RunResult
+{
+    Cycles cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t steals = 0;
+    uint64_t stealAttempts = 0;
+    bool verified = true;
+};
+
+/**
+ * Run @p root under @p variant on a fresh machine built by @p make_machine
+ * and input prepared by @p setup; @p verify (optional) checks output.
+ */
+inline RunResult
+runVariant(const Variant &variant, const MachineConfig &machine_cfg,
+           uint32_t user_spm_reserve,
+           const std::function<void(Machine &)> &setup,
+           const std::function<void(TaskContext &)> &root,
+           const std::function<bool(Machine &)> &verify = nullptr)
+{
+    Machine machine(machine_cfg);
+    setup(machine);
+    RuntimeConfig cfg = variant.cfg;
+    cfg.userSpmReserve = user_spm_reserve;
+    RunResult result;
+    if (variant.isStatic) {
+        StaticRuntime rt(machine, cfg);
+        result.cycles = rt.run(root);
+    } else {
+        WorkStealingRuntime rt(machine, cfg);
+        result.cycles = rt.run(root);
+    }
+    result.instructions = machine.totalInstructions();
+    result.steals = machine.totalStat(&CoreStats::stealHits);
+    result.stealAttempts = machine.totalStat(&CoreStats::stealAttempts);
+    if (verify)
+        result.verified = verify(machine);
+    return result;
+}
+
+/** Print a standard table header for per-variant results. */
+inline void
+printVariantHeader(const char *row_label)
+{
+    std::printf("%-24s %-22s %12s %10s %9s %6s\n", row_label, "variant",
+                "cycles", "DI", "steals", "ok");
+}
+
+/** Print one row of per-variant results. */
+inline void
+printVariantRow(const std::string &row, const Variant &variant,
+                const RunResult &result)
+{
+    std::printf("%-24s %-22s %12" PRIu64 " %10" PRIu64 " %9" PRIu64
+                " %6s\n",
+                row.c_str(), variant.label, result.cycles,
+                result.instructions, result.steals,
+                result.verified ? "yes" : "NO");
+}
+
+} // namespace bench
+} // namespace spmrt
+
+#endif // SPMRT_BENCH_SUPPORT_HPP

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces Table 1: simulated cycles and dynamic operation counts for
+ * all nine workloads under the six runtime configurations (two static
+ * stack variants and four work-stealing placement variants).
+ *
+ * Expected shape (paper): work-stealing matches or beats the static
+ * runtime everywhere it applies, with the largest wins on irregular
+ * inputs; dynamic instruction counts are higher under work-stealing
+ * (spawn/steal overhead and idle-core steal attempts), and higher again
+ * with the SPM task queue (failed steals get cheaper, so idle cores
+ * issue more of them).
+ */
+
+#include "bench/rows.hpp"
+
+using namespace spmrt;
+using namespace spmrt::bench;
+
+int
+main()
+{
+    std::printf("# Table 1: cycles (K) and dynamic ops (K) per workload "
+                "and runtime configuration\n");
+    if (quickMode())
+        std::printf("# QUICK MODE: shrunken inputs\n");
+    std::printf("\n%-10s %-9s %-22s %11s %11s %8s %5s\n", "workload",
+                "input", "config", "cycles(K)", "ops(K)", "steals",
+                "ok");
+
+    MachineConfig machine_cfg; // the paper's 16x8 machine
+    for (const WorkloadRow &row : table1Rows()) {
+        for (const Variant &variant : table1Variants()) {
+            if (variant.isStatic && !row.hasStatic)
+                continue;
+            RowInstance instance; // bound during setup below
+            RunResult result = runVariant(
+                variant, machine_cfg, row.spmReserve,
+                [&](Machine &machine) {
+                    instance = row.prepare(machine);
+                },
+                [&](TaskContext &tc) { instance.root(tc); },
+                [&](Machine &machine) {
+                    return instance.verify(machine);
+                });
+            std::printf("%-10s %-9s %-22s %11.1f %11.1f %8" PRIu64
+                        " %5s\n",
+                        row.workload.c_str(), row.input.c_str(),
+                        variant.label, result.cycles / 1000.0,
+                        result.instructions / 1000.0, result.steals,
+                        result.verified ? "yes" : "NO");
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

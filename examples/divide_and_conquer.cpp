@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Divide-and-conquer example: recursive spawn-and-sync workloads that a
+ * static runtime cannot parallelize at all (they start from one task).
+ *
+ * Runs CilkSort and the paper's fib micro-benchmark across the four
+ * work-stealing placement variants, showing how moving the stack and the
+ * task queue into scratchpad changes performance.
+ *
+ *   $ ./divide_and_conquer [sort_keys] [fib_n]
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "workloads/cilksort.hpp"
+#include "workloads/fib.hpp"
+
+using namespace spmrt;
+using namespace spmrt::workloads;
+
+namespace {
+
+struct Variant
+{
+    const char *label;
+    RuntimeConfig cfg;
+};
+
+const Variant kVariants[] = {
+    {"both in DRAM (naive)", RuntimeConfig::naive()},
+    {"queue in SPM", RuntimeConfig::queueOnly()},
+    {"stack in SPM", RuntimeConfig::stackOnly()},
+    {"both in SPM", RuntimeConfig::full()},
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint32_t keys = argc > 1 ? std::atoi(argv[1]) : 16384;
+    int fib_n = argc > 2 ? std::atoi(argv[2]) : 16;
+
+    std::printf("CilkSort of %u keys on 128 simulated cores\n", keys);
+    std::printf("%-24s %14s %12s %10s\n", "variant", "cycles",
+                "dyn. ops (K)", "steals");
+    bool ok = true;
+    for (const Variant &variant : kVariants) {
+        Machine machine(MachineConfig{});
+        CilkSortData data = cilksortSetup(machine, keys, 2026);
+        std::vector<uint32_t> original =
+            downloadArray<uint32_t>(machine, data.data, keys);
+        WorkStealingRuntime rt(machine, variant.cfg);
+        Cycles cycles =
+            rt.run([&](TaskContext &tc) { cilksortKernel(tc, data); });
+        ok = ok && cilksortVerify(machine, data, original);
+        std::printf("%-24s %14" PRIu64 " %12" PRIu64 " %10" PRIu64 "\n",
+                    variant.label, cycles,
+                    machine.totalInstructions() / 1000,
+                    machine.totalStat(&CoreStats::stealHits));
+    }
+
+    std::printf("\nfib(%d): exponential fine-grained task tree\n", fib_n);
+    std::printf("%-24s %14s %12s %10s\n", "variant", "cycles",
+                "dyn. ops (K)", "steals");
+    for (const Variant &variant : kVariants) {
+        Machine machine(MachineConfig{});
+        Addr out = machine.dramAlloc(8, 8);
+        WorkStealingRuntime rt(machine, variant.cfg);
+        Cycles cycles =
+            rt.run([&](TaskContext &tc) { fibKernel(tc, fib_n, out); });
+        ok = ok &&
+             machine.mem().peekAs<int64_t>(out) == fibReference(fib_n);
+        std::printf("%-24s %14" PRIu64 " %12" PRIu64 " %10" PRIu64 "\n",
+                    variant.label, cycles,
+                    machine.totalInstructions() / 1000,
+                    machine.totalStat(&CoreStats::stealHits));
+    }
+    std::printf("\nall results verified: %s\n", ok ? "OK" : "FAILED");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Small bit-manipulation and arithmetic helpers.
+ */
+
+#ifndef SPMRT_COMMON_BITS_HPP
+#define SPMRT_COMMON_BITS_HPP
+
+#include <cstdint>
+#include <type_traits>
+
+#include "common/log.hpp"
+
+namespace spmrt {
+
+/** True iff @p x is a power of two (0 is not). */
+template <typename T>
+constexpr bool
+isPowerOfTwo(T x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Round @p x up to the next multiple of @p align (align power of two). */
+template <typename T>
+constexpr T
+alignUp(T x, T align)
+{
+    return (x + align - 1) & ~(align - 1);
+}
+
+/** Round @p x down to a multiple of @p align (align power of two). */
+template <typename T>
+constexpr T
+alignDown(T x, T align)
+{
+    return x & ~(align - 1);
+}
+
+/** Floor of log2(x); x must be nonzero. */
+template <typename T>
+constexpr unsigned
+floorLog2(T x)
+{
+    unsigned result = 0;
+    while (x >>= 1)
+        ++result;
+    return result;
+}
+
+/** Ceil of log2(x); x must be nonzero. */
+template <typename T>
+constexpr unsigned
+ceilLog2(T x)
+{
+    return x <= 1 ? 0 : floorLog2(static_cast<T>(x - 1)) + 1;
+}
+
+/** Integer division rounding up. */
+template <typename T>
+constexpr T
+divCeil(T a, T b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace spmrt
+
+#endif // SPMRT_COMMON_BITS_HPP

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generators.
+ *
+ * Three generators are provided:
+ *  - splitmix64: stateless mixer used for seeding and hashing;
+ *  - Xoshiro256StarStar: fast general-purpose stream generator used by the
+ *    workload/input generators and by the runtime's random victim selection;
+ *  - SplittableRng: a hash-based splittable generator in the spirit of the
+ *    SHA-1 stream used by the original UTS benchmark. Each tree node derives
+ *    child streams deterministically from its own state, so an unbalanced
+ *    tree has the same shape regardless of execution order or core count.
+ */
+
+#ifndef SPMRT_COMMON_RNG_HPP
+#define SPMRT_COMMON_RNG_HPP
+
+#include <cstdint>
+
+namespace spmrt {
+
+/** One round of the splitmix64 mixing function. */
+inline uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Stateless 64-bit finalizing hash (splitmix64 mixer applied once). */
+inline uint64_t
+hash64(uint64_t x)
+{
+    uint64_t s = x;
+    return splitmix64(s);
+}
+
+/**
+ * xoshiro256** by Blackman and Vigna: fast, high-quality, 256-bit state.
+ */
+class Xoshiro256StarStar
+{
+  public:
+    /** Construct from a 64-bit seed expanded through splitmix64. */
+    explicit Xoshiro256StarStar(uint64_t seed = 0x5eed5eed5eed5eedULL)
+    {
+        uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitmix64(sm);
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound) using Lemire's multiply-shift. */
+    uint64_t
+    nextBounded(uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        return static_cast<uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+/**
+ * Splittable counter-based generator for reproducible tree workloads.
+ *
+ * Every node of the UTS tree holds a SplittableRng; spawning the i-th child
+ * hashes (state, i) into a fresh independent stream. The resulting tree
+ * shape is a pure function of the root seed.
+ */
+class SplittableRng
+{
+  public:
+    explicit SplittableRng(uint64_t seed = 0) : state_(hash64(seed ^ kTag)) {}
+
+    /** Derive the child stream for child index @p index. */
+    SplittableRng
+    split(uint64_t index) const
+    {
+        SplittableRng child;
+        child.state_ = hash64(state_ ^ hash64(index + kChildTag));
+        return child;
+    }
+
+    /** Draw the next value from this stream (advances the stream). */
+    uint64_t
+    next()
+    {
+        state_ = hash64(state_ + kStepTag);
+        return state_;
+    }
+
+    /** Uniform double in [0, 1) (advances the stream). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Raw state, for tests and debugging. */
+    uint64_t raw() const { return state_; }
+
+  private:
+    static constexpr uint64_t kTag = 0x7f4a7c15f39cc060ULL;
+    static constexpr uint64_t kChildTag = 0x9e3779b97f4a7c15ULL;
+    static constexpr uint64_t kStepTag = 0xd1b54a32d192ed03ULL;
+
+    uint64_t state_ = 0;
+};
+
+} // namespace spmrt
+
+#endif // SPMRT_COMMON_RNG_HPP

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator and runtime.
+ */
+
+#ifndef SPMRT_COMMON_TYPES_HPP
+#define SPMRT_COMMON_TYPES_HPP
+
+#include <cstdint>
+#include <cstddef>
+
+namespace spmrt {
+
+/** Simulated 32-bit physical/PGAS address (HammerBlade is RV32). */
+using Addr = uint32_t;
+
+/** Simulated time expressed in core clock cycles. */
+using Cycles = uint64_t;
+
+/** Identifier of a core in the mesh (row-major). */
+using CoreId = uint32_t;
+
+/** Sentinel for "no core". */
+constexpr CoreId kInvalidCore = ~CoreId(0);
+
+/** Sentinel for "null simulated pointer". */
+constexpr Addr kNullAddr = 0;
+
+} // namespace spmrt
+
+#endif // SPMRT_COMMON_TYPES_HPP

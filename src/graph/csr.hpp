@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Compressed-sparse-row graphs: a host-side representation used for
+ * generation and verification, and a simulated-memory image used by the
+ * kernels under test.
+ */
+
+#ifndef SPMRT_GRAPH_CSR_HPP
+#define SPMRT_GRAPH_CSR_HPP
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "sim/machine.hpp"
+
+namespace spmrt {
+
+/**
+ * Host-resident directed graph in CSR form.
+ */
+struct HostGraph
+{
+    uint32_t numVertices = 0;
+    std::vector<uint32_t> offsets; ///< size numVertices + 1
+    std::vector<uint32_t> targets; ///< size numEdges
+
+    uint64_t numEdges() const { return targets.size(); }
+
+    uint32_t
+    degree(uint32_t v) const
+    {
+        return offsets[v + 1] - offsets[v];
+    }
+
+    /** Build a CSR graph from an edge list (duplicates preserved). */
+    static HostGraph
+    fromEdges(uint32_t num_vertices,
+              std::vector<std::pair<uint32_t, uint32_t>> edges)
+    {
+        HostGraph graph;
+        graph.numVertices = num_vertices;
+        std::sort(edges.begin(), edges.end());
+        graph.offsets.assign(num_vertices + 1, 0);
+        for (const auto &[src, dst] : edges) {
+            SPMRT_ASSERT(src < num_vertices && dst < num_vertices,
+                         "edge (%u,%u) out of range", src, dst);
+            ++graph.offsets[src + 1];
+        }
+        for (uint32_t v = 0; v < num_vertices; ++v)
+            graph.offsets[v + 1] += graph.offsets[v];
+        graph.targets.reserve(edges.size());
+        for (const auto &[src, dst] : edges) {
+            (void)src;
+            graph.targets.push_back(dst);
+        }
+        return graph;
+    }
+
+    /** The reverse graph (in-edges become out-edges). */
+    HostGraph
+    transpose() const
+    {
+        std::vector<std::pair<uint32_t, uint32_t>> edges;
+        edges.reserve(targets.size());
+        for (uint32_t v = 0; v < numVertices; ++v)
+            for (uint32_t e = offsets[v]; e < offsets[v + 1]; ++e)
+                edges.emplace_back(targets[e], v);
+        return fromEdges(numVertices, std::move(edges));
+    }
+
+    /** Largest out-degree (a load-imbalance indicator). */
+    uint32_t
+    maxDegree() const
+    {
+        uint32_t max_degree = 0;
+        for (uint32_t v = 0; v < numVertices; ++v)
+            max_degree = std::max(max_degree, degree(v));
+        return max_degree;
+    }
+};
+
+/** Copy a host vector into simulated DRAM; returns its base address. */
+template <typename T>
+Addr
+uploadArray(Machine &machine, const std::vector<T> &data)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    Addr base = machine.dramAlloc(data.size() * sizeof(T), 64);
+    for (size_t i = 0; i < data.size(); ++i)
+        machine.mem().pokeAs<T>(base + static_cast<Addr>(i * sizeof(T)),
+                                data[i]);
+    return base;
+}
+
+/** Allocate a zero-filled simulated DRAM array of @p count T elements. */
+template <typename T>
+Addr
+allocZeroArray(Machine &machine, uint64_t count)
+{
+    Addr base = machine.dramAlloc(count * sizeof(T), 64);
+    for (uint64_t i = 0; i < count; ++i)
+        machine.mem().pokeAs<T>(base + static_cast<Addr>(i * sizeof(T)),
+                                T{});
+    return base;
+}
+
+/** Download a simulated DRAM array into a host vector. */
+template <typename T>
+std::vector<T>
+downloadArray(Machine &machine, Addr base, uint64_t count)
+{
+    std::vector<T> data(count);
+    for (uint64_t i = 0; i < count; ++i)
+        data[i] = machine.mem().peekAs<T>(
+            base + static_cast<Addr>(i * sizeof(T)));
+    return data;
+}
+
+/**
+ * A graph uploaded into simulated DRAM (both directions, as pull-based
+ * kernels need in-edges).
+ */
+struct SimGraph
+{
+    uint32_t numVertices = 0;
+    uint32_t numEdges = 0;
+    Addr outOffsets = kNullAddr;
+    Addr outTargets = kNullAddr;
+    Addr inOffsets = kNullAddr;
+    Addr inTargets = kNullAddr;
+
+    static SimGraph
+    upload(Machine &machine, const HostGraph &graph)
+    {
+        HostGraph reverse = graph.transpose();
+        SimGraph sim;
+        sim.numVertices = graph.numVertices;
+        sim.numEdges = static_cast<uint32_t>(graph.numEdges());
+        sim.outOffsets = uploadArray(machine, graph.offsets);
+        sim.outTargets = uploadArray(machine, graph.targets);
+        sim.inOffsets = uploadArray(machine, reverse.offsets);
+        sim.inTargets = uploadArray(machine, reverse.targets);
+        return sim;
+    }
+};
+
+} // namespace spmrt
+
+#endif // SPMRT_GRAPH_CSR_HPP

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * A miniature Ligra-style graph-processing layer (Shun & Blelloch,
+ * PPoPP'13) on top of the task-parallel patterns.
+ *
+ * The paper implements PageRank and BFS "with the Ligra graph processing
+ * framework"; this header provides the same core abstractions so new
+ * graph algorithms can be written in that style:
+ *
+ *  - VertexSubset: a dense set of vertices in simulated memory;
+ *  - vertexMap: parallel apply over a subset;
+ *  - edgeMap: direction-optimized edge traversal — sparse frontiers push
+ *    along out-edges (the user's update must be atomic), dense frontiers
+ *    pull along in-edges (update runs once per destination) — producing
+ *    the subset of newly updated vertices.
+ *
+ * Frontier sizing uses discovery-time census cells (each successful
+ * update adds 1 + degree) so direction selection costs one load.
+ */
+
+#ifndef SPMRT_GRAPH_LIGRA_HPP
+#define SPMRT_GRAPH_LIGRA_HPP
+
+#include "graph/csr.hpp"
+#include "parallel/patterns.hpp"
+
+namespace spmrt {
+namespace ligra {
+
+/**
+ * Dense vertex subset: flags[v] != 0 means v is a member.
+ */
+struct VertexSubset
+{
+    Addr flags = kNullAddr;
+    uint32_t numVertices = 0;
+
+    /** Allocate an empty subset (untimed; setup-side). */
+    static VertexSubset
+    allocate(Machine &machine, uint32_t num_vertices)
+    {
+        VertexSubset subset;
+        subset.numVertices = num_vertices;
+        subset.flags = allocZeroArray<uint32_t>(machine, num_vertices);
+        return subset;
+    }
+
+    /** Add vertex @p v (untimed; setup-side). */
+    void
+    addUntimed(Machine &machine, uint32_t v)
+    {
+        machine.mem().pokeAs<uint32_t>(flags + v * 4, 1);
+    }
+
+    /** Count members (untimed; verification-side). */
+    uint32_t
+    sizeUntimed(Machine &machine) const
+    {
+        uint32_t count = 0;
+        for (uint32_t v = 0; v < numVertices; ++v)
+            if (machine.mem().peekAs<uint32_t>(flags + v * 4) != 0)
+                ++count;
+        return count;
+    }
+
+    /** Timed membership test by guest code. */
+    bool
+    contains(Core &core, uint32_t v) const
+    {
+        return core.load<uint32_t>(flags + v * 4) != 0;
+    }
+
+    /** Timed insertion by guest code (plain store; idempotent). */
+    void
+    insert(Core &core, uint32_t v) const
+    {
+        core.store<uint32_t>(flags + v * 4, 1);
+    }
+};
+
+/**
+ * Parallel apply over every member of @p subset.
+ * fn(TaskContext&, v) runs once per member.
+ */
+inline void
+vertexMap(TaskContext &tc, const VertexSubset &subset,
+          const std::function<void(TaskContext &, uint32_t)> &fn)
+{
+    ForOptions opts;
+    opts.env.bytes = 16;
+    opts.env.wordsPerIter = 1;
+    parallelFor(
+        tc, 0, subset.numVertices,
+        [&subset, &fn](TaskContext &btc, int64_t v) {
+            if (subset.contains(btc.core(), static_cast<uint32_t>(v)))
+                fn(btc, static_cast<uint32_t>(v));
+        },
+        opts);
+}
+
+/**
+ * Build the subset of vertices satisfying @p pred (over all vertices).
+ */
+inline void
+vertexFilter(TaskContext &tc, VertexSubset &out,
+             const std::function<bool(TaskContext &, uint32_t)> &pred)
+{
+    ForOptions opts;
+    opts.env.bytes = 16;
+    opts.env.wordsPerIter = 1;
+    parallelFor(
+        tc, 0, out.numVertices,
+        [&out, &pred](TaskContext &btc, int64_t v) {
+            Core &core = btc.core();
+            auto vertex = static_cast<uint32_t>(v);
+            if (pred(btc, vertex))
+                out.insert(core, vertex);
+            else
+                core.store<uint32_t>(out.flags + vertex * 4, 0);
+        },
+        opts);
+}
+
+/**
+ * Callbacks of one edgeMap invocation.
+ */
+struct EdgeMapFns
+{
+    /**
+     * Try to update edge (src, dst); return true when dst was *newly*
+     * updated (it joins the output subset). Called concurrently from
+     * multiple cores in push mode — use AMOs for the claim.
+     */
+    std::function<bool(TaskContext &, uint32_t src, uint32_t dst)> update;
+    /**
+     * Like update, but called in pull mode where only one task handles
+     * dst: a plain read-modify-write is safe. Defaults to update.
+     */
+    std::function<bool(TaskContext &, uint32_t src, uint32_t dst)>
+        updateNoAtomic;
+    /** Skip destinations for which cond is false (default: all pass). */
+    std::function<bool(TaskContext &, uint32_t dst)> cond;
+};
+
+/**
+ * Direction-optimized edge traversal from @p frontier.
+ *
+ * @param tc execution context.
+ * @param graph the graph (both directions uploaded).
+ * @param frontier input subset.
+ * @param out output subset (must be empty; filled with new vertices).
+ * @param frontier_edges size estimate of the frontier (1 + degree sums,
+ *        as returned by the previous edgeMap; used to pick push vs pull).
+ * @param fns update/cond callbacks.
+ * @return the 1 + out-degree census of the output subset.
+ */
+inline uint32_t
+edgeMap(TaskContext &tc, const SimGraph &graph,
+        const VertexSubset &frontier, VertexSubset &out,
+        uint32_t frontier_edges, const EdgeMapFns &fns)
+{
+    Machine &machine = machineOf(tc);
+    const uint32_t num_vertices = graph.numVertices;
+    const uint64_t flip_threshold = graph.numEdges / 20 + 1;
+    Addr census = machine.dramAlloc(4, 4);
+    machine.mem().pokeAs<uint32_t>(census, 0);
+
+    auto cond = [&fns](TaskContext &btc, uint32_t dst) {
+        return !fns.cond || fns.cond(btc, dst);
+    };
+    const auto &pull_update =
+        fns.updateNoAtomic ? fns.updateNoAtomic : fns.update;
+
+    ForOptions opts;
+    opts.env.bytes = 28;
+    opts.env.wordsPerIter = 2;
+    opts.grain = 8;
+
+    if (frontier_edges > flip_threshold) {
+        // Pull: every vertex passing cond scans its in-edges for a
+        // frontier member.
+        parallelFor(
+            tc, 0, num_vertices,
+            [&](TaskContext &btc, int64_t v) {
+                Core &core = btc.core();
+                auto dst = static_cast<uint32_t>(v);
+                if (!cond(btc, dst))
+                    return;
+                Addr idx = static_cast<Addr>(v);
+                uint32_t begin =
+                    core.load<uint32_t>(graph.inOffsets + idx * 4);
+                uint32_t end =
+                    core.load<uint32_t>(graph.inOffsets + idx * 4 + 4);
+                for (uint32_t e = begin; e < end; ++e) {
+                    uint32_t src =
+                        core.load<uint32_t>(graph.inTargets + e * 4);
+                    core.tick(1, 2);
+                    if (!frontier.contains(core, src))
+                        continue;
+                    if (pull_update(btc, src, dst)) {
+                        out.insert(core, dst);
+                        uint32_t d_begin = core.load<uint32_t>(
+                            graph.outOffsets + idx * 4);
+                        uint32_t d_end = core.load<uint32_t>(
+                            graph.outOffsets + idx * 4 + 4);
+                        core.amoAdd(census, 1 + (d_end - d_begin));
+                        break;
+                    }
+                }
+            },
+            opts);
+    } else {
+        // Push: frontier members try to update their out-neighbors.
+        parallelFor(
+            tc, 0, num_vertices,
+            [&](TaskContext &btc, int64_t v) {
+                Core &core = btc.core();
+                auto src = static_cast<uint32_t>(v);
+                if (!frontier.contains(core, src))
+                    return;
+                Addr idx = static_cast<Addr>(v);
+                uint32_t begin =
+                    core.load<uint32_t>(graph.outOffsets + idx * 4);
+                uint32_t end =
+                    core.load<uint32_t>(graph.outOffsets + idx * 4 + 4);
+                for (uint32_t e = begin; e < end; ++e) {
+                    uint32_t dst =
+                        core.load<uint32_t>(graph.outTargets + e * 4);
+                    core.tick(1, 2);
+                    if (!cond(btc, dst))
+                        continue;
+                    if (fns.update(btc, src, dst)) {
+                        out.insert(core, dst);
+                        uint32_t d_begin = core.load<uint32_t>(
+                            graph.outOffsets + dst * 4);
+                        uint32_t d_end = core.load<uint32_t>(
+                            graph.outOffsets + dst * 4 + 4);
+                        core.amoAdd(census, 1 + (d_end - d_begin));
+                    }
+                }
+            },
+            opts);
+    }
+
+    uint32_t result = tc.core().load<uint32_t>(census);
+    machine.dramFree(census);
+    return result;
+}
+
+/**
+ * Clear a subset with a parallel pass (between traversal rounds).
+ */
+inline void
+clearSubset(TaskContext &tc, const VertexSubset &subset)
+{
+    parallelFor(tc, 0, subset.numVertices,
+                [&subset](TaskContext &btc, int64_t v) {
+                    btc.core().store<uint32_t>(
+                        subset.flags + static_cast<Addr>(v) * 4, 0);
+                });
+}
+
+} // namespace ligra
+} // namespace spmrt
+
+#endif // SPMRT_GRAPH_LIGRA_HPP

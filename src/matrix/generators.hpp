@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Matrix generators mirroring the structure of the paper's inputs (see
+ * graph/generators.hpp for the substitution rationale).
+ */
+
+#ifndef SPMRT_MATRIX_GENERATORS_HPP
+#define SPMRT_MATRIX_GENERATORS_HPP
+
+#include "matrix/matrix.hpp"
+
+namespace spmrt {
+
+/** Dense matrix with pseudo-random entries in [-1, 1). */
+HostDense genDenseRandom(uint32_t rows, uint32_t cols, uint64_t seed);
+
+/** Sparse matrix with a fixed nnz per row at random columns. */
+HostCsr genCsrUniform(uint32_t rows, uint32_t cols, uint32_t nnz_per_row,
+                      uint64_t seed);
+
+/** Sparse matrix with Zipf-distributed row lengths ("email"-like skew). */
+HostCsr genCsrPowerLaw(uint32_t rows, uint32_t cols, uint32_t avg_nnz,
+                       double alpha, uint64_t seed);
+
+/** Banded structural matrix ("c-58"-like). */
+HostCsr genCsrBanded(uint32_t n, uint32_t bandwidth, uint32_t nnz_per_row,
+                     uint64_t seed);
+
+/**
+ * Bundle-adjustment-like matrix: a minority of dense rows over a sparse
+ * remainder ("bundle1"-like).
+ */
+HostCsr genCsrBundle(uint32_t rows, uint32_t cols, uint32_t dense_rows,
+                     uint32_t dense_nnz, uint32_t sparse_nnz,
+                     uint64_t seed);
+
+} // namespace spmrt
+
+#endif // SPMRT_MATRIX_GENERATORS_HPP

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Dense and sparse (CSR) matrices: host representations for generation
+ * and verification, simulated-DRAM images for the kernels.
+ */
+
+#ifndef SPMRT_MATRIX_MATRIX_HPP
+#define SPMRT_MATRIX_MATRIX_HPP
+
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "graph/csr.hpp" // uploadArray / downloadArray helpers
+#include "sim/machine.hpp"
+
+namespace spmrt {
+
+/**
+ * Host-resident dense row-major matrix of floats.
+ */
+struct HostDense
+{
+    uint32_t rows = 0;
+    uint32_t cols = 0;
+    std::vector<float> data; ///< rows * cols, row-major
+
+    HostDense() = default;
+    HostDense(uint32_t r, uint32_t c) : rows(r), cols(c), data(r * c, 0.f) {}
+
+    float &at(uint32_t r, uint32_t c) { return data[r * cols + c]; }
+    float at(uint32_t r, uint32_t c) const { return data[r * cols + c]; }
+
+    /** C = this * other, reference implementation. */
+    HostDense
+    multiply(const HostDense &other) const
+    {
+        SPMRT_ASSERT(cols == other.rows, "dimension mismatch");
+        HostDense result(rows, other.cols);
+        for (uint32_t i = 0; i < rows; ++i)
+            for (uint32_t k = 0; k < cols; ++k) {
+                float lhs = at(i, k);
+                for (uint32_t j = 0; j < other.cols; ++j)
+                    result.at(i, j) += lhs * other.at(k, j);
+            }
+        return result;
+    }
+
+    /** Transposed copy, reference implementation. */
+    HostDense
+    transposed() const
+    {
+        HostDense result(cols, rows);
+        for (uint32_t r = 0; r < rows; ++r)
+            for (uint32_t c = 0; c < cols; ++c)
+                result.at(c, r) = at(r, c);
+        return result;
+    }
+};
+
+/**
+ * Host-resident sparse matrix in CSR form with float values.
+ */
+struct HostCsr
+{
+    uint32_t rows = 0;
+    uint32_t cols = 0;
+    std::vector<uint32_t> rowPtr; ///< size rows + 1
+    std::vector<uint32_t> colIdx; ///< size nnz
+    std::vector<float> values;    ///< size nnz
+
+    uint64_t nnz() const { return colIdx.size(); }
+
+    uint32_t
+    rowNnz(uint32_t r) const
+    {
+        return rowPtr[r + 1] - rowPtr[r];
+    }
+
+    /** y = A * x, reference implementation. */
+    std::vector<float>
+    multiply(const std::vector<float> &x) const
+    {
+        SPMRT_ASSERT(x.size() == cols, "dimension mismatch");
+        std::vector<float> y(rows, 0.f);
+        for (uint32_t r = 0; r < rows; ++r)
+            for (uint32_t e = rowPtr[r]; e < rowPtr[r + 1]; ++e)
+                y[r] += values[e] * x[colIdx[e]];
+        return y;
+    }
+
+    /** CSR transpose (CSC of the original), reference implementation. */
+    HostCsr
+    transposed() const
+    {
+        HostCsr result;
+        result.rows = cols;
+        result.cols = rows;
+        result.rowPtr.assign(cols + 1, 0);
+        for (uint32_t idx : colIdx)
+            ++result.rowPtr[idx + 1];
+        for (uint32_t c = 0; c < cols; ++c)
+            result.rowPtr[c + 1] += result.rowPtr[c];
+        result.colIdx.resize(nnz());
+        result.values.resize(nnz());
+        std::vector<uint32_t> cursor(result.rowPtr.begin(),
+                                     result.rowPtr.end() - 1);
+        for (uint32_t r = 0; r < rows; ++r) {
+            for (uint32_t e = rowPtr[r]; e < rowPtr[r + 1]; ++e) {
+                uint32_t slot = cursor[colIdx[e]]++;
+                result.colIdx[slot] = r;
+                result.values[slot] = values[e];
+            }
+        }
+        return result;
+    }
+};
+
+/** Dense matrix uploaded into simulated DRAM. */
+struct SimDense
+{
+    uint32_t rows = 0;
+    uint32_t cols = 0;
+    Addr data = kNullAddr;
+
+    static SimDense
+    upload(Machine &machine, const HostDense &host)
+    {
+        SimDense sim;
+        sim.rows = host.rows;
+        sim.cols = host.cols;
+        sim.data = uploadArray(machine, host.data);
+        return sim;
+    }
+
+    /** Fresh zeroed dense matrix in simulated DRAM. */
+    static SimDense
+    zeros(Machine &machine, uint32_t rows, uint32_t cols)
+    {
+        SimDense sim;
+        sim.rows = rows;
+        sim.cols = cols;
+        sim.data = allocZeroArray<float>(
+            machine, static_cast<uint64_t>(rows) * cols);
+        return sim;
+    }
+
+    Addr
+    elem(uint32_t r, uint32_t c) const
+    {
+        return data + (static_cast<Addr>(r) * cols + c) * sizeof(float);
+    }
+
+    HostDense
+    download(Machine &machine) const
+    {
+        HostDense host(rows, cols);
+        host.data = downloadArray<float>(
+            machine, data, static_cast<uint64_t>(rows) * cols);
+        return host;
+    }
+};
+
+/** Sparse CSR matrix uploaded into simulated DRAM. */
+struct SimCsr
+{
+    uint32_t rows = 0;
+    uint32_t cols = 0;
+    uint32_t nnz = 0;
+    Addr rowPtr = kNullAddr;
+    Addr colIdx = kNullAddr;
+    Addr values = kNullAddr;
+
+    static SimCsr
+    upload(Machine &machine, const HostCsr &host)
+    {
+        SimCsr sim;
+        sim.rows = host.rows;
+        sim.cols = host.cols;
+        sim.nnz = static_cast<uint32_t>(host.nnz());
+        sim.rowPtr = uploadArray(machine, host.rowPtr);
+        sim.colIdx = uploadArray(machine, host.colIdx);
+        sim.values = uploadArray(machine, host.values);
+        return sim;
+    }
+
+    HostCsr
+    download(Machine &machine) const
+    {
+        HostCsr host;
+        host.rows = rows;
+        host.cols = cols;
+        host.rowPtr = downloadArray<uint32_t>(machine, rowPtr, rows + 1);
+        host.colIdx = downloadArray<uint32_t>(machine, colIdx, nnz);
+        host.values = downloadArray<float>(machine, values, nnz);
+        return host;
+    }
+};
+
+} // namespace spmrt
+
+#endif // SPMRT_MATRIX_MATRIX_HPP

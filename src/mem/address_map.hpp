@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Partitioned-global-address-space (PGAS) layout.
+ *
+ * Mirrors HammerBlade's address organization: every core's scratchpad is
+ * mapped at a fixed, non-intersecting window of the 32-bit address space,
+ * and DRAM occupies a separate region behind the banked LLC. A core can
+ * therefore address its own SPM, any remote SPM, or DRAM with plain
+ * loads/stores; the *timing* of the access depends on which region the
+ * address falls in.
+ */
+
+#ifndef SPMRT_MEM_ADDRESS_MAP_HPP
+#define SPMRT_MEM_ADDRESS_MAP_HPP
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "sim/config.hpp"
+
+namespace spmrt {
+
+/** Which physical resource backs an address. */
+enum class MemRegion : uint8_t
+{
+    Spm, ///< some core's scratchpad (owner says whose)
+    Dram ///< off-chip DRAM, reached through the LLC
+};
+
+/** Decoded address: region, owning core (SPM only), and region offset. */
+struct DecodedAddr
+{
+    MemRegion region;
+    CoreId owner;    ///< owning core for SPM; kInvalidCore for DRAM
+    uint32_t offset; ///< byte offset within the region
+};
+
+/**
+ * Address-space layout constants and decode logic.
+ */
+class AddressMap
+{
+  public:
+    /** Base of the SPM window array. */
+    static constexpr Addr kSpmBase = 0x1000'0000;
+    /** Address stride between consecutive cores' SPM windows. */
+    static constexpr Addr kSpmStride = 0x1000;
+    /** Base of the DRAM region. */
+    static constexpr Addr kDramBase = 0x4000'0000;
+
+    explicit AddressMap(const MachineConfig &cfg)
+        : numCores_(cfg.numCores()), spmBytes_(cfg.spmBytes),
+          dramBytes_(cfg.dramBytes)
+    {
+        SPMRT_ASSERT(spmBytes_ <= kSpmStride,
+                     "SPM size exceeds its address window");
+        SPMRT_ASSERT(kDramBase + dramBytes_ > kDramBase &&
+                     kDramBase + dramBytes_ <= 0xffff'ffffull,
+                     "DRAM does not fit in the 32-bit address space");
+    }
+
+    /** Base address of core @p id's scratchpad window. */
+    Addr
+    spmBase(CoreId id) const
+    {
+        SPMRT_ASSERT(id < numCores_, "spmBase: bad core %u", id);
+        return kSpmBase + id * kSpmStride;
+    }
+
+    /** True iff @p addr falls in some core's SPM window. */
+    bool
+    isSpm(Addr addr) const
+    {
+        return addr >= kSpmBase &&
+               addr < kSpmBase + numCores_ * kSpmStride;
+    }
+
+    /** True iff @p addr falls in DRAM. */
+    bool
+    isDram(Addr addr) const
+    {
+        return addr >= kDramBase && addr - kDramBase < dramBytes_;
+    }
+
+    /**
+     * Decode @p addr, checking that the [addr, addr+size) range is fully
+     * contained in one region (and within the SPM's implemented bytes).
+     */
+    DecodedAddr
+    decode(Addr addr, uint32_t size) const
+    {
+        if (isSpm(addr)) {
+            CoreId owner = (addr - kSpmBase) / kSpmStride;
+            uint32_t offset = (addr - kSpmBase) % kSpmStride;
+            SPMRT_ASSERT(offset + size <= spmBytes_,
+                         "SPM access [0x%x,+%u) past implemented %u bytes "
+                         "of core %u", addr, size, spmBytes_, owner);
+            return {MemRegion::Spm, owner, offset};
+        }
+        if (isDram(addr)) {
+            uint32_t offset = addr - kDramBase;
+            SPMRT_ASSERT(static_cast<uint64_t>(offset) + size <= dramBytes_,
+                         "DRAM access [0x%x,+%u) out of bounds", addr, size);
+            return {MemRegion::Dram, kInvalidCore, offset};
+        }
+        SPMRT_PANIC("access to unmapped address 0x%x", addr);
+    }
+
+    /** Implemented bytes in each SPM. */
+    uint32_t spmBytes() const { return spmBytes_; }
+    /** Implemented DRAM bytes. */
+    uint64_t dramBytes() const { return dramBytes_; }
+
+  private:
+    uint32_t numCores_;
+    uint32_t spmBytes_;
+    uint64_t dramBytes_;
+};
+
+} // namespace spmrt
+
+#endif // SPMRT_MEM_ADDRESS_MAP_HPP

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bandwidth-limited DRAM channel model.
+ *
+ * Each channel is a simple latency + occupancy server: a transfer of B
+ * bytes holds the channel's data bus for ceil(B / bytesPerCycle) cycles and
+ * completes a fixed access latency after it wins the bus. This reproduces
+ * the two DRAM effects the paper's evaluation depends on: long access
+ * latency relative to SPM, and saturation once aggregate demand exceeds the
+ * single HBM2 channel's ~16 GB/s.
+ */
+
+#ifndef SPMRT_MEM_DRAM_HPP
+#define SPMRT_MEM_DRAM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/types.hpp"
+#include "mem/fluid_server.hpp"
+#include "sim/config.hpp"
+
+namespace spmrt {
+
+/**
+ * One or more DRAM channels with address-interleaved assignment.
+ */
+class DramModel
+{
+  public:
+    explicit DramModel(const MachineConfig &cfg)
+        : latency_(cfg.dramLatency), bytesPerCycle_(cfg.dramBytesPerCycle),
+          lineBytes_(cfg.llcLineBytes),
+          channels_(cfg.dramChannels == 0 ? 1 : cfg.dramChannels,
+                    FluidServer(cfg.dramBytesPerCycle))
+    {
+    }
+
+    /**
+     * Schedule a transfer of @p bytes belonging to DRAM line offset
+     * @p line_offset (selects the channel) starting no earlier than
+     * @p start.
+     *
+     * @return the completion time of the transfer.
+     */
+    Cycles
+    access(Cycles start, uint64_t line_offset, uint32_t bytes)
+    {
+        size_t channel = (line_offset / lineBytes_) % channels_.size();
+        Cycles wait = channels_[channel].charge(start, bytes);
+        Cycles occupancy = divCeil<Cycles>(bytes, bytesPerCycle_);
+        ++transfers_;
+        bytesMoved_ += bytes;
+        return start + wait + occupancy + latency_;
+    }
+
+    /** Total bytes transferred (diagnostics). */
+    uint64_t bytesMoved() const { return bytesMoved_; }
+    /** Total transfers performed (diagnostics). */
+    uint64_t transfers() const { return transfers_; }
+
+    /** Forget channel occupancy (used between benchmark phases). */
+    void
+    reset()
+    {
+        for (FluidServer &channel : channels_)
+            channel.reset();
+        bytesMoved_ = 0;
+        transfers_ = 0;
+    }
+
+  private:
+    Cycles latency_;
+    uint32_t bytesPerCycle_;
+    uint32_t lineBytes_;
+    std::vector<FluidServer> channels_;
+    uint64_t bytesMoved_ = 0;
+    uint64_t transfers_ = 0;
+};
+
+} // namespace spmrt
+
+#endif // SPMRT_MEM_DRAM_HPP

@@ -1,0 +1,87 @@
+#include "mem/llc.hpp"
+
+namespace spmrt {
+
+LlcModel::LlcModel(const MachineConfig &cfg, DramModel &dram)
+    : dram_(dram), numBanks_(cfg.llcBanks), lineBytes_(cfg.llcLineBytes),
+      setsPerBank_(cfg.llcSetsPerBank), ways_(cfg.llcWays),
+      bankLatency_(cfg.llcLatency), bankOccupancy_(cfg.llcBankOccupancy)
+{
+    SPMRT_ASSERT(isPowerOfTwo(lineBytes_), "LLC line size not a power of 2");
+    SPMRT_ASSERT(numBanks_ >= 2 && numBanks_ % 2 == 0,
+                 "LLC banks must be even (split between top and bottom)");
+    banks_.assign(numBanks_, FluidServer(1));
+    tags_.assign(static_cast<size_t>(numBanks_) * setsPerBank_ * ways_,
+                 Way{});
+}
+
+void
+LlcModel::reset()
+{
+    for (FluidServer &bank : banks_)
+        bank.reset();
+    std::fill(tags_.begin(), tags_.end(), Way{});
+    useClock_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+    writebacks_ = 0;
+}
+
+Cycles
+LlcModel::access(Cycles arrive, uint64_t dram_offset, uint32_t bytes,
+                 bool is_store)
+{
+    const uint64_t line = dram_offset / lineBytes_;
+    SPMRT_ASSERT((dram_offset % lineBytes_) + bytes <= lineBytes_,
+                 "LLC access straddles a line boundary");
+    const uint32_t bank = bankOf(dram_offset);
+    // XOR-fold the upper address bits into the set index so regular
+    // strides (e.g. the per-core 256 KB overflow stacks) don't all land
+    // in one set — the index hashing any real LLC employs.
+    const uint64_t in_bank = line / numBanks_;
+    const uint64_t folded =
+        in_bank ^ (in_bank / setsPerBank_) ^
+        (in_bank / setsPerBank_ / setsPerBank_);
+    const uint32_t index = static_cast<uint32_t>(folded % setsPerBank_);
+    const uint64_t tag = in_bank / setsPerBank_;
+
+    // Serialize at the bank, then pay the tag/data pipeline latency.
+    Cycles wait = banks_[bank].charge(arrive, bankOccupancy_);
+    Cycles done = arrive + wait + bankLatency_;
+
+    Way *ways = set(bank, index);
+    ++useClock_;
+
+    // Hit path.
+    for (uint32_t w = 0; w < ways_; ++w) {
+        if (ways[w].valid && ways[w].tag == tag) {
+            ways[w].lastUse = useClock_;
+            ways[w].dirty = ways[w].dirty || is_store;
+            ++hits_;
+            return done;
+        }
+    }
+
+    // Miss: pick an invalid way or evict the LRU way.
+    ++misses_;
+    uint32_t victim = 0;
+    for (uint32_t w = 0; w < ways_; ++w) {
+        if (!ways[w].valid) {
+            victim = w;
+            break;
+        }
+        if (ways[w].lastUse < ways[victim].lastUse)
+            victim = w;
+    }
+    if (ways[victim].valid && ways[victim].dirty) {
+        // Write-back occupies the DRAM bus but does not delay the fill's
+        // critical path beyond the shared bus occupancy.
+        dram_.access(done, ways[victim].line * lineBytes_, lineBytes_);
+        ++writebacks_;
+    }
+    Cycles filled = dram_.access(done, line * lineBytes_, lineBytes_);
+    ways[victim] = Way{tag, line, useClock_, true, is_store};
+    return filled;
+}
+
+} // namespace spmrt

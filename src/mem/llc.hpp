@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Banked, set-associative last-level cache timing model.
+ *
+ * The LLC is purely a *timing* structure: data always lives in the flat
+ * functional DRAM backing store, and each bank tracks only tags, LRU state
+ * and dirty bits. DRAM addresses are interleaved across banks at line
+ * granularity. A miss charges a DRAM line fill (plus a write-back when the
+ * victim is dirty) through the shared DRAM channel model, which is where
+ * bandwidth saturation appears.
+ */
+
+#ifndef SPMRT_MEM_LLC_HPP
+#define SPMRT_MEM_LLC_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "mem/dram.hpp"
+#include "mem/fluid_server.hpp"
+#include "sim/config.hpp"
+
+namespace spmrt {
+
+/**
+ * All LLC banks plus their interface to DRAM.
+ */
+class LlcModel
+{
+  public:
+    LlcModel(const MachineConfig &cfg, DramModel &dram);
+
+    /** Bank servicing DRAM byte offset @p dram_offset. */
+    uint32_t
+    bankOf(uint64_t dram_offset) const
+    {
+        return static_cast<uint32_t>((dram_offset / lineBytes_) % numBanks_);
+    }
+
+    /**
+     * Access @p bytes at DRAM offset @p dram_offset through the LLC.
+     *
+     * @param arrive time the request reaches the bank.
+     * @param dram_offset byte offset within DRAM.
+     * @param bytes access size (must not straddle a line).
+     * @param is_store stores mark the line dirty.
+     * @return time the bank can send the response.
+     */
+    Cycles access(Cycles arrive, uint64_t dram_offset, uint32_t bytes,
+                  bool is_store);
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t writebacks() const { return writebacks_; }
+
+    /** Invalidate all lines and forget occupancy. */
+    void reset();
+
+  private:
+    struct Way
+    {
+        uint64_t tag = ~0ull;
+        uint64_t line = 0; ///< full line number, for write-back address
+        uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    DramModel &dram_;
+    uint32_t numBanks_;
+    uint32_t lineBytes_;
+    uint32_t setsPerBank_;
+    uint32_t ways_;
+    Cycles bankLatency_;
+    Cycles bankOccupancy_;
+
+    std::vector<FluidServer> banks_; ///< per-bank service queues
+    std::vector<Way> tags_;        ///< [bank][set][way] flattened
+    uint64_t useClock_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t writebacks_ = 0;
+
+    Way *
+    set(uint32_t bank, uint32_t index)
+    {
+        return &tags_[(static_cast<size_t>(bank) * setsPerBank_ + index) *
+                      ways_];
+    }
+};
+
+} // namespace spmrt
+
+#endif // SPMRT_MEM_LLC_HPP

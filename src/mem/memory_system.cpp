@@ -1,0 +1,193 @@
+#include "mem/memory_system.hpp"
+
+namespace spmrt {
+
+namespace {
+
+/** Request packets carry the 4-byte address beyond the header flit. */
+constexpr uint32_t kRequestPayload = 4;
+
+} // namespace
+
+MemorySystem::MemorySystem(const MachineConfig &cfg)
+    : cfg_(cfg), map_(cfg), noc_(cfg), dram_(cfg), llc_(cfg, dram_)
+{
+    dramData_.assign(cfg.dramBytes, 0);
+    spmData_.assign(static_cast<size_t>(cfg.numCores()) * cfg.spmBytes, 0);
+    spmPorts_.assign(cfg.numCores(), FluidServer(1));
+    storeDrain_.assign(cfg.numCores(), 0);
+}
+
+uint8_t *
+MemorySystem::backing(const DecodedAddr &decoded, uint32_t size)
+{
+    (void)size;
+    if (decoded.region == MemRegion::Spm) {
+        return &spmData_[static_cast<size_t>(decoded.owner) *
+                             cfg_.spmBytes +
+                         decoded.offset];
+    }
+    return &dramData_[decoded.offset];
+}
+
+const uint8_t *
+MemorySystem::backing(const DecodedAddr &decoded, uint32_t size) const
+{
+    return const_cast<MemorySystem *>(this)->backing(decoded, size);
+}
+
+Cycles
+MemorySystem::spmService(CoreId owner, Cycles arrive)
+{
+    Cycles wait = spmPorts_[owner].charge(arrive, 1);
+    return arrive + wait + cfg_.spmLatency;
+}
+
+Cycles
+MemorySystem::load(CoreId core, Cycles start, Addr addr, void *out,
+                   uint32_t size)
+{
+    DecodedAddr decoded = map_.decode(addr, size);
+    std::memcpy(out, backing(decoded, size), size);
+
+    if (decoded.region == MemRegion::Spm) {
+        if (decoded.owner == core) {
+            ++stats_.localSpmLoads;
+            return spmService(core, start);
+        }
+        ++stats_.remoteSpmLoads;
+        NocEndpoint self = noc_.coreEndpoint(core);
+        NocEndpoint owner = noc_.coreEndpoint(decoded.owner);
+        Cycles at_owner =
+            noc_.traverse(self, owner, start, kRequestPayload);
+        Cycles served = spmService(decoded.owner, at_owner);
+        return noc_.traverse(owner, self, served, size);
+    }
+
+    ++stats_.dramLoads;
+    NocEndpoint self = noc_.coreEndpoint(core);
+    NocEndpoint bank = noc_.bankEndpoint(llc_.bankOf(decoded.offset));
+    Cycles at_bank = noc_.traverse(self, bank, start, kRequestPayload);
+    Cycles served = llc_.access(at_bank, decoded.offset, size, false);
+    return noc_.traverse(bank, self, served, size);
+}
+
+Cycles
+MemorySystem::store(CoreId core, Cycles start, Addr addr, const void *in,
+                    uint32_t size)
+{
+    DecodedAddr decoded = map_.decode(addr, size);
+    std::memcpy(backing(decoded, size), in, size);
+
+    Cycles arrival;
+    if (decoded.region == MemRegion::Spm) {
+        if (decoded.owner == core) {
+            ++stats_.localSpmStores;
+            arrival = spmService(core, start);
+            // A local store still holds the core for the SPM latency;
+            // there is no deeper queue to post into.
+            storeDrain_[core] =
+                arrival > storeDrain_[core] ? arrival : storeDrain_[core];
+            return arrival;
+        }
+        ++stats_.remoteSpmStores;
+        NocEndpoint self = noc_.coreEndpoint(core);
+        NocEndpoint owner = noc_.coreEndpoint(decoded.owner);
+        Cycles at_owner = noc_.traverse(self, owner, start, size);
+        arrival = spmService(decoded.owner, at_owner);
+    } else {
+        ++stats_.dramStores;
+        NocEndpoint self = noc_.coreEndpoint(core);
+        NocEndpoint bank = noc_.bankEndpoint(llc_.bankOf(decoded.offset));
+        Cycles at_bank = noc_.traverse(self, bank, start, size);
+        arrival = llc_.access(at_bank, decoded.offset, size, true);
+    }
+    storeDrain_[core] =
+        arrival > storeDrain_[core] ? arrival : storeDrain_[core];
+    // Posted: the core pays one issue cycle and moves on.
+    return start + 1;
+}
+
+uint32_t
+MemorySystem::applyAmo(uint8_t *cell, AmoOp op, uint32_t operand)
+{
+    uint32_t old_value;
+    std::memcpy(&old_value, cell, sizeof(old_value));
+    uint32_t new_value = old_value;
+    switch (op) {
+      case AmoOp::Add:
+        new_value = old_value + operand;
+        break;
+      case AmoOp::Swap:
+        new_value = operand;
+        break;
+      case AmoOp::Or:
+        new_value = old_value | operand;
+        break;
+      case AmoOp::And:
+        new_value = old_value & operand;
+        break;
+      case AmoOp::Max:
+        new_value = static_cast<int32_t>(old_value) >
+                            static_cast<int32_t>(operand)
+                        ? old_value
+                        : operand;
+        break;
+      case AmoOp::Min:
+        new_value = static_cast<int32_t>(old_value) <
+                            static_cast<int32_t>(operand)
+                        ? old_value
+                        : operand;
+        break;
+    }
+    std::memcpy(cell, &new_value, sizeof(new_value));
+    return old_value;
+}
+
+Cycles
+MemorySystem::amo(CoreId core, Cycles start, Addr addr, AmoOp op,
+                  uint32_t operand, uint32_t &old_value)
+{
+    SPMRT_ASSERT(addr % 4 == 0, "unaligned AMO at 0x%x", addr);
+    DecodedAddr decoded = map_.decode(addr, sizeof(uint32_t));
+    ++stats_.amos;
+
+    old_value = applyAmo(backing(decoded, 4), op, operand);
+
+    if (decoded.region == MemRegion::Spm) {
+        if (decoded.owner == core) {
+            // One extra cycle for the read-modify-write turnaround.
+            return spmService(core, start) + 1;
+        }
+        NocEndpoint self = noc_.coreEndpoint(core);
+        NocEndpoint owner = noc_.coreEndpoint(decoded.owner);
+        Cycles at_owner = noc_.traverse(self, owner, start, 8);
+        Cycles served = spmService(decoded.owner, at_owner) + 1;
+        return noc_.traverse(owner, self, served, 4);
+    }
+
+    // DRAM AMOs execute at the LLC bank, as on HammerBlade.
+    NocEndpoint self = noc_.coreEndpoint(core);
+    NocEndpoint bank = noc_.bankEndpoint(llc_.bankOf(decoded.offset));
+    Cycles at_bank = noc_.traverse(self, bank, start, 8);
+    Cycles served = llc_.access(at_bank, decoded.offset, 4, true) + 1;
+    return noc_.traverse(bank, self, served, 4);
+}
+
+void
+MemorySystem::poke(Addr addr, const void *in, uint32_t size)
+{
+    // Honor region boundaries but allow arbitrarily large DRAM pokes by
+    // splitting on line-sized chunks is unnecessary: decode checks bounds.
+    DecodedAddr decoded = map_.decode(addr, size);
+    std::memcpy(backing(decoded, size), in, size);
+}
+
+void
+MemorySystem::peek(Addr addr, void *out, uint32_t size) const
+{
+    DecodedAddr decoded = map_.decode(addr, size);
+    std::memcpy(out, backing(decoded, size), size);
+}
+
+} // namespace spmrt

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Functional + timing model of the whole memory system.
+ *
+ * Functionally, the PGAS is backed by flat host arrays (one per SPM, one
+ * for DRAM); every simulated access moves real bytes, so workloads compute
+ * real results that tests can verify.
+ *
+ * Timing follows HammerBlade's organization:
+ *  - local SPM: serialize on the SPM port, then a fixed 2-cycle latency;
+ *  - remote SPM: request packet across the mesh, SPM port service at the
+ *    owner, response packet back;
+ *  - DRAM: request packet to the address-interleaved LLC bank at the mesh
+ *    edge, set-associative bank lookup, DRAM line fill on a miss through
+ *    the bandwidth-limited channel, response packet back;
+ *  - stores are posted (the core only pays an issue cycle) but their
+ *    arrival is tracked per core so fences can drain them;
+ *  - AMOs execute atomically at the home endpoint (SPM port or LLC bank).
+ */
+
+#ifndef SPMRT_MEM_MEMORY_SYSTEM_HPP
+#define SPMRT_MEM_MEMORY_SYSTEM_HPP
+
+#include <cstring>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "mem/address_map.hpp"
+#include "mem/dram.hpp"
+#include "mem/llc.hpp"
+#include "mem/noc.hpp"
+#include "sim/config.hpp"
+
+namespace spmrt {
+
+/** Atomic read-modify-write operations (RV32A-style subset). */
+enum class AmoOp : uint8_t
+{
+    Add,  ///< fetch-and-add (subtract via negative operand)
+    Swap, ///< fetch-and-swap
+    Or,   ///< fetch-and-or
+    And,  ///< fetch-and-and
+    Max,  ///< fetch-and-max (signed)
+    Min   ///< fetch-and-min (signed)
+};
+
+/** Aggregate access counters for the whole memory system. */
+struct MemStats
+{
+    uint64_t localSpmLoads = 0;
+    uint64_t localSpmStores = 0;
+    uint64_t remoteSpmLoads = 0;
+    uint64_t remoteSpmStores = 0;
+    uint64_t dramLoads = 0;
+    uint64_t dramStores = 0;
+    uint64_t amos = 0;
+};
+
+/**
+ * The complete memory system for one simulated machine.
+ */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MachineConfig &cfg);
+
+    MemorySystem(const MemorySystem &) = delete;
+    MemorySystem &operator=(const MemorySystem &) = delete;
+
+    /** @name Timed guest accesses
+     *  All take the issuing core and its current clock and return the
+     *  core-visible completion time of the operation.
+     *  @{
+     */
+
+    /** Blocking load of @p size bytes at @p addr into @p out. */
+    Cycles load(CoreId core, Cycles start, Addr addr, void *out,
+                uint32_t size);
+
+    /**
+     * Posted store of @p size bytes. The returned time is when the core
+     * may continue (issue cost only); the store's arrival is folded into
+     * the core's drain time for fences.
+     */
+    Cycles store(CoreId core, Cycles start, Addr addr, const void *in,
+                 uint32_t size);
+
+    /**
+     * Atomic 32-bit read-modify-write at the home endpoint of @p addr.
+     * The previous memory value is returned through @p old_value.
+     */
+    Cycles amo(CoreId core, Cycles start, Addr addr, AmoOp op,
+               uint32_t operand, uint32_t &old_value);
+
+    /** Earliest time all of @p core's posted stores have landed. */
+    Cycles storeDrainTime(CoreId core) const { return storeDrain_[core]; }
+
+    /** @} */
+
+    /** @name Untimed host access (setup, verification, debugging)
+     *  @{
+     */
+    void poke(Addr addr, const void *in, uint32_t size);
+    void peek(Addr addr, void *out, uint32_t size) const;
+
+    template <typename T>
+    T
+    peekAs(Addr addr) const
+    {
+        T value;
+        peek(addr, &value, sizeof(T));
+        return value;
+    }
+
+    template <typename T>
+    void
+    pokeAs(Addr addr, T value)
+    {
+        poke(addr, &value, sizeof(T));
+    }
+    /** @} */
+
+    const AddressMap &map() const { return map_; }
+    MeshNoc &noc() { return noc_; }
+    LlcModel &llc() { return llc_; }
+    DramModel &dram() { return dram_; }
+    const MemStats &stats() const { return stats_; }
+
+  private:
+    /** Host pointer backing a decoded address. */
+    uint8_t *backing(const DecodedAddr &decoded, uint32_t size);
+    const uint8_t *backing(const DecodedAddr &decoded, uint32_t size) const;
+
+    /** Serialize on an SPM port and pay its access latency. */
+    Cycles spmService(CoreId owner, Cycles arrive);
+
+    /** Apply @p op to a 32-bit cell, returning the old value. */
+    static uint32_t applyAmo(uint8_t *cell, AmoOp op, uint32_t operand);
+
+    MachineConfig cfg_;
+    AddressMap map_;
+    MeshNoc noc_;
+    DramModel dram_;
+    LlcModel llc_;
+
+    std::vector<uint8_t> dramData_;
+    std::vector<uint8_t> spmData_; ///< all cores' SPMs, contiguous
+    std::vector<FluidServer> spmPorts_;
+    std::vector<Cycles> storeDrain_;
+    MemStats stats_;
+};
+
+} // namespace spmrt
+
+#endif // SPMRT_MEM_MEMORY_SYSTEM_HPP

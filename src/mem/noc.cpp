@@ -1,0 +1,100 @@
+#include "mem/noc.hpp"
+
+namespace spmrt {
+
+MeshNoc::MeshNoc(const MachineConfig &cfg) : cfg_(cfg)
+{
+    // Core-array nodes own all links, including the exit links toward the
+    // LLC rows (a row-0 node's north link reaches the top LLC row).
+    links_.assign(static_cast<size_t>(cfg_.meshCols) * cfg_.meshRows *
+                      kNumDirs,
+                  FluidServer(1));
+    linkFlits_.assign(links_.size(), 0);
+}
+
+std::string
+MeshNoc::linkName(size_t index) const
+{
+    static const char *kDirNames[kNumDirs] = {"E", "W", "N",
+                                              "S", "RE", "RW"};
+    uint32_t dir = index % kNumDirs;
+    uint32_t node = static_cast<uint32_t>(index / kNumDirs);
+    uint32_t x = node % cfg_.meshCols;
+    uint32_t y = node / cfg_.meshCols;
+    return log::format("(%u,%u)%s", x, y, kDirNames[dir]);
+}
+
+void
+MeshNoc::reset()
+{
+    for (FluidServer &server : links_)
+        server.reset();
+    std::fill(linkFlits_.begin(), linkFlits_.end(), 0);
+    linkCyclesUsed_ = 0;
+    packets_ = 0;
+}
+
+Cycles
+MeshNoc::hop(uint32_t x, uint32_t y, Dir dir, Cycles t, uint32_t flits)
+{
+    FluidServer &server = link(x, y, dir);
+    Cycles wait = server.charge(t, flits);
+    linkCyclesUsed_ += flits;
+    linkFlits_[&server - links_.data()] += flits;
+    return t + wait + cfg_.linkLatency;
+}
+
+Cycles
+MeshNoc::traverse(const NocEndpoint &src, const NocEndpoint &dst,
+                  Cycles start, uint32_t payload_bytes)
+{
+    ++packets_;
+    const uint32_t flits = 1 + divCeil(payload_bytes, cfg_.flitBytes);
+    Cycles t = start;
+
+    // Injection starts at a core-array node. LLC endpoints never originate
+    // traffic in this model (responses are charged by the caller with the
+    // roles swapped), so clamp the walking row into the core array.
+    uint32_t x = src.x;
+    int32_t y = src.y;
+    if (y < 0)
+        y = 0;
+    if (y >= static_cast<int32_t>(cfg_.meshRows))
+        y = static_cast<int32_t>(cfg_.meshRows) - 1;
+
+    // --- X dimension first (dimension-ordered routing), using ruche
+    // (express) channels for long straights when configured.
+    while (x != dst.x) {
+        uint32_t dist = x < dst.x ? dst.x - x : x - dst.x;
+        bool east = x < dst.x;
+        if (cfg_.rucheX > 1 && dist >= cfg_.rucheX) {
+            t = hop(x, static_cast<uint32_t>(y),
+                    east ? kRucheEast : kRucheWest, t, flits);
+            x = east ? x + cfg_.rucheX : x - cfg_.rucheX;
+        } else {
+            t = hop(x, static_cast<uint32_t>(y), east ? kEast : kWest, t,
+                    flits);
+            x = east ? x + 1 : x - 1;
+        }
+    }
+
+    // --- Then the Y dimension, possibly exiting the core array at the top
+    // (y = -1) or bottom (y = meshRows) to reach an LLC bank.
+    while (y != dst.y) {
+        bool north = y > dst.y;
+        // The exit hop is charged on the edge core node's N/S link.
+        uint32_t link_row = static_cast<uint32_t>(
+            north ? (y > 0 ? y : 0)
+                  : (y < static_cast<int32_t>(cfg_.meshRows) - 1
+                         ? y
+                         : static_cast<int32_t>(cfg_.meshRows) - 1));
+        t = hop(x, link_row, north ? kNorth : kSouth, t, flits);
+        y += north ? -1 : 1;
+    }
+
+    // Tail serialization: the body flits arrive one per cycle behind the
+    // head.
+    return t + (flits - 1);
+}
+
+} // namespace spmrt

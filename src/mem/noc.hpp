@@ -1,0 +1,145 @@
+/**
+ * @file
+ * 2-D mesh on-chip network with dimension-ordered (X-Y) routing, optional
+ * ruche (multi-hop express) channels in the X dimension, and per-link
+ * occupancy tracking.
+ *
+ * The timing model is wormhole-like at a first order: a packet of F flits
+ * loads every link on its path with F flit-cycles of service, and its
+ * delivery time is start + hops * linkLatency + (F - 1) plus the queueing
+ * delay of each link's fluid backlog (see fluid_server.hpp). Per-link
+ * backlog is what creates the congestion gradient of the paper's Fig. 5
+ * when many cores hammer one endpoint.
+ *
+ * Endpoints are mesh coordinates. LLC banks live on virtual rows above
+ * (y = -1) and below (y = meshRows) the core array, matching HammerBlade's
+ * floorplan of cache banks along the top and bottom edges.
+ */
+
+#ifndef SPMRT_MEM_NOC_HPP
+#define SPMRT_MEM_NOC_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "mem/fluid_server.hpp"
+#include "sim/config.hpp"
+
+namespace spmrt {
+
+/** A network endpoint in mesh coordinates. */
+struct NocEndpoint
+{
+    uint32_t x;
+    int32_t y; ///< -1 = top LLC row, meshRows = bottom LLC row
+};
+
+/**
+ * Mesh network timing model.
+ */
+class MeshNoc
+{
+  public:
+    explicit MeshNoc(const MachineConfig &cfg);
+
+    /**
+     * Route one packet from @p src to @p dst, reserving link occupancy.
+     *
+     * @param src source endpoint.
+     * @param dst destination endpoint.
+     * @param start injection time (cycles).
+     * @param payload_bytes packet payload (a header flit is added).
+     * @return delivery (head-arrival + serialization) time at @p dst.
+     */
+    Cycles traverse(const NocEndpoint &src, const NocEndpoint &dst,
+                    Cycles start, uint32_t payload_bytes);
+
+    /** Endpoint of core @p id. */
+    NocEndpoint
+    coreEndpoint(CoreId id) const
+    {
+        return {cfg_.coreX(id), static_cast<int32_t>(cfg_.coreY(id))};
+    }
+
+    /** Endpoint of LLC bank @p bank (top half first, then bottom). */
+    NocEndpoint
+    bankEndpoint(uint32_t bank) const
+    {
+        SPMRT_ASSERT(bank < cfg_.llcBanks, "bad LLC bank %u", bank);
+        uint32_t half = cfg_.llcBanks / 2;
+        bool top = bank < half;
+        uint32_t index = top ? bank : bank - half;
+        uint32_t x = index % cfg_.meshCols;
+        return {x, top ? -1 : static_cast<int32_t>(cfg_.meshRows)};
+    }
+
+    /** Total link-cycles of occupancy charged so far (diagnostics). */
+    uint64_t linkCyclesUsed() const { return linkCyclesUsed_; }
+
+    /** Total packets routed (diagnostics). */
+    uint64_t packetsRouted() const { return packets_; }
+
+    /** Forget all link occupancy (used between benchmark phases). */
+    void reset();
+
+    /** Per-link cumulative flit counts (diagnostics; indexed like
+     *  linkFree). */
+    const std::vector<uint64_t> &linkFlits() const { return linkFlits_; }
+
+    /** Human-readable name of link @p index (diagnostics). */
+    std::string linkName(size_t index) const;
+
+    /** Index of the link with the largest backlog (diagnostics). */
+    size_t
+    hottestLink() const
+    {
+        size_t best = 0;
+        for (size_t i = 1; i < links_.size(); ++i)
+            if (links_[i].backlogUnits() > links_[best].backlogUnits())
+                best = i;
+        return best;
+    }
+
+    /** Current backlog of link @p index in flits (diagnostics). */
+    uint64_t
+    linkBacklog(size_t index) const
+    {
+        return links_[index].backlogUnits();
+    }
+
+  private:
+    enum Dir : uint32_t
+    {
+        kEast = 0,
+        kWest,
+        kNorth,
+        kSouth,
+        kRucheEast,
+        kRucheWest,
+        kNumDirs
+    };
+
+    /** Fluid server of the @p dir link leaving node (x, y). */
+    FluidServer &
+    link(uint32_t x, uint32_t y, Dir dir)
+    {
+        return links_[(y * cfg_.meshCols + x) * kNumDirs + dir];
+    }
+
+    /** Charge one hop across the @p dir link out of (x, y). */
+    Cycles hop(uint32_t x, uint32_t y, Dir dir, Cycles t, uint32_t flits);
+
+    MachineConfig cfg_;
+    std::vector<FluidServer> links_;
+    std::vector<uint64_t> linkFlits_;
+    uint64_t linkCyclesUsed_ = 0;
+    uint64_t packets_ = 0;
+};
+
+} // namespace spmrt
+
+#endif // SPMRT_MEM_NOC_HPP

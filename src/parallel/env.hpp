@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Modelling of lambda capture environments and read-only data duplication
+ * (paper Sec. 4.3).
+ *
+ * When a templated pattern like parallel_for captures state by reference,
+ * the captured words live in the stack frame of the core that created the
+ * loop (core 0's scratchpad, typically). Without duplication, every task
+ * executing on another core re-reads those words across the NoC for every
+ * iteration, congesting the links around the home core — the hot spot of
+ * Fig. 5. With duplication ("capture by value"), a stolen task copies the
+ * environment into its own frame once and then reads locally.
+ *
+ * Workloads declare their environment footprint with an EnvSpec; the
+ * pattern layer allocates the simulated home storage and charges reads
+ * through an EnvReader.
+ */
+
+#ifndef SPMRT_PARALLEL_ENV_HPP
+#define SPMRT_PARALLEL_ENV_HPP
+
+#include <vector>
+
+#include "common/bits.hpp"
+#include "runtime/context.hpp"
+
+namespace spmrt {
+
+/** Workload-declared capture footprint of a parallel pattern. */
+struct EnvSpec
+{
+    /** Bytes of captured environment (0 = nothing captured). */
+    uint32_t bytes = 0;
+    /** Captured words the body touches per iteration. */
+    uint32_t wordsPerIter = 0;
+};
+
+/** Materialized environment of one pattern invocation. */
+struct LoopEnv
+{
+    Addr home = kNullAddr;
+    CoreId homeCore = kInvalidCore;
+    uint32_t bytes = 0;
+    uint32_t wordsPerIter = 0;
+    bool duplicate = false;
+
+    /** True when iteration bodies must charge environment reads. */
+    bool active() const { return bytes > 0 && wordsPerIter > 0; }
+};
+
+/**
+ * Allocate and populate the environment's home storage in the calling
+ * activation's frame.
+ */
+inline LoopEnv
+setupLoopEnv(TaskContext &tc, const EnvSpec &spec)
+{
+    LoopEnv env;
+    if (spec.bytes == 0)
+        return env;
+    env.bytes = alignUp<uint32_t>(spec.bytes, 4);
+    env.wordsPerIter = spec.wordsPerIter;
+    env.home = tc.frame().alloc(env.bytes, 4);
+    env.homeCore = tc.core().id();
+    env.duplicate = tc.runtimeConfig().roDuplication;
+    // Writing the captured values into the frame is real traffic.
+    std::vector<uint8_t> init(env.bytes, 0);
+    tc.core().write(env.home, init.data(), env.bytes);
+    return env;
+}
+
+/**
+ * Per-activation view of a LoopEnv: resolves where this core reads the
+ * captured words from, performing the one-time duplication copy when the
+ * optimization is enabled and the environment is remote.
+ */
+class EnvReader
+{
+  public:
+    EnvReader(TaskContext &tc, const LoopEnv &env)
+        : core_(tc.core()), env_(env)
+    {
+        if (!env.active())
+            return;
+        if (env.homeCore == core_.id() || !env.duplicate) {
+            base_ = env.home;
+            return;
+        }
+        // Duplicate: one burst copy into this activation's frame, after
+        // which all reads are core-local.
+        base_ = tc.frame().alloc(env.bytes, 4);
+        std::vector<uint8_t> buffer(env.bytes);
+        core_.read(env.home, buffer.data(), env.bytes);
+        core_.write(base_, buffer.data(), env.bytes);
+    }
+
+    /** Charge the captured-word reads of one iteration. */
+    void
+    perIteration()
+    {
+        if (base_ == kNullAddr)
+            return;
+        for (uint32_t w = 0; w < env_.wordsPerIter; ++w)
+            (void)core_.load<uint32_t>(base_ + (w * 4) % env_.bytes);
+    }
+
+    /**
+     * Extra frame bytes an activation needs to host a duplicated copy of
+     * @p env.
+     */
+    static uint32_t
+    frameOverhead(const LoopEnv &env)
+    {
+        return env.duplicate ? env.bytes : 0;
+    }
+
+  private:
+    Core &core_;
+    const LoopEnv &env_;
+    Addr base_ = kNullAddr;
+};
+
+} // namespace spmrt
+
+#endif // SPMRT_PARALLEL_ENV_HPP

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * TaskContext: the handle passed to every executing task body.
+ *
+ * It binds together the executing core, its stack model, the activation's
+ * stack frame, and the runtime that scheduled the task. The same type
+ * serves both runtimes so workloads are written once:
+ *  - under the work-stealing runtime it exposes spawn/wait;
+ *  - under the static runtime it exposes the SPMD loop machinery
+ *    (spawn/wait panic — the paper's static baseline cannot express them).
+ */
+
+#ifndef SPMRT_RUNTIME_CONTEXT_HPP
+#define SPMRT_RUNTIME_CONTEXT_HPP
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "runtime/config.hpp"
+#include "runtime/task.hpp"
+#include "sim/core.hpp"
+#include "spm/stack.hpp"
+
+namespace spmrt {
+
+class Worker;
+class StaticRuntime;
+
+/**
+ * Execution context of one task activation (or one static region).
+ */
+class TaskContext
+{
+  public:
+    /** Dynamic (work-stealing) activation. */
+    TaskContext(Worker &worker, Task *task, StackFrame &frame, Core &core,
+                StackModel &stack)
+        : worker_(&worker), core_(core), stack_(stack), frame_(&frame),
+          task_(task)
+    {
+    }
+
+    /** Static (SPMD) region context at nesting level @p nesting. */
+    TaskContext(StaticRuntime &rt, Core &core, StackModel &stack,
+                StackFrame &frame, uint32_t nesting)
+        : staticRt_(&rt), core_(core), stack_(stack), frame_(&frame),
+          staticNesting_(nesting)
+    {
+    }
+
+    /** True under the work-stealing runtime. */
+    bool isDynamic() const { return worker_ != nullptr; }
+
+    /** The executing core. */
+    Core &core() { return core_; }
+    /** The executing core's stack model. */
+    StackModel &stack() { return stack_; }
+    /** The current activation's frame. */
+    StackFrame &frame() { return *frame_; }
+    /** The currently executing task (null in static regions). */
+    Task *task() const { return task_; }
+
+    /** The work-stealing worker (dynamic contexts only). */
+    Worker &
+    worker()
+    {
+        SPMRT_ASSERT(worker_ != nullptr, "not a dynamic context");
+        return *worker_;
+    }
+
+    /** The static runtime (static contexts only). */
+    StaticRuntime &
+    staticRuntime()
+    {
+        SPMRT_ASSERT(staticRt_ != nullptr, "not a static context");
+        return *staticRt_;
+    }
+
+    /** Nesting depth inside static parallel regions (0 at the root). */
+    uint32_t staticNesting() const { return staticNesting_; }
+
+    /** The active runtime configuration. */
+    const RuntimeConfig &runtimeConfig() const;
+
+    /** @name Dynamic task operations (defined in worker.cpp)
+     *  @{
+     */
+
+    /**
+     * Bind @p child to this activation: allocate its metadata cell in the
+     * current frame and set its parent pointer.
+     */
+    void prepareChild(Task *child);
+
+    /**
+     * Allocate a metadata cell for a task executed inline (no parent
+     * link; it is never enqueued, but may itself spawn children).
+     */
+    void prepareInline(Task *child);
+
+    /** Store this task's ready count (number of spawned children). */
+    void setReadyCount(uint32_t count);
+
+    /** Enqueue a prepared child on this core's task queue. */
+    void spawn(Task *child);
+
+    /** Scheduling loop: execute/steal until this task's children joined. */
+    void waitChildren();
+
+    /** Execute @p task as a plain nested call (fresh frame, no queue). */
+    void executeInline(Task &task);
+
+    /** @} */
+
+  private:
+    Worker *worker_ = nullptr;
+    StaticRuntime *staticRt_ = nullptr;
+    Core &core_;
+    StackModel &stack_;
+    StackFrame *frame_;
+    Task *task_ = nullptr;
+    uint32_t staticNesting_ = 0;
+};
+
+} // namespace spmrt
+
+#endif // SPMRT_RUNTIME_CONTEXT_HPP

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Timed operations on a lock-protected double-ended task queue living in
+ * simulated memory (Fig. 4 of the paper).
+ *
+ * Queue region layout:
+ *
+ *   base + 0   : head index (4 B, monotonically increasing)
+ *   base + 4   : tail index (4 B, monotonically increasing)
+ *   base + 8   : spin lock (4 B, separated from the indices so a thief
+ *                computes its address directly, Sec. 4.2)
+ *   base + 12  : slot array (4 B task ids, circular)
+ *
+ * head and tail share an aligned 8-byte word so both sides can probe
+ * emptiness with a single load and only take the lock when the queue
+ * appears non-empty — keeping the failed-steal probes that idle cores
+ * issue at high rate from serializing on victims' locks.
+ *
+ * Owners enqueue/dequeue at the tail (LIFO); thieves dequeue at the head
+ * (FIFO), so steals take the oldest — typically largest — piece of work.
+ */
+
+#ifndef SPMRT_RUNTIME_QUEUE_OPS_HPP
+#define SPMRT_RUNTIME_QUEUE_OPS_HPP
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "sim/core.hpp"
+
+namespace spmrt {
+
+/** Resolved addresses of one task queue. */
+struct QueueAddrs
+{
+    Addr head = kNullAddr; ///< also the base of the head/tail pair
+    Addr tail = kNullAddr;
+    Addr lock = kNullAddr;
+    Addr slots = kNullAddr;
+    uint32_t capacity = 0;
+
+    /** Carve a queue out of a region of @p bytes at 8-aligned @p base. */
+    static QueueAddrs
+    inRegion(Addr base, uint32_t bytes)
+    {
+        SPMRT_ASSERT(bytes >= 28, "queue region too small (%u bytes)",
+                     bytes);
+        SPMRT_ASSERT(base % 8 == 0, "queue region must be 8-aligned");
+        QueueAddrs q;
+        q.head = base;
+        q.tail = base + 4;
+        q.lock = base + 8;
+        q.slots = base + 12;
+        q.capacity = (bytes - 12) / 4;
+        return q;
+    }
+};
+
+/**
+ * Queue operations issued by one core (the owner or a thief); all memory
+ * traffic is charged through the core's timed interface.
+ */
+class QueueOps
+{
+  public:
+    explicit QueueOps(Core &core) : core_(core) {}
+
+    /** Spin until the queue lock is acquired. */
+    void
+    lockAcquire(Addr lock)
+    {
+        Cycles backoff = 4;
+        while (core_.amo(lock, AmoOp::Swap, 1) != 0) {
+            core_.idle(backoff);
+            backoff = backoff < 32 ? backoff * 2 : backoff;
+        }
+    }
+
+    /** Release the lock with release semantics. */
+    void
+    lockRelease(Addr lock)
+    {
+        core_.fence();
+        core_.store<uint32_t>(lock, 0);
+    }
+
+    /** One-load head/tail probe: returns (head, tail). */
+    std::pair<uint32_t, uint32_t>
+    peek(const QueueAddrs &q)
+    {
+        uint64_t pair = core_.load<uint64_t>(q.head);
+        return {static_cast<uint32_t>(pair),
+                static_cast<uint32_t>(pair >> 32)};
+    }
+
+    /**
+     * Enqueue @p task_id at the tail.
+     * @return false when the queue is full (caller executes inline).
+     */
+    bool
+    enqueue(const QueueAddrs &q, uint32_t task_id)
+    {
+        lockAcquire(q.lock);
+        auto [head, tail] = peek(q);
+        if (tail - head >= q.capacity) {
+            lockRelease(q.lock);
+            return false;
+        }
+        core_.store<uint32_t>(q.slots + (tail % q.capacity) * 4, task_id);
+        core_.store<uint32_t>(q.tail, tail + 1);
+        lockRelease(q.lock);
+        return true;
+    }
+
+    /**
+     * Pop the most recently enqueued task (owner side, LIFO).
+     * @return the task id, or 0 when the queue is empty.
+     */
+    uint32_t
+    popTail(const QueueAddrs &q)
+    {
+        // Racy emptiness probe first: thieves only ever shrink the
+        // queue, so a task observed under the lock is really there.
+        auto [probe_head, probe_tail] = peek(q);
+        if (probe_head == probe_tail)
+            return 0;
+        lockAcquire(q.lock);
+        auto [head, tail] = peek(q);
+        if (head == tail) {
+            lockRelease(q.lock);
+            return 0;
+        }
+        uint32_t id =
+            core_.load<uint32_t>(q.slots + ((tail - 1) % q.capacity) * 4);
+        core_.store<uint32_t>(q.tail, tail - 1);
+        lockRelease(q.lock);
+        return id;
+    }
+
+    /**
+     * Steal the oldest task (thief side, FIFO). The lock-free probe
+     * keeps the failed steals of idle cores from serializing on the
+     * victim's lock.
+     * @return the task id, or 0 when the queue is empty.
+     */
+    uint32_t
+    stealHead(const QueueAddrs &q)
+    {
+        auto [probe_head, probe_tail] = peek(q);
+        if (probe_head == probe_tail)
+            return 0;
+        lockAcquire(q.lock);
+        auto [head, tail] = peek(q);
+        if (head == tail) {
+            lockRelease(q.lock);
+            return 0;
+        }
+        uint32_t id =
+            core_.load<uint32_t>(q.slots + (head % q.capacity) * 4);
+        core_.store<uint32_t>(q.head, head + 1);
+        lockRelease(q.lock);
+        return id;
+    }
+
+    /** Untimed emptiness probe for assertions. */
+    bool
+    emptyUntimed(MemorySystem &mem, const QueueAddrs &q) const
+    {
+        return mem.peekAs<uint32_t>(q.head) == mem.peekAs<uint32_t>(q.tail);
+    }
+
+  private:
+    Core &core_;
+};
+
+} // namespace spmrt
+
+#endif // SPMRT_RUNTIME_QUEUE_OPS_HPP

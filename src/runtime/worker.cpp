@@ -1,0 +1,292 @@
+#include "runtime/worker.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "runtime/static_runtime.hpp"
+#include "runtime/ws_runtime.hpp"
+
+namespace spmrt {
+
+Worker::Worker(WorkStealingRuntime &rt, Core &core,
+               const StackConfig &stack_cfg, uint64_t seed)
+    : rt_(rt), core_(core), stack_(core, stack_cfg), qops_(core),
+      ownQueue_(rt.queueAddrs(core.id())), rng_(seed),
+      backoffMin_(rt.config().backoffMin),
+      backoffMax_(rt.config().backoffMax), backoff_(rt.config().backoffMin)
+{
+}
+
+void
+Worker::backoffWait()
+{
+    core_.idle(backoff_);
+    backoff_ = backoff_ * 2 > backoffMax_ ? backoffMax_ : backoff_ * 2;
+}
+
+void
+Worker::executeTask(Task &task)
+{
+    StackFrame frame(stack_, task.frameBytes());
+    TaskContext tc(*this, &task, frame, core_, stack_);
+    task.execute(tc);
+    ++core_.stats().tasksExecuted;
+}
+
+void
+Worker::executeSpawned(Task *task)
+{
+    executeTask(*task);
+    if (task->parent != nullptr) {
+        // Release semantics: the child's writes (e.g. its result into the
+        // parent's frame) must land before the parent can observe rc==0.
+        core_.amoAddRelease(task->parent->home,
+                            static_cast<int32_t>(-1));
+    }
+    if (task->runtimeOwned)
+        delete task;
+}
+
+bool
+Worker::tryExecuteLocal()
+{
+    uint32_t id = qops_.popTail(ownQueue_);
+    if (id == 0)
+        return false;
+    Task *task = rt_.registry().get(id);
+    rt_.registry().remove(id);
+    executeSpawned(task);
+    return true;
+}
+
+CoreId
+Worker::chooseVictim(uint32_t peers)
+{
+    switch (rt_.config().victimPolicy) {
+      case VictimPolicy::Random: {
+        // Fig. 4's choose_victim: uniform over the other workers.
+        CoreId victim = static_cast<CoreId>(rng_.nextBounded(peers - 1));
+        if (victim >= core_.id())
+            ++victim;
+        return victim;
+      }
+      case VictimPolicy::RoundRobin: {
+        CoreId victim = static_cast<CoreId>(probeCursor_ % (peers - 1));
+        if (victim >= core_.id())
+            ++victim;
+        ++probeCursor_;
+        return victim;
+      }
+      case VictimPolicy::Nearest:
+      default: {
+        if (nearestOrder_.size() != peers - 1) {
+            // Lazily sort the peers by Manhattan mesh distance.
+            const MachineConfig &mcfg = rt_.machine().config();
+            nearestOrder_.clear();
+            for (CoreId id = 0; id < peers; ++id)
+                if (id != core_.id())
+                    nearestOrder_.push_back(id);
+            auto distance = [&mcfg, this](CoreId id) {
+                auto dx = static_cast<int32_t>(mcfg.coreX(id)) -
+                          static_cast<int32_t>(mcfg.coreX(core_.id()));
+                auto dy = static_cast<int32_t>(mcfg.coreY(id)) -
+                          static_cast<int32_t>(mcfg.coreY(core_.id()));
+                return std::abs(dx) + std::abs(dy);
+            };
+            std::stable_sort(nearestOrder_.begin(), nearestOrder_.end(),
+                             [&](CoreId a, CoreId b) {
+                                 return distance(a) < distance(b);
+                             });
+            probeCursor_ = 0;
+        }
+        CoreId victim = nearestOrder_[probeCursor_ % nearestOrder_.size()];
+        ++probeCursor_; // advance so repeated failures widen the search
+        return victim;
+      }
+    }
+}
+
+bool
+Worker::tryStealOnce()
+{
+    uint32_t peers = rt_.activeCores();
+    if (peers < 2 || rt_.config().workDealing)
+        return false; // dealing runtimes never steal
+    ++core_.stats().stealAttempts;
+    CoreId victim = chooseVictim(peers);
+    core_.tick(3, 3); // selection: RNG/cursor + compare + branch
+
+    QueueAddrs addrs = rt_.victimQueueAddrs(core_, victim);
+    uint32_t id = qops_.stealHead(addrs);
+    if (id == 0)
+        return false;
+    ++core_.stats().stealHits;
+    if (rt_.config().victimPolicy == VictimPolicy::Nearest)
+        probeCursor_ = 0; // success: restart from the closest neighbor
+    Task *task = rt_.registry().get(id);
+    rt_.registry().remove(id);
+    executeSpawned(task);
+    return true;
+}
+
+void
+Worker::workerLoop()
+{
+    // The termination flag lives in this core's own scratchpad; polling
+    // it is a 2-cycle local load, not shared-memory traffic.
+    Addr done = rt_.doneFlagAddr(core_.id());
+    while (true) {
+        if (tryExecuteLocal()) {
+            resetBackoff();
+            continue;
+        }
+        if (tryStealOnce()) {
+            resetBackoff();
+            continue;
+        }
+        if (core_.load<uint32_t>(done) != 0)
+            break;
+        backoffWait();
+    }
+}
+
+void
+Worker::runRoot(Task &root)
+{
+    executeTask(root);
+    // All descendants have joined (the root's own wait() guarantees it);
+    // broadcast termination into every worker's scratchpad flag.
+    for (CoreId id = 0; id < rt_.activeCores(); ++id)
+        core_.store<uint32_t>(rt_.doneFlagAddr(id), 1);
+    core_.fence();
+}
+
+void
+Worker::prepareChild(TaskContext &tc, Task *child)
+{
+    child->parent = tc.task();
+    child->home = tc.frame().alloc(8, 4);
+    // The cell is fresh stack memory; make it functionally zero without
+    // charging time (set_ready_count stores the real value).
+    rt_.machine().mem().pokeAs<uint32_t>(child->home, 0);
+    core_.tick(2, 2); // constructor field writes
+}
+
+void
+Worker::prepareInline(TaskContext &tc, Task *child)
+{
+    child->parent = nullptr;
+    child->home = tc.frame().alloc(8, 4);
+    rt_.machine().mem().pokeAs<uint32_t>(child->home, 0);
+    core_.tick(2, 2);
+}
+
+void
+Worker::setReadyCount(TaskContext &tc, uint32_t count)
+{
+    SPMRT_ASSERT(tc.task() != nullptr, "setReadyCount outside a task");
+    core_.store<uint32_t>(tc.task()->home, count);
+}
+
+void
+Worker::spawn(TaskContext &tc, Task *child)
+{
+    SPMRT_ASSERT(child->home != kNullAddr,
+                 "spawned task was not prepared (no home cell)");
+    ++core_.stats().tasksSpawned;
+    core_.tick(4, 4); // task setup: vtable, fields, enqueue call
+    rt_.registry().add(child);
+
+    // Work dealing: push the child to a peer's queue round-robin at
+    // spawn time (a remote-SPM enqueue) instead of keeping it local.
+    QueueAddrs target = ownQueue_;
+    if (rt_.config().workDealing) {
+        uint32_t peers = rt_.activeCores();
+        CoreId recipient =
+            static_cast<CoreId>(probeCursor_++ % peers);
+        if (recipient != core_.id())
+            target = rt_.victimQueueAddrs(core_, recipient);
+    }
+    if (!qops_.enqueue(target, child->id)) {
+        // Queue full: degrade gracefully by executing the child inline.
+        // Its ready-count contribution was already published, so go
+        // through the normal completion path.
+        rt_.registry().remove(child->id);
+        executeSpawned(child);
+    }
+    (void)tc;
+}
+
+void
+Worker::wait(TaskContext &tc)
+{
+    Task *self = tc.task();
+    SPMRT_ASSERT(self != nullptr, "wait outside a task");
+    // Fig. 4(b): poll own ready count; pop local LIFO; else steal FIFO.
+    while (core_.load<uint32_t>(self->home) > 0) {
+        if (tryExecuteLocal()) {
+            resetBackoff();
+            continue;
+        }
+        if (tryStealOnce()) {
+            resetBackoff();
+            continue;
+        }
+        backoffWait();
+    }
+}
+
+void
+Worker::executeInline(Task &task)
+{
+    executeTask(task);
+}
+
+// ---- TaskContext forwarding ------------------------------------------
+
+const RuntimeConfig &
+TaskContext::runtimeConfig() const
+{
+    if (worker_ != nullptr)
+        return worker_->runtime().config();
+    SPMRT_ASSERT(staticRt_ != nullptr, "context bound to no runtime");
+    return staticRt_->config();
+}
+
+void
+TaskContext::prepareChild(Task *child)
+{
+    worker().prepareChild(*this, child);
+}
+
+void
+TaskContext::prepareInline(Task *child)
+{
+    worker().prepareInline(*this, child);
+}
+
+void
+TaskContext::setReadyCount(uint32_t count)
+{
+    worker().setReadyCount(*this, count);
+}
+
+void
+TaskContext::spawn(Task *child)
+{
+    worker().spawn(*this, child);
+}
+
+void
+TaskContext::waitChildren()
+{
+    worker().wait(*this);
+}
+
+void
+TaskContext::executeInline(Task &task)
+{
+    worker().executeInline(task);
+}
+
+} // namespace spmrt

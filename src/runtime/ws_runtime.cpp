@@ -1,0 +1,111 @@
+#include "runtime/ws_runtime.hpp"
+
+namespace spmrt {
+
+WorkStealingRuntime::WorkStealingRuntime(Machine &machine,
+                                         const RuntimeConfig &cfg)
+    : machine_(machine), cfg_(cfg),
+      layout_(machine.config(), cfg.userSpmReserve,
+              cfg.queueInSpm ? cfg.queueBytes : 0)
+{
+    const uint32_t cores = machine_.numCores();
+    const AddressMap &map = machine_.mem().map();
+
+    rootHome_ = machine_.dramAlloc(8, 4);
+
+    // Queue storage: SPM region at a fixed offset, or per-core DRAM
+    // regions reachable through a DRAM pointer table (the naive layout).
+    queueRegionBase_.resize(cores);
+    if (cfg_.queueInSpm) {
+        for (CoreId i = 0; i < cores; ++i)
+            queueRegionBase_[i] = layout_.queueBase(map, i);
+    } else {
+        for (CoreId i = 0; i < cores; ++i)
+            queueRegionBase_[i] =
+                machine_.dramAlloc(cfg_.queueBytes, 64);
+    }
+    if (cfg_.queuePointerTable || !cfg_.queueInSpm) {
+        queueTable_ = machine_.dramAlloc(cores * 4, 64);
+        for (CoreId i = 0; i < cores; ++i)
+            machine_.mem().pokeAs<uint32_t>(queueTable_ + i * 4,
+                                            queueRegionBase_[i]);
+    }
+
+    // Initialize queue indices.
+    for (CoreId i = 0; i < cores; ++i) {
+        QueueAddrs q = queueAddrs(i);
+        machine_.mem().pokeAs<uint32_t>(q.lock, 0);
+        machine_.mem().pokeAs<uint32_t>(q.head, 0);
+        machine_.mem().pokeAs<uint32_t>(q.tail, 0);
+    }
+
+    // Per-core DRAM overflow stacks and workers.
+    dramStackBase_.resize(cores);
+    workers_.reserve(cores);
+    userSpm_.reserve(cores);
+    for (CoreId i = 0; i < cores; ++i) {
+        dramStackBase_[i] = machine_.dramAlloc(cfg_.dramStackBytes, 64);
+        StackConfig stack_cfg;
+        stack_cfg.spmLow = layout_.stackLow(map, i);
+        stack_cfg.spmTop = layout_.stackTop(map, i);
+        stack_cfg.dramBase = dramStackBase_[i];
+        stack_cfg.dramBytes = cfg_.dramStackBytes;
+        stack_cfg.spmResident = cfg_.stackInSpm;
+        stack_cfg.swOverflowCheck = cfg_.swOverflowCheck;
+        stack_cfg.regSaveWords = cfg_.regSaveWords;
+        workers_.push_back(std::make_unique<Worker>(
+            *this, machine_.core(i), stack_cfg, cfg_.seed * 7919 + i));
+        userSpm_.push_back(std::make_unique<SpmUserAllocator>(
+            layout_.userBase(map, i), layout_.userBytes()));
+    }
+}
+
+QueueAddrs
+WorkStealingRuntime::queueAddrs(CoreId id) const
+{
+    return QueueAddrs::inRegion(queueRegionBase_[id], cfg_.queueBytes);
+}
+
+QueueAddrs
+WorkStealingRuntime::victimQueueAddrs(Core &thief, CoreId victim)
+{
+    if (queueTable_ != kNullAddr) {
+        // Naive scheme: fetch the victim's queue pointer from the DRAM
+        // table (Fig. 4a line 18's tq[vid] indirection).
+        uint32_t base = thief.load<uint32_t>(queueTable_ + victim * 4);
+        return QueueAddrs::inRegion(base, cfg_.queueBytes);
+    }
+    // Fixed-offset scheme (Sec. 4.2): compute the remote SPM address from
+    // the local queue's address — two ALU operations, no memory access.
+    thief.tick(2, 2);
+    return queueAddrs(victim);
+}
+
+Cycles
+WorkStealingRuntime::run(const std::function<void(TaskContext &)> &root_fn,
+                         uint32_t root_frame_bytes)
+{
+    for (CoreId i = 0; i < machine_.numCores(); ++i)
+        machine_.mem().pokeAs<uint32_t>(doneFlagAddr(i), 0);
+    machine_.mem().pokeAs<uint32_t>(rootHome_, 0);
+
+    ClosureTask<std::function<void(TaskContext &)>> root(root_fn,
+                                                         root_frame_bytes);
+    root.home = rootHome_;
+
+    std::vector<std::function<void(Core &)>> bodies(machine_.numCores());
+    bodies[0] = [this, &root](Core &) { workers_[0]->runRoot(root); };
+    for (CoreId i = 1; i < machine_.numCores(); ++i) {
+        if (i < activeCores())
+            bodies[i] = [this, i](Core &) { workers_[i]->workerLoop(); };
+        else
+            bodies[i] = [](Core &) {}; // parked: not participating
+    }
+
+    Cycles cycles = machine_.runPerCore(bodies);
+    SPMRT_ASSERT(registry_.liveCount() == 0,
+                 "%zu tasks leaked after run", registry_.liveCount());
+    return cycles;
+}
+
+} // namespace spmrt

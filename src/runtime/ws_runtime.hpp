@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The work-stealing runtime (the paper's primary contribution).
+ *
+ * Owns the per-core workers, the scratchpad layout, the DRAM resources
+ * (overflow stacks, DRAM-resident queues when configured, the queue
+ * pointer table of the naive implementation, the done flag), and the task
+ * registry that maps simulated 32-bit task pointers to host task objects.
+ */
+
+#ifndef SPMRT_RUNTIME_WS_RUNTIME_HPP
+#define SPMRT_RUNTIME_WS_RUNTIME_HPP
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "runtime/config.hpp"
+#include "runtime/queue_ops.hpp"
+#include "runtime/task.hpp"
+#include "runtime/worker.hpp"
+#include "sim/machine.hpp"
+#include "spm/layout.hpp"
+
+namespace spmrt {
+
+/**
+ * A TBB/Cilk-like dynamic task-parallel runtime for the SPM manycore.
+ */
+class WorkStealingRuntime
+{
+  public:
+    WorkStealingRuntime(Machine &machine, const RuntimeConfig &cfg);
+
+    WorkStealingRuntime(const WorkStealingRuntime &) = delete;
+    WorkStealingRuntime &operator=(const WorkStealingRuntime &) = delete;
+
+    /**
+     * Execute @p root_fn as the root task on core 0 while all other cores
+     * work-steal, until the whole task graph completes.
+     *
+     * @param root_fn the root task body.
+     * @param root_frame_bytes stack-frame size of the root activation.
+     * @return cycles from kernel start to the slowest core's finish.
+     */
+    Cycles run(const std::function<void(TaskContext &)> &root_fn,
+               uint32_t root_frame_bytes = 128);
+
+    /** The simulated machine. */
+    Machine &machine() { return machine_; }
+    /** Active configuration. */
+    const RuntimeConfig &config() const { return cfg_; }
+    /** SPM layout shared by all cores. */
+    const SpmLayout &layout() const { return layout_; }
+    /** Task id <-> host object mapping. */
+    TaskRegistry &registry() { return registry_; }
+    /** Worker of core @p id. */
+    Worker &worker(CoreId id) { return *workers_[id]; }
+
+    /** Number of cores running workers (<= machine cores). */
+    uint32_t
+    activeCores() const
+    {
+        uint32_t cores = machine_.numCores();
+        if (cfg_.activeCores == 0 || cfg_.activeCores > cores)
+            return cores;
+        return cfg_.activeCores;
+    }
+
+    /** Resolved queue addresses of core @p id (no timing charged). */
+    QueueAddrs queueAddrs(CoreId id) const;
+
+    /**
+     * Resolve a victim's queue from a thief's core, charging the lookup
+     * cost the configuration implies: a DRAM pointer-table load for the
+     * naive runtime, two ALU ops for the fixed-SPM-offset scheme.
+     */
+    QueueAddrs victimQueueAddrs(Core &thief, CoreId victim);
+
+    /**
+     * Per-core termination flag in core @p id's scratchpad control word.
+     * Idle workers poll their own flag locally; core 0 broadcasts
+     * termination with one remote store per core.
+     */
+    Addr
+    doneFlagAddr(CoreId id) const
+    {
+        return machine_.mem().map().spmBase(id) + layout_.ctrlOffset();
+    }
+
+    /** User scratchpad allocator for core @p id (spm_malloc region). */
+    SpmUserAllocator &userSpm(CoreId id) { return *userSpm_[id]; }
+
+  private:
+    Machine &machine_;
+    RuntimeConfig cfg_;
+    SpmLayout layout_;
+    TaskRegistry registry_;
+    Addr rootHome_ = kNullAddr;
+    Addr queueTable_ = kNullAddr;          ///< DRAM tq[] pointer array
+    std::vector<Addr> queueRegionBase_;    ///< per-core queue region
+    std::vector<Addr> dramStackBase_;      ///< per-core overflow buffers
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::unique_ptr<SpmUserAllocator>> userSpm_;
+};
+
+} // namespace spmrt
+
+#endif // SPMRT_RUNTIME_WS_RUNTIME_HPP

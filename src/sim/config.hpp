@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Simulated machine configuration.
+ *
+ * Defaults mirror the paper's evaluation platform (Sec. 5.1): a 16x8 mesh of
+ * 128 cores at an implied 1.5 GHz, 4 KB of scratchpad per core with 2-cycle
+ * access latency, 32 LLC banks along the top and bottom mesh rows, and a
+ * single HBM2 channel with ~16 GB/s of bandwidth (~10.7 bytes per core
+ * cycle).
+ */
+
+#ifndef SPMRT_SIM_CONFIG_HPP
+#define SPMRT_SIM_CONFIG_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace spmrt {
+
+/**
+ * Static description of the simulated manycore hardware.
+ *
+ * All timing parameters are expressed in core clock cycles. The struct is
+ * plain data so tests and benches can freely produce scaled-down machines.
+ */
+struct MachineConfig
+{
+    /** Mesh columns (X dimension). */
+    uint32_t meshCols = 16;
+    /** Mesh rows (Y dimension). */
+    uint32_t meshRows = 8;
+
+    /** Scratchpad bytes per core. */
+    uint32_t spmBytes = 4096;
+    /** Local scratchpad access latency (cycles). */
+    Cycles spmLatency = 2;
+
+    /** Per-hop mesh link traversal latency (cycles). */
+    Cycles linkLatency = 1;
+    /** Flit payload width in bytes (one link-cycle of occupancy per flit). */
+    uint32_t flitBytes = 4;
+    /**
+     * Ruche factor for the X dimension: long links that skip @c rucheX
+     * routers, modelling HammerBlade's mesh-with-ruching. 0 disables.
+     */
+    uint32_t rucheX = 3;
+
+    /** Number of last-level cache banks (split across top+bottom rows). */
+    uint32_t llcBanks = 32;
+    /** LLC line size in bytes. */
+    uint32_t llcLineBytes = 64;
+    /** LLC associativity. */
+    uint32_t llcWays = 8;
+    /** LLC sets per bank. */
+    uint32_t llcSetsPerBank = 64;
+    /** LLC bank access (tag + data) latency in cycles. */
+    Cycles llcLatency = 4;
+    /** Serialization interval of one bank (cycles per request). */
+    Cycles llcBankOccupancy = 1;
+
+    /** DRAM fixed access latency in cycles (row activation etc.). */
+    Cycles dramLatency = 60;
+    /**
+     * DRAM channel bandwidth in bytes per core cycle.
+     * 16 GB/s at 1.5 GHz is ~10.7; we round to 10.
+     */
+    uint32_t dramBytesPerCycle = 10;
+    /** Number of independent DRAM channels. */
+    uint32_t dramChannels = 1;
+    /** Total simulated DRAM capacity in bytes. */
+    uint64_t dramBytes = 256ull * 1024 * 1024;
+
+    /** Host stack bytes for each simulated core's coroutine. */
+    uint32_t hostStackBytes = 512 * 1024;
+
+    /** Number of cores in the machine. */
+    uint32_t numCores() const { return meshCols * meshRows; }
+
+    /** X coordinate of core @p id (row-major numbering). */
+    uint32_t coreX(CoreId id) const { return id % meshCols; }
+    /** Y coordinate of core @p id (row-major numbering). */
+    uint32_t coreY(CoreId id) const { return id / meshCols; }
+    /** Core id at mesh coordinate (x, y). */
+    CoreId coreAt(uint32_t x, uint32_t y) const { return y * meshCols + x; }
+
+    /** A small machine for unit tests: 4x2 cores, tiny LLC. */
+    static MachineConfig
+    tiny()
+    {
+        MachineConfig cfg;
+        cfg.meshCols = 4;
+        cfg.meshRows = 2;
+        cfg.llcBanks = 4;
+        cfg.llcSetsPerBank = 16;
+        cfg.dramBytes = 64ull * 1024 * 1024;
+        return cfg;
+    }
+
+    /** A mid-size machine for integration tests: 8x4 cores. */
+    static MachineConfig
+    small()
+    {
+        MachineConfig cfg;
+        cfg.meshCols = 8;
+        cfg.meshRows = 4;
+        cfg.llcBanks = 8;
+        cfg.llcSetsPerBank = 32;
+        cfg.dramBytes = 128ull * 1024 * 1024;
+        return cfg;
+    }
+};
+
+} // namespace spmrt
+
+#endif // SPMRT_SIM_CONFIG_HPP

@@ -1,0 +1,146 @@
+#include "sim/context.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/log.hpp"
+
+#if !defined(__x86_64__)
+#include <ucontext.h>
+#endif
+
+namespace spmrt {
+
+#if defined(__x86_64__)
+
+extern "C" void spmrt_ctx_swap(void **save_sp, void *restore_sp);
+extern "C" void spmrt_ctx_trampoline();
+
+GuestContext::GuestContext() = default;
+
+GuestContext::~GuestContext()
+{
+    if (stackBase_ != nullptr)
+        ::munmap(stackBase_, mapBytes_);
+}
+
+void
+GuestContext::init(size_t stack_bytes, void (*entry)(void *), void *arg)
+{
+    SPMRT_ASSERT(stackBase_ == nullptr, "context initialized twice");
+
+    const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+    mapBytes_ = ((stack_bytes + page - 1) / page) * page + page;
+    void *base = ::mmap(nullptr, mapBytes_, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (base == MAP_FAILED)
+        SPMRT_FATAL("cannot mmap %zu-byte coroutine stack", mapBytes_);
+    // Guard page at the low (overflow) end of the downward-growing stack.
+    if (::mprotect(base, page, PROT_NONE) != 0)
+        SPMRT_FATAL("cannot protect coroutine guard page");
+    stackBase_ = base;
+
+    // Build the initial frame that spmrt_ctx_swap will "return" into.
+    // Memory layout ascending from the saved sp:
+    //   [6 callee-saved slots][trampoline][arg][entry][padding...]
+    // The saved sp must be ~= 8 (mod 16) so that the trampoline's call
+    // site sees a 16-byte-aligned stack (see context_x86_64.S).
+    auto top = reinterpret_cast<uintptr_t>(base) + mapBytes_;
+    top &= ~uintptr_t(15);
+    auto *slot = reinterpret_cast<uint64_t *>(top);
+    *--slot = 0; // padding
+    *--slot = 0; // padding
+    *--slot = reinterpret_cast<uint64_t>(entry);
+    *--slot = reinterpret_cast<uint64_t>(arg);
+    *--slot = reinterpret_cast<uint64_t>(&spmrt_ctx_trampoline);
+    for (int i = 0; i < 6; ++i)
+        *--slot = 0; // rbp, rbx, r12..r15
+    sp_ = slot;
+    SPMRT_ASSERT((reinterpret_cast<uintptr_t>(sp_) & 15) == 8,
+                 "bad initial coroutine stack alignment");
+}
+
+void
+GuestContext::switchTo(GuestContext &from, GuestContext &to)
+{
+    spmrt_ctx_swap(&from.sp_, to.sp_);
+}
+
+#else // !__x86_64__: portable ucontext fallback
+
+namespace {
+
+// makecontext() can only pass int arguments portably; split each pointer
+// into two 32-bit halves and reassemble them in the trampoline.
+void
+uctxTrampoline(unsigned fn_hi, unsigned fn_lo, unsigned arg_hi,
+               unsigned arg_lo)
+{
+    auto join = [](unsigned hi, unsigned lo) {
+        return (static_cast<uintptr_t>(hi) << 32) | lo;
+    };
+    auto fn = reinterpret_cast<void (*)(void *)>(join(fn_hi, fn_lo));
+    auto *arg = reinterpret_cast<void *>(join(arg_hi, arg_lo));
+    fn(arg);
+    SPMRT_PANIC("coroutine entry returned");
+}
+
+ucontext_t *
+asUcontext(void *&storage)
+{
+    if (storage == nullptr)
+        storage = new ucontext_t();
+    return static_cast<ucontext_t *>(storage);
+}
+
+} // namespace
+
+GuestContext::GuestContext() = default;
+
+GuestContext::~GuestContext()
+{
+    delete static_cast<ucontext_t *>(ucontextStorage_);
+    if (stackBase_ != nullptr)
+        ::munmap(stackBase_, mapBytes_);
+}
+
+void
+GuestContext::init(size_t stack_bytes, void (*entry)(void *), void *arg)
+{
+    const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+    mapBytes_ = ((stack_bytes + page - 1) / page) * page + page;
+    void *base = ::mmap(nullptr, mapBytes_, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (base == MAP_FAILED)
+        SPMRT_FATAL("cannot mmap %zu-byte coroutine stack", mapBytes_);
+    if (::mprotect(base, page, PROT_NONE) != 0)
+        SPMRT_FATAL("cannot protect coroutine guard page");
+    stackBase_ = base;
+
+    auto *ctx = asUcontext(ucontextStorage_);
+    ::getcontext(ctx);
+    ctx->uc_stack.ss_sp = static_cast<char *>(base) + page;
+    ctx->uc_stack.ss_size = mapBytes_ - page;
+    ctx->uc_link = nullptr;
+    auto fn_bits = reinterpret_cast<uintptr_t>(entry);
+    auto arg_bits = reinterpret_cast<uintptr_t>(arg);
+    ::makecontext(ctx, reinterpret_cast<void (*)()>(&uctxTrampoline), 4,
+                  static_cast<unsigned>(fn_bits >> 32),
+                  static_cast<unsigned>(fn_bits),
+                  static_cast<unsigned>(arg_bits >> 32),
+                  static_cast<unsigned>(arg_bits));
+    sp_ = nullptr;
+}
+
+void
+GuestContext::switchTo(GuestContext &from, GuestContext &to)
+{
+    ::swapcontext(asUcontext(from.ucontextStorage_),
+                  asUcontext(to.ucontextStorage_));
+}
+
+#endif // __x86_64__
+
+} // namespace spmrt

@@ -1,0 +1,57 @@
+#include "sim/core.hpp"
+
+#include <algorithm>
+
+namespace spmrt {
+
+namespace {
+
+/** Largest single transfer: one LLC line. */
+constexpr uint32_t kMaxChunk = 64;
+
+} // namespace
+
+void
+Core::read(Addr addr, void *out, uint32_t bytes)
+{
+    auto *dst = static_cast<uint8_t *>(out);
+    engine_.syncPoint(id_);
+    Cycles issue = now();
+    Cycles last_done = issue;
+    uint32_t offset = 0;
+    while (offset < bytes) {
+        // Do not straddle LLC lines so the cache model stays simple.
+        uint32_t line_room = kMaxChunk - ((addr + offset) % kMaxChunk);
+        uint32_t chunk = std::min({bytes - offset, line_room, kMaxChunk});
+        Cycles done =
+            mem_.load(id_, issue, addr + offset, dst + offset, chunk);
+        last_done = std::max(last_done, done);
+        issue += 1; // pipelined issue, one chunk per cycle
+        offset += chunk;
+        ++stats_.loads;
+        ++stats_.instructions;
+    }
+    engine_.advanceTo(id_, last_done);
+}
+
+void
+Core::write(Addr addr, const void *in, uint32_t bytes)
+{
+    const auto *src = static_cast<const uint8_t *>(in);
+    if (!isLocalSpm(addr))
+        engine_.syncPoint(id_);
+    Cycles issue = now();
+    uint32_t offset = 0;
+    while (offset < bytes) {
+        uint32_t line_room = kMaxChunk - ((addr + offset) % kMaxChunk);
+        uint32_t chunk = std::min({bytes - offset, line_room, kMaxChunk});
+        mem_.store(id_, issue, addr + offset, src + offset, chunk);
+        issue += 1;
+        offset += chunk;
+        ++stats_.stores;
+        ++stats_.instructions;
+    }
+    engine_.advanceTo(id_, issue);
+}
+
+} // namespace spmrt

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The guest-facing core API.
+ *
+ * Guest code (runtime + workloads) runs as ordinary C++ on the core's
+ * coroutine, but every access to simulated memory and every unit of modelled
+ * compute goes through this class, which charges time against the core's
+ * clock and counts dynamic operations (the analogue of the paper's dynamic
+ * instruction counts).
+ */
+
+#ifndef SPMRT_SIM_CORE_HPP
+#define SPMRT_SIM_CORE_HPP
+
+#include <cstring>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "mem/memory_system.hpp"
+#include "sim/config.hpp"
+#include "sim/engine.hpp"
+
+namespace spmrt {
+
+/** Per-core dynamic execution counters. */
+struct CoreStats
+{
+    uint64_t instructions = 0; ///< dynamic operations charged
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t amos = 0;
+    uint64_t fences = 0;
+    // Runtime-level counters, incremented by the task runtime.
+    uint64_t tasksExecuted = 0;
+    uint64_t tasksSpawned = 0;
+    uint64_t stealAttempts = 0;
+    uint64_t stealHits = 0;
+    uint64_t stackFramesPushed = 0;
+    uint64_t stackFramesOverflowed = 0;
+};
+
+/**
+ * Handle through which guest code interacts with the simulated machine.
+ */
+class Core
+{
+  public:
+    Core(Engine &engine, MemorySystem &mem, CoreId id,
+         const MachineConfig &cfg)
+        : engine_(engine), mem_(mem), id_(id), cfg_(cfg)
+    {
+    }
+
+    Core(const Core &) = delete;
+    Core &operator=(const Core &) = delete;
+
+    /** This core's id. */
+    CoreId id() const { return id_; }
+    /** This core's current clock. */
+    Cycles now() const { return engine_.time(id_); }
+    /** The machine configuration. */
+    const MachineConfig &config() const { return cfg_; }
+
+    /**
+     * Charge local compute: @p cycles of latency and @p instrs dynamic
+     * operations. No context switch.
+     */
+    void
+    tick(Cycles cycles, uint64_t instrs = 1)
+    {
+        engine_.advance(id_, cycles);
+        stats_.instructions += instrs;
+    }
+
+    /** Blocking typed load. */
+    template <typename T>
+    T
+    load(Addr addr)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        engine_.syncPoint(id_);
+        T value;
+        Cycles done = mem_.load(id_, now(), addr, &value, sizeof(T));
+        engine_.advanceTo(id_, done);
+        ++stats_.loads;
+        ++stats_.instructions;
+        return value;
+    }
+
+    /** Posted typed store. */
+    template <typename T>
+    void
+    store(Addr addr, T value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        // Remote and DRAM stores are globally visible traffic; order them.
+        if (!isLocalSpm(addr))
+            engine_.syncPoint(id_);
+        Cycles done = mem_.store(id_, now(), addr, &value, sizeof(T));
+        engine_.advanceTo(id_, done);
+        ++stats_.stores;
+        ++stats_.instructions;
+    }
+
+    /**
+     * Timed bulk read (a DMA-like pipelined burst): chunks are issued
+     * back-to-back and the core blocks until the last response.
+     */
+    void read(Addr addr, void *out, uint32_t bytes);
+
+    /** Timed bulk write, pipelined and posted per chunk. */
+    void write(Addr addr, const void *in, uint32_t bytes);
+
+    /** Atomic read-modify-write; returns the previous value. */
+    uint32_t
+    amo(Addr addr, AmoOp op, uint32_t operand)
+    {
+        engine_.syncPoint(id_);
+        uint32_t old_value = 0;
+        Cycles done = mem_.amo(id_, now(), addr, op, operand, old_value);
+        engine_.advanceTo(id_, done);
+        ++stats_.amos;
+        ++stats_.instructions;
+        return old_value;
+    }
+
+    /** Fetch-and-add convenience wrapper. */
+    uint32_t
+    amoAdd(Addr addr, int32_t delta)
+    {
+        return amo(addr, AmoOp::Add, static_cast<uint32_t>(delta));
+    }
+
+    /** Fetch-and-add with release semantics (drains prior stores first). */
+    uint32_t
+    amoAddRelease(Addr addr, int32_t delta)
+    {
+        fence();
+        return amoAdd(addr, delta);
+    }
+
+    /** Block until all posted stores by this core have landed. */
+    void
+    fence()
+    {
+        engine_.advanceTo(id_, mem_.storeDrainTime(id_));
+        ++stats_.fences;
+        ++stats_.instructions;
+    }
+
+    /** Cooperative yield with a small idle charge (backoff loops). */
+    void
+    idle(Cycles cycles)
+    {
+        engine_.advance(id_, cycles);
+        engine_.syncPoint(id_);
+    }
+
+    /** True iff @p addr is inside this core's own scratchpad. */
+    bool
+    isLocalSpm(Addr addr) const
+    {
+        Addr base = mem_.map().spmBase(id_);
+        return addr >= base && addr - base < cfg_.spmBytes;
+    }
+
+    /** Base address of this core's scratchpad window. */
+    Addr spmBase() const { return mem_.map().spmBase(id_); }
+
+    /** Mutable access to the counters (the runtime updates them). */
+    CoreStats &stats() { return stats_; }
+    const CoreStats &stats() const { return stats_; }
+
+    /** Escape hatches for infrastructure code. */
+    Engine &engine() { return engine_; }
+    MemorySystem &mem() { return mem_; }
+
+  private:
+    Engine &engine_;
+    MemorySystem &mem_;
+    CoreId id_;
+    const MachineConfig &cfg_;
+    CoreStats stats_;
+};
+
+} // namespace spmrt
+
+#endif // SPMRT_SIM_CORE_HPP

@@ -1,0 +1,132 @@
+#include "sim/engine.hpp"
+
+namespace spmrt {
+
+Engine::Engine(uint32_t num_cores, size_t host_stack_bytes)
+    : stackBytes_(host_stack_bytes)
+{
+    slots_.reserve(num_cores);
+    for (uint32_t i = 0; i < num_cores; ++i) {
+        auto slot = std::make_unique<Slot>();
+        slot->engine = this;
+        slot->id = i;
+        slots_.push_back(std::move(slot));
+    }
+}
+
+void
+Engine::setBody(CoreId id, std::function<void()> body)
+{
+    SPMRT_ASSERT(id < slots_.size(), "core id %u out of range", id);
+    slots_[id]->body = std::move(body);
+    slots_[id]->hasBody = true;
+}
+
+void
+Engine::entryThunk(void *opaque)
+{
+    auto *slot = static_cast<Slot *>(opaque);
+    // Each run() installs a fresh body; the coroutine parks between runs
+    // so multi-phase benchmarks can reuse the machine (clocks persist).
+    while (true) {
+        slot->body();
+        slot->finished = true;
+        --slot->engine->live_;
+        GuestContext::switchTo(slot->ctx, slot->engine->schedCtx_);
+    }
+}
+
+void
+Engine::run()
+{
+    live_ = 0;
+    for (auto &slot : slots_) {
+        if (!slot->hasBody) {
+            slot->finished = true;
+            continue;
+        }
+        slot->finished = false;
+        if (!slot->ctx.valid())
+            slot->ctx.init(stackBytes_, &Engine::entryThunk, slot.get());
+        ++live_;
+    }
+
+    while (live_ > 0) {
+        // Deterministic argmin over unfinished, unblocked cores; ties
+        // favor lower id.
+        Slot *next = nullptr;
+        for (auto &slot : slots_) {
+            if (slot->finished || slot->blocked)
+                continue;
+            if (next == nullptr || slot->time < next->time)
+                next = slot.get();
+        }
+        SPMRT_ASSERT(next != nullptr,
+                     "deadlock: all %u live cores are blocked", live_);
+        running_ = next->id;
+        ++switches_;
+        GuestContext::switchTo(schedCtx_, next->ctx);
+        running_ = kInvalidCore;
+    }
+}
+
+void
+Engine::syncPoint(CoreId id)
+{
+    // The scheduler resumes only the global-minimum core, so a single
+    // failed check needs exactly one yield; loop anyway for robustness.
+    while (slots_[id]->time > minOtherTime(id))
+        yield(id);
+}
+
+void
+Engine::yield(CoreId id)
+{
+    auto &slot = *slots_[id];
+    GuestContext::switchTo(slot.ctx, schedCtx_);
+}
+
+void
+Engine::block(CoreId id)
+{
+    auto &slot = *slots_[id];
+    SPMRT_ASSERT(running_ == id, "block() from a non-running core");
+    slot.blocked = true;
+    GuestContext::switchTo(slot.ctx, schedCtx_);
+    SPMRT_ASSERT(!slot.blocked, "blocked core %u resumed while parked", id);
+}
+
+void
+Engine::unblock(CoreId id, Cycles t)
+{
+    auto &slot = *slots_[id];
+    SPMRT_ASSERT(slot.blocked, "unblock() of a core that is not parked");
+    slot.blocked = false;
+    if (t > slot.time)
+        slot.time = t;
+}
+
+Cycles
+Engine::minOtherTime(CoreId self) const
+{
+    Cycles min_time = std::numeric_limits<Cycles>::max();
+    for (auto &slot : slots_) {
+        if (slot->finished || slot->blocked || slot->id == self)
+            continue;
+        if (slot->time < min_time)
+            min_time = slot->time;
+    }
+    return min_time;
+}
+
+Cycles
+Engine::maxTime() const
+{
+    Cycles max_time = 0;
+    for (auto &slot : slots_)
+        if (slot->hasBody && slot->time > max_time)
+            max_time = slot->time;
+    return max_time;
+}
+
+} // namespace spmrt

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Deterministic discrete-event execution engine.
+ *
+ * Every simulated core runs guest code on its own coroutine and keeps a
+ * local clock. The engine's scheduling invariant is: only the runnable core
+ * with the globally minimal local timestamp executes globally visible
+ * operations. Guest code reaches a @e sync @e point before every such
+ * operation (loads, AMOs, remote stores); if the core is not the minimum it
+ * yields and is resumed once it is. Local compute merely advances the local
+ * clock with no context switch.
+ *
+ * Because the host scheduler is a deterministic argmin (ties broken by core
+ * id), the entire simulation — including lock acquisition order and steal
+ * interleavings — is reproducible run-to-run.
+ */
+
+#ifndef SPMRT_SIM_ENGINE_HPP
+#define SPMRT_SIM_ENGINE_HPP
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "sim/context.hpp"
+
+namespace spmrt {
+
+/**
+ * Coroutine scheduler with per-core virtual clocks.
+ */
+class Engine
+{
+  public:
+    /**
+     * @param num_cores number of simulated cores.
+     * @param host_stack_bytes host stack size for each core's coroutine.
+     */
+    Engine(uint32_t num_cores, size_t host_stack_bytes);
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** Install the guest body executed by core @p id during run(). */
+    void setBody(CoreId id, std::function<void()> body);
+
+    /** Execute all installed bodies to completion. */
+    void run();
+
+    /** Local clock of core @p id. */
+    Cycles time(CoreId id) const { return slots_[id]->time; }
+
+    /** Advance core @p id's clock by @p dt cycles (local compute). */
+    void
+    advance(CoreId id, Cycles dt)
+    {
+        slots_[id]->time += dt;
+    }
+
+    /** Move core @p id's clock forward to @p t if @p t is later. */
+    void
+    advanceTo(CoreId id, Cycles t)
+    {
+        auto &slot = *slots_[id];
+        if (t > slot.time)
+            slot.time = t;
+    }
+
+    /**
+     * Block until core @p id holds the minimal clock among unfinished
+     * cores. Guest code must call this immediately before any globally
+     * visible operation.
+     */
+    void syncPoint(CoreId id);
+
+    /** Unconditionally return control to the scheduler. */
+    void yield(CoreId id);
+
+    /**
+     * Park core @p id: it is removed from scheduling until another core
+     * calls unblock(). Used by barriers to model cores sleeping rather
+     * than burning spin cycles. Panics if every live core ends up blocked.
+     */
+    void block(CoreId id);
+
+    /** Wake a parked core at time @p t (or its own clock if later). */
+    void unblock(CoreId id, Cycles t);
+
+    /** True while core @p id is parked. */
+    bool blocked(CoreId id) const { return slots_[id]->blocked; }
+
+    /** True when core @p id's body has returned. */
+    bool finished(CoreId id) const { return slots_[id]->finished; }
+
+    /** Core currently executing guest code (or kInvalidCore). */
+    CoreId running() const { return running_; }
+
+    /** Number of context switches performed (diagnostics). */
+    uint64_t switchCount() const { return switches_; }
+
+    /** Largest clock reached by any core so far. */
+    Cycles maxTime() const;
+
+  private:
+    struct Slot
+    {
+        GuestContext ctx;
+        Cycles time = 0;
+        bool finished = false;
+        bool blocked = false;
+        bool hasBody = false;
+        std::function<void()> body;
+        Engine *engine = nullptr;
+        CoreId id = kInvalidCore;
+    };
+
+    static void entryThunk(void *opaque);
+
+    /** Minimal clock among unfinished cores other than @p self. */
+    Cycles minOtherTime(CoreId self) const;
+
+    GuestContext schedCtx_;
+    std::vector<std::unique_ptr<Slot>> slots_;
+    CoreId running_ = kInvalidCore;
+    uint32_t live_ = 0;
+    uint64_t switches_ = 0;
+    size_t stackBytes_;
+};
+
+} // namespace spmrt
+
+#endif // SPMRT_SIM_ENGINE_HPP

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The Machine: one simulated manycore system.
+ *
+ * Bundles the engine, the memory system, the per-core guest handles, and a
+ * DRAM heap allocator. Benchmarks construct a Machine, place inputs with
+ * untimed pokes, then run one or more timed kernels.
+ */
+
+#ifndef SPMRT_SIM_MACHINE_HPP
+#define SPMRT_SIM_MACHINE_HPP
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "mem/alloc.hpp"
+#include "mem/memory_system.hpp"
+#include "sim/config.hpp"
+#include "sim/core.hpp"
+#include "sim/engine.hpp"
+
+namespace spmrt {
+
+/**
+ * A complete simulated manycore machine.
+ */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &cfg)
+        : cfg_(cfg), engine_(cfg.numCores(), cfg.hostStackBytes),
+          mem_(cfg),
+          dramHeap_(AddressMap::kDramBase,
+                    cfg.dramBytes)
+    {
+        cores_.reserve(cfg.numCores());
+        for (CoreId i = 0; i < cfg.numCores(); ++i)
+            cores_.push_back(std::make_unique<Core>(engine_, mem_, i, cfg_));
+    }
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /** Machine configuration. */
+    const MachineConfig &config() const { return cfg_; }
+    /** Number of cores. */
+    uint32_t numCores() const { return cfg_.numCores(); }
+    /** Guest handle for core @p id. */
+    Core &core(CoreId id) { return *cores_[id]; }
+    /** The memory system (for untimed peeks/pokes). */
+    MemorySystem &mem() { return mem_; }
+    /** The execution engine. */
+    Engine &engine() { return engine_; }
+    /** The DRAM heap. */
+    RangeAllocator &dramHeap() { return dramHeap_; }
+
+    /** Allocate @p bytes of simulated DRAM (untimed). */
+    Addr
+    dramAlloc(uint64_t bytes, uint32_t align = 8)
+    {
+        Addr addr = dramHeap_.alloc(bytes, align);
+        if (addr == kNullAddr)
+            SPMRT_FATAL("simulated DRAM exhausted (%llu bytes requested)",
+                        static_cast<unsigned long long>(bytes));
+        return addr;
+    }
+
+    /** Allocate a DRAM array of @p count elements of type T (untimed). */
+    template <typename T>
+    Addr
+    dramAllocArray(uint64_t count)
+    {
+        return dramAlloc(count * sizeof(T), alignof(T) < 4 ? 4 : alignof(T));
+    }
+
+    /** Release a DRAM allocation. */
+    void dramFree(Addr addr) { dramHeap_.release(addr); }
+
+    /**
+     * Run @p body on every core to completion.
+     * @return the cycle count of the slowest core for this phase.
+     */
+    Cycles
+    run(const std::function<void(Core &)> &body)
+    {
+        Cycles start = engine_.maxTime();
+        syncClocks();
+        for (CoreId i = 0; i < numCores(); ++i) {
+            Core *core = cores_[i].get();
+            engine_.setBody(i, [body, core] { body(*core); });
+        }
+        engine_.run();
+        return engine_.maxTime() - start;
+    }
+
+    /** Run a distinct body per core (size must equal numCores()). */
+    Cycles
+    runPerCore(const std::vector<std::function<void(Core &)>> &bodies)
+    {
+        SPMRT_ASSERT(bodies.size() == numCores(),
+                     "runPerCore: %zu bodies for %u cores", bodies.size(),
+                     numCores());
+        Cycles start = engine_.maxTime();
+        syncClocks();
+        for (CoreId i = 0; i < numCores(); ++i) {
+            Core *core = cores_[i].get();
+            auto body = bodies[i];
+            engine_.setBody(i, [body, core] { body(*core); });
+        }
+        engine_.run();
+        return engine_.maxTime() - start;
+    }
+
+    /** Align every core's clock to the global maximum (phase barrier). */
+    void
+    syncClocks()
+    {
+        Cycles max_time = engine_.maxTime();
+        for (CoreId i = 0; i < numCores(); ++i)
+            engine_.advanceTo(i, max_time);
+    }
+
+    /** Sum of a per-core statistic over all cores. */
+    uint64_t
+    totalStat(uint64_t CoreStats::*field) const
+    {
+        uint64_t total = 0;
+        for (const auto &core : cores_)
+            total += core->stats().*field;
+        return total;
+    }
+
+    /** Total dynamic operations across all cores. */
+    uint64_t
+    totalInstructions() const
+    {
+        return totalStat(&CoreStats::instructions);
+    }
+
+  private:
+    MachineConfig cfg_;
+    Engine engine_;
+    MemorySystem mem_;
+    RangeAllocator dramHeap_;
+    std::vector<std::unique_ptr<Core>> cores_;
+};
+
+} // namespace spmrt
+
+#endif // SPMRT_SIM_MACHINE_HPP

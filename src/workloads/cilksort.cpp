@@ -1,0 +1,170 @@
+#include "workloads/cilksort.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+
+namespace spmrt {
+namespace workloads {
+
+namespace {
+
+/** Below this many elements a segment is sorted sequentially. */
+constexpr uint32_t kSortGrain = 256;
+/** Below this many elements a merge runs sequentially. */
+constexpr uint32_t kMergeGrain = 512;
+
+Addr
+elem(Addr base, uint32_t index)
+{
+    return base + static_cast<Addr>(index) * 4;
+}
+
+/** Sequentially sort data[lo,hi) and place the run at dst[lo,hi). */
+void
+seqSort(TaskContext &tc, const CilkSortData &data, Addr dst, uint32_t lo,
+        uint32_t hi)
+{
+    Core &core = tc.core();
+    uint32_t count = hi - lo;
+    std::vector<uint32_t> keys(count);
+    core.read(elem(data.data, lo), keys.data(), count * 4);
+    std::sort(keys.begin(), keys.end());
+    // ~n log n compare/exchange work.
+    uint32_t logn = count > 1 ? ceilLog2(count) : 1;
+    core.tick(static_cast<Cycles>(count) * logn * 2,
+              static_cast<uint64_t>(count) * logn * 3);
+    core.write(elem(dst, lo), keys.data(), count * 4);
+}
+
+/** Sequentially merge src[a_lo,a_hi) with src[b_lo,b_hi) to dst[d_lo..). */
+void
+seqMerge(TaskContext &tc, Addr src, uint32_t a_lo, uint32_t a_hi,
+         uint32_t b_lo, uint32_t b_hi, Addr dst, uint32_t d_lo)
+{
+    Core &core = tc.core();
+    uint32_t a_count = a_hi - a_lo, b_count = b_hi - b_lo;
+    std::vector<uint32_t> a(a_count), b(b_count),
+        merged(a_count + b_count);
+    core.read(elem(src, a_lo), a.data(), a_count * 4);
+    core.read(elem(src, b_lo), b.data(), b_count * 4);
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), merged.begin());
+    core.tick(merged.size() * 2, merged.size() * 3);
+    core.write(elem(dst, d_lo), merged.data(), merged.size() * 4);
+}
+
+/**
+ * Parallel merge: split the larger run at its median, binary-search the
+ * split point in the smaller run, recurse on the two halves in parallel.
+ */
+void
+parMerge(TaskContext &tc, Addr src, uint32_t a_lo, uint32_t a_hi,
+         uint32_t b_lo, uint32_t b_hi, Addr dst, uint32_t d_lo)
+{
+    Core &core = tc.core();
+    uint32_t a_count = a_hi - a_lo, b_count = b_hi - b_lo;
+    if (a_count + b_count <= kMergeGrain) {
+        seqMerge(tc, src, a_lo, a_hi, b_lo, b_hi, dst, d_lo);
+        return;
+    }
+    if (a_count < b_count) {
+        std::swap(a_lo, b_lo);
+        std::swap(a_hi, b_hi);
+        std::swap(a_count, b_count);
+    }
+    uint32_t a_mid = a_lo + a_count / 2;
+    uint32_t pivot = core.load<uint32_t>(elem(src, a_mid));
+    // Binary search for the pivot's position in the smaller run.
+    uint32_t lo = b_lo, hi = b_hi;
+    while (lo < hi) {
+        uint32_t mid = lo + (hi - lo) / 2;
+        uint32_t probe = core.load<uint32_t>(elem(src, mid));
+        core.tick(2, 3);
+        if (probe < pivot)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    uint32_t b_split = lo;
+    uint32_t d_mid = d_lo + (a_mid - a_lo) + (b_split - b_lo);
+    parallelInvoke(
+        tc,
+        [&, a_lo, a_mid, b_lo, b_split, d_lo](TaskContext &sub) {
+            parMerge(sub, src, a_lo, a_mid, b_lo, b_split, dst, d_lo);
+        },
+        [&, a_mid, a_hi, b_split, b_hi, d_mid](TaskContext &sub) {
+            parMerge(sub, src, a_mid, a_hi, b_split, b_hi, dst, d_mid);
+        });
+}
+
+/**
+ * Mergesort data[lo,hi); the sorted run lands in (to_tmp ? tmp : data).
+ */
+void
+msort(TaskContext &tc, const CilkSortData &data, uint32_t lo, uint32_t hi,
+      bool to_tmp)
+{
+    Addr target = to_tmp ? data.tmp : data.data;
+    uint32_t count = hi - lo;
+    if (count <= kSortGrain) {
+        seqSort(tc, data, target, lo, hi);
+        return;
+    }
+    uint32_t mid = lo + count / 2;
+    // Children land their runs in the *other* array; the merge brings
+    // them into the target.
+    parallelInvoke(
+        tc,
+        [&, lo, mid, to_tmp](TaskContext &sub) {
+            msort(sub, data, lo, mid, !to_tmp);
+        },
+        [&, mid, hi, to_tmp](TaskContext &sub) {
+            msort(sub, data, mid, hi, !to_tmp);
+        });
+    Addr source = to_tmp ? data.data : data.tmp;
+    parMerge(tc, source, lo, mid, mid, hi, target, lo);
+}
+
+} // namespace
+
+CilkSortData
+cilksortSetup(Machine &machine, uint32_t n, uint64_t seed)
+{
+    CilkSortData data;
+    data.n = n;
+    Xoshiro256StarStar rng(seed);
+    std::vector<uint32_t> keys(n);
+    for (uint32_t &key : keys)
+        key = static_cast<uint32_t>(rng.next());
+    data.data = uploadArray(machine, keys);
+    data.tmp = allocZeroArray<uint32_t>(machine, n);
+    return data;
+}
+
+void
+cilksortKernel(TaskContext &tc, const CilkSortData &data)
+{
+    msort(tc, data, 0, data.n, /*to_tmp=*/false);
+}
+
+bool
+cilksortVerify(Machine &machine, const CilkSortData &data,
+               std::vector<uint32_t> original)
+{
+    std::vector<uint32_t> actual =
+        downloadArray<uint32_t>(machine, data.data, data.n);
+    if (!std::is_sorted(actual.begin(), actual.end())) {
+        SPMRT_WARN("cilksort output not sorted");
+        return false;
+    }
+    std::sort(original.begin(), original.end());
+    if (actual != original) {
+        SPMRT_WARN("cilksort output is not a permutation of the input");
+        return false;
+    }
+    return true;
+}
+
+} // namespace workloads
+} // namespace spmrt

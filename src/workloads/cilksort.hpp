@@ -1,0 +1,42 @@
+/**
+ * @file
+ * CilkSort: parallel mergesort with parallel merge (dynamic-unbalanced).
+ *
+ * The classic cilksort algorithm: recursive spawn-and-sync splits the
+ * array, sequential sorts below a grain, and the merge step itself is
+ * parallel — the larger run is split at its median and the matching
+ * position in the smaller run is found by binary search, yielding two
+ * independent sub-merges.
+ */
+
+#ifndef SPMRT_WORKLOADS_CILKSORT_HPP
+#define SPMRT_WORKLOADS_CILKSORT_HPP
+
+#include "graph/csr.hpp" // sim array helpers
+#include "parallel/patterns.hpp"
+
+namespace spmrt {
+namespace workloads {
+
+/** Problem instance in simulated memory. */
+struct CilkSortData
+{
+    Addr data = kNullAddr; ///< uint32[n], sorted in place
+    Addr tmp = kNullAddr;  ///< uint32[n], merge scratch
+    uint32_t n = 0;
+};
+
+/** Upload @p n random keys. */
+CilkSortData cilksortSetup(Machine &machine, uint32_t n, uint64_t seed);
+
+/** Sort data.data ascending (dynamic contexts only). */
+void cilksortKernel(TaskContext &tc, const CilkSortData &data);
+
+/** Check the output is sorted and a permutation of the input. */
+bool cilksortVerify(Machine &machine, const CilkSortData &data,
+                    std::vector<uint32_t> original);
+
+} // namespace workloads
+} // namespace spmrt
+
+#endif // SPMRT_WORKLOADS_CILKSORT_HPP

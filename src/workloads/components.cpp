@@ -1,0 +1,127 @@
+#include "workloads/components.hpp"
+
+#include <numeric>
+
+namespace spmrt {
+namespace workloads {
+
+ComponentsData
+componentsSetup(Machine &machine, const HostGraph &graph)
+{
+    ComponentsData data;
+    data.graph = SimGraph::upload(machine, graph);
+    std::vector<uint32_t> labels(graph.numVertices);
+    std::iota(labels.begin(), labels.end(), 0);
+    data.labels = uploadArray(machine, labels);
+    data.changed = allocZeroArray<uint32_t>(machine, 1);
+    return data;
+}
+
+uint32_t
+componentsKernel(TaskContext &tc, const ComponentsData &data)
+{
+    const SimGraph &graph = data.graph;
+    Core &root = tc.core();
+    ForOptions opts;
+    opts.env.bytes = 24;
+    opts.env.wordsPerIter = 2;
+    opts.grain = 8;
+
+    uint32_t rounds = 0;
+    while (true) {
+        root.store<uint32_t>(data.changed, 0);
+        root.fence();
+        parallelFor(
+            tc, 0, graph.numVertices,
+            [&data, &graph](TaskContext &btc, int64_t v) {
+                Core &core = btc.core();
+                Addr idx = static_cast<Addr>(v);
+                uint32_t label =
+                    core.load<uint32_t>(data.labels + idx * 4);
+                bool lowered = false;
+                // Push my label along both edge directions; pull lower
+                // labels back from out-neighbors.
+                auto visit = [&](Addr offsets, Addr targets) {
+                    uint32_t begin =
+                        core.load<uint32_t>(offsets + idx * 4);
+                    uint32_t end =
+                        core.load<uint32_t>(offsets + idx * 4 + 4);
+                    for (uint32_t e = begin; e < end; ++e) {
+                        uint32_t w =
+                            core.load<uint32_t>(targets + e * 4);
+                        core.tick(1, 2);
+                        uint32_t old = core.amo(data.labels + w * 4,
+                                                AmoOp::Min, label);
+                        if (old < label) {
+                            label = old; // adopt the lower label
+                            lowered = true;
+                        } else if (old > label) {
+                            lowered = true; // we lowered the neighbor
+                        }
+                    }
+                };
+                visit(graph.outOffsets, graph.outTargets);
+                visit(graph.inOffsets, graph.inTargets);
+                if (lowered) {
+                    core.amo(data.labels + idx * 4, AmoOp::Min, label);
+                    core.store<uint32_t>(data.changed, 1);
+                }
+            },
+            opts);
+        ++rounds;
+        if (root.load<uint32_t>(data.changed) == 0)
+            break;
+    }
+    return rounds;
+}
+
+std::vector<uint32_t>
+componentsReference(const HostGraph &graph)
+{
+    std::vector<uint32_t> parent(graph.numVertices);
+    std::iota(parent.begin(), parent.end(), 0);
+    std::function<uint32_t(uint32_t)> find = [&](uint32_t v) {
+        while (parent[v] != v) {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        return v;
+    };
+    for (uint32_t v = 0; v < graph.numVertices; ++v)
+        for (uint32_t e = graph.offsets[v]; e < graph.offsets[v + 1];
+             ++e) {
+            uint32_t a = find(v), b = find(graph.targets[e]);
+            if (a != b)
+                parent[a < b ? b : a] = a < b ? a : b;
+        }
+    // Label every vertex with its component's minimum id.
+    std::vector<uint32_t> min_id(graph.numVertices, 0xffffffffu);
+    for (uint32_t v = 0; v < graph.numVertices; ++v) {
+        uint32_t root = find(v);
+        min_id[root] = std::min(min_id[root], v);
+    }
+    std::vector<uint32_t> labels(graph.numVertices);
+    for (uint32_t v = 0; v < graph.numVertices; ++v)
+        labels[v] = min_id[find(v)];
+    return labels;
+}
+
+bool
+componentsVerify(Machine &machine, const ComponentsData &data,
+                 const HostGraph &graph)
+{
+    std::vector<uint32_t> expected = componentsReference(graph);
+    std::vector<uint32_t> actual = downloadArray<uint32_t>(
+        machine, data.labels, graph.numVertices);
+    for (uint32_t v = 0; v < graph.numVertices; ++v) {
+        if (expected[v] != actual[v]) {
+            SPMRT_WARN("components mismatch at %u: %u vs %u", v,
+                       expected[v], actual[v]);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace workloads
+} // namespace spmrt

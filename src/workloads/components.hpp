@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Connected components via parallel label propagation.
+ *
+ * Not one of the paper's nine workloads — included to demonstrate that
+ * the framework generalizes: the kernel is a data-dependent fixed-point
+ * iteration (rounds until no label changes) built from the same
+ * parallel_for + AMO vocabulary as the paper's graph kernels. Treats the
+ * graph as undirected (a vertex's neighbors are its in- plus
+ * out-neighbors).
+ */
+
+#ifndef SPMRT_WORKLOADS_COMPONENTS_HPP
+#define SPMRT_WORKLOADS_COMPONENTS_HPP
+
+#include "graph/csr.hpp"
+#include "parallel/patterns.hpp"
+
+namespace spmrt {
+namespace workloads {
+
+/** Problem instance in simulated memory. */
+struct ComponentsData
+{
+    SimGraph graph;
+    Addr labels = kNullAddr;  ///< uint32[V], converges to component min id
+    Addr changed = kNullAddr; ///< uint32, per-round convergence flag
+};
+
+/** Upload the graph and initialize labels[v] = v. */
+ComponentsData componentsSetup(Machine &machine, const HostGraph &graph);
+
+/** Propagate labels to a fixed point; returns the number of rounds. */
+uint32_t componentsKernel(TaskContext &tc, const ComponentsData &data);
+
+/** Host reference: component = minimum vertex id, via union-find. */
+std::vector<uint32_t> componentsReference(const HostGraph &graph);
+
+/** Compare simulated labels against the reference. */
+bool componentsVerify(Machine &machine, const ComponentsData &data,
+                      const HostGraph &graph);
+
+} // namespace workloads
+} // namespace spmrt
+
+#endif // SPMRT_WORKLOADS_COMPONENTS_HPP

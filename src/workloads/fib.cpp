@@ -1,0 +1,28 @@
+#include "workloads/fib.hpp"
+
+namespace spmrt {
+namespace workloads {
+
+void
+fibKernel(TaskContext &tc, int n, Addr out)
+{
+    Core &core = tc.core();
+    if (n < 2) {
+        core.tick(2, 2);
+        core.store<int64_t>(out, n);
+        return;
+    }
+    // x and y live in this activation's frame; if a child is stolen it
+    // writes its partial result into this core's scratchpad remotely.
+    Addr x = tc.frame().alloc(8, 8);
+    Addr y = tc.frame().alloc(8, 8);
+    parallelInvoke(
+        tc, [n, x](TaskContext &sub) { fibKernel(sub, n - 1, x); },
+        [n, y](TaskContext &sub) { fibKernel(sub, n - 2, y); });
+    int64_t sum = core.load<int64_t>(x) + core.load<int64_t>(y);
+    core.tick(1, 1);
+    core.store<int64_t>(out, sum);
+}
+
+} // namespace workloads
+} // namespace spmrt

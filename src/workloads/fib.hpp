@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fib: the paper's micro-benchmark (Sec. 4.4, Fig. 7).
+ *
+ * Generates an exponential tree of tiny tasks via parallel_invoke — the
+ * stress test for spawn overhead, stack placement (every activation pushes
+ * a frame) and task-queue placement (every activation enqueues a child).
+ */
+
+#ifndef SPMRT_WORKLOADS_FIB_HPP
+#define SPMRT_WORKLOADS_FIB_HPP
+
+#include "parallel/patterns.hpp"
+
+namespace spmrt {
+namespace workloads {
+
+/** Host reference. */
+inline int64_t
+fibReference(int n)
+{
+    return n < 2 ? n : fibReference(n - 1) + fibReference(n - 2);
+}
+
+/**
+ * Dynamic fib(n), writing the result to simulated address @p out
+ * (Fig. 3c). Requires a dynamic context; fib has no static baseline.
+ */
+void fibKernel(TaskContext &tc, int n, Addr out);
+
+} // namespace workloads
+} // namespace spmrt
+
+#endif // SPMRT_WORKLOADS_FIB_HPP

@@ -1,0 +1,210 @@
+#include "workloads/pagerank.hpp"
+
+#include <cmath>
+
+namespace spmrt {
+namespace workloads {
+
+PageRankData
+pagerankSetup(Machine &machine, const HostGraph &graph)
+{
+    PageRankData data;
+    data.graph = SimGraph::upload(machine, graph);
+    const uint32_t num_vertices = graph.numVertices;
+    std::vector<float> initial(num_vertices,
+                               1.0f / static_cast<float>(num_vertices));
+    data.rank = uploadArray(machine, initial);
+    data.contrib = allocZeroArray<float>(machine, num_vertices);
+    data.sum = allocZeroArray<float>(machine, num_vertices);
+    data.newRank = allocZeroArray<float>(machine, num_vertices);
+    return data;
+}
+
+double
+pagerankIteration(TaskContext &tc, const PageRankData &data,
+                  std::array<Cycles, kPageRankKernels> *kernel_cycles)
+{
+    const SimGraph &graph = data.graph;
+    const uint32_t num_vertices = graph.numVertices;
+    Core &root = tc.core();
+    uint32_t kernel_index = 0;
+    Cycles phase_start = root.now();
+    auto mark = [&](uint32_t kernel) {
+        if (kernel_cycles != nullptr) {
+            (*kernel_cycles)[kernel] = root.now() - phase_start;
+            phase_start = root.now();
+        }
+        kernel_index = kernel + 1;
+        (void)kernel_index;
+    };
+
+    ForOptions env2;
+    env2.env.bytes = 24;
+    env2.env.wordsPerIter = 2;
+    ForOptions env3;
+    env3.env.bytes = 24;
+    env3.env.wordsPerIter = 3;
+    // K2's per-vertex cost is its in-degree: split fine so a heavy
+    // vertex's neighbors don't ride along in an unstealable leaf.
+    ForOptions env_pull = env3;
+    env_pull.grain = 4;
+
+    // K1: contrib[v] = rank[v] / out_degree(v).
+    parallelFor(
+        tc, 0, num_vertices,
+        [&data, &graph](TaskContext &btc, int64_t v) {
+            Core &core = btc.core();
+            Addr idx = static_cast<Addr>(v);
+            float rank = core.load<float>(data.rank + idx * 4);
+            uint32_t begin =
+                core.load<uint32_t>(graph.outOffsets + idx * 4);
+            uint32_t end =
+                core.load<uint32_t>(graph.outOffsets + idx * 4 + 4);
+            uint32_t degree = end - begin;
+            float contrib = degree > 0
+                                ? rank / static_cast<float>(degree)
+                                : 0.f;
+            core.tick(4, 2); // divide
+            core.store<float>(data.contrib + idx * 4, contrib);
+        },
+        env3);
+    mark(0);
+
+    // K2: sum[v] = sum over in-neighbors of contrib[u] — the nested loop
+    // whose trip count is the in-degree (load imbalance on skewed graphs).
+    parallelFor(
+        tc, 0, num_vertices,
+        [&data, &graph](TaskContext &btc, int64_t v) {
+            Core &core = btc.core();
+            Addr idx = static_cast<Addr>(v);
+            uint32_t begin =
+                core.load<uint32_t>(graph.inOffsets + idx * 4);
+            uint32_t end =
+                core.load<uint32_t>(graph.inOffsets + idx * 4 + 4);
+            float acc = 0.f;
+            for (uint32_t e = begin; e < end; ++e) {
+                uint32_t u = core.load<uint32_t>(graph.inTargets + e * 4);
+                acc += core.load<float>(data.contrib + u * 4);
+                core.tick(1, 2);
+            }
+            core.store<float>(data.sum + idx * 4, acc);
+        },
+        env_pull);
+    mark(1);
+
+    // K3: newRank[v] = (1 - d)/V + d * sum[v].
+    const float base = static_cast<float>((1.0 - data.damping) /
+                                          num_vertices);
+    const float damping = static_cast<float>(data.damping);
+    parallelFor(
+        tc, 0, num_vertices,
+        [&data, base, damping](TaskContext &btc, int64_t v) {
+            Core &core = btc.core();
+            Addr idx = static_cast<Addr>(v);
+            float sum = core.load<float>(data.sum + idx * 4);
+            core.tick(2, 2);
+            core.store<float>(data.newRank + idx * 4,
+                              base + damping * sum);
+        },
+        env2);
+    mark(2);
+
+    // K4: error = sum |newRank - rank| (parallel reduction).
+    double error = parallelReduce<double>(
+        tc, 0, num_vertices, 0.0,
+        [&data](TaskContext &btc, int64_t v) {
+            Core &core = btc.core();
+            Addr idx = static_cast<Addr>(v);
+            float next = core.load<float>(data.newRank + idx * 4);
+            float prev = core.load<float>(data.rank + idx * 4);
+            core.tick(2, 2);
+            return std::fabs(static_cast<double>(next) - prev);
+        },
+        [](double a, double b) { return a + b; }, env2);
+    mark(3);
+
+    // K5: rank[v] = newRank[v].
+    parallelFor(
+        tc, 0, num_vertices,
+        [&data](TaskContext &btc, int64_t v) {
+            Core &core = btc.core();
+            Addr idx = static_cast<Addr>(v);
+            float next = core.load<float>(data.newRank + idx * 4);
+            core.store<float>(data.rank + idx * 4, next);
+        },
+        env2);
+    mark(4);
+
+    // K6: reset the accumulators for the next iteration.
+    parallelFor(
+        tc, 0, num_vertices,
+        [&data](TaskContext &btc, int64_t v) {
+            Core &core = btc.core();
+            Addr idx = static_cast<Addr>(v);
+            core.store<float>(data.sum + idx * 4, 0.f);
+        },
+        env2);
+    mark(5);
+
+    return error;
+}
+
+void
+pagerankKernel(TaskContext &tc, const PageRankData &data,
+               uint32_t iterations)
+{
+    for (uint32_t i = 0; i < iterations; ++i)
+        (void)pagerankIteration(tc, data);
+}
+
+std::vector<double>
+pagerankReference(const HostGraph &graph, uint32_t iterations,
+                  double damping)
+{
+    const uint32_t num_vertices = graph.numVertices;
+    HostGraph reverse = graph.transpose();
+    std::vector<double> rank(num_vertices, 1.0 / num_vertices);
+    std::vector<double> contrib(num_vertices, 0.0);
+    for (uint32_t iter = 0; iter < iterations; ++iter) {
+        for (uint32_t v = 0; v < num_vertices; ++v) {
+            uint32_t degree = graph.degree(v);
+            // float division as in the kernel to track rounding closely
+            contrib[v] =
+                degree > 0
+                    ? static_cast<double>(static_cast<float>(
+                          static_cast<float>(rank[v]) / degree))
+                    : 0.0;
+        }
+        for (uint32_t v = 0; v < num_vertices; ++v) {
+            float acc = 0.f;
+            for (uint32_t e = reverse.offsets[v];
+                 e < reverse.offsets[v + 1]; ++e)
+                acc += static_cast<float>(contrib[reverse.targets[e]]);
+            rank[v] = static_cast<float>((1.0 - damping) / num_vertices +
+                                         damping * acc);
+        }
+    }
+    return rank;
+}
+
+bool
+pagerankVerify(Machine &machine, const PageRankData &data,
+               const HostGraph &graph, uint32_t iterations)
+{
+    std::vector<double> expected =
+        pagerankReference(graph, iterations, data.damping);
+    std::vector<float> actual = downloadArray<float>(
+        machine, data.rank, graph.numVertices);
+    for (uint32_t v = 0; v < graph.numVertices; ++v) {
+        if (std::fabs(expected[v] - actual[v]) >
+            1e-4 * (1.0 + std::fabs(expected[v]))) {
+            SPMRT_WARN("pagerank mismatch at %u: %f vs %f", v, expected[v],
+                       static_cast<double>(actual[v]));
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace workloads
+} // namespace spmrt

@@ -1,0 +1,113 @@
+#include "workloads/spm_transpose.hpp"
+
+#include <algorithm>
+
+namespace spmrt {
+namespace workloads {
+
+SpmTransposeData
+spmTransposeSetup(Machine &machine, const HostCsr &a)
+{
+    SpmTransposeData data;
+    data.in = SimCsr::upload(machine, a);
+    data.outRowPtr = allocZeroArray<uint32_t>(machine, a.cols + 1);
+    data.outColIdx = allocZeroArray<uint32_t>(machine, a.nnz());
+    data.outValues = allocZeroArray<float>(machine, a.nnz());
+    data.cursor = allocZeroArray<uint32_t>(machine, a.cols);
+    return data;
+}
+
+void
+spmTransposeKernel(TaskContext &tc, const SpmTransposeData &data)
+{
+    const SimCsr &in = data.in;
+    Core &root_core = tc.core();
+
+    // Phase 1: histogram column counts into outRowPtr[c + 1].
+    ForOptions opts;
+    opts.env.bytes = 16;
+    opts.env.wordsPerIter = 2;
+    parallelFor(
+        tc, 0, in.rows,
+        [&data, &in](TaskContext &btc, int64_t row) {
+            Core &core = btc.core();
+            Addr r = static_cast<Addr>(row);
+            uint32_t begin = core.load<uint32_t>(in.rowPtr + r * 4);
+            uint32_t end = core.load<uint32_t>(in.rowPtr + r * 4 + 4);
+            for (uint32_t e = begin; e < end; ++e) {
+                uint32_t col = core.load<uint32_t>(in.colIdx + e * 4);
+                core.amoAdd(data.outRowPtr + (col + 1) * 4, 1);
+                core.tick(1, 1);
+            }
+        },
+        opts);
+
+    // Phase 2: exclusive prefix sum over columns (serial on the root, as
+    // in typical single-loop implementations; O(cols) DRAM traffic).
+    uint32_t running = 0;
+    for (uint32_t c = 0; c < in.cols; ++c) {
+        uint32_t count =
+            root_core.load<uint32_t>(data.outRowPtr + (c + 1) * 4);
+        running += count;
+        root_core.store<uint32_t>(data.outRowPtr + (c + 1) * 4, running);
+        // Seed the scatter cursor with the row start.
+        root_core.store<uint32_t>(data.cursor + c * 4, running - count);
+        root_core.tick(1, 2);
+    }
+    root_core.fence();
+
+    // Phase 3: scatter entries, claiming slots with fetch-and-add.
+    parallelFor(
+        tc, 0, in.rows,
+        [&data, &in](TaskContext &btc, int64_t row) {
+            Core &core = btc.core();
+            Addr r = static_cast<Addr>(row);
+            uint32_t begin = core.load<uint32_t>(in.rowPtr + r * 4);
+            uint32_t end = core.load<uint32_t>(in.rowPtr + r * 4 + 4);
+            for (uint32_t e = begin; e < end; ++e) {
+                uint32_t col = core.load<uint32_t>(in.colIdx + e * 4);
+                float value = core.load<float>(in.values + e * 4);
+                uint32_t slot = core.amoAdd(data.cursor + col * 4, 1);
+                core.store<uint32_t>(data.outColIdx + slot * 4,
+                                     static_cast<uint32_t>(row));
+                core.store<float>(data.outValues + slot * 4, value);
+                core.tick(1, 1);
+            }
+        },
+        opts);
+}
+
+bool
+spmTransposeVerify(Machine &machine, const SpmTransposeData &data,
+                   const HostCsr &a)
+{
+    HostCsr expected = a.transposed();
+    auto row_ptr =
+        downloadArray<uint32_t>(machine, data.outRowPtr, a.cols + 1);
+    auto col_idx = downloadArray<uint32_t>(machine, data.outColIdx,
+                                           a.nnz());
+    auto values = downloadArray<float>(machine, data.outValues, a.nnz());
+
+    if (row_ptr != expected.rowPtr) {
+        SPMRT_WARN("transpose row pointers differ");
+        return false;
+    }
+    for (uint32_t r = 0; r < expected.rows; ++r) {
+        auto begin = expected.rowPtr[r], end = expected.rowPtr[r + 1];
+        std::vector<std::pair<uint32_t, float>> want, got;
+        for (uint32_t e = begin; e < end; ++e) {
+            want.emplace_back(expected.colIdx[e], expected.values[e]);
+            got.emplace_back(col_idx[e], values[e]);
+        }
+        std::sort(want.begin(), want.end());
+        std::sort(got.begin(), got.end());
+        if (want != got) {
+            SPMRT_WARN("transpose row %u content differs", r);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace workloads
+} // namespace spmrt

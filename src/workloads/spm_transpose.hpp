@@ -1,0 +1,44 @@
+/**
+ * @file
+ * SpMatrixTranspose: sparse matrix transpose (static-unbalanced).
+ *
+ * Three phases: (1) a parallel histogram of column counts using atomics,
+ * (2) an exclusive prefix sum over columns, (3) a parallel scatter that
+ * claims output slots with fetch-and-add. Columns of the transposed
+ * matrix receive their entries in a nondeterministic order, so the
+ * verifier compares per-row entry multisets.
+ */
+
+#ifndef SPMRT_WORKLOADS_SPM_TRANSPOSE_HPP
+#define SPMRT_WORKLOADS_SPM_TRANSPOSE_HPP
+
+#include "matrix/matrix.hpp"
+#include "parallel/patterns.hpp"
+
+namespace spmrt {
+namespace workloads {
+
+/** Problem instance in simulated memory. */
+struct SpmTransposeData
+{
+    SimCsr in;
+    Addr outRowPtr = kNullAddr; ///< uint32[cols + 1]
+    Addr outColIdx = kNullAddr; ///< uint32[nnz]
+    Addr outValues = kNullAddr; ///< float[nnz]
+    Addr cursor = kNullAddr;    ///< uint32[cols], scatter cursors
+};
+
+/** Upload the input and allocate the output arrays. */
+SpmTransposeData spmTransposeSetup(Machine &machine, const HostCsr &a);
+
+/** Transpose in.out-of-place; runs on both runtimes. */
+void spmTransposeKernel(TaskContext &tc, const SpmTransposeData &data);
+
+/** Check the transposed CSR matches the host reference (as multisets). */
+bool spmTransposeVerify(Machine &machine, const SpmTransposeData &data,
+                        const HostCsr &a);
+
+} // namespace workloads
+} // namespace spmrt
+
+#endif // SPMRT_WORKLOADS_SPM_TRANSPOSE_HPP

@@ -1,0 +1,77 @@
+#include "workloads/spmv.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace spmrt {
+namespace workloads {
+
+SpmvData
+spmvSetup(Machine &machine, const HostCsr &a, uint64_t seed)
+{
+    SpmvData data;
+    data.a = SimCsr::upload(machine, a);
+    Xoshiro256StarStar rng(seed);
+    std::vector<float> x(a.cols);
+    for (float &value : x)
+        value = static_cast<float>(rng.nextDouble() * 2.0 - 1.0);
+    data.x = uploadArray(machine, x);
+    data.y = allocZeroArray<float>(machine, a.rows);
+    return data;
+}
+
+std::vector<float>
+spmvInputVector(Machine &machine, const SpmvData &data)
+{
+    return downloadArray<float>(machine, data.x, data.a.cols);
+}
+
+void
+spmvKernel(TaskContext &tc, const SpmvData &data)
+{
+    const SimCsr &a = data.a;
+    ForOptions opts;
+    opts.env.bytes = 20; // rowPtr, colIdx, values, x, y pointers
+    opts.env.wordsPerIter = 3;
+    parallelFor(
+        tc, 0, a.rows,
+        [&data, &a](TaskContext &btc, int64_t row) {
+            Core &core = btc.core();
+            Addr r = static_cast<Addr>(row);
+            uint32_t begin = core.load<uint32_t>(a.rowPtr + r * 4);
+            uint32_t end = core.load<uint32_t>(a.rowPtr + r * 4 + 4);
+            float acc = 0.f;
+            for (uint32_t e = begin; e < end; ++e) {
+                uint32_t col = core.load<uint32_t>(a.colIdx + e * 4);
+                float value = core.load<float>(a.values + e * 4);
+                float xv = core.load<float>(data.x + col * 4);
+                acc += value * xv;
+                core.tick(1, 2); // MAC + loop bookkeeping
+            }
+            core.store<float>(data.y + r * 4, acc);
+        },
+        opts);
+}
+
+bool
+spmvVerify(Machine &machine, const SpmvData &data, const HostCsr &a,
+           const std::vector<float> &x)
+{
+    std::vector<float> expected = a.multiply(x);
+    std::vector<float> actual =
+        downloadArray<float>(machine, data.y, a.rows);
+    for (uint32_t r = 0; r < a.rows; ++r) {
+        if (std::fabs(expected[r] - actual[r]) >
+            1e-3f * (1.f + std::fabs(expected[r]))) {
+            SPMRT_WARN("spmv mismatch at row %u: %f vs %f", r,
+                       static_cast<double>(expected[r]),
+                       static_cast<double>(actual[r]));
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace workloads
+} // namespace spmrt

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * SpMV: sparse-matrix dense-vector multiplication (static-unbalanced).
+ *
+ * A single parallel loop over rows; row cost is the row's nnz, so skewed
+ * inputs produce load imbalance that a static schedule cannot absorb.
+ */
+
+#ifndef SPMRT_WORKLOADS_SPMV_HPP
+#define SPMRT_WORKLOADS_SPMV_HPP
+
+#include "matrix/matrix.hpp"
+#include "parallel/patterns.hpp"
+
+namespace spmrt {
+namespace workloads {
+
+/** Problem instance in simulated memory. */
+struct SpmvData
+{
+    SimCsr a;
+    Addr x = kNullAddr; ///< input vector (float[cols])
+    Addr y = kNullAddr; ///< output vector (float[rows])
+};
+
+/** Upload a matrix and a random input vector. */
+SpmvData spmvSetup(Machine &machine, const HostCsr &a, uint64_t seed);
+
+/** y = A * x via a flat parallel_for over rows. */
+void spmvKernel(TaskContext &tc, const SpmvData &data);
+
+/** Compare against the host reference. */
+bool spmvVerify(Machine &machine, const SpmvData &data, const HostCsr &a,
+                const std::vector<float> &x);
+
+/** Download the input vector used by setup (for verification). */
+std::vector<float> spmvInputVector(Machine &machine, const SpmvData &data);
+
+} // namespace workloads
+} // namespace spmrt
+
+#endif // SPMRT_WORKLOADS_SPMV_HPP

@@ -1,0 +1,109 @@
+#include "workloads/uts.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace spmrt {
+namespace workloads {
+
+uint32_t
+utsChildCount(const UtsParams &params, SplittableRng rng, uint32_t depth)
+{
+    if (params.shape == UtsParams::Shape::Geometric) {
+        if (depth >= params.maxDepth)
+            return 0;
+        // Geometric sample with mean geoBranch, from this node's stream.
+        double u = rng.nextDouble();
+        double q = params.geoBranch / (1.0 + params.geoBranch);
+        auto count = static_cast<uint32_t>(std::log(1.0 - u) /
+                                           std::log(q));
+        return count;
+    }
+    // Binomial shape: the root fans out rootBranch ways; every other
+    // node has binomialM children with probability binomialQ.
+    if (depth == 0)
+        return params.rootBranch;
+    if (depth >= params.binomialDepthCap)
+        return 0;
+    return rng.nextDouble() < params.binomialQ ? params.binomialM : 0;
+}
+
+UtsData
+utsSetup(Machine &machine, const UtsParams &params)
+{
+    UtsData data;
+    data.params = params;
+    data.countCells = allocZeroArray<uint8_t>(
+        machine,
+        static_cast<uint64_t>(machine.numCores()) * data.cellStride);
+    return data;
+}
+
+namespace {
+
+void
+utsNode(TaskContext &tc, const UtsData &data, SplittableRng rng,
+        uint32_t depth)
+{
+    Core &core = tc.core();
+    core.amoAdd(data.countCells + core.id() * data.cellStride, 1);
+    // Hashing the node's descriptor (the original does a SHA-1 round).
+    core.tick(12, 10);
+    uint32_t children = utsChildCount(data.params, rng, depth);
+    if (children == 0)
+        return;
+    ForOptions opts;
+    opts.grain = 1;
+    opts.env.bytes = 16;
+    opts.env.wordsPerIter = 1;
+    parallelFor(
+        tc, 0, children,
+        [&data, rng, depth](TaskContext &btc, int64_t child) {
+            utsNode(btc, data, rng.split(static_cast<uint64_t>(child)),
+                    depth + 1);
+        },
+        opts);
+}
+
+} // namespace
+
+void
+utsKernel(TaskContext &tc, const UtsData &data)
+{
+    utsNode(tc, data, SplittableRng(data.params.rootSeed), 0);
+}
+
+uint64_t
+utsResult(Machine &machine, const UtsData &data)
+{
+    uint64_t total = 0;
+    for (CoreId i = 0; i < machine.numCores(); ++i)
+        total += machine.mem().peekAs<uint32_t>(data.countCells +
+                                                i * data.cellStride);
+    return total;
+}
+
+uint64_t
+utsReference(const UtsParams &params)
+{
+    struct Frame
+    {
+        SplittableRng rng;
+        uint32_t depth;
+    };
+    std::vector<Frame> stack{{SplittableRng(params.rootSeed), 0}};
+    uint64_t count = 0;
+    while (!stack.empty()) {
+        Frame node = stack.back();
+        stack.pop_back();
+        ++count;
+        uint32_t children = utsChildCount(params, node.rng, node.depth);
+        for (uint32_t c = 0; c < children; ++c)
+            stack.push_back(
+                {node.rng.split(c), node.depth + 1});
+    }
+    return count;
+}
+
+} // namespace workloads
+} // namespace spmrt

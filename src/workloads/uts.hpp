@@ -1,0 +1,98 @@
+/**
+ * @file
+ * UTS: the Unbalanced Tree Search benchmark (dynamic-unbalanced),
+ * following Olivier et al. [LCPC'06].
+ *
+ * Each tree node owns a splittable counter-based RNG (standing in for the
+ * SHA-1 stream of the original); a node's child count is drawn from its
+ * stream, so the tree's shape is a pure function of the root seed and is
+ * identical no matter how execution is scheduled. Two shapes are
+ * provided:
+ *  - geometric ("t1-like"): child count geometric with depth-bounded
+ *    branching — bushy with moderate imbalance;
+ *  - binomial ("t3-like"): m children with probability q else none —
+ *    extreme imbalance with long chains.
+ */
+
+#ifndef SPMRT_WORKLOADS_UTS_HPP
+#define SPMRT_WORKLOADS_UTS_HPP
+
+#include "common/rng.hpp"
+#include "graph/csr.hpp" // sim array helpers
+#include "parallel/patterns.hpp"
+
+namespace spmrt {
+namespace workloads {
+
+/** Tree-shape parameters. */
+struct UtsParams
+{
+    enum class Shape
+    {
+        Geometric,
+        Binomial
+    };
+
+    Shape shape = Shape::Geometric;
+    uint64_t rootSeed = 42;
+    uint32_t rootBranch = 4;   ///< children of the root
+    double geoBranch = 3.0;    ///< expected branching (geometric)
+    uint32_t maxDepth = 10;    ///< cutoff depth (geometric)
+    uint32_t binomialM = 4;    ///< children on a "success" (binomial)
+    double binomialQ = 0.2;    ///< success probability (binomial)
+    uint32_t binomialDepthCap = 64; ///< hard safety cutoff
+
+    /** A t1-like geometric instance. */
+    static UtsParams
+    geometric(uint32_t max_depth, double branch, uint64_t seed)
+    {
+        UtsParams params;
+        params.shape = Shape::Geometric;
+        params.maxDepth = max_depth;
+        params.geoBranch = branch;
+        params.rootSeed = seed;
+        return params;
+    }
+
+    /** A t3-like binomial instance. */
+    static UtsParams
+    binomial(uint32_t root_branch, uint32_t m, double q, uint64_t seed)
+    {
+        UtsParams params;
+        params.shape = Shape::Binomial;
+        params.rootBranch = root_branch;
+        params.binomialM = m;
+        params.binomialQ = q;
+        params.rootSeed = seed;
+        return params;
+    }
+};
+
+/** Problem instance in simulated memory. */
+struct UtsData
+{
+    UtsParams params;
+    Addr countCells = kNullAddr; ///< uint32[numCores], striped counters
+    uint32_t cellStride = 64;
+};
+
+/** Number of children of a node with RNG @p rng at @p depth. */
+uint32_t utsChildCount(const UtsParams &params, SplittableRng rng,
+                       uint32_t depth);
+
+/** Allocate the striped node counters. */
+UtsData utsSetup(Machine &machine, const UtsParams &params);
+
+/** Traverse the whole tree, counting nodes (dynamic contexts only). */
+void utsKernel(TaskContext &tc, const UtsData &data);
+
+/** Sum the striped counters. */
+uint64_t utsResult(Machine &machine, const UtsData &data);
+
+/** Host reference: sequential traversal node count. */
+uint64_t utsReference(const UtsParams &params);
+
+} // namespace workloads
+} // namespace spmrt
+
+#endif // SPMRT_WORKLOADS_UTS_HPP

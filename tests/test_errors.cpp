@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Negative-path tests: guard rails that must panic (death tests) and
+ * less-travelled API semantics (all AMO operations, bulk-access edge
+ * cases, address-map bounds).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/alloc.hpp"
+#include "sim/machine.hpp"
+#include "spm/layout.hpp"
+#include "spm/stack.hpp"
+
+namespace spmrt {
+namespace {
+
+using DeathTest = ::testing::Test;
+
+TEST(ErrorsDeathTest, UnmappedAddressPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Machine machine(MachineConfig::tiny());
+    EXPECT_DEATH(machine.mem().peekAs<uint32_t>(0x0000'1234),
+                 "unmapped address");
+}
+
+TEST(ErrorsDeathTest, SpmOutOfBoundsPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    MachineConfig cfg = MachineConfig::tiny();
+    Machine machine(cfg);
+    Addr past_end = machine.mem().map().spmBase(0) + cfg.spmBytes - 2;
+    EXPECT_DEATH(machine.mem().peekAs<uint32_t>(past_end),
+                 "past implemented");
+}
+
+TEST(ErrorsDeathTest, DoubleFreePanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    RangeAllocator heap(0x1000, 4096);
+    Addr block = heap.alloc(64, 8);
+    heap.release(block);
+    EXPECT_DEATH(heap.release(block), "unallocated");
+}
+
+TEST(ErrorsDeathTest, FreeOfUnknownAddressPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    RangeAllocator heap(0x1000, 4096);
+    EXPECT_DEATH(heap.release(0x1008), "unallocated");
+}
+
+TEST(ErrorsDeathTest, StackPopOfEmptyPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Machine machine(MachineConfig::tiny());
+    Addr buf = machine.dramAlloc(4096);
+    StackConfig cfg;
+    cfg.spmLow = machine.mem().map().spmBase(0);
+    cfg.spmTop = cfg.spmLow + 256;
+    cfg.dramBase = buf;
+    cfg.dramBytes = 4096;
+    machine.run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        StackModel stack(core, cfg);
+        EXPECT_DEATH(stack.pop(), "pop of empty");
+    });
+}
+
+TEST(ErrorsDeathTest, OversizedSpmLayoutIsFatal)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    MachineConfig cfg = MachineConfig::tiny();
+    EXPECT_DEATH(SpmLayout(cfg, 4096, 512), "overflows");
+}
+
+TEST(ErrorsDeathTest, UnalignedAmoPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Machine machine(MachineConfig::tiny());
+    Addr dram = machine.dramAlloc(16);
+    machine.run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        EXPECT_DEATH(core.amoAdd(dram + 2, 1), "unaligned AMO");
+    });
+}
+
+// ---- AMO semantics -----------------------------------------------------------
+
+TEST(AmoSemantics, AllOperationsComputeCorrectly)
+{
+    Machine machine(MachineConfig::tiny());
+    Addr cell = machine.dramAlloc(4);
+    machine.run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        auto reset = [&](uint32_t value) {
+            core.store<uint32_t>(cell, value);
+        };
+
+        reset(10);
+        EXPECT_EQ(core.amo(cell, AmoOp::Add, 5), 10u);
+        EXPECT_EQ(core.load<uint32_t>(cell), 15u);
+
+        reset(0xf0);
+        EXPECT_EQ(core.amo(cell, AmoOp::Or, 0x0f), 0xf0u);
+        EXPECT_EQ(core.load<uint32_t>(cell), 0xffu);
+
+        reset(0xff);
+        EXPECT_EQ(core.amo(cell, AmoOp::And, 0x0f), 0xffu);
+        EXPECT_EQ(core.load<uint32_t>(cell), 0x0fu);
+
+        reset(7);
+        EXPECT_EQ(core.amo(cell, AmoOp::Max, 3), 7u);
+        EXPECT_EQ(core.load<uint32_t>(cell), 7u);
+        EXPECT_EQ(core.amo(cell, AmoOp::Max, 11), 7u);
+        EXPECT_EQ(core.load<uint32_t>(cell), 11u);
+
+        reset(7);
+        EXPECT_EQ(core.amo(cell, AmoOp::Min, 3), 7u);
+        EXPECT_EQ(core.load<uint32_t>(cell), 3u);
+
+        // Min/Max are signed (RV32 amomin/amomax).
+        reset(static_cast<uint32_t>(-5));
+        EXPECT_EQ(core.amo(cell, AmoOp::Max, 2),
+                  static_cast<uint32_t>(-5));
+        EXPECT_EQ(core.load<uint32_t>(cell), 2u);
+
+        reset(3);
+        EXPECT_EQ(core.amo(cell, AmoOp::Swap, 99), 3u);
+        EXPECT_EQ(core.load<uint32_t>(cell), 99u);
+    });
+}
+
+TEST(AmoSemantics, AddWrapsModulo32Bits)
+{
+    Machine machine(MachineConfig::tiny());
+    Addr cell = machine.dramAlloc(4);
+    machine.mem().pokeAs<uint32_t>(cell, 0xffffffffu);
+    machine.run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        EXPECT_EQ(core.amoAdd(cell, 2), 0xffffffffu);
+        EXPECT_EQ(core.load<uint32_t>(cell), 1u);
+        // Negative delta == subtraction (the runtime's rc decrement).
+        EXPECT_EQ(core.amoAdd(cell, -1), 1u);
+        EXPECT_EQ(core.load<uint32_t>(cell), 0u);
+    });
+}
+
+// ---- bulk access edge cases -----------------------------------------------------
+
+TEST(BulkAccess, UnalignedSpansAcrossLineBoundaries)
+{
+    Machine machine(MachineConfig::tiny());
+    Addr dram = machine.dramAlloc(512, 64);
+    std::vector<uint8_t> pattern(200);
+    for (size_t i = 0; i < pattern.size(); ++i)
+        pattern[i] = static_cast<uint8_t>(i ^ 0x5a);
+    machine.run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        // Start 13 bytes into a line so chunks straddle boundaries.
+        core.write(dram + 13, pattern.data(), pattern.size());
+        std::vector<uint8_t> readback(pattern.size());
+        core.read(dram + 13, readback.data(), readback.size());
+        EXPECT_EQ(readback, pattern);
+    });
+}
+
+TEST(BulkAccess, SpmToSpmCopyStaysLocal)
+{
+    Machine machine(MachineConfig::tiny());
+    machine.run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        uint64_t before = machine.mem().stats().dramLoads;
+        uint8_t buffer[64] = {1, 2, 3};
+        core.write(core.spmBase(), buffer, sizeof(buffer));
+        core.read(core.spmBase(), buffer, sizeof(buffer));
+        EXPECT_EQ(machine.mem().stats().dramLoads, before);
+    });
+}
+
+} // namespace
+} // namespace spmrt

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the Ligra-style layer: vertex subsets, vertexMap/Filter,
+ * and direction-optimized edgeMap — culminating in a full BFS written in
+ * Ligra style and checked against the host reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/ligra.hpp"
+#include "workloads/bfs.hpp" // bfsReference + kBfsUnreached
+
+namespace spmrt {
+namespace {
+
+using namespace spmrt::ligra;
+
+TEST(VertexSubsetTest, AllocateAddCount)
+{
+    Machine machine(MachineConfig::tiny());
+    VertexSubset subset = VertexSubset::allocate(machine, 50);
+    EXPECT_EQ(subset.sizeUntimed(machine), 0u);
+    subset.addUntimed(machine, 3);
+    subset.addUntimed(machine, 49);
+    subset.addUntimed(machine, 3); // idempotent
+    EXPECT_EQ(subset.sizeUntimed(machine), 2u);
+}
+
+TEST(VertexMapTest, VisitsExactlyTheMembers)
+{
+    Machine machine(MachineConfig::tiny());
+    VertexSubset subset = VertexSubset::allocate(machine, 100);
+    for (uint32_t v = 0; v < 100; v += 7)
+        subset.addUntimed(machine, v);
+    Addr hits = allocZeroArray<uint32_t>(machine, 100);
+
+    WorkStealingRuntime rt(machine, RuntimeConfig::full());
+    rt.run([&](TaskContext &tc) {
+        vertexMap(tc, subset, [&](TaskContext &btc, uint32_t v) {
+            btc.core().amoAdd(hits + v * 4, 1);
+        });
+    });
+    auto counts = downloadArray<uint32_t>(machine, hits, 100);
+    for (uint32_t v = 0; v < 100; ++v)
+        EXPECT_EQ(counts[v], v % 7 == 0 ? 1u : 0u) << "vertex " << v;
+}
+
+TEST(VertexFilterTest, SelectsByPredicate)
+{
+    Machine machine(MachineConfig::tiny());
+    VertexSubset evens = VertexSubset::allocate(machine, 64);
+    WorkStealingRuntime rt(machine, RuntimeConfig::full());
+    rt.run([&](TaskContext &tc) {
+        vertexFilter(tc, evens, [](TaskContext &btc, uint32_t v) {
+            btc.core().tick(1);
+            return v % 2 == 0;
+        });
+    });
+    EXPECT_EQ(evens.sizeUntimed(machine), 32u);
+}
+
+TEST(EdgeMapTest, PushReachesOutNeighborsOnce)
+{
+    // Star graph: 0 -> {1..9}. A sparse frontier {0} must add 1..9 to
+    // the output exactly once each.
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    for (uint32_t w = 1; w < 10; ++w)
+        edges.emplace_back(0, w);
+    HostGraph graph = HostGraph::fromEdges(10, edges);
+
+    Machine machine(MachineConfig::tiny());
+    SimGraph sim = SimGraph::upload(machine, graph);
+    VertexSubset frontier = VertexSubset::allocate(machine, 10);
+    frontier.addUntimed(machine, 0);
+    VertexSubset out = VertexSubset::allocate(machine, 10);
+    Addr visited = allocZeroArray<uint32_t>(machine, 10);
+    machine.mem().pokeAs<uint32_t>(visited, 1);
+
+    WorkStealingRuntime rt(machine, RuntimeConfig::full());
+    rt.run([&](TaskContext &tc) {
+        EdgeMapFns fns;
+        fns.update = [&](TaskContext &btc, uint32_t, uint32_t dst) {
+            return btc.core().amo(visited + dst * 4, AmoOp::Swap, 1) ==
+                   0;
+        };
+        uint32_t census = edgeMap(tc, sim, frontier, out,
+                                  /*frontier_edges=*/1, fns);
+        // 9 leaves, each with out-degree 0: census = 9 * (1 + 0).
+        EXPECT_EQ(census, 9u);
+    });
+    EXPECT_EQ(out.sizeUntimed(machine), 9u);
+    EXPECT_FALSE(
+        machine.mem().peekAs<uint32_t>(out.flags) != 0);
+}
+
+TEST(EdgeMapTest, CondPrunesDestinations)
+{
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    for (uint32_t w = 1; w < 8; ++w)
+        edges.emplace_back(0, w);
+    HostGraph graph = HostGraph::fromEdges(8, edges);
+
+    Machine machine(MachineConfig::tiny());
+    SimGraph sim = SimGraph::upload(machine, graph);
+    VertexSubset frontier = VertexSubset::allocate(machine, 8);
+    frontier.addUntimed(machine, 0);
+    VertexSubset out = VertexSubset::allocate(machine, 8);
+
+    WorkStealingRuntime rt(machine, RuntimeConfig::full());
+    rt.run([&](TaskContext &tc) {
+        EdgeMapFns fns;
+        fns.update = [](TaskContext &, uint32_t, uint32_t) {
+            return true;
+        };
+        fns.cond = [](TaskContext &btc, uint32_t dst) {
+            btc.core().tick(1);
+            return dst >= 4; // only the upper half may be updated
+        };
+        edgeMap(tc, sim, frontier, out, 1, fns);
+    });
+    EXPECT_EQ(out.sizeUntimed(machine), 4u);
+}
+
+/** Full Ligra-style BFS, exercising push->pull->push transitions. */
+std::vector<uint32_t>
+ligraBfs(Machine &machine, const HostGraph &graph, uint32_t source)
+{
+    SimGraph sim = SimGraph::upload(machine, graph);
+    Addr dist = allocZeroArray<uint32_t>(machine, graph.numVertices);
+    for (uint32_t v = 0; v < graph.numVertices; ++v)
+        machine.mem().pokeAs<uint32_t>(dist + v * 4,
+                                       v == source ? 0
+                                                   : workloads::
+                                                         kBfsUnreached);
+    VertexSubset frontier =
+        VertexSubset::allocate(machine, graph.numVertices);
+    frontier.addUntimed(machine, source);
+    VertexSubset next = VertexSubset::allocate(machine, graph.numVertices);
+
+    WorkStealingRuntime rt(machine, RuntimeConfig::full());
+    rt.run([&](TaskContext &tc) {
+        uint32_t census = 1 + graph.degree(source);
+        uint32_t level = 0;
+        while (census > 0) {
+            ++level;
+            EdgeMapFns fns;
+            fns.update = [&dist, level](TaskContext &btc, uint32_t,
+                                        uint32_t dst) {
+                // Atomic claim: exactly one parent wins.
+                return btc.core().amo(dist + dst * 4, AmoOp::Min,
+                                      level) ==
+                       workloads::kBfsUnreached;
+            };
+            fns.updateNoAtomic = [&dist, level](TaskContext &btc,
+                                                uint32_t, uint32_t dst) {
+                btc.core().store<uint32_t>(dist + dst * 4, level);
+                return true;
+            };
+            fns.cond = [&dist](TaskContext &btc, uint32_t dst) {
+                return btc.core().load<uint32_t>(dist + dst * 4) ==
+                       workloads::kBfsUnreached;
+            };
+            census = edgeMap(tc, sim, frontier, next, census, fns);
+            clearSubset(tc, frontier);
+            std::swap(frontier, next);
+        }
+    });
+    return downloadArray<uint32_t>(machine, dist, graph.numVertices);
+}
+
+TEST(LigraBfsTest, MatchesReferenceOnRandomGraph)
+{
+    HostGraph graph = genUniformRandom(600, 10, 77);
+    Machine machine(MachineConfig::tiny());
+    std::vector<uint32_t> actual = ligraBfs(machine, graph, 0);
+    std::vector<uint32_t> expected = workloads::bfsReference(graph, 0);
+    EXPECT_EQ(actual, expected);
+}
+
+TEST(LigraBfsTest, MatchesReferenceOnSkewedGraph)
+{
+    HostGraph graph = genPowerLaw(500, 8, 0.8, 78);
+    Machine machine(MachineConfig::tiny());
+    std::vector<uint32_t> actual = ligraBfs(machine, graph, 0);
+    std::vector<uint32_t> expected = workloads::bfsReference(graph, 0);
+    EXPECT_EQ(actual, expected);
+}
+
+TEST(LigraBfsTest, DisconnectedVerticesStayUnreached)
+{
+    // A path 0-1-2 plus two isolated vertices.
+    HostGraph graph = HostGraph::fromEdges(5, {{0, 1}, {1, 2}});
+    Machine machine(MachineConfig::tiny());
+    std::vector<uint32_t> actual = ligraBfs(machine, graph, 0);
+    EXPECT_EQ(actual[0], 0u);
+    EXPECT_EQ(actual[1], 1u);
+    EXPECT_EQ(actual[2], 2u);
+    EXPECT_EQ(actual[3], workloads::kBfsUnreached);
+    EXPECT_EQ(actual[4], workloads::kBfsUnreached);
+}
+
+} // namespace
+} // namespace spmrt

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Unit tests for the memory subsystem: address map, allocator, NoC
+ * contention, LLC behaviour, DRAM bandwidth server.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/address_map.hpp"
+#include "mem/alloc.hpp"
+#include "mem/dram.hpp"
+#include "mem/llc.hpp"
+#include "mem/noc.hpp"
+#include "sim/machine.hpp"
+
+namespace spmrt {
+namespace {
+
+TEST(AddressMap, DecodesSpmOwnership)
+{
+    MachineConfig cfg = MachineConfig::tiny();
+    AddressMap map(cfg);
+    for (CoreId id = 0; id < cfg.numCores(); ++id) {
+        DecodedAddr d = map.decode(map.spmBase(id) + 16, 4);
+        EXPECT_EQ(d.region, MemRegion::Spm);
+        EXPECT_EQ(d.owner, id);
+        EXPECT_EQ(d.offset, 16u);
+    }
+}
+
+TEST(AddressMap, DecodesDram)
+{
+    MachineConfig cfg = MachineConfig::tiny();
+    AddressMap map(cfg);
+    DecodedAddr d = map.decode(AddressMap::kDramBase + 4096, 8);
+    EXPECT_EQ(d.region, MemRegion::Dram);
+    EXPECT_EQ(d.offset, 4096u);
+}
+
+TEST(AddressMap, SpmWindowsDisjoint)
+{
+    MachineConfig cfg = MachineConfig::tiny();
+    AddressMap map(cfg);
+    EXPECT_GE(map.spmBase(1), map.spmBase(0) + cfg.spmBytes);
+}
+
+TEST(RangeAllocator, AllocatesAligned)
+{
+    RangeAllocator heap(0x1000, 4096);
+    Addr a = heap.alloc(100, 64);
+    EXPECT_NE(a, kNullAddr);
+    EXPECT_EQ(a % 64, 0u);
+    Addr b = heap.alloc(100, 64);
+    EXPECT_NE(b, kNullAddr);
+    EXPECT_NE(a, b);
+}
+
+TEST(RangeAllocator, ExhaustsAndRecovers)
+{
+    RangeAllocator heap(0x1000, 1024);
+    Addr a = heap.alloc(1024, 8);
+    EXPECT_NE(a, kNullAddr);
+    EXPECT_EQ(heap.alloc(8, 8), kNullAddr);
+    heap.release(a);
+    EXPECT_EQ(heap.bytesInUse(), 0u);
+    EXPECT_NE(heap.alloc(1024, 8), kNullAddr);
+}
+
+TEST(RangeAllocator, CoalescesFreedNeighbours)
+{
+    RangeAllocator heap(0x1000, 3 * 64);
+    Addr a = heap.alloc(64, 8);
+    Addr b = heap.alloc(64, 8);
+    Addr c = heap.alloc(64, 8);
+    ASSERT_NE(c, kNullAddr);
+    heap.release(a);
+    heap.release(c);
+    heap.release(b); // middle block must merge with both neighbours
+    EXPECT_NE(heap.alloc(3 * 64, 8), kNullAddr);
+}
+
+TEST(RangeAllocator, TracksUsage)
+{
+    RangeAllocator heap(0x100, 4096);
+    EXPECT_EQ(heap.bytesInUse(), 0u);
+    Addr a = heap.alloc(128, 8);
+    EXPECT_EQ(heap.bytesInUse(), 128u);
+    EXPECT_EQ(heap.liveBlockCount(), 1u);
+    heap.release(a);
+    EXPECT_EQ(heap.bytesInUse(), 0u);
+    EXPECT_EQ(heap.liveBlockCount(), 0u);
+}
+
+TEST(Noc, LatencyGrowsWithDistance)
+{
+    MachineConfig cfg; // full 16x8 machine
+    MeshNoc noc(cfg);
+    NocEndpoint origin = noc.coreEndpoint(0);
+    Cycles near = noc.traverse(origin, noc.coreEndpoint(1), 0, 4);
+    noc.reset();
+    Cycles far = noc.traverse(
+        origin, noc.coreEndpoint(cfg.numCores() - 1), 0, 4);
+    EXPECT_GT(far, near);
+}
+
+TEST(Noc, ZeroDistanceCostsSerializationOnly)
+{
+    MachineConfig cfg = MachineConfig::tiny();
+    MeshNoc noc(cfg);
+    NocEndpoint self = noc.coreEndpoint(0);
+    Cycles t = noc.traverse(self, self, 100, 4);
+    // No hops: just tail serialization of the payload flit.
+    EXPECT_LE(t, 102u);
+}
+
+TEST(Noc, ContentionDelaysLaterPackets)
+{
+    MachineConfig cfg = MachineConfig::tiny();
+    MeshNoc noc(cfg);
+    NocEndpoint src = noc.coreEndpoint(0);
+    NocEndpoint dst = noc.coreEndpoint(3);
+    Cycles first = noc.traverse(src, dst, 0, 4);
+    Cycles second = noc.traverse(src, dst, 0, 4);
+    EXPECT_GT(second, first) << "same-cycle packets must queue on links";
+}
+
+TEST(Noc, RucheShortensLongStraights)
+{
+    MachineConfig with_ruche;
+    with_ruche.rucheX = 3;
+    MachineConfig no_ruche = with_ruche;
+    no_ruche.rucheX = 0;
+
+    MeshNoc fast(with_ruche), slow(no_ruche);
+    NocEndpoint a = fast.coreEndpoint(0);
+    NocEndpoint b = fast.coreEndpoint(15); // 15 columns east
+    EXPECT_LT(fast.traverse(a, b, 0, 4), slow.traverse(a, b, 0, 4));
+}
+
+TEST(Noc, BankEndpointsOnEdgeRows)
+{
+    MachineConfig cfg;
+    MeshNoc noc(cfg);
+    NocEndpoint top = noc.bankEndpoint(0);
+    NocEndpoint bottom = noc.bankEndpoint(cfg.llcBanks - 1);
+    EXPECT_EQ(top.y, -1);
+    EXPECT_EQ(bottom.y, static_cast<int32_t>(cfg.meshRows));
+}
+
+TEST(Llc, HitsAfterFill)
+{
+    MachineConfig cfg = MachineConfig::tiny();
+    DramModel dram(cfg);
+    LlcModel llc(cfg, dram);
+    Cycles miss = llc.access(0, 0, 4, false);
+    Cycles hit = llc.access(0, 0, 4, false);
+    EXPECT_EQ(llc.misses(), 1u);
+    EXPECT_EQ(llc.hits(), 1u);
+    EXPECT_LT(hit, miss);
+}
+
+TEST(Llc, DistinctLinesMissSeparately)
+{
+    MachineConfig cfg = MachineConfig::tiny();
+    DramModel dram(cfg);
+    LlcModel llc(cfg, dram);
+    llc.access(0, 0, 4, false);
+    llc.access(0, cfg.llcLineBytes * cfg.llcBanks * cfg.llcSetsPerBank, 4,
+               false); // same set, different tag
+    EXPECT_EQ(llc.misses(), 2u);
+}
+
+TEST(Llc, EvictsLruAndWritesBackDirty)
+{
+    MachineConfig cfg = MachineConfig::tiny();
+    cfg.llcWays = 2;
+    cfg.llcSetsPerBank = 1;
+    cfg.llcBanks = 2;
+    DramModel dram(cfg);
+    LlcModel llc(cfg, dram);
+    uint64_t set_stride =
+        static_cast<uint64_t>(cfg.llcLineBytes) * cfg.llcBanks;
+
+    llc.access(0, 0 * set_stride, 4, true);  // dirty A
+    llc.access(0, 1 * set_stride, 4, false); // B
+    llc.access(0, 2 * set_stride, 4, false); // evicts dirty A
+    EXPECT_EQ(llc.writebacks(), 1u);
+
+    llc.access(0, 0 * set_stride, 4, false); // A misses again
+    EXPECT_EQ(llc.misses(), 4u);
+}
+
+TEST(Dram, BandwidthServerQueues)
+{
+    MachineConfig cfg;
+    DramModel dram(cfg);
+    Cycles first = dram.access(0, 0, 64);
+    Cycles second = dram.access(0, 64, 64);
+    EXPECT_GT(second, first) << "simultaneous transfers must serialize";
+    EXPECT_EQ(dram.bytesMoved(), 128u);
+}
+
+TEST(Dram, LatencyDominatesSmallTransfers)
+{
+    MachineConfig cfg;
+    DramModel dram(cfg);
+    Cycles done = dram.access(0, 0, 4);
+    EXPECT_GE(done, cfg.dramLatency);
+}
+
+TEST(MemorySystem, PokePeekRoundTrip)
+{
+    Machine machine(MachineConfig::tiny());
+    auto &mem = machine.mem();
+    Addr dram = machine.dramAlloc(16);
+    mem.pokeAs<uint64_t>(dram, 0x0123456789abcdefull);
+    EXPECT_EQ(mem.peekAs<uint64_t>(dram), 0x0123456789abcdefull);
+
+    Addr spm = mem.map().spmBase(3) + 8;
+    mem.pokeAs<uint32_t>(spm, 0xa5a5a5a5u);
+    EXPECT_EQ(mem.peekAs<uint32_t>(spm), 0xa5a5a5a5u);
+}
+
+TEST(MemorySystem, CountsAccessKinds)
+{
+    Machine machine(MachineConfig::tiny());
+    Addr dram = machine.dramAlloc(8);
+    Addr remote = machine.mem().map().spmBase(1);
+    machine.run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        (void)core.load<uint32_t>(core.spmBase());
+        core.store<uint32_t>(core.spmBase(), 1);
+        (void)core.load<uint32_t>(remote);
+        core.store<uint32_t>(remote, 2);
+        (void)core.load<uint32_t>(dram);
+        core.store<uint32_t>(dram, 3);
+    });
+    const MemStats &stats = machine.mem().stats();
+    EXPECT_EQ(stats.localSpmLoads, 1u);
+    EXPECT_EQ(stats.localSpmStores, 1u);
+    EXPECT_EQ(stats.remoteSpmLoads, 1u);
+    EXPECT_EQ(stats.remoteSpmStores, 1u);
+    EXPECT_EQ(stats.dramLoads, 1u);
+    EXPECT_EQ(stats.dramStores, 1u);
+}
+
+TEST(MemorySystem, RemoteLatencyGradientMatchesFig5)
+{
+    // Every core loads from core 0's SPM; farther cores must observe
+    // latency no better than much closer cores on the same column path.
+    MachineConfig cfg = MachineConfig::small(); // 8x4
+    Machine machine(cfg);
+    Addr hot = machine.mem().map().spmBase(0);
+    std::vector<Cycles> latency(cfg.numCores(), 0);
+    machine.run([&](Core &core) {
+        // Everyone fires at t=0 to create the hot spot.
+        Cycles t0 = core.now();
+        (void)core.load<uint32_t>(hot);
+        latency[core.id()] = core.now() - t0;
+    });
+    // Core 0 itself is fastest; the far corner is slower than a neighbour.
+    CoreId corner = cfg.numCores() - 1;
+    EXPECT_LT(latency[0], latency[1]);
+    EXPECT_GT(latency[corner], latency[1]);
+}
+
+} // namespace
+} // namespace spmrt

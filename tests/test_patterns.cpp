@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Tests for the templated parallel patterns on both runtimes, including
+ * the fib example from the paper and read-only-duplication behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "parallel/patterns.hpp"
+
+namespace spmrt {
+namespace {
+
+/** Run a root function under the work-stealing runtime. */
+Cycles
+runDynamic(Machine &machine, const RuntimeConfig &cfg,
+           const std::function<void(TaskContext &)> &fn)
+{
+    WorkStealingRuntime rt(machine, cfg);
+    return rt.run(fn);
+}
+
+/** Run a root function under the static runtime. */
+Cycles
+runStatic(Machine &machine, const RuntimeConfig &cfg,
+          const std::function<void(TaskContext &)> &fn)
+{
+    StaticRuntime rt(machine, cfg);
+    return rt.run(fn);
+}
+
+// ---- parallel_for --------------------------------------------------------
+
+class ParallelForBothRuntimes : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(ParallelForBothRuntimes, TouchesEveryIndexOnce)
+{
+    const bool dynamic = GetParam();
+    Machine machine(MachineConfig::tiny());
+    constexpr int64_t kN = 777;
+    Addr hits = machine.dramAllocArray<uint32_t>(kN);
+    for (int64_t i = 0; i < kN; ++i)
+        machine.mem().pokeAs<uint32_t>(hits + i * 4, 0);
+
+    auto root = [&](TaskContext &tc) {
+        parallelFor(tc, 0, kN, [&](TaskContext &btc, int64_t i) {
+            btc.core().amoAdd(hits + static_cast<Addr>(i) * 4, 1);
+        });
+    };
+    if (dynamic)
+        runDynamic(machine, RuntimeConfig::full(), root);
+    else
+        runStatic(machine, RuntimeConfig::full(), root);
+
+    for (int64_t i = 0; i < kN; ++i)
+        EXPECT_EQ(machine.mem().peekAs<uint32_t>(hits + i * 4), 1u)
+            << "index " << i;
+}
+
+TEST_P(ParallelForBothRuntimes, EmptyAndSingletonRanges)
+{
+    const bool dynamic = GetParam();
+    Machine machine(MachineConfig::tiny());
+    int hits = 0;
+    auto root = [&](TaskContext &tc) {
+        parallelFor(tc, 10, 10, [&](TaskContext &, int64_t) { ++hits; });
+        parallelFor(tc, 10, 11, [&](TaskContext &, int64_t i) {
+            EXPECT_EQ(i, 10);
+            ++hits;
+        });
+    };
+    if (dynamic)
+        runDynamic(machine, RuntimeConfig::full(), root);
+    else
+        runStatic(machine, RuntimeConfig::full(), root);
+    EXPECT_EQ(hits, 1);
+}
+
+TEST_P(ParallelForBothRuntimes, NestedLoopsCoverCrossProduct)
+{
+    const bool dynamic = GetParam();
+    Machine machine(MachineConfig::tiny());
+    constexpr int64_t kOuter = 20, kInner = 10;
+    Addr counter = machine.dramAlloc(4);
+    machine.mem().pokeAs<uint32_t>(counter, 0);
+    auto root = [&](TaskContext &tc) {
+        parallelFor(tc, 0, kOuter, [&](TaskContext &otc, int64_t) {
+            parallelFor(otc, 0, kInner, [&](TaskContext &itc, int64_t) {
+                itc.core().amoAdd(counter, 1);
+            });
+        });
+    };
+    if (dynamic)
+        runDynamic(machine, RuntimeConfig::full(), root);
+    else
+        runStatic(machine, RuntimeConfig::full(), root);
+    EXPECT_EQ(machine.mem().peekAs<uint32_t>(counter), kOuter * kInner);
+}
+
+INSTANTIATE_TEST_SUITE_P(Runtimes, ParallelForBothRuntimes,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool> &info) {
+                             return info.param ? "WorkStealing" : "Static";
+                         });
+
+TEST(ParallelFor, GrainControlsLeafCount)
+{
+    Machine machine(MachineConfig::tiny());
+    Addr counter = machine.dramAlloc(4);
+    runDynamic(machine, RuntimeConfig::full(), [&](TaskContext &tc) {
+        ForOptions opts;
+        opts.grain = 64;
+        parallelFor(
+            tc, 0, 256,
+            [&](TaskContext &btc, int64_t) { btc.core().amoAdd(counter, 1); },
+            opts);
+    });
+    // Spawned task count: a 256-iteration loop at grain 64 builds a
+    // 4-leaf binary tree = 3 spawned right halves.
+    EXPECT_EQ(machine.totalStat(&CoreStats::tasksSpawned), 3u);
+}
+
+TEST(ParallelFor, DynamicBalancesSkewedWork)
+{
+    // One iteration is 100x heavier; work stealing should still spread
+    // the rest and finish well before a static schedule would.
+    MachineConfig mcfg = MachineConfig::tiny();
+    constexpr int64_t kN = 64;
+    auto heavy_body = [](TaskContext &btc, int64_t i) {
+        btc.core().tick(i == 0 ? 60000 : 600);
+    };
+    Machine dyn_machine(mcfg);
+    Cycles dyn = runDynamic(dyn_machine, RuntimeConfig::full(),
+                            [&](TaskContext &tc) {
+                                ForOptions opts;
+                                opts.grain = 1;
+                                parallelFor(tc, 0, kN, heavy_body, opts);
+                            });
+    Machine sta_machine(mcfg);
+    Cycles sta = runStatic(sta_machine, RuntimeConfig::full(),
+                           [&](TaskContext &tc) {
+                               parallelFor(tc, 0, kN, heavy_body);
+                           });
+    // Static: core 0's chunk holds the heavy iteration plus its share.
+    // Dynamic: the heavy leaf is stolen away while others proceed.
+    EXPECT_LT(dyn, sta);
+}
+
+// ---- parallel_reduce -------------------------------------------------------
+
+class ParallelReduceBothRuntimes : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(ParallelReduceBothRuntimes, SumsIota)
+{
+    const bool dynamic = GetParam();
+    Machine machine(MachineConfig::tiny());
+    constexpr int64_t kN = 500;
+    int64_t result = 0;
+    auto root = [&](TaskContext &tc) {
+        result = parallelReduce<int64_t>(
+            tc, 0, kN, 0,
+            [](TaskContext &, int64_t i) { return i; },
+            [](int64_t a, int64_t b) { return a + b; });
+    };
+    if (dynamic)
+        runDynamic(machine, RuntimeConfig::full(), root);
+    else
+        runStatic(machine, RuntimeConfig::full(), root);
+    EXPECT_EQ(result, kN * (kN - 1) / 2);
+}
+
+TEST_P(ParallelReduceBothRuntimes, MaxReduction)
+{
+    const bool dynamic = GetParam();
+    Machine machine(MachineConfig::tiny());
+    std::vector<int64_t> data(333);
+    Xoshiro256StarStar rng(5);
+    for (auto &value : data)
+        value = static_cast<int64_t>(rng.nextBounded(1'000'000));
+    int64_t expected = *std::max_element(data.begin(), data.end());
+
+    int64_t result = -1;
+    auto root = [&](TaskContext &tc) {
+        result = parallelReduce<int64_t>(
+            tc, 0, static_cast<int64_t>(data.size()), INT64_MIN,
+            [&](TaskContext &btc, int64_t i) {
+                btc.core().tick(1);
+                return data[static_cast<size_t>(i)];
+            },
+            [](int64_t a, int64_t b) { return a > b ? a : b; });
+    };
+    if (dynamic)
+        runDynamic(machine, RuntimeConfig::full(), root);
+    else
+        runStatic(machine, RuntimeConfig::full(), root);
+    EXPECT_EQ(result, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Runtimes, ParallelReduceBothRuntimes,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool> &info) {
+                             return info.param ? "WorkStealing" : "Static";
+                         });
+
+// ---- parallel_invoke -------------------------------------------------------
+
+TEST(ParallelInvoke, FibMatchesReference)
+{
+    // The paper's running example (Fig. 3c) via parallel_invoke.
+    struct Fib
+    {
+        static int64_t
+        reference(int n)
+        {
+            return n < 2 ? n : reference(n - 1) + reference(n - 2);
+        }
+
+        static void
+        compute(TaskContext &tc, int n, Addr out)
+        {
+            Core &core = tc.core();
+            if (n < 2) {
+                core.tick(2, 2);
+                core.store<int64_t>(out, n);
+                return;
+            }
+            Addr x = tc.frame().alloc(8, 8);
+            Addr y = tc.frame().alloc(8, 8);
+            parallelInvoke(
+                tc,
+                [n, x](TaskContext &sub) { compute(sub, n - 1, x); },
+                [n, y](TaskContext &sub) { compute(sub, n - 2, y); });
+            int64_t sum = core.load<int64_t>(x) + core.load<int64_t>(y);
+            core.tick(1, 1);
+            core.store<int64_t>(out, sum);
+        }
+    };
+
+    Machine machine(MachineConfig::tiny());
+    Addr out = machine.dramAlloc(8, 8);
+    runDynamic(machine, RuntimeConfig::full(), [&](TaskContext &tc) {
+        Fib::compute(tc, 12, out);
+    });
+    EXPECT_EQ(machine.mem().peekAs<int64_t>(out), Fib::reference(12));
+    // fib(12) spawns plenty of tasks.
+    EXPECT_GT(machine.totalStat(&CoreStats::tasksSpawned), 100u);
+}
+
+TEST(ParallelInvoke, ThreeWayInvoke)
+{
+    Machine machine(MachineConfig::tiny());
+    Addr cell = machine.dramAlloc(4);
+    machine.mem().pokeAs<uint32_t>(cell, 0);
+    runDynamic(machine, RuntimeConfig::full(), [&](TaskContext &tc) {
+        std::vector<std::function<void(TaskContext &)>> fns;
+        for (int i = 1; i <= 3; ++i)
+            fns.push_back([cell, i](TaskContext &sub) {
+                sub.core().amoAdd(cell, static_cast<uint32_t>(i));
+            });
+        parallelInvoke(tc, fns);
+    });
+    EXPECT_EQ(machine.mem().peekAs<uint32_t>(cell), 6u);
+}
+
+TEST(ParallelInvoke, StaticRuntimeSerializes)
+{
+    Machine machine(MachineConfig::tiny());
+    std::vector<CoreId> executors;
+    runStatic(machine, RuntimeConfig::full(), [&](TaskContext &tc) {
+        parallelInvoke(
+            tc,
+            [&](TaskContext &sub) { executors.push_back(sub.core().id()); },
+            [&](TaskContext &sub) { executors.push_back(sub.core().id()); });
+    });
+    ASSERT_EQ(executors.size(), 2u);
+    EXPECT_EQ(executors[0], 0u);
+    EXPECT_EQ(executors[1], 0u);
+}
+
+// ---- read-only data duplication -------------------------------------------
+
+TEST(ReadOnlyDuplication, ReducesRemoteEnvTraffic)
+{
+    // A loop whose body touches 4 captured words per iteration: without
+    // duplication every off-home iteration loads from core 0's SPM.
+    MachineConfig mcfg = MachineConfig::small();
+    constexpr int64_t kN = 2048;
+    auto run_variant = [&](bool dup) {
+        Machine machine(mcfg);
+        RuntimeConfig cfg = RuntimeConfig::full();
+        cfg.roDuplication = dup;
+        WorkStealingRuntime rt(machine, cfg);
+        rt.run([&](TaskContext &tc) {
+            ForOptions opts;
+            opts.env.bytes = 32;
+            opts.env.wordsPerIter = 4;
+            parallelFor(
+                tc, 0, kN,
+                [](TaskContext &btc, int64_t) { btc.core().tick(8); },
+                opts);
+        });
+        return machine.mem().stats().remoteSpmLoads;
+    };
+    uint64_t with_dup = run_variant(true);
+    uint64_t without_dup = run_variant(false);
+    EXPECT_LT(with_dup, without_dup / 4)
+        << "duplication must eliminate most remote environment loads";
+}
+
+TEST(ReadOnlyDuplication, SpeedsUpTheLoop)
+{
+    MachineConfig mcfg = MachineConfig::small();
+    constexpr int64_t kN = 2048;
+    auto run_variant = [&](bool dup) {
+        Machine machine(mcfg);
+        RuntimeConfig cfg = RuntimeConfig::full();
+        cfg.roDuplication = dup;
+        WorkStealingRuntime rt(machine, cfg);
+        return rt.run([&](TaskContext &tc) {
+            ForOptions opts;
+            opts.env.bytes = 32;
+            opts.env.wordsPerIter = 4;
+            parallelFor(
+                tc, 0, kN,
+                [](TaskContext &btc, int64_t) { btc.core().tick(8); },
+                opts);
+        });
+    };
+    EXPECT_LT(run_variant(true), run_variant(false));
+}
+
+} // namespace
+} // namespace spmrt

@@ -1,0 +1,510 @@
+/**
+ * @file
+ * Tests for the work-stealing and static runtimes: queue semantics, task
+ * lifecycle, spawn/wait with the low-level API (the paper's Fig. 3a
+ * style), stealing behaviour, termination, and barrier correctness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runtime/barrier.hpp"
+#include "runtime/queue_ops.hpp"
+#include "runtime/static_runtime.hpp"
+#include "runtime/task.hpp"
+#include "runtime/ws_runtime.hpp"
+
+namespace spmrt {
+namespace {
+
+// ---- Task registry ------------------------------------------------------
+
+TEST(TaskRegistry, AddGetRemove)
+{
+    TaskRegistry registry;
+    auto *task = makeClosureTask([](TaskContext &) {});
+    uint32_t id = registry.add(task);
+    EXPECT_NE(id, 0u);
+    EXPECT_EQ(registry.get(id), task);
+    EXPECT_EQ(registry.liveCount(), 1u);
+    registry.remove(id);
+    EXPECT_EQ(registry.liveCount(), 0u);
+    delete task;
+}
+
+TEST(TaskRegistry, RecyclesIds)
+{
+    TaskRegistry registry;
+    auto *a = makeClosureTask([](TaskContext &) {});
+    auto *b = makeClosureTask([](TaskContext &) {});
+    uint32_t id_a = registry.add(a);
+    registry.remove(id_a);
+    uint32_t id_b = registry.add(b);
+    EXPECT_EQ(id_a, id_b) << "freed ids should be reused";
+    registry.remove(id_b);
+    delete a;
+    delete b;
+}
+
+// ---- Simulated deque ----------------------------------------------------
+
+class QueueOpsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setUpQueue(128);
+    }
+
+    void
+    setUpQueue(uint32_t region_bytes)
+    {
+        machine_ = std::make_unique<Machine>(MachineConfig::tiny());
+        Addr region = machine_->dramAlloc(region_bytes, 64);
+        queue_ = QueueAddrs::inRegion(region, region_bytes);
+        auto &mem = machine_->mem();
+        mem.pokeAs<uint32_t>(queue_.lock, 0);
+        mem.pokeAs<uint32_t>(queue_.head, 0);
+        mem.pokeAs<uint32_t>(queue_.tail, 0);
+    }
+
+    std::unique_ptr<Machine> machine_;
+    QueueAddrs queue_;
+};
+
+TEST_F(QueueOpsTest, RegionCarving)
+{
+    EXPECT_EQ(queue_.tail, queue_.head + 4);
+    EXPECT_EQ(queue_.lock, queue_.head + 8);
+    EXPECT_EQ(queue_.slots, queue_.head + 12);
+    EXPECT_EQ(queue_.head % 8, 0u)
+        << "head/tail pair must be loadable with one 8-byte access";
+    EXPECT_EQ(queue_.capacity, (128u - 12u) / 4u);
+}
+
+TEST_F(QueueOpsTest, LifoForOwnerFifoForThief)
+{
+    machine_->run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        QueueOps ops(core);
+        ops.enqueue(queue_, 1);
+        ops.enqueue(queue_, 2);
+        ops.enqueue(queue_, 3);
+        // Owner pops the most recent (LIFO)...
+        EXPECT_EQ(ops.popTail(queue_), 3u);
+        // ...while a thief steals the oldest (FIFO).
+        EXPECT_EQ(ops.stealHead(queue_), 1u);
+        EXPECT_EQ(ops.popTail(queue_), 2u);
+        EXPECT_EQ(ops.popTail(queue_), 0u);
+        EXPECT_EQ(ops.stealHead(queue_), 0u);
+    });
+}
+
+TEST_F(QueueOpsTest, FullQueueRejectsEnqueue)
+{
+    machine_->run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        QueueOps ops(core);
+        for (uint32_t i = 0; i < queue_.capacity; ++i)
+            EXPECT_TRUE(ops.enqueue(queue_, i + 1));
+        EXPECT_FALSE(ops.enqueue(queue_, 999));
+        // Draining one slot re-opens the queue.
+        EXPECT_NE(ops.stealHead(queue_), 0u);
+        EXPECT_TRUE(ops.enqueue(queue_, 999));
+    });
+}
+
+TEST_F(QueueOpsTest, WrapsAroundCircularBuffer)
+{
+    machine_->run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        QueueOps ops(core);
+        // Push/steal more items than the capacity to force wraparound.
+        for (uint32_t round = 0; round < 3 * queue_.capacity; ++round) {
+            EXPECT_TRUE(ops.enqueue(queue_, round + 1));
+            EXPECT_EQ(ops.stealHead(queue_), round + 1);
+        }
+    });
+}
+
+TEST_F(QueueOpsTest, LockExcludesConcurrentOwners)
+{
+    // All cores hammer the same queue; every enqueue must survive.
+    // The region must hold every item: nothing drains concurrently.
+    constexpr uint32_t kPerCore = 20;
+    setUpQueue(12 + 4 * (kPerCore * 8 + 1));
+    ASSERT_GE(queue_.capacity, kPerCore * machine_->numCores());
+    machine_->run([&](Core &core) {
+        QueueOps ops(core);
+        for (uint32_t i = 0; i < kPerCore; ++i)
+            ASSERT_TRUE(ops.enqueue(queue_, core.id() * kPerCore + i + 1));
+    });
+    // Drain and verify every id arrived exactly once.
+    std::set<uint32_t> seen;
+    machine_->run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        QueueOps ops(core);
+        uint32_t id;
+        while ((id = ops.stealHead(queue_)) != 0)
+            EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+    });
+    EXPECT_EQ(seen.size(), machine_->numCores() * kPerCore);
+}
+
+// ---- Barrier -------------------------------------------------------------
+
+TEST(SimBarrier, ReleasesAllAtLastArrival)
+{
+    Machine machine(MachineConfig::tiny());
+    SimBarrier barrier(machine, machine.numCores());
+    std::vector<Cycles> release(machine.numCores());
+    machine.run([&](Core &core) {
+        core.tick(10 * (core.id() + 1)); // staggered arrivals
+        barrier.wait(core);
+        release[core.id()] = core.now();
+    });
+    // Everyone is released at (approximately) the same time, and no one
+    // before the slowest arrival.
+    Cycles slowest_arrival = 10 * machine.numCores();
+    for (Cycles r : release)
+        EXPECT_GE(r, slowest_arrival);
+    EXPECT_EQ(barrier.episodes(), 1u);
+}
+
+TEST(SimBarrier, ReusableAcrossEpisodes)
+{
+    Machine machine(MachineConfig::tiny());
+    SimBarrier barrier(machine, machine.numCores());
+    int counter = 0;
+    machine.run([&](Core &core) {
+        for (int round = 0; round < 5; ++round) {
+            if (core.id() == 0)
+                ++counter;
+            barrier.wait(core);
+        }
+    });
+    EXPECT_EQ(counter, 5);
+    EXPECT_EQ(barrier.episodes(), 5u);
+}
+
+// ---- Work-stealing runtime ----------------------------------------------
+
+TEST(WorkStealing, RootOnlyRuns)
+{
+    Machine machine(MachineConfig::tiny());
+    WorkStealingRuntime rt(machine, RuntimeConfig::full());
+    bool ran = false;
+    rt.run([&](TaskContext &tc) {
+        EXPECT_EQ(tc.core().id(), 0u);
+        EXPECT_TRUE(tc.isDynamic());
+        ran = true;
+    });
+    EXPECT_TRUE(ran);
+}
+
+TEST(WorkStealing, SpawnAndWaitLowLevel)
+{
+    // The paper's Fig. 3(a) style: explicit task objects, spawn + wait.
+    Machine machine(MachineConfig::tiny());
+    WorkStealingRuntime rt(machine, RuntimeConfig::full());
+    Addr result = machine.dramAlloc(4);
+    machine.mem().pokeAs<uint32_t>(result, 0);
+
+    rt.run([&](TaskContext &tc) {
+        auto *child = makeClosureTask(
+            [&](TaskContext &ctc) { ctc.core().amoAdd(result, 41); });
+        child->runtimeOwned = true;
+        tc.prepareChild(child);
+        tc.setReadyCount(1);
+        tc.spawn(child);
+        tc.core().amoAdd(result, 1);
+        tc.waitChildren();
+    });
+    EXPECT_EQ(machine.mem().peekAs<uint32_t>(result), 42u);
+}
+
+TEST(WorkStealing, StolenChildWritesParentFrame)
+{
+    // A spawned child writes its result into the parent's stack frame —
+    // a remote-SPM store when stolen (paper Sec. 4.1's `y` example).
+    Machine machine(MachineConfig::tiny());
+    WorkStealingRuntime rt(machine, RuntimeConfig::full());
+    uint32_t observed = 0;
+    rt.run([&](TaskContext &tc) {
+        Addr slot = tc.frame().alloc(4);
+        auto *child = makeClosureTask([slot](TaskContext &ctc) {
+            ctc.core().store<uint32_t>(slot, 1234);
+        });
+        child->runtimeOwned = true;
+        tc.prepareChild(child);
+        tc.setReadyCount(1);
+        tc.spawn(child);
+        tc.waitChildren();
+        observed = tc.core().load<uint32_t>(slot);
+    });
+    EXPECT_EQ(observed, 1234u);
+}
+
+TEST(WorkStealing, ManyChildrenAllJoin)
+{
+    Machine machine(MachineConfig::tiny());
+    WorkStealingRuntime rt(machine, RuntimeConfig::full());
+    Addr counter = machine.dramAlloc(4);
+    machine.mem().pokeAs<uint32_t>(counter, 0);
+    constexpr uint32_t kChildren = 32;
+
+    rt.run(
+        [&](TaskContext &tc) {
+            tc.setReadyCount(kChildren);
+            for (uint32_t i = 0; i < kChildren; ++i) {
+                auto *child = makeClosureTask([&](TaskContext &ctc) {
+                    ctc.core().amoAdd(counter, 1);
+                });
+                child->runtimeOwned = true;
+                tc.prepareChild(child);
+                tc.spawn(child);
+            }
+            tc.waitChildren();
+            // All children joined: the count must already be complete.
+            EXPECT_EQ(tc.core().load<uint32_t>(counter), kChildren);
+        },
+        /*root_frame_bytes=*/16 + 8 * kChildren);
+}
+
+TEST(WorkStealing, WorkIsActuallyStolen)
+{
+    // With enough coarse tasks, at least one must execute off core 0.
+    Machine machine(MachineConfig::tiny());
+    WorkStealingRuntime rt(machine, RuntimeConfig::full());
+    std::set<CoreId> executors;
+    rt.run(
+        [&](TaskContext &tc) {
+            constexpr uint32_t kChildren = 24;
+            tc.setReadyCount(kChildren);
+            for (uint32_t i = 0; i < kChildren; ++i) {
+                auto *child = makeClosureTask([&](TaskContext &ctc) {
+                    executors.insert(ctc.core().id());
+                    ctc.core().tick(2000); // coarse task: time to steal
+                });
+                child->runtimeOwned = true;
+                tc.prepareChild(child);
+                tc.spawn(child);
+            }
+            tc.waitChildren();
+        },
+        /*root_frame_bytes=*/256);
+    EXPECT_GT(executors.size(), 1u) << "no steals happened";
+    uint64_t hits = machine.totalStat(&CoreStats::stealHits);
+    EXPECT_GT(hits, 0u);
+}
+
+TEST(WorkStealing, NestedSpawnsJoinInOrder)
+{
+    // Children spawning grandchildren: the parent's wait must not return
+    // before the whole subtree completes (fully-strict property).
+    Machine machine(MachineConfig::tiny());
+    WorkStealingRuntime rt(machine, RuntimeConfig::full());
+    Addr counter = machine.dramAlloc(4);
+    machine.mem().pokeAs<uint32_t>(counter, 0);
+
+    rt.run([&](TaskContext &tc) {
+        constexpr uint32_t kKids = 4;
+        tc.setReadyCount(kKids);
+        for (uint32_t i = 0; i < kKids; ++i) {
+            auto *child = makeClosureTask([&](TaskContext &ctc) {
+                ctc.setReadyCount(kKids);
+                for (uint32_t j = 0; j < kKids; ++j) {
+                    auto *grandchild = makeClosureTask(
+                        [&](TaskContext &gtc) {
+                            gtc.core().amoAdd(counter, 1);
+                        });
+                    grandchild->runtimeOwned = true;
+                    ctc.prepareChild(grandchild);
+                    ctc.spawn(grandchild);
+                }
+                ctc.waitChildren();
+            });
+            child->runtimeOwned = true;
+            tc.prepareChild(child);
+            tc.spawn(child);
+        }
+        tc.waitChildren();
+        EXPECT_EQ(tc.core().load<uint32_t>(counter), kKids * kKids);
+    });
+}
+
+TEST(WorkStealing, QueueOverflowFallsBackToInlineExecution)
+{
+    // Spawn far more tasks than the 512-byte queue can hold; everything
+    // must still execute exactly once.
+    Machine machine(MachineConfig::tiny());
+    RuntimeConfig cfg = RuntimeConfig::full();
+    Machine *mp = &machine;
+    WorkStealingRuntime rt(machine, cfg);
+    Addr counter = machine.dramAlloc(4);
+    machine.mem().pokeAs<uint32_t>(counter, 0);
+    constexpr uint32_t kChildren = 400; // > 125 queue slots
+
+    rt.run([&](TaskContext &tc) {
+        StackFrame big(tc.stack(), 8 * kChildren + 16);
+        TaskContext big_tc(tc.worker(), tc.task(), big, tc.core(),
+                           tc.stack());
+        big_tc.setReadyCount(kChildren);
+        for (uint32_t i = 0; i < kChildren; ++i) {
+            auto *child = makeClosureTask(
+                [mp, counter](TaskContext &ctc) {
+                    ctc.core().amoAdd(counter, 1);
+                });
+            child->runtimeOwned = true;
+            big_tc.prepareChild(child);
+            big_tc.spawn(child);
+        }
+        big_tc.waitChildren();
+    });
+    EXPECT_EQ(machine.mem().peekAs<uint32_t>(counter), kChildren);
+}
+
+TEST(WorkStealing, DeterministicCycleCounts)
+{
+    auto experiment = [] {
+        Machine machine(MachineConfig::tiny());
+        WorkStealingRuntime rt(machine, RuntimeConfig::full());
+        Addr cell = machine.dramAlloc(4);
+        return rt.run([&](TaskContext &tc) {
+            tc.setReadyCount(8);
+            for (int i = 0; i < 8; ++i) {
+                auto *child = makeClosureTask([cell](TaskContext &ctc) {
+                    ctc.core().amoAdd(cell, 1);
+                    ctc.core().tick(500);
+                });
+                child->runtimeOwned = true;
+                tc.prepareChild(child);
+                tc.spawn(child);
+            }
+            tc.waitChildren();
+        });
+    };
+    Cycles first = experiment();
+    EXPECT_EQ(first, experiment());
+}
+
+TEST(WorkStealing, AllFourPlacementVariantsWork)
+{
+    for (const RuntimeConfig &cfg :
+         {RuntimeConfig::naive(), RuntimeConfig::queueOnly(),
+          RuntimeConfig::stackOnly(), RuntimeConfig::full()}) {
+        Machine machine(MachineConfig::tiny());
+        WorkStealingRuntime rt(machine, cfg);
+        Addr counter = machine.dramAlloc(4);
+        machine.mem().pokeAs<uint32_t>(counter, 0);
+        rt.run(
+            [&](TaskContext &tc) {
+                tc.setReadyCount(16);
+                for (int i = 0; i < 16; ++i) {
+                    auto *child = makeClosureTask([&](TaskContext &ctc) {
+                        ctc.core().amoAdd(counter, 1);
+                        ctc.core().tick(300);
+                    });
+                    child->runtimeOwned = true;
+                    tc.prepareChild(child);
+                    tc.spawn(child);
+                }
+                tc.waitChildren();
+            },
+            /*root_frame_bytes=*/160);
+        EXPECT_EQ(machine.mem().peekAs<uint32_t>(counter), 16u)
+            << "variant " << cfg.name();
+    }
+}
+
+TEST(WorkStealing, RunTwiceOnSameRuntime)
+{
+    Machine machine(MachineConfig::tiny());
+    WorkStealingRuntime rt(machine, RuntimeConfig::full());
+    Addr counter = machine.dramAlloc(4);
+    machine.mem().pokeAs<uint32_t>(counter, 0);
+    for (int round = 0; round < 2; ++round) {
+        rt.run([&](TaskContext &tc) { tc.core().amoAdd(counter, 1); });
+    }
+    EXPECT_EQ(machine.mem().peekAs<uint32_t>(counter), 2u);
+}
+
+// ---- Static runtime -------------------------------------------------------
+
+TEST(StaticRuntime, RootRunsOnCoreZero)
+{
+    Machine machine(MachineConfig::tiny());
+    StaticRuntime rt(machine, RuntimeConfig::full());
+    bool ran = false;
+    rt.run([&](TaskContext &tc) {
+        EXPECT_FALSE(tc.isDynamic());
+        EXPECT_EQ(tc.core().id(), 0u);
+        EXPECT_EQ(tc.staticNesting(), 0u);
+        ran = true;
+    });
+    EXPECT_TRUE(ran);
+}
+
+TEST(StaticRuntime, RegionCoversWholeRangeOnce)
+{
+    Machine machine(MachineConfig::tiny());
+    StaticRuntime rt(machine, RuntimeConfig::full());
+    constexpr int64_t kN = 1000;
+    std::vector<int> hits(kN, 0);
+    std::vector<CoreId> executor(kN, kInvalidCore);
+
+    rt.run([&](TaskContext &tc) {
+        StaticRuntime::ChunkFn chunk = [&](TaskContext &ctc, int64_t lo,
+                                           int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+                ++hits[i];
+                executor[i] = ctc.core().id();
+                ctc.core().tick(1);
+            }
+        };
+        rt.parallelRegion(tc, 0, kN, chunk);
+    });
+    std::set<CoreId> cores_used;
+    for (int64_t i = 0; i < kN; ++i) {
+        EXPECT_EQ(hits[i], 1) << "iteration " << i;
+        cores_used.insert(executor[i]);
+    }
+    EXPECT_EQ(cores_used.size(), machine.numCores())
+        << "static chunks must cover every core";
+}
+
+TEST(StaticRuntime, ChunkOfPartitionIsContiguousAndComplete)
+{
+    int64_t prev_end = 5;
+    for (uint32_t id = 0; id < 7; ++id) {
+        auto [lo, hi] = StaticRuntime::chunkOf(5, 105, id, 7);
+        EXPECT_EQ(lo, prev_end);
+        prev_end = hi;
+    }
+    EXPECT_EQ(prev_end, 105);
+}
+
+TEST(StaticRuntime, SequentialRegions)
+{
+    Machine machine(MachineConfig::tiny());
+    StaticRuntime rt(machine, RuntimeConfig::full());
+    int regions = 0;
+    rt.run([&](TaskContext &tc) {
+        StaticRuntime::ChunkFn chunk = [&](TaskContext &ctc, int64_t,
+                                           int64_t) { ctc.core().tick(1); };
+        for (int round = 0; round < 4; ++round) {
+            rt.parallelRegion(tc, 0, 64, chunk);
+            ++regions;
+        }
+    });
+    EXPECT_EQ(regions, 4);
+}
+
+} // namespace
+} // namespace spmrt

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Unit tests for the simulation engine: coroutine scheduling, clock
+ * ordering, determinism, and the guest Core API.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/machine.hpp"
+
+namespace spmrt {
+namespace {
+
+TEST(Engine, RunsAllBodies)
+{
+    Engine engine(4, 64 * 1024);
+    std::vector<int> ran(4, 0);
+    for (CoreId i = 0; i < 4; ++i)
+        engine.setBody(i, [&ran, i] { ran[i] = 1; });
+    engine.run();
+    for (int flag : ran)
+        EXPECT_EQ(flag, 1);
+}
+
+TEST(Engine, SyncPointOrdersByTimestamp)
+{
+    // Two cores interleave strictly by local time at sync points.
+    Engine engine(2, 64 * 1024);
+    std::vector<std::pair<CoreId, Cycles>> order;
+
+    auto body = [&engine, &order](CoreId id, Cycles step) {
+        return [&engine, &order, id, step] {
+            for (int i = 0; i < 5; ++i) {
+                engine.advance(id, step);
+                engine.syncPoint(id);
+                order.emplace_back(id, engine.time(id));
+            }
+        };
+    };
+    engine.setBody(0, body(0, 10));
+    engine.setBody(1, body(1, 25));
+    engine.run();
+
+    for (size_t i = 1; i < order.size(); ++i)
+        EXPECT_LE(order[i - 1].second, order[i].second)
+            << "sync point " << i << " ran out of timestamp order";
+}
+
+TEST(Engine, ReusableAcrossRuns)
+{
+    Engine engine(2, 64 * 1024);
+    int counter = 0;
+    for (int round = 0; round < 3; ++round) {
+        for (CoreId i = 0; i < 2; ++i)
+            engine.setBody(i, [&counter] { ++counter; });
+        engine.run();
+    }
+    EXPECT_EQ(counter, 6);
+}
+
+TEST(Engine, ClocksPersistAcrossRuns)
+{
+    Engine engine(1, 64 * 1024);
+    engine.setBody(0, [&engine] { engine.advance(0, 100); });
+    engine.run();
+    EXPECT_EQ(engine.time(0), 100u);
+    engine.setBody(0, [&engine] { engine.advance(0, 50); });
+    engine.run();
+    EXPECT_EQ(engine.time(0), 150u);
+}
+
+TEST(Engine, DeepGuestRecursionFits)
+{
+    Engine engine(1, 256 * 1024);
+    // Recursion with a real frame per level; 2000 levels must fit in the
+    // coroutine's 256 KB host stack.
+    struct Recur
+    {
+        static int
+        go(int n)
+        {
+            volatile char pad[64] = {0};
+            (void)pad;
+            return n == 0 ? 0 : 1 + go(n - 1);
+        }
+    };
+    int depth = 0;
+    engine.setBody(0, [&depth] { depth = Recur::go(2000); });
+    engine.run();
+    EXPECT_EQ(depth, 2000);
+}
+
+TEST(Machine, TickAdvancesClockAndCounts)
+{
+    Machine machine(MachineConfig::tiny());
+    machine.run([](Core &core) { core.tick(5, 3); });
+    for (CoreId i = 0; i < machine.numCores(); ++i) {
+        EXPECT_EQ(machine.engine().time(i), 5u);
+        EXPECT_EQ(machine.core(i).stats().instructions, 3u);
+    }
+}
+
+TEST(Machine, LocalSpmRoundTrip)
+{
+    Machine machine(MachineConfig::tiny());
+    machine.run([](Core &core) {
+        Addr addr = core.spmBase();
+        core.store<uint32_t>(addr, 0xdeadbeef + core.id());
+        uint32_t value = core.load<uint32_t>(addr);
+        SPMRT_ASSERT(value == 0xdeadbeef + core.id(), "bad SPM readback");
+    });
+    // Local SPM latency is 2 cycles; store + load must cost at least 4.
+    EXPECT_GE(machine.engine().time(0), 4u);
+}
+
+TEST(Machine, RemoteSpmVisibleAndSlower)
+{
+    MachineConfig cfg = MachineConfig::tiny();
+    Machine machine(cfg);
+    auto &mem = machine.mem();
+    // Core 7 is the far corner from core 0 in the 4x2 tiny mesh.
+    Addr remote = mem.map().spmBase(7);
+    mem.pokeAs<uint32_t>(remote, 777);
+
+    Cycles local_cost = 0, remote_cost = 0;
+    machine.run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        Cycles t0 = core.now();
+        (void)core.load<uint32_t>(core.spmBase());
+        local_cost = core.now() - t0;
+        t0 = core.now();
+        uint32_t value = core.load<uint32_t>(remote);
+        remote_cost = core.now() - t0;
+        SPMRT_ASSERT(value == 777, "remote SPM load returned %u", value);
+    });
+    EXPECT_GT(remote_cost, local_cost);
+}
+
+TEST(Machine, DramSlowerThanSpm)
+{
+    Machine machine(MachineConfig::tiny());
+    Addr dram = machine.dramAlloc(64);
+    machine.mem().pokeAs<uint32_t>(dram, 41);
+
+    Cycles spm_cost = 0, dram_cold = 0, dram_warm = 0;
+    machine.run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        Cycles t0 = core.now();
+        (void)core.load<uint32_t>(core.spmBase());
+        spm_cost = core.now() - t0;
+
+        t0 = core.now();
+        (void)core.load<uint32_t>(dram);
+        dram_cold = core.now() - t0;
+
+        t0 = core.now();
+        (void)core.load<uint32_t>(dram);
+        dram_warm = core.now() - t0;
+    });
+    EXPECT_GT(dram_cold, spm_cost);
+    // The second access hits in the LLC and must be cheaper than the miss.
+    EXPECT_LT(dram_warm, dram_cold);
+    EXPECT_GT(dram_warm, spm_cost);
+}
+
+TEST(Machine, AmoAtomicAcrossCores)
+{
+    Machine machine(MachineConfig::tiny());
+    Addr counter = machine.dramAlloc(4);
+    machine.mem().pokeAs<uint32_t>(counter, 0);
+
+    constexpr int kIncrementsPerCore = 50;
+    machine.run([&](Core &core) {
+        for (int i = 0; i < kIncrementsPerCore; ++i)
+            core.amoAdd(counter, 1);
+    });
+    uint32_t total = machine.mem().peekAs<uint32_t>(counter);
+    EXPECT_EQ(total, machine.numCores() * kIncrementsPerCore);
+}
+
+TEST(Machine, AmoReturnsOldValue)
+{
+    Machine machine(MachineConfig::tiny());
+    Addr cell = machine.dramAlloc(4);
+    machine.mem().pokeAs<uint32_t>(cell, 10);
+    machine.run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        EXPECT_EQ(core.amoAdd(cell, 5), 10u);
+        EXPECT_EQ(core.amo(cell, AmoOp::Swap, 99), 15u);
+        EXPECT_EQ(core.load<uint32_t>(cell), 99u);
+    });
+}
+
+TEST(Machine, FenceDrainsPostedStores)
+{
+    MachineConfig cfg = MachineConfig::tiny();
+    Machine machine(cfg);
+    Addr dram = machine.dramAlloc(4);
+    machine.run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        Cycles t0 = core.now();
+        core.store<uint32_t>(dram, 1); // posted: costs ~1 cycle
+        Cycles posted = core.now() - t0;
+        core.fence(); // must wait for the DRAM store to land
+        Cycles fenced = core.now() - t0;
+        EXPECT_LE(posted, 3u);
+        EXPECT_GT(fenced, posted);
+    });
+}
+
+TEST(Machine, BulkReadWriteMovesData)
+{
+    Machine machine(MachineConfig::tiny());
+    Addr dram = machine.dramAlloc(256);
+    std::vector<uint8_t> pattern(256);
+    for (size_t i = 0; i < pattern.size(); ++i)
+        pattern[i] = static_cast<uint8_t>(i * 7 + 1);
+
+    machine.run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        core.write(dram, pattern.data(), pattern.size());
+        std::vector<uint8_t> readback(256, 0);
+        core.read(dram, readback.data(), readback.size());
+        EXPECT_EQ(readback, pattern);
+    });
+}
+
+TEST(Machine, DeterministicAcrossRuns)
+{
+    auto experiment = [] {
+        Machine machine(MachineConfig::tiny());
+        Addr counter = machine.dramAlloc(4);
+        machine.run([&](Core &core) {
+            for (int i = 0; i < 20; ++i) {
+                uint32_t old_value = core.amoAdd(counter, 1);
+                core.tick(1 + old_value % 3);
+            }
+        });
+        return machine.engine().maxTime();
+    };
+    Cycles first = experiment();
+    EXPECT_EQ(first, experiment());
+    EXPECT_EQ(first, experiment());
+}
+
+TEST(Machine, PerCoreBodiesAndSyncClocks)
+{
+    Machine machine(MachineConfig::tiny());
+    std::vector<std::function<void(Core &)>> bodies(machine.numCores());
+    for (CoreId i = 0; i < machine.numCores(); ++i)
+        bodies[i] = [i](Core &core) { core.tick(10 * (i + 1)); };
+    Cycles elapsed = machine.runPerCore(bodies);
+    EXPECT_EQ(elapsed, 10u * machine.numCores());
+    machine.syncClocks();
+    for (CoreId i = 0; i < machine.numCores(); ++i)
+        EXPECT_EQ(machine.engine().time(i), elapsed);
+}
+
+} // namespace
+} // namespace spmrt

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit tests for the scratchpad layer: layout carving, the user allocator
+ * (spm_reserve/spm_malloc semantics), and the stack model with DRAM
+ * overflow.
+ */
+
+#include <gtest/gtest.h>
+
+#include "spm/layout.hpp"
+#include "spm/stack.hpp"
+#include "sim/machine.hpp"
+
+namespace spmrt {
+namespace {
+
+TEST(SpmLayout, DefaultCarving)
+{
+    MachineConfig cfg;
+    SpmLayout layout(cfg, 0, 512);
+    const uint32_t ctrl = SpmLayout::kCtrlBytes;
+    EXPECT_EQ(layout.userBytes(), 0u);
+    EXPECT_EQ(layout.queueBytes(), 512u);
+    EXPECT_EQ(layout.stackBytes(), cfg.spmBytes - 512u - ctrl);
+    EXPECT_EQ(layout.queueOffset(), cfg.spmBytes - 512u - ctrl);
+    EXPECT_EQ(layout.ctrlOffset(), cfg.spmBytes - ctrl);
+}
+
+TEST(SpmLayout, UserReserveShrinksStack)
+{
+    MachineConfig cfg;
+    SpmLayout layout(cfg, 3072, 512); // MatMul-style 3 KB reservation
+    EXPECT_EQ(layout.userBytes(), 3072u);
+    EXPECT_EQ(layout.stackBytes(),
+              cfg.spmBytes - 3072u - 512u - SpmLayout::kCtrlBytes);
+    EXPECT_EQ(layout.stackLowOffset(), 3072u);
+}
+
+TEST(SpmLayout, QueueAtSameOffsetOnAllCores)
+{
+    MachineConfig cfg = MachineConfig::tiny();
+    AddressMap map(cfg);
+    SpmLayout layout(cfg, 0, 512);
+    Addr q0 = layout.queueBase(map, 0);
+    Addr q3 = layout.queueBase(map, 3);
+    EXPECT_EQ(q0 - map.spmBase(0), q3 - map.spmBase(3));
+}
+
+TEST(SpmUserAllocator, ReserveMallocContract)
+{
+    SpmUserAllocator alloc(0x1000'0000, 256);
+    Addr a = alloc.malloc(100);
+    EXPECT_NE(a, kNullAddr);
+    Addr b = alloc.malloc(100);
+    EXPECT_NE(b, kNullAddr);
+    // Third allocation exceeds the reservation: must fail with null, the
+    // paper's reporting mechanism.
+    EXPECT_EQ(alloc.malloc(100), kNullAddr);
+}
+
+TEST(SpmUserAllocator, AlignsAllocations)
+{
+    SpmUserAllocator alloc(0x1000'0000, 256);
+    (void)alloc.malloc(3, 8);
+    Addr b = alloc.malloc(8, 64);
+    EXPECT_EQ(b % 64, 0u);
+}
+
+class StackModelTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        machine_ = std::make_unique<Machine>(MachineConfig::tiny());
+        dramBuf_ = machine_->dramAlloc(4096);
+    }
+
+    StackConfig
+    makeConfig(bool spm_resident, uint32_t spm_stack_bytes = 512)
+    {
+        StackConfig cfg;
+        Addr base = machine_->mem().map().spmBase(0);
+        cfg.spmLow = base;
+        cfg.spmTop = base + spm_stack_bytes;
+        cfg.dramBase = dramBuf_;
+        cfg.dramBytes = 4096;
+        cfg.spmResident = spm_resident;
+        return cfg;
+    }
+
+    std::unique_ptr<Machine> machine_;
+    Addr dramBuf_ = kNullAddr;
+};
+
+TEST_F(StackModelTest, FramesLiveInSpmUntilOverflow)
+{
+    auto cfg = makeConfig(true, 256);
+    machine_->run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        StackModel stack(core, cfg);
+        // 256 bytes of SPM stack = four 64-byte frames.
+        for (int i = 0; i < 4; ++i) {
+            stack.push(64);
+            EXPECT_FALSE(stack.topInDram());
+        }
+        stack.push(64); // fifth frame must overflow
+        EXPECT_TRUE(stack.topInDram());
+        EXPECT_EQ(core.stats().stackFramesOverflowed, 1u);
+        for (int i = 0; i < 5; ++i)
+            stack.pop();
+        // After popping back below the threshold, SPM is used again.
+        stack.push(64);
+        EXPECT_FALSE(stack.topInDram());
+        stack.pop();
+    });
+}
+
+TEST_F(StackModelTest, DramResidentStackNeverUsesSpm)
+{
+    auto cfg = makeConfig(false);
+    machine_->run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        StackModel stack(core, cfg);
+        stack.push(64);
+        EXPECT_TRUE(stack.topInDram());
+        stack.pop();
+    });
+}
+
+TEST_F(StackModelTest, SpmFramesCheaperThanDramFrames)
+{
+    auto spm_cfg = makeConfig(true);
+    auto dram_cfg = makeConfig(false);
+    Cycles spm_cost = 0, dram_cost = 0;
+    machine_->run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        {
+            StackModel stack(core, spm_cfg);
+            Cycles t0 = core.now();
+            stack.push(64);
+            stack.pop();
+            spm_cost = core.now() - t0;
+        }
+        {
+            StackModel stack(core, dram_cfg);
+            Cycles t0 = core.now();
+            stack.push(64);
+            stack.pop();
+            dram_cost = core.now() - t0;
+        }
+    });
+    EXPECT_LT(spm_cost, dram_cost)
+        << "SPM-resident frames must be cheaper to push/pop";
+}
+
+TEST_F(StackModelTest, SoftwareOverflowCheckAddsCycles)
+{
+    auto hw_cfg = makeConfig(true);
+    auto sw_cfg = makeConfig(true);
+    sw_cfg.swOverflowCheck = true;
+    Cycles hw_cost = 0, sw_cost = 0;
+    machine_->run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        {
+            StackModel stack(core, hw_cfg);
+            Cycles t0 = core.now();
+            for (int i = 0; i < 4; ++i) {
+                stack.push(32);
+            }
+            for (int i = 0; i < 4; ++i)
+                stack.pop();
+            hw_cost = core.now() - t0;
+        }
+        {
+            StackModel stack(core, sw_cfg);
+            Cycles t0 = core.now();
+            for (int i = 0; i < 4; ++i) {
+                stack.push(32);
+            }
+            for (int i = 0; i < 4; ++i)
+                stack.pop();
+            sw_cost = core.now() - t0;
+        }
+    });
+    // 2 extra cycles per call and per return, 8 events: +16 cycles.
+    EXPECT_EQ(sw_cost, hw_cost + 16);
+}
+
+TEST_F(StackModelTest, FrameLocalAllocation)
+{
+    auto cfg = makeConfig(true);
+    machine_->run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        StackModel stack(core, cfg);
+        {
+            StackFrame frame(stack, 64);
+            Addr a = frame.alloc(8);
+            Addr b = frame.alloc(8);
+            EXPECT_NE(a, b);
+            EXPECT_GE(a, frame.base() + stack.localsOffset());
+            EXPECT_LT(b + 8, frame.base() + frame.bytes() + 1);
+            // Locals are real simulated memory.
+            core.store<uint32_t>(a, 0x1234);
+            EXPECT_EQ(core.load<uint32_t>(a), 0x1234u);
+        }
+        EXPECT_EQ(stack.depth(), 0u);
+    });
+}
+
+TEST_F(StackModelTest, OverflowingFrameLocalsLandInDram)
+{
+    auto cfg = makeConfig(true, 128);
+    machine_->run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        StackModel stack(core, cfg);
+        StackFrame a(stack, 128); // consumes the whole SPM stack region
+        StackFrame b(stack, 64);  // must overflow
+        EXPECT_TRUE(stack.topInDram());
+        Addr local = b.alloc(4);
+        EXPECT_TRUE(core.mem().map().isDram(local));
+    });
+}
+
+} // namespace
+} // namespace spmrt

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for the graph and matrix substrates: CSR construction,
+ * generators' structural properties, host references, sim upload/download
+ * round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "matrix/generators.hpp"
+
+namespace spmrt {
+namespace {
+
+// ---- CSR graph construction -----------------------------------------------
+
+TEST(HostGraph, FromEdgesBuildsCsr)
+{
+    HostGraph graph = HostGraph::fromEdges(
+        4, {{0, 1}, {0, 2}, {1, 3}, {3, 0}, {3, 1}});
+    EXPECT_EQ(graph.numVertices, 4u);
+    EXPECT_EQ(graph.numEdges(), 5u);
+    EXPECT_EQ(graph.degree(0), 2u);
+    EXPECT_EQ(graph.degree(1), 1u);
+    EXPECT_EQ(graph.degree(2), 0u);
+    EXPECT_EQ(graph.degree(3), 2u);
+    EXPECT_EQ(graph.targets[graph.offsets[1]], 3u);
+}
+
+TEST(HostGraph, TransposeInvertsEdges)
+{
+    HostGraph graph =
+        HostGraph::fromEdges(3, {{0, 1}, {1, 2}, {2, 0}, {0, 2}});
+    HostGraph reverse = graph.transpose();
+    EXPECT_EQ(reverse.numEdges(), graph.numEdges());
+    EXPECT_EQ(reverse.degree(1), 1u); // only 0->1
+    EXPECT_EQ(reverse.degree(2), 2u); // 1->2 and 0->2
+    // Double transpose is the identity.
+    HostGraph twice = reverse.transpose();
+    EXPECT_EQ(twice.offsets, graph.offsets);
+    EXPECT_EQ(twice.targets, graph.targets);
+}
+
+// ---- graph generators ------------------------------------------------------
+
+TEST(Generators, UniformRandomHasExactDegrees)
+{
+    HostGraph graph = genUniformRandom(256, 8, 1);
+    EXPECT_EQ(graph.numVertices, 256u);
+    EXPECT_EQ(graph.numEdges(), 256u * 8u);
+    for (uint32_t v = 0; v < graph.numVertices; ++v)
+        EXPECT_EQ(graph.degree(v), 8u);
+}
+
+TEST(Generators, UniformRandomDeterministicBySeed)
+{
+    HostGraph a = genUniformRandom(128, 4, 7);
+    HostGraph b = genUniformRandom(128, 4, 7);
+    HostGraph c = genUniformRandom(128, 4, 8);
+    EXPECT_EQ(a.targets, b.targets);
+    EXPECT_NE(a.targets, c.targets);
+}
+
+TEST(Generators, PowerLawIsSkewed)
+{
+    HostGraph graph = genPowerLaw(1024, 8, 1.0, 3);
+    // Average degree near the request; max degree far above it.
+    double average = static_cast<double>(graph.numEdges()) /
+                     graph.numVertices;
+    EXPECT_GT(average, 4.0);
+    EXPECT_LT(average, 16.0);
+    EXPECT_GT(graph.maxDegree(), 8u * 10u)
+        << "power-law tail should dwarf the mean";
+}
+
+TEST(Generators, RmatProducesSkewAndCorrectCounts)
+{
+    HostGraph graph = genRmat(10, 8, 5);
+    EXPECT_EQ(graph.numVertices, 1024u);
+    EXPECT_EQ(graph.numEdges(), 1024u * 8u);
+    EXPECT_GT(graph.maxDegree(), 16u);
+}
+
+TEST(Generators, BandedStaysInBand)
+{
+    constexpr uint32_t kN = 512, kBand = 10;
+    HostGraph graph = genBanded(kN, kBand, 6, 11);
+    for (uint32_t v = 0; v < kN; ++v) {
+        for (uint32_t e = graph.offsets[v]; e < graph.offsets[v + 1];
+             ++e) {
+            uint32_t w = graph.targets[e];
+            uint32_t distance = v > w ? v - w : w - v;
+            uint32_t wrapped = kN - distance;
+            EXPECT_LE(std::min(distance, wrapped), kBand)
+                << "edge (" << v << "," << w << ") leaves the band";
+        }
+    }
+}
+
+TEST(Generators, BlockBipartiteHasDenseMinority)
+{
+    HostGraph graph = genBlockBipartite(1000, 10, 200, 4, 13);
+    uint32_t dense_count = 0;
+    for (uint32_t v = 0; v < graph.numVertices; ++v)
+        if (graph.degree(v) >= 100)
+            ++dense_count;
+    EXPECT_EQ(dense_count, 10u);
+}
+
+// ---- sim upload / download -------------------------------------------------
+
+TEST(SimGraph, UploadPreservesStructure)
+{
+    MachineConfig cfg = MachineConfig::tiny();
+    Machine machine(cfg);
+    HostGraph graph = genUniformRandom(64, 4, 2);
+    SimGraph sim = SimGraph::upload(machine, graph);
+    EXPECT_EQ(sim.numVertices, graph.numVertices);
+    EXPECT_EQ(sim.numEdges, graph.numEdges());
+    auto offsets = downloadArray<uint32_t>(machine, sim.outOffsets,
+                                           graph.numVertices + 1);
+    EXPECT_EQ(offsets, graph.offsets);
+    auto targets = downloadArray<uint32_t>(machine, sim.outTargets,
+                                           graph.numEdges());
+    EXPECT_EQ(targets, graph.targets);
+}
+
+// ---- matrices ---------------------------------------------------------------
+
+TEST(HostDense, MultiplyReference)
+{
+    HostDense a(2, 3), b(3, 2);
+    // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+    float av[] = {1, 2, 3, 4, 5, 6}, bv[] = {7, 8, 9, 10, 11, 12};
+    std::copy(std::begin(av), std::end(av), a.data.begin());
+    std::copy(std::begin(bv), std::end(bv), b.data.begin());
+    HostDense c = a.multiply(b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 58.f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 64.f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 139.f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 154.f);
+}
+
+TEST(HostDense, TransposeReference)
+{
+    HostDense a = genDenseRandom(5, 9, 3);
+    HostDense t = a.transposed();
+    EXPECT_EQ(t.rows, 9u);
+    EXPECT_EQ(t.cols, 5u);
+    for (uint32_t r = 0; r < a.rows; ++r)
+        for (uint32_t c = 0; c < a.cols; ++c)
+            EXPECT_EQ(a.at(r, c), t.at(c, r));
+}
+
+TEST(HostCsr, MultiplyMatchesDense)
+{
+    HostCsr sparse = genCsrUniform(32, 24, 5, 9);
+    std::vector<float> x(24);
+    Xoshiro256StarStar rng(4);
+    for (float &value : x)
+        value = static_cast<float>(rng.nextDouble());
+    std::vector<float> y = sparse.multiply(x);
+
+    // Cross-check against an explicit dense expansion.
+    for (uint32_t r = 0; r < sparse.rows; ++r) {
+        float expected = 0;
+        for (uint32_t e = sparse.rowPtr[r]; e < sparse.rowPtr[r + 1]; ++e)
+            expected += sparse.values[e] * x[sparse.colIdx[e]];
+        EXPECT_FLOAT_EQ(y[r], expected);
+    }
+}
+
+TEST(HostCsr, TransposeRoundTrip)
+{
+    HostCsr a = genCsrUniform(40, 30, 6, 17);
+    HostCsr tt = a.transposed().transposed();
+    EXPECT_EQ(tt.rowPtr, a.rowPtr);
+    EXPECT_EQ(tt.colIdx, a.colIdx);
+    EXPECT_EQ(tt.values, a.values);
+}
+
+TEST(CsrGenerators, UniformRowCounts)
+{
+    HostCsr csr = genCsrUniform(100, 80, 7, 21);
+    for (uint32_t r = 0; r < csr.rows; ++r)
+        EXPECT_EQ(csr.rowNnz(r), 7u);
+    // Columns must be sorted and unique within a row.
+    for (uint32_t r = 0; r < csr.rows; ++r)
+        for (uint32_t e = csr.rowPtr[r] + 1; e < csr.rowPtr[r + 1]; ++e)
+            EXPECT_LT(csr.colIdx[e - 1], csr.colIdx[e]);
+}
+
+TEST(CsrGenerators, PowerLawRowsAreSkewed)
+{
+    HostCsr csr = genCsrPowerLaw(1024, 1024, 8, 1.0, 23);
+    uint32_t max_nnz = 0;
+    for (uint32_t r = 0; r < csr.rows; ++r)
+        max_nnz = std::max(max_nnz, csr.rowNnz(r));
+    EXPECT_GT(max_nnz, 60u);
+}
+
+TEST(CsrGenerators, BandedStaysInBand)
+{
+    HostCsr csr = genCsrBanded(256, 8, 5, 31);
+    for (uint32_t r = 0; r < csr.rows; ++r)
+        for (uint32_t e = csr.rowPtr[r]; e < csr.rowPtr[r + 1]; ++e) {
+            uint32_t c = csr.colIdx[e];
+            uint32_t distance = r > c ? r - c : c - r;
+            EXPECT_LE(distance, 8u);
+        }
+}
+
+TEST(CsrGenerators, BundleHasDenseRows)
+{
+    HostCsr csr = genCsrBundle(512, 512, 8, 128, 4, 37);
+    uint32_t dense_count = 0;
+    for (uint32_t r = 0; r < csr.rows; ++r)
+        if (csr.rowNnz(r) >= 64)
+            ++dense_count;
+    EXPECT_EQ(dense_count, 8u);
+}
+
+TEST(SimDense, UploadDownloadRoundTrip)
+{
+    Machine machine(MachineConfig::tiny());
+    HostDense host = genDenseRandom(12, 17, 5);
+    SimDense sim = SimDense::upload(machine, host);
+    HostDense back = sim.download(machine);
+    EXPECT_EQ(back.data, host.data);
+}
+
+TEST(SimCsr, UploadDownloadRoundTrip)
+{
+    Machine machine(MachineConfig::tiny());
+    HostCsr host = genCsrUniform(20, 20, 4, 6);
+    SimCsr sim = SimCsr::upload(machine, host);
+    HostCsr back = sim.download(machine);
+    EXPECT_EQ(back.rowPtr, host.rowPtr);
+    EXPECT_EQ(back.colIdx, host.colIdx);
+    EXPECT_EQ(back.values, host.values);
+}
+
+} // namespace
+} // namespace spmrt

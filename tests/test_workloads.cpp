@@ -1,0 +1,438 @@
+/**
+ * @file
+ * End-to-end correctness tests for all nine paper workloads, run on the
+ * simulated machine under the work-stealing runtime (and the static
+ * runtime where the workload has a static implementation), across the
+ * data-placement variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "matrix/generators.hpp"
+#include "workloads/bfs.hpp"
+#include "workloads/cilksort.hpp"
+#include "workloads/fib.hpp"
+#include "workloads/mat_transpose.hpp"
+#include "workloads/matmul.hpp"
+#include "workloads/nqueens.hpp"
+#include "workloads/pagerank.hpp"
+#include "workloads/spm_transpose.hpp"
+#include "workloads/spmv.hpp"
+#include "workloads/uts.hpp"
+
+namespace spmrt {
+namespace workloads {
+namespace {
+
+/** The six runtime configurations of Table 1, by index. */
+struct Variant
+{
+    bool isStatic;
+    RuntimeConfig cfg;
+    const char *label;
+};
+
+std::vector<Variant>
+allVariants()
+{
+    RuntimeConfig static_dram = RuntimeConfig::naive();
+    RuntimeConfig static_spm = RuntimeConfig::full();
+    return {
+        {true, static_dram, "static/dram-stack"},
+        {true, static_spm, "static/spm-stack"},
+        {false, RuntimeConfig::naive(), "ws/naive"},
+        {false, RuntimeConfig::queueOnly(), "ws/spm-queue"},
+        {false, RuntimeConfig::stackOnly(), "ws/spm-stack"},
+        {false, RuntimeConfig::full(), "ws/full"},
+    };
+}
+
+/** Run @p root under the given variant on a fresh runtime. */
+Cycles
+runUnder(Machine &machine, const Variant &variant,
+         const std::function<void(TaskContext &)> &root,
+         uint32_t user_spm_reserve = 0)
+{
+    RuntimeConfig cfg = variant.cfg;
+    cfg.userSpmReserve = user_spm_reserve;
+    if (variant.isStatic) {
+        StaticRuntime rt(machine, cfg);
+        return rt.run(root);
+    }
+    WorkStealingRuntime rt(machine, cfg);
+    return rt.run(root);
+}
+
+// ---- Fib --------------------------------------------------------------------
+
+TEST(Fib, CorrectAcrossAllWsVariants)
+{
+    for (const Variant &variant : allVariants()) {
+        if (variant.isStatic)
+            continue; // spawn-sync: no static baseline
+        Machine machine(MachineConfig::tiny());
+        Addr out = machine.dramAlloc(8, 8);
+        runUnder(machine, variant, [&](TaskContext &tc) {
+            fibKernel(tc, 13, out);
+        });
+        EXPECT_EQ(machine.mem().peekAs<int64_t>(out), fibReference(13))
+            << variant.label;
+    }
+}
+
+TEST(Fib, GeneratesExponentialTasks)
+{
+    Machine machine(MachineConfig::tiny());
+    Addr out = machine.dramAlloc(8, 8);
+    WorkStealingRuntime rt(machine, RuntimeConfig::full());
+    rt.run([&](TaskContext &tc) { fibKernel(tc, 10, out); });
+    // fib(10) has 177 calls; each non-leaf spawns one child.
+    EXPECT_GT(machine.totalStat(&CoreStats::tasksSpawned), 80u);
+}
+
+// ---- MatMul -----------------------------------------------------------------
+
+TEST(MatMul, CorrectOnBothRuntimes)
+{
+    constexpr uint32_t kN = 32;
+    HostDense a = genDenseRandom(kN, kN, 100);
+    HostDense b = genDenseRandom(kN, kN, 101);
+    for (const Variant &variant : allVariants()) {
+        if (!variant.isStatic && variant.cfg.queueInSpm !=
+                variant.cfg.stackInSpm)
+            continue; // spot-check the two extremes for speed
+        Machine machine(MachineConfig::tiny());
+        MatMulData data = matmulSetup(machine, kN, 100);
+        runUnder(
+            machine, variant,
+            [&](TaskContext &tc) { matmulKernel(tc, data); },
+            kMatMulSpmReserve);
+        EXPECT_TRUE(matmulVerify(machine, data, a, b)) << variant.label;
+    }
+}
+
+// ---- SpMV --------------------------------------------------------------------
+
+TEST(SpMV, CorrectAcrossAllVariantsAndInputs)
+{
+    std::vector<HostCsr> inputs = {
+        genCsrUniform(300, 300, 6, 200),          // balanced
+        genCsrPowerLaw(300, 300, 6, 1.0, 201),    // email-like skew
+        genCsrBanded(300, 12, 6, 202),            // c-58-like band
+        genCsrBundle(300, 300, 6, 64, 3, 203),    // bundle1-like blocks
+    };
+    for (const HostCsr &input : inputs) {
+        for (const Variant &variant : allVariants()) {
+            Machine machine(MachineConfig::tiny());
+            SpmvData data = spmvSetup(machine, input, 7);
+            std::vector<float> x = spmvInputVector(machine, data);
+            runUnder(machine, variant, [&](TaskContext &tc) {
+                spmvKernel(tc, data);
+            });
+            EXPECT_TRUE(spmvVerify(machine, data, input, x))
+                << variant.label;
+        }
+    }
+}
+
+// ---- SpMatrixTranspose --------------------------------------------------------
+
+TEST(SpMatrixTranspose, CorrectOnBothRuntimes)
+{
+    HostCsr input = genCsrPowerLaw(200, 150, 5, 0.9, 300);
+    for (const Variant &variant : allVariants()) {
+        Machine machine(MachineConfig::tiny());
+        SpmTransposeData data = spmTransposeSetup(machine, input);
+        runUnder(machine, variant, [&](TaskContext &tc) {
+            spmTransposeKernel(tc, data);
+        });
+        EXPECT_TRUE(spmTransposeVerify(machine, data, input))
+            << variant.label;
+    }
+}
+
+// ---- PageRank -------------------------------------------------------------------
+
+TEST(PageRank, ConvergesToReference)
+{
+    HostGraph graph = genUniformRandom(400, 8, 400);
+    for (const Variant &variant : allVariants()) {
+        if (!variant.isStatic && !variant.cfg.stackInSpm &&
+            variant.cfg.queueInSpm)
+            continue; // skip one mixed variant for test time
+        Machine machine(MachineConfig::tiny());
+        PageRankData data = pagerankSetup(machine, graph);
+        runUnder(machine, variant, [&](TaskContext &tc) {
+            pagerankKernel(tc, data, 3);
+        });
+        EXPECT_TRUE(pagerankVerify(machine, data, graph, 3))
+            << variant.label;
+    }
+}
+
+TEST(PageRank, ErrorDecreasesOverIterations)
+{
+    HostGraph graph = genPowerLaw(300, 8, 1.0, 401);
+    Machine machine(MachineConfig::tiny());
+    PageRankData data = pagerankSetup(machine, graph);
+    WorkStealingRuntime rt(machine, RuntimeConfig::full());
+    std::vector<double> errors;
+    rt.run([&](TaskContext &tc) {
+        for (int i = 0; i < 4; ++i)
+            errors.push_back(pagerankIteration(tc, data));
+    });
+    ASSERT_EQ(errors.size(), 4u);
+    EXPECT_LT(errors.back(), errors.front());
+}
+
+TEST(PageRank, ReportsSixKernelTimes)
+{
+    HostGraph graph = genUniformRandom(200, 6, 402);
+    Machine machine(MachineConfig::tiny());
+    PageRankData data = pagerankSetup(machine, graph);
+    WorkStealingRuntime rt(machine, RuntimeConfig::full());
+    std::array<Cycles, kPageRankKernels> kernels{};
+    rt.run([&](TaskContext &tc) {
+        pagerankIteration(tc, data, &kernels);
+    });
+    for (Cycles cycles : kernels)
+        EXPECT_GT(cycles, 0u);
+    // K2 (the pull over in-edges) dominates.
+    EXPECT_GT(kernels[1], kernels[2]);
+    EXPECT_GT(kernels[1], kernels[4]);
+}
+
+// ---- BFS -----------------------------------------------------------------------
+
+TEST(Bfs, CorrectOnUniformAndSkewedGraphs)
+{
+    std::vector<HostGraph> graphs = {
+        genUniformRandom(500, 8, 500),
+        genPowerLaw(500, 8, 1.0, 501),
+        genBanded(500, 4, 4, 502),
+    };
+    for (const HostGraph &graph : graphs) {
+        for (const Variant &variant : allVariants()) {
+            if (variant.isStatic && &graph != &graphs[0])
+                continue; // static spot-check on one input
+            Machine machine(MachineConfig::tiny());
+            BfsData data = bfsSetup(machine, graph, 0);
+            runUnder(machine, variant, [&](TaskContext &tc) {
+                bfsKernel(tc, data);
+            });
+            EXPECT_TRUE(bfsVerify(machine, data, graph))
+                << variant.label;
+        }
+    }
+}
+
+TEST(Bfs, UsesBothDirections)
+{
+    // A dense-ish random graph flips to pull at the explosion level.
+    HostGraph graph = genUniformRandom(600, 12, 503);
+    Machine machine(MachineConfig::tiny());
+    BfsData data = bfsSetup(machine, graph, 0);
+    WorkStealingRuntime rt(machine, RuntimeConfig::full());
+    rt.run([&](TaskContext &tc) { bfsKernel(tc, data); });
+    EXPECT_TRUE(bfsVerify(machine, data, graph));
+}
+
+// ---- MatrixTranspose -------------------------------------------------------------
+
+TEST(MatTranspose, CorrectAcrossWsVariants)
+{
+    constexpr uint32_t kN = 64;
+    HostDense input = genDenseRandom(kN, kN, 600);
+    for (const Variant &variant : allVariants()) {
+        if (variant.isStatic)
+            continue; // spawn-sync: no static baseline
+        Machine machine(MachineConfig::tiny());
+        MatTransposeData data = matTransposeSetup(machine, kN, 600);
+        runUnder(machine, variant, [&](TaskContext &tc) {
+            matTransposeKernel(tc, data);
+        });
+        EXPECT_TRUE(matTransposeVerify(machine, data, input))
+            << variant.label;
+    }
+}
+
+TEST(MatTranspose, NonSquarePowerOfTwoFree)
+{
+    // 48x48 exercises the odd split paths (half != power of two).
+    constexpr uint32_t kN = 48;
+    HostDense input = genDenseRandom(kN, kN, 601);
+    Machine machine(MachineConfig::tiny());
+    MatTransposeData data = matTransposeSetup(machine, kN, 601);
+    WorkStealingRuntime rt(machine, RuntimeConfig::full());
+    rt.run([&](TaskContext &tc) { matTransposeKernel(tc, data); });
+    EXPECT_TRUE(matTransposeVerify(machine, data, input));
+}
+
+// ---- CilkSort ---------------------------------------------------------------------
+
+TEST(CilkSort, SortsAcrossWsVariants)
+{
+    constexpr uint32_t kN = 4096;
+    for (const Variant &variant : allVariants()) {
+        if (variant.isStatic)
+            continue;
+        Machine machine(MachineConfig::tiny());
+        CilkSortData data = cilksortSetup(machine, kN, 700);
+        std::vector<uint32_t> original =
+            downloadArray<uint32_t>(machine, data.data, kN);
+        runUnder(machine, variant, [&](TaskContext &tc) {
+            cilksortKernel(tc, data);
+        });
+        EXPECT_TRUE(cilksortVerify(machine, data, original))
+            << variant.label;
+    }
+}
+
+TEST(CilkSort, HandlesTinyAndOddSizes)
+{
+    for (uint32_t n : {1u, 2u, 3u, 255u, 257u, 1000u}) {
+        Machine machine(MachineConfig::tiny());
+        CilkSortData data = cilksortSetup(machine, n, 701);
+        std::vector<uint32_t> original =
+            downloadArray<uint32_t>(machine, data.data, n);
+        WorkStealingRuntime rt(machine, RuntimeConfig::full());
+        rt.run([&](TaskContext &tc) { cilksortKernel(tc, data); });
+        EXPECT_TRUE(cilksortVerify(machine, data, original))
+            << "n = " << n;
+    }
+}
+
+TEST(CilkSort, SortsAlreadySortedAndReversed)
+{
+    for (bool reversed : {false, true}) {
+        Machine machine(MachineConfig::tiny());
+        constexpr uint32_t kN = 2048;
+        std::vector<uint32_t> keys(kN);
+        for (uint32_t i = 0; i < kN; ++i)
+            keys[i] = reversed ? kN - i : i;
+        CilkSortData data;
+        data.n = kN;
+        data.data = uploadArray(machine, keys);
+        data.tmp = allocZeroArray<uint32_t>(machine, kN);
+        WorkStealingRuntime rt(machine, RuntimeConfig::full());
+        rt.run([&](TaskContext &tc) { cilksortKernel(tc, data); });
+        EXPECT_TRUE(cilksortVerify(machine, data, keys));
+    }
+}
+
+// ---- NQueens ------------------------------------------------------------------------
+
+TEST(NQueens, CountsMatchKnownValues)
+{
+    for (uint32_t n : {5u, 6u, 7u}) {
+        Machine machine(MachineConfig::tiny());
+        NQueensData data = nqueensSetup(machine, n);
+        WorkStealingRuntime rt(machine, RuntimeConfig::full());
+        rt.run([&](TaskContext &tc) { nqueensKernel(tc, data); });
+        EXPECT_EQ(nqueensResult(machine, data), nqueensReference(n))
+            << "n = " << n;
+    }
+}
+
+TEST(NQueens, EightQueensAcrossVariants)
+{
+    for (const Variant &variant : allVariants()) {
+        if (variant.isStatic)
+            continue;
+        Machine machine(MachineConfig::tiny());
+        NQueensData data = nqueensSetup(machine, 8);
+        runUnder(machine, variant, [&](TaskContext &tc) {
+            nqueensKernel(tc, data);
+        });
+        EXPECT_EQ(nqueensResult(machine, data), 92u) << variant.label;
+    }
+}
+
+TEST(NQueens, StackHeavyWorkloadOverflowsDramStack)
+{
+    // With only a sliver of SPM stack, deep boards overflow to DRAM.
+    Machine machine(MachineConfig::tiny());
+    RuntimeConfig cfg = RuntimeConfig::full();
+    cfg.userSpmReserve = 3300; // squeeze the SPM stack region
+    NQueensData data = nqueensSetup(machine, 7);
+    WorkStealingRuntime rt(machine, cfg);
+    rt.run([&](TaskContext &tc) { nqueensKernel(tc, data); });
+    EXPECT_EQ(nqueensResult(machine, data), nqueensReference(7));
+    EXPECT_GT(machine.totalStat(&CoreStats::stackFramesOverflowed), 0u);
+}
+
+// ---- UTS -----------------------------------------------------------------------------
+
+TEST(Uts, GeometricCountMatchesReference)
+{
+    UtsParams params = UtsParams::geometric(8, 2.5, 42);
+    uint64_t expected = utsReference(params);
+    ASSERT_GT(expected, 100u) << "tree too small to be interesting";
+    Machine machine(MachineConfig::tiny());
+    UtsData data = utsSetup(machine, params);
+    WorkStealingRuntime rt(machine, RuntimeConfig::full());
+    rt.run([&](TaskContext &tc) { utsKernel(tc, data); });
+    EXPECT_EQ(utsResult(machine, data), expected);
+}
+
+TEST(Uts, BinomialCountMatchesReference)
+{
+    UtsParams params = UtsParams::binomial(32, 4, 0.2, 77);
+    uint64_t expected = utsReference(params);
+    ASSERT_GT(expected, 32u);
+    Machine machine(MachineConfig::tiny());
+    UtsData data = utsSetup(machine, params);
+    WorkStealingRuntime rt(machine, RuntimeConfig::full());
+    rt.run([&](TaskContext &tc) { utsKernel(tc, data); });
+    EXPECT_EQ(utsResult(machine, data), expected);
+}
+
+TEST(Uts, TreeShapeIsScheduleIndependent)
+{
+    // The same seed must give the same node count on different machines
+    // and placement variants (the splittable RNG guarantees it).
+    UtsParams params = UtsParams::geometric(7, 2.0, 11);
+    uint64_t expected = utsReference(params);
+    for (const Variant &variant : allVariants()) {
+        if (variant.isStatic)
+            continue;
+        Machine machine(MachineConfig::tiny());
+        UtsData data = utsSetup(machine, params);
+        runUnder(machine, variant, [&](TaskContext &tc) {
+            utsKernel(tc, data);
+        });
+        EXPECT_EQ(utsResult(machine, data), expected) << variant.label;
+    }
+}
+
+TEST(Uts, BinomialIsHighlyUnbalanced)
+{
+    UtsParams params = UtsParams::binomial(64, 4, 0.2, 99);
+    // Subtree sizes under the root vary wildly: compute them on the host.
+    std::vector<uint64_t> subtree_sizes;
+    SplittableRng root(params.rootSeed);
+    for (uint32_t c = 0; c < params.rootBranch; ++c) {
+        // Count the subtree rooted at child c, depth 1.
+        std::vector<std::pair<SplittableRng, uint32_t>> stack{
+            {root.split(c), 1}};
+        uint64_t count = 0;
+        while (!stack.empty()) {
+            auto [rng, depth] = stack.back();
+            stack.pop_back();
+            ++count;
+            uint32_t kids = utsChildCount(params, rng, depth);
+            for (uint32_t k = 0; k < kids; ++k)
+                stack.push_back({rng.split(k), depth + 1});
+        }
+        subtree_sizes.push_back(count);
+    }
+    auto [min_it, max_it] =
+        std::minmax_element(subtree_sizes.begin(), subtree_sizes.end());
+    EXPECT_GE(*max_it, *min_it * 4)
+        << "binomial tree should be heavily skewed";
+}
+
+} // namespace
+} // namespace workloads
+} // namespace spmrt
