@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dealing.dir/abl_dealing.cpp.o"
+  "CMakeFiles/abl_dealing.dir/abl_dealing.cpp.o.d"
+  "abl_dealing"
+  "abl_dealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

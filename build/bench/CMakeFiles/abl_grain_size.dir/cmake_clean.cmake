@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_grain_size.dir/abl_grain_size.cpp.o"
+  "CMakeFiles/abl_grain_size.dir/abl_grain_size.cpp.o.d"
+  "abl_grain_size"
+  "abl_grain_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_grain_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_queue_addressing.dir/abl_queue_addressing.cpp.o"
+  "CMakeFiles/abl_queue_addressing.dir/abl_queue_addressing.cpp.o.d"
+  "abl_queue_addressing"
+  "abl_queue_addressing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_queue_addressing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_victim_policy.dir/abl_victim_policy.cpp.o"
+  "CMakeFiles/abl_victim_policy.dir/abl_victim_policy.cpp.o.d"
+  "abl_victim_policy"
+  "abl_victim_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_victim_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_remote_latency.dir/fig05_remote_latency.cpp.o"
+  "CMakeFiles/fig05_remote_latency.dir/fig05_remote_latency.cpp.o.d"
+  "fig05_remote_latency"
+  "fig05_remote_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_remote_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

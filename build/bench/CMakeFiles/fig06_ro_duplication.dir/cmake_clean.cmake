@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_ro_duplication.dir/fig06_ro_duplication.cpp.o"
+  "CMakeFiles/fig06_ro_duplication.dir/fig06_ro_duplication.cpp.o.d"
+  "fig06_ro_duplication"
+  "fig06_ro_duplication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_ro_duplication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

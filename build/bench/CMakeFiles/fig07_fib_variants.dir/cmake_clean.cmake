@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_fib_variants.dir/fig07_fib_variants.cpp.o"
+  "CMakeFiles/fig07_fib_variants.dir/fig07_fib_variants.cpp.o.d"
+  "fig07_fib_variants"
+  "fig07_fib_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_fib_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_speedup.dir/fig09_speedup.cpp.o"
+  "CMakeFiles/fig09_speedup.dir/fig09_speedup.cpp.o.d"
+  "fig09_speedup"
+  "fig09_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

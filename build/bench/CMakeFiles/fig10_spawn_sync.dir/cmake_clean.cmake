@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_spawn_sync.dir/fig10_spawn_sync.cpp.o"
+  "CMakeFiles/fig10_spawn_sync.dir/fig10_spawn_sync.cpp.o.d"
+  "fig10_spawn_sync"
+  "fig10_spawn_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_spawn_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_scaling.dir/fig11_scaling.cpp.o"
+  "CMakeFiles/fig11_scaling.dir/fig11_scaling.cpp.o.d"
+  "fig11_scaling"
+  "fig11_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

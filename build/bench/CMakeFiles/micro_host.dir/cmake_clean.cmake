@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_host.dir/micro_host.cpp.o"
+  "CMakeFiles/micro_host.dir/micro_host.cpp.o.d"
+  "micro_host"
+  "micro_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_main.cpp" "bench/CMakeFiles/table1_main.dir/table1_main.cpp.o" "gcc" "bench/CMakeFiles/table1_main.dir/table1_main.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/spmrt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/spmrt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/spmrt_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/spmrt_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/spmrt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spmrt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/spmrt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spmrt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/divide_and_conquer.dir/divide_and_conquer.cpp.o"
+  "CMakeFiles/divide_and_conquer.dir/divide_and_conquer.cpp.o.d"
+  "divide_and_conquer"
+  "divide_and_conquer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/divide_and_conquer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

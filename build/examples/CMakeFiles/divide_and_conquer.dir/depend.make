@@ -1,0 +1,2 @@
+# Empty dependencies file for divide_and_conquer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowlevel_tasks.dir/lowlevel_tasks.cpp.o"
+  "CMakeFiles/lowlevel_tasks.dir/lowlevel_tasks.cpp.o.d"
+  "lowlevel_tasks"
+  "lowlevel_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowlevel_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmrt_common.dir/log.cpp.o"
+  "CMakeFiles/spmrt_common.dir/log.cpp.o.d"
+  "libspmrt_common.a"
+  "libspmrt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmrt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmrt_graph.dir/generators.cpp.o"
+  "CMakeFiles/spmrt_graph.dir/generators.cpp.o.d"
+  "libspmrt_graph.a"
+  "libspmrt_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmrt_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmrt_matrix.dir/generators.cpp.o"
+  "CMakeFiles/spmrt_matrix.dir/generators.cpp.o.d"
+  "libspmrt_matrix.a"
+  "libspmrt_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmrt_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

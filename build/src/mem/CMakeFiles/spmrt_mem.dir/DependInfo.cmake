@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/llc.cpp" "src/mem/CMakeFiles/spmrt_mem.dir/llc.cpp.o" "gcc" "src/mem/CMakeFiles/spmrt_mem.dir/llc.cpp.o.d"
+  "/root/repo/src/mem/memory_system.cpp" "src/mem/CMakeFiles/spmrt_mem.dir/memory_system.cpp.o" "gcc" "src/mem/CMakeFiles/spmrt_mem.dir/memory_system.cpp.o.d"
+  "/root/repo/src/mem/noc.cpp" "src/mem/CMakeFiles/spmrt_mem.dir/noc.cpp.o" "gcc" "src/mem/CMakeFiles/spmrt_mem.dir/noc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spmrt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

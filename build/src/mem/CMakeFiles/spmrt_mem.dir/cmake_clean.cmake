@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmrt_mem.dir/llc.cpp.o"
+  "CMakeFiles/spmrt_mem.dir/llc.cpp.o.d"
+  "CMakeFiles/spmrt_mem.dir/memory_system.cpp.o"
+  "CMakeFiles/spmrt_mem.dir/memory_system.cpp.o.d"
+  "CMakeFiles/spmrt_mem.dir/noc.cpp.o"
+  "CMakeFiles/spmrt_mem.dir/noc.cpp.o.d"
+  "libspmrt_mem.a"
+  "libspmrt_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmrt_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

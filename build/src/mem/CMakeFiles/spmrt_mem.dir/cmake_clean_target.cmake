@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspmrt_mem.a"
+)

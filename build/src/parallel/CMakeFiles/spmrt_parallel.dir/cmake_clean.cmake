@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmrt_parallel.dir/patterns.cpp.o"
+  "CMakeFiles/spmrt_parallel.dir/patterns.cpp.o.d"
+  "libspmrt_parallel.a"
+  "libspmrt_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmrt_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmrt_runtime.dir/static_runtime.cpp.o"
+  "CMakeFiles/spmrt_runtime.dir/static_runtime.cpp.o.d"
+  "CMakeFiles/spmrt_runtime.dir/worker.cpp.o"
+  "CMakeFiles/spmrt_runtime.dir/worker.cpp.o.d"
+  "CMakeFiles/spmrt_runtime.dir/ws_runtime.cpp.o"
+  "CMakeFiles/spmrt_runtime.dir/ws_runtime.cpp.o.d"
+  "libspmrt_runtime.a"
+  "libspmrt_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmrt_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/sim/context_x86_64.S" "/root/repo/build/src/sim/CMakeFiles/spmrt_sim.dir/context_x86_64.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo/src"
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/context.cpp" "src/sim/CMakeFiles/spmrt_sim.dir/context.cpp.o" "gcc" "src/sim/CMakeFiles/spmrt_sim.dir/context.cpp.o.d"
+  "/root/repo/src/sim/core.cpp" "src/sim/CMakeFiles/spmrt_sim.dir/core.cpp.o" "gcc" "src/sim/CMakeFiles/spmrt_sim.dir/core.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/spmrt_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/spmrt_sim.dir/engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spmrt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/spmrt_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmrt_sim.dir/context.cpp.o"
+  "CMakeFiles/spmrt_sim.dir/context.cpp.o.d"
+  "CMakeFiles/spmrt_sim.dir/context_x86_64.S.o"
+  "CMakeFiles/spmrt_sim.dir/core.cpp.o"
+  "CMakeFiles/spmrt_sim.dir/core.cpp.o.d"
+  "CMakeFiles/spmrt_sim.dir/engine.cpp.o"
+  "CMakeFiles/spmrt_sim.dir/engine.cpp.o.d"
+  "libspmrt_sim.a"
+  "libspmrt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/spmrt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

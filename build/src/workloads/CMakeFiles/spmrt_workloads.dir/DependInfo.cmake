@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bfs.cpp" "src/workloads/CMakeFiles/spmrt_workloads.dir/bfs.cpp.o" "gcc" "src/workloads/CMakeFiles/spmrt_workloads.dir/bfs.cpp.o.d"
+  "/root/repo/src/workloads/cilksort.cpp" "src/workloads/CMakeFiles/spmrt_workloads.dir/cilksort.cpp.o" "gcc" "src/workloads/CMakeFiles/spmrt_workloads.dir/cilksort.cpp.o.d"
+  "/root/repo/src/workloads/components.cpp" "src/workloads/CMakeFiles/spmrt_workloads.dir/components.cpp.o" "gcc" "src/workloads/CMakeFiles/spmrt_workloads.dir/components.cpp.o.d"
+  "/root/repo/src/workloads/fib.cpp" "src/workloads/CMakeFiles/spmrt_workloads.dir/fib.cpp.o" "gcc" "src/workloads/CMakeFiles/spmrt_workloads.dir/fib.cpp.o.d"
+  "/root/repo/src/workloads/mat_transpose.cpp" "src/workloads/CMakeFiles/spmrt_workloads.dir/mat_transpose.cpp.o" "gcc" "src/workloads/CMakeFiles/spmrt_workloads.dir/mat_transpose.cpp.o.d"
+  "/root/repo/src/workloads/matmul.cpp" "src/workloads/CMakeFiles/spmrt_workloads.dir/matmul.cpp.o" "gcc" "src/workloads/CMakeFiles/spmrt_workloads.dir/matmul.cpp.o.d"
+  "/root/repo/src/workloads/nqueens.cpp" "src/workloads/CMakeFiles/spmrt_workloads.dir/nqueens.cpp.o" "gcc" "src/workloads/CMakeFiles/spmrt_workloads.dir/nqueens.cpp.o.d"
+  "/root/repo/src/workloads/pagerank.cpp" "src/workloads/CMakeFiles/spmrt_workloads.dir/pagerank.cpp.o" "gcc" "src/workloads/CMakeFiles/spmrt_workloads.dir/pagerank.cpp.o.d"
+  "/root/repo/src/workloads/spm_transpose.cpp" "src/workloads/CMakeFiles/spmrt_workloads.dir/spm_transpose.cpp.o" "gcc" "src/workloads/CMakeFiles/spmrt_workloads.dir/spm_transpose.cpp.o.d"
+  "/root/repo/src/workloads/spmv.cpp" "src/workloads/CMakeFiles/spmrt_workloads.dir/spmv.cpp.o" "gcc" "src/workloads/CMakeFiles/spmrt_workloads.dir/spmv.cpp.o.d"
+  "/root/repo/src/workloads/uts.cpp" "src/workloads/CMakeFiles/spmrt_workloads.dir/uts.cpp.o" "gcc" "src/workloads/CMakeFiles/spmrt_workloads.dir/uts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/spmrt_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/spmrt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/spmrt_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/spmrt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spmrt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/spmrt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spmrt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

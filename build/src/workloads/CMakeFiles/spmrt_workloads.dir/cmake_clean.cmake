@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmrt_workloads.dir/bfs.cpp.o"
+  "CMakeFiles/spmrt_workloads.dir/bfs.cpp.o.d"
+  "CMakeFiles/spmrt_workloads.dir/cilksort.cpp.o"
+  "CMakeFiles/spmrt_workloads.dir/cilksort.cpp.o.d"
+  "CMakeFiles/spmrt_workloads.dir/components.cpp.o"
+  "CMakeFiles/spmrt_workloads.dir/components.cpp.o.d"
+  "CMakeFiles/spmrt_workloads.dir/fib.cpp.o"
+  "CMakeFiles/spmrt_workloads.dir/fib.cpp.o.d"
+  "CMakeFiles/spmrt_workloads.dir/mat_transpose.cpp.o"
+  "CMakeFiles/spmrt_workloads.dir/mat_transpose.cpp.o.d"
+  "CMakeFiles/spmrt_workloads.dir/matmul.cpp.o"
+  "CMakeFiles/spmrt_workloads.dir/matmul.cpp.o.d"
+  "CMakeFiles/spmrt_workloads.dir/nqueens.cpp.o"
+  "CMakeFiles/spmrt_workloads.dir/nqueens.cpp.o.d"
+  "CMakeFiles/spmrt_workloads.dir/pagerank.cpp.o"
+  "CMakeFiles/spmrt_workloads.dir/pagerank.cpp.o.d"
+  "CMakeFiles/spmrt_workloads.dir/spm_transpose.cpp.o"
+  "CMakeFiles/spmrt_workloads.dir/spm_transpose.cpp.o.d"
+  "CMakeFiles/spmrt_workloads.dir/spmv.cpp.o"
+  "CMakeFiles/spmrt_workloads.dir/spmv.cpp.o.d"
+  "CMakeFiles/spmrt_workloads.dir/uts.cpp.o"
+  "CMakeFiles/spmrt_workloads.dir/uts.cpp.o.d"
+  "libspmrt_workloads.a"
+  "libspmrt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmrt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_errors.dir/test_errors.cpp.o"
+  "CMakeFiles/test_errors.dir/test_errors.cpp.o.d"
+  "test_errors"
+  "test_errors.pdb"
+  "test_errors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_errors.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ligra.dir/test_ligra.cpp.o"
+  "CMakeFiles/test_ligra.dir/test_ligra.cpp.o.d"
+  "test_ligra"
+  "test_ligra.pdb"
+  "test_ligra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ligra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

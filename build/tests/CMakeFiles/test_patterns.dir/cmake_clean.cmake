@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_patterns.dir/test_patterns.cpp.o"
+  "CMakeFiles/test_patterns.dir/test_patterns.cpp.o.d"
+  "test_patterns"
+  "test_patterns.pdb"
+  "test_patterns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

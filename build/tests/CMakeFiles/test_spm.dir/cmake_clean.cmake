@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spm.dir/test_spm.cpp.o"
+  "CMakeFiles/test_spm.dir/test_spm.cpp.o.d"
+  "test_spm"
+  "test_spm.pdb"
+  "test_spm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_spm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_substrates.dir/test_substrates.cpp.o"
+  "CMakeFiles/test_substrates.dir/test_substrates.cpp.o.d"
+  "test_substrates"
+  "test_substrates.pdb"
+  "test_substrates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_substrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
