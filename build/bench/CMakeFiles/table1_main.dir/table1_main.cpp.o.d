@@ -227,11 +227,11 @@ bench/CMakeFiles/table1_main.dir/table1_main.cpp.o: \
  /root/repo/src/mem/llc.hpp /root/repo/src/mem/noc.hpp \
  /root/repo/src/sim/core.hpp /root/repo/src/sim/engine.hpp \
  /usr/include/c++/12/limits /root/repo/src/sim/context.hpp \
- /root/repo/src/matrix/generators.hpp /root/repo/src/matrix/matrix.hpp \
- /root/repo/src/parallel/patterns.hpp /root/repo/src/parallel/env.hpp \
- /root/repo/src/runtime/context.hpp /root/repo/src/runtime/config.hpp \
- /root/repo/src/runtime/task.hpp /root/repo/src/spm/stack.hpp \
- /root/repo/src/runtime/static_runtime.hpp \
+ /root/repo/src/sim/fault.hpp /root/repo/src/matrix/generators.hpp \
+ /root/repo/src/matrix/matrix.hpp /root/repo/src/parallel/patterns.hpp \
+ /root/repo/src/parallel/env.hpp /root/repo/src/runtime/context.hpp \
+ /root/repo/src/runtime/config.hpp /root/repo/src/runtime/task.hpp \
+ /root/repo/src/spm/stack.hpp /root/repo/src/runtime/static_runtime.hpp \
  /root/repo/src/runtime/barrier.hpp /root/repo/src/spm/layout.hpp \
  /root/repo/src/runtime/worker.hpp /root/repo/src/common/rng.hpp \
  /root/repo/src/runtime/queue_ops.hpp \

@@ -229,8 +229,8 @@ src/matrix/CMakeFiles/spmrt_matrix.dir/generators.cpp.o: \
  /root/repo/src/mem/llc.hpp /root/repo/src/mem/noc.hpp \
  /root/repo/src/sim/core.hpp /root/repo/src/sim/engine.hpp \
  /usr/include/c++/12/limits /root/repo/src/sim/context.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/sim/fault.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

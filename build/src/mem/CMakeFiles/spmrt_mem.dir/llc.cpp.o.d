@@ -125,4 +125,4 @@ src/mem/CMakeFiles/spmrt_mem.dir/llc.cpp.o: /root/repo/src/mem/llc.cpp \
  /usr/include/c++/12/bits/basic_string.tcc \
  /root/repo/src/common/types.hpp /usr/include/c++/12/cstddef \
  /root/repo/src/mem/dram.hpp /root/repo/src/mem/fluid_server.hpp \
- /root/repo/src/sim/config.hpp
+ /root/repo/src/sim/config.hpp /root/repo/src/sim/fault.hpp

@@ -124,4 +124,4 @@ src/mem/CMakeFiles/spmrt_mem.dir/noc.cpp.o: /root/repo/src/mem/noc.cpp \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/bits.hpp \
  /root/repo/src/common/log.hpp /root/repo/src/common/types.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/mem/fluid_server.hpp \
- /root/repo/src/sim/config.hpp
+ /root/repo/src/sim/config.hpp /root/repo/src/sim/fault.hpp

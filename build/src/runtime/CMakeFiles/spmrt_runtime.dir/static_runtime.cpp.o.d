@@ -221,7 +221,7 @@ src/runtime/CMakeFiles/spmrt_runtime.dir/static_runtime.cpp.o: \
  /root/repo/src/mem/llc.hpp /root/repo/src/mem/noc.hpp \
  /root/repo/src/sim/core.hpp /root/repo/src/sim/engine.hpp \
  /usr/include/c++/12/limits /root/repo/src/sim/context.hpp \
- /root/repo/src/runtime/config.hpp /root/repo/src/runtime/context.hpp \
- /root/repo/src/runtime/task.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/spm/stack.hpp \
- /root/repo/src/spm/layout.hpp
+ /root/repo/src/sim/fault.hpp /root/repo/src/runtime/config.hpp \
+ /root/repo/src/runtime/context.hpp /root/repo/src/runtime/task.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/spm/stack.hpp /root/repo/src/spm/layout.hpp

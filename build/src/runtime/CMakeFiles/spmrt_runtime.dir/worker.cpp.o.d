@@ -222,8 +222,9 @@ src/runtime/CMakeFiles/spmrt_runtime.dir/worker.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/context.hpp \
- /root/repo/src/spm/stack.hpp /root/repo/src/runtime/queue_ops.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/sim/fault.hpp /root/repo/src/spm/stack.hpp \
+ /root/repo/src/runtime/queue_ops.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/runtime/static_runtime.hpp \

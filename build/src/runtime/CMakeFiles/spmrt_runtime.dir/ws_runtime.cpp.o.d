@@ -209,15 +209,19 @@ src/runtime/CMakeFiles/spmrt_runtime.dir/ws_runtime.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/runtime/config.hpp /root/repo/src/runtime/queue_ops.hpp \
- /root/repo/src/common/log.hpp /root/repo/src/common/types.hpp \
- /usr/include/c++/12/cstddef /root/repo/src/sim/core.hpp \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/common/bits.hpp /root/repo/src/common/log.hpp \
+ /root/repo/src/common/types.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/sim/core.hpp /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/mem/memory_system.hpp /root/repo/src/mem/address_map.hpp \
  /root/repo/src/sim/config.hpp /root/repo/src/mem/dram.hpp \
- /root/repo/src/common/bits.hpp /root/repo/src/mem/fluid_server.hpp \
- /root/repo/src/mem/llc.hpp /root/repo/src/mem/noc.hpp \
- /root/repo/src/sim/engine.hpp /usr/include/c++/12/limits \
- /root/repo/src/sim/context.hpp /root/repo/src/runtime/task.hpp \
+ /root/repo/src/mem/fluid_server.hpp /root/repo/src/mem/llc.hpp \
+ /root/repo/src/mem/noc.hpp /root/repo/src/sim/engine.hpp \
+ /usr/include/c++/12/limits /root/repo/src/sim/context.hpp \
+ /root/repo/src/sim/fault.hpp /root/repo/src/runtime/task.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/runtime/worker.hpp /root/repo/src/common/rng.hpp \
  /root/repo/src/runtime/context.hpp /root/repo/src/spm/stack.hpp \

@@ -22,6 +22,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/context.cpp" "src/sim/CMakeFiles/spmrt_sim.dir/context.cpp.o" "gcc" "src/sim/CMakeFiles/spmrt_sim.dir/context.cpp.o.d"
   "/root/repo/src/sim/core.cpp" "src/sim/CMakeFiles/spmrt_sim.dir/core.cpp.o" "gcc" "src/sim/CMakeFiles/spmrt_sim.dir/core.cpp.o.d"
   "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/spmrt_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/spmrt_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/fault.cpp" "src/sim/CMakeFiles/spmrt_sim.dir/fault.cpp.o" "gcc" "src/sim/CMakeFiles/spmrt_sim.dir/fault.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -6,6 +6,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/spmrt_sim.dir/core.cpp.o.d"
   "CMakeFiles/spmrt_sim.dir/engine.cpp.o"
   "CMakeFiles/spmrt_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/spmrt_sim.dir/fault.cpp.o"
+  "CMakeFiles/spmrt_sim.dir/fault.cpp.o.d"
   "libspmrt_sim.a"
   "libspmrt_sim.pdb"
 )

@@ -221,11 +221,15 @@ src/workloads/CMakeFiles/spmrt_workloads.dir/fib.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/context.hpp \
- /root/repo/src/spm/stack.hpp /root/repo/src/runtime/static_runtime.hpp \
+ /root/repo/src/sim/fault.hpp /root/repo/src/spm/stack.hpp \
+ /root/repo/src/runtime/static_runtime.hpp \
  /root/repo/src/runtime/barrier.hpp /root/repo/src/sim/machine.hpp \
  /root/repo/src/mem/alloc.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/spm/layout.hpp \
  /root/repo/src/runtime/worker.hpp /root/repo/src/common/rng.hpp \
- /root/repo/src/runtime/queue_ops.hpp \
+ /root/repo/src/runtime/queue_ops.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/runtime/ws_runtime.hpp

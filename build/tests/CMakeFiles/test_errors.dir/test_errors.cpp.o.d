@@ -301,4 +301,5 @@ tests/CMakeFiles/test_errors.dir/test_errors.cpp.o: \
  /root/repo/src/mem/fluid_server.hpp /root/repo/src/mem/llc.hpp \
  /root/repo/src/mem/noc.hpp /root/repo/src/sim/core.hpp \
  /root/repo/src/sim/engine.hpp /root/repo/src/sim/context.hpp \
- /root/repo/src/spm/layout.hpp /root/repo/src/spm/stack.hpp
+ /root/repo/src/sim/fault.hpp /root/repo/src/spm/layout.hpp \
+ /root/repo/src/spm/stack.hpp

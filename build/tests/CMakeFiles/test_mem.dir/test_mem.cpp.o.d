@@ -300,4 +300,5 @@ tests/CMakeFiles/test_mem.dir/test_mem.cpp.o: \
  /root/repo/src/mem/llc.hpp /root/repo/src/mem/noc.hpp \
  /root/repo/src/sim/machine.hpp /root/repo/src/mem/memory_system.hpp \
  /usr/include/c++/12/cstring /root/repo/src/sim/core.hpp \
- /root/repo/src/sim/engine.hpp /root/repo/src/sim/context.hpp
+ /root/repo/src/sim/engine.hpp /root/repo/src/sim/context.hpp \
+ /root/repo/src/sim/fault.hpp

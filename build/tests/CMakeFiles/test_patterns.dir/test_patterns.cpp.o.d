@@ -304,10 +304,13 @@ tests/CMakeFiles/test_patterns.dir/test_patterns.cpp.o: \
  /root/repo/src/sim/config.hpp /root/repo/src/mem/dram.hpp \
  /root/repo/src/mem/fluid_server.hpp /root/repo/src/mem/llc.hpp \
  /root/repo/src/mem/noc.hpp /root/repo/src/sim/engine.hpp \
- /root/repo/src/sim/context.hpp /root/repo/src/spm/stack.hpp \
- /root/repo/src/runtime/static_runtime.hpp \
+ /root/repo/src/sim/context.hpp /root/repo/src/sim/fault.hpp \
+ /root/repo/src/spm/stack.hpp /root/repo/src/runtime/static_runtime.hpp \
  /root/repo/src/runtime/barrier.hpp /root/repo/src/sim/machine.hpp \
  /root/repo/src/mem/alloc.hpp /root/repo/src/spm/layout.hpp \
  /root/repo/src/runtime/worker.hpp /root/repo/src/common/rng.hpp \
- /root/repo/src/runtime/queue_ops.hpp \
+ /root/repo/src/runtime/queue_ops.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/runtime/ws_runtime.hpp

@@ -300,4 +300,5 @@ tests/CMakeFiles/test_sim.dir/test_sim.cpp.o: \
  /usr/include/c++/12/cstring /root/repo/src/mem/address_map.hpp \
  /root/repo/src/sim/config.hpp /root/repo/src/mem/dram.hpp \
  /root/repo/src/mem/fluid_server.hpp /root/repo/src/mem/llc.hpp \
- /root/repo/src/mem/noc.hpp /root/repo/src/sim/core.hpp
+ /root/repo/src/mem/noc.hpp /root/repo/src/sim/core.hpp \
+ /root/repo/src/sim/fault.hpp

@@ -301,4 +301,5 @@ tests/CMakeFiles/test_spm.dir/test_spm.cpp.o: \
  /root/repo/src/mem/dram.hpp /root/repo/src/mem/fluid_server.hpp \
  /root/repo/src/mem/llc.hpp /root/repo/src/mem/noc.hpp \
  /root/repo/src/sim/engine.hpp /root/repo/src/sim/context.hpp \
- /root/repo/src/sim/machine.hpp /root/repo/src/mem/alloc.hpp
+ /root/repo/src/sim/fault.hpp /root/repo/src/sim/machine.hpp \
+ /root/repo/src/mem/alloc.hpp

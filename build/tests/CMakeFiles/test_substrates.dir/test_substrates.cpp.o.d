@@ -308,4 +308,5 @@ tests/CMakeFiles/test_substrates.dir/test_substrates.cpp.o: \
  /root/repo/src/mem/fluid_server.hpp /root/repo/src/mem/llc.hpp \
  /root/repo/src/mem/noc.hpp /root/repo/src/sim/core.hpp \
  /root/repo/src/sim/engine.hpp /root/repo/src/sim/context.hpp \
- /root/repo/src/matrix/generators.hpp /root/repo/src/matrix/matrix.hpp
+ /root/repo/src/sim/fault.hpp /root/repo/src/matrix/generators.hpp \
+ /root/repo/src/matrix/matrix.hpp

@@ -16,4 +16,5 @@ include("/root/repo/build/tests/test_workloads[1]_include.cmake")
 include("/root/repo/build/tests/test_integration[1]_include.cmake")
 include("/root/repo/build/tests/test_extensions[1]_include.cmake")
 include("/root/repo/build/tests/test_ligra[1]_include.cmake")
+include("/root/repo/build/tests/test_chaos[1]_include.cmake")
 include("/root/repo/build/tests/test_errors[1]_include.cmake")

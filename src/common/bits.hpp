@@ -48,6 +48,14 @@ floorLog2(T x)
     return result;
 }
 
+/** Round @p x down to the nearest power of two (0 maps to 0). */
+template <typename T>
+constexpr T
+floorPow2(T x)
+{
+    return x == 0 ? T(0) : T(T(1) << floorLog2(x));
+}
+
 /** Ceil of log2(x); x must be nonzero. */
 template <typename T>
 constexpr unsigned

@@ -1,5 +1,7 @@
 #include "mem/llc.hpp"
 
+#include "sim/fault.hpp"
+
 namespace spmrt {
 
 LlcModel::LlcModel(const MachineConfig &cfg, DramModel &dram)
@@ -47,7 +49,8 @@ LlcModel::access(Cycles arrive, uint64_t dram_offset, uint32_t bytes,
 
     // Serialize at the bank, then pay the tag/data pipeline latency.
     Cycles wait = banks_[bank].charge(arrive, bankOccupancy_);
-    Cycles done = arrive + wait + bankLatency_;
+    Cycles slow = fault_ != nullptr ? fault_->llcDelay(bank, arrive) : 0;
+    Cycles done = arrive + wait + bankLatency_ + slow;
 
     Way *ways = set(bank, index);
     ++useClock_;

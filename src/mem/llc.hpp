@@ -25,6 +25,8 @@
 
 namespace spmrt {
 
+class FaultPlan;
+
 /**
  * All LLC banks plus their interface to DRAM.
  */
@@ -59,6 +61,9 @@ class LlcModel
     /** Invalidate all lines and forget occupancy. */
     void reset();
 
+    /** Install (or clear, with nullptr) a fault plan consulted per access. */
+    void setFaultPlan(FaultPlan *plan) { fault_ = plan; }
+
   private:
     struct Way
     {
@@ -83,6 +88,7 @@ class LlcModel
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
     uint64_t writebacks_ = 0;
+    FaultPlan *fault_ = nullptr;
 
     Way *
     set(uint32_t bank, uint32_t index)

@@ -121,6 +121,14 @@ class MemorySystem
     }
     /** @} */
 
+    /** Install (or clear, with nullptr) a fault plan on the NoC and LLC. */
+    void
+    setFaultPlan(FaultPlan *plan)
+    {
+        noc_.setFaultPlan(plan);
+        llc_.setFaultPlan(plan);
+    }
+
     const AddressMap &map() const { return map_; }
     MeshNoc &noc() { return noc_; }
     LlcModel &llc() { return llc_; }

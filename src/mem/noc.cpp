@@ -1,5 +1,7 @@
 #include "mem/noc.hpp"
 
+#include "sim/fault.hpp"
+
 namespace spmrt {
 
 MeshNoc::MeshNoc(const MachineConfig &cfg) : cfg_(cfg)
@@ -41,7 +43,8 @@ MeshNoc::hop(uint32_t x, uint32_t y, Dir dir, Cycles t, uint32_t flits)
     Cycles wait = server.charge(t, flits);
     linkCyclesUsed_ += flits;
     linkFlits_[&server - links_.data()] += flits;
-    return t + wait + cfg_.linkLatency;
+    Cycles extra = fault_ != nullptr ? fault_->linkDelay(x, y, t) : 0;
+    return t + wait + cfg_.linkLatency + extra;
 }
 
 Cycles

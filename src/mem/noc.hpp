@@ -31,6 +31,8 @@
 
 namespace spmrt {
 
+class FaultPlan;
+
 /** A network endpoint in mesh coordinates. */
 struct NocEndpoint
 {
@@ -86,6 +88,9 @@ class MeshNoc
     /** Forget all link occupancy (used between benchmark phases). */
     void reset();
 
+    /** Install (or clear, with nullptr) a fault plan consulted per hop. */
+    void setFaultPlan(FaultPlan *plan) { fault_ = plan; }
+
     /** Per-link cumulative flit counts (diagnostics; indexed like
      *  linkFree). */
     const std::vector<uint64_t> &linkFlits() const { return linkFlits_; }
@@ -138,6 +143,7 @@ class MeshNoc
     std::vector<uint64_t> linkFlits_;
     uint64_t linkCyclesUsed_ = 0;
     uint64_t packets_ = 0;
+    FaultPlan *fault_ = nullptr;
 };
 
 } // namespace spmrt

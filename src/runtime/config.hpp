@@ -21,6 +21,19 @@
 namespace spmrt {
 
 /**
+ * @name Exponential-backoff bounds (cycles)
+ *
+ * Shared by the queue lock's spin loop and the worker's steal-retry
+ * loop: wait kBackoffMinCycles after the first failure, double on each
+ * subsequent failure, saturate at kBackoffMaxCycles. These are the
+ * defaults behind RuntimeConfig::backoffMin/backoffMax.
+ * @{
+ */
+inline constexpr uint32_t kBackoffMinCycles = 4;
+inline constexpr uint32_t kBackoffMaxCycles = 64;
+/** @} */
+
+/**
  * Victim-selection policy for stealing. The paper uses Random
  * (choose_victim in Fig. 4); the alternatives are extensions evaluated
  * by the victim-policy ablation: Nearest probes mesh-adjacent cores
@@ -78,11 +91,25 @@ struct RuntimeConfig
      * (Sec. 6: "these instructions are executed by idle cores ... not
      * part of the critical path").
      */
-    uint32_t backoffMin = 4;
-    uint32_t backoffMax = 64;
+    uint32_t backoffMin = kBackoffMinCycles;
+    uint32_t backoffMax = kBackoffMaxCycles;
 
     /** Seed for per-core victim-selection RNGs. */
     uint64_t seed = 0x5eed;
+
+    /**
+     * @name Hang watchdog bounds
+     *
+     * A work-stealing run panics with a structured dump when no task
+     * retires for watchdogCycles simulated cycles AND watchdogSwitches
+     * context switches (each enabled bound must expire; 0 disables that
+     * bound, both 0 disable the watchdog). The cycle default is far
+     * beyond any legitimate stall — DRAM round trips are hundreds of
+     * cycles — so only a genuine quiescence failure trips it.
+     */
+    uint64_t watchdogCycles = 200'000'000;
+    uint64_t watchdogSwitches = 0;
+    /** @} */
 
     /**
      * Number of cores that participate in execution (0 = all). Used by

@@ -23,8 +23,12 @@
 #ifndef SPMRT_RUNTIME_QUEUE_OPS_HPP
 #define SPMRT_RUNTIME_QUEUE_OPS_HPP
 
+#include <algorithm>
+
+#include "common/bits.hpp"
 #include "common/log.hpp"
 #include "common/types.hpp"
+#include "runtime/config.hpp"
 #include "sim/core.hpp"
 
 namespace spmrt {
@@ -50,7 +54,10 @@ struct QueueAddrs
         q.tail = base + 4;
         q.lock = base + 8;
         q.slots = base + 12;
-        q.capacity = (bytes - 12) / 4;
+        // head and tail increase monotonically and wrap at 2^32; slot
+        // mapping via index % capacity stays continuous across that wrap
+        // only if capacity divides 2^32, so round down to a power of two.
+        q.capacity = floorPow2((bytes - 12) / 4);
         return q;
     }
 };
@@ -68,10 +75,17 @@ class QueueOps
     void
     lockAcquire(Addr lock)
     {
-        Cycles backoff = 4;
+        Cycles backoff = kBackoffMinCycles;
         while (core_.amo(lock, AmoOp::Swap, 1) != 0) {
             core_.idle(backoff);
-            backoff = backoff < 32 ? backoff * 2 : backoff;
+            backoff = std::min<Cycles>(backoff * 2, kBackoffMaxCycles);
+        }
+        // Fault injection: a delayed lock holder sits on the lock it just
+        // won, deterministically widening the critical section.
+        if (FaultPlan *plan = core_.faultPlan()) {
+            Cycles extra = plan->lockHolderDelay(core_.id());
+            if (extra != 0)
+                core_.tick(extra, 0);
         }
     }
 

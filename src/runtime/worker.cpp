@@ -31,6 +31,7 @@ Worker::executeTask(Task &task)
     TaskContext tc(*this, &task, frame, core_, stack_);
     task.execute(tc);
     ++core_.stats().tasksExecuted;
+    core_.engine().noteProgress();
 }
 
 void
@@ -211,6 +212,7 @@ Worker::spawn(TaskContext &tc, Task *child)
         // Queue full: degrade gracefully by executing the child inline.
         // Its ready-count contribution was already published, so go
         // through the normal completion path.
+        ++core_.stats().spawnsInlined;
         rt_.registry().remove(child->id);
         executeSpawned(child);
     }

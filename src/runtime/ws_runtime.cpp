@@ -102,10 +102,45 @@ WorkStealingRuntime::run(const std::function<void(TaskContext &)> &root_fn,
             bodies[i] = [](Core &) {}; // parked: not participating
     }
 
+    // Arm the hang watchdog: every retired task is a progress event; if
+    // none retires within the configured bounds the engine dumps our
+    // runtime state and panics instead of spinning forever.
+    if (cfg_.watchdogCycles != 0 || cfg_.watchdogSwitches != 0)
+        machine_.engine().armWatchdog(cfg_.watchdogCycles,
+                                      cfg_.watchdogSwitches,
+                                      [this] { return watchdogDump(); });
     Cycles cycles = machine_.runPerCore(bodies);
+    machine_.engine().disarmWatchdog();
     SPMRT_ASSERT(registry_.liveCount() == 0,
                  "%zu tasks leaked after run", registry_.liveCount());
     return cycles;
+}
+
+std::string
+WorkStealingRuntime::watchdogDump() const
+{
+    MemorySystem &mem = machine_.mem();
+    std::string out = "runtime state:\n";
+    for (CoreId i = 0; i < activeCores(); ++i) {
+        QueueAddrs q = queueAddrs(i);
+        uint32_t head = mem.peekAs<uint32_t>(q.head);
+        uint32_t tail = mem.peekAs<uint32_t>(q.tail);
+        uint32_t lock = mem.peekAs<uint32_t>(q.lock);
+        uint32_t done = mem.peekAs<uint32_t>(doneFlagAddr(i));
+        const CoreStats &st = machine_.core(i).stats();
+        out += log::format(
+            "  core %3u: queue head=%u tail=%u (%u queued) lock=%u "
+            "done=%u depth=%u exec=%llu steals=%llu/%llu inline=%llu\n",
+            i, head, tail, tail - head, lock, done,
+            workers_[i]->stack().depth(),
+            static_cast<unsigned long long>(st.tasksExecuted),
+            static_cast<unsigned long long>(st.stealHits),
+            static_cast<unsigned long long>(st.stealAttempts),
+            static_cast<unsigned long long>(st.spawnsInlined));
+    }
+    out += log::format("  live tasks in registry: %zu\n",
+                       registry_.liveCount());
+    return out;
 }
 
 } // namespace spmrt

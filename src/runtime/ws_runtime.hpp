@@ -91,6 +91,13 @@ class WorkStealingRuntime
     /** User scratchpad allocator for core @p id (spm_malloc region). */
     SpmUserAllocator &userSpm(CoreId id) { return *userSpm_[id]; }
 
+    /**
+     * Runtime-level hang dump for the engine watchdog: per-core stack
+     * depth, queue head/tail/lock (untimed peeks), steal counters and
+     * done flags, plus the live-task count. Callable at any point.
+     */
+    std::string watchdogDump() const;
+
   private:
     Machine &machine_;
     RuntimeConfig cfg_;

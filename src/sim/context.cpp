@@ -11,7 +11,35 @@
 #include <ucontext.h>
 #endif
 
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SPMRT_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define SPMRT_ASAN 1
+#endif
+
 namespace spmrt {
+
+namespace {
+
+/**
+ * ASan redzones inflate every stack frame several-fold, so a guest
+ * stack sized for production frames overflows under instrumentation.
+ * Scale the caller's request rather than making every config
+ * sanitizer-aware.
+ */
+constexpr size_t
+scaledStackBytes(size_t stack_bytes)
+{
+#if defined(SPMRT_ASAN)
+    return stack_bytes * 4;
+#else
+    return stack_bytes;
+#endif
+}
+
+} // namespace
 
 #if defined(__x86_64__)
 
@@ -32,6 +60,7 @@ GuestContext::init(size_t stack_bytes, void (*entry)(void *), void *arg)
     SPMRT_ASSERT(stackBase_ == nullptr, "context initialized twice");
 
     const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+    stack_bytes = scaledStackBytes(stack_bytes);
     mapBytes_ = ((stack_bytes + page - 1) / page) * page + page;
     void *base = ::mmap(nullptr, mapBytes_, PROT_READ | PROT_WRITE,
                         MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
@@ -110,6 +139,7 @@ void
 GuestContext::init(size_t stack_bytes, void (*entry)(void *), void *arg)
 {
     const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+    stack_bytes = scaledStackBytes(stack_bytes);
     mapBytes_ = ((stack_bytes + page - 1) / page) * page + page;
     void *base = ::mmap(nullptr, mapBytes_, PROT_READ | PROT_WRITE,
                         MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);

@@ -19,6 +19,7 @@
 #include "mem/memory_system.hpp"
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 
 namespace spmrt {
 
@@ -37,6 +38,7 @@ struct CoreStats
     uint64_t stealHits = 0;
     uint64_t stackFramesPushed = 0;
     uint64_t stackFramesOverflowed = 0;
+    uint64_t spawnsInlined = 0; ///< queue-full spawns executed inline
 };
 
 /**
@@ -68,6 +70,8 @@ class Core
     void
     tick(Cycles cycles, uint64_t instrs = 1)
     {
+        if (fault_ != nullptr)
+            cycles += fault_->coreStall(id_, engine_.time(id_));
         engine_.advance(id_, cycles);
         stats_.instructions += instrs;
     }
@@ -152,6 +156,8 @@ class Core
     void
     idle(Cycles cycles)
     {
+        if (fault_ != nullptr)
+            cycles += fault_->coreStall(id_, engine_.time(id_));
         engine_.advance(id_, cycles);
         engine_.syncPoint(id_);
     }
@@ -175,12 +181,18 @@ class Core
     Engine &engine() { return engine_; }
     MemorySystem &mem() { return mem_; }
 
+    /** Install (or clear, with nullptr) the fault plan for this core. */
+    void setFaultPlan(FaultPlan *plan) { fault_ = plan; }
+    /** The active fault plan, or nullptr (consulted by the runtime). */
+    FaultPlan *faultPlan() { return fault_; }
+
   private:
     Engine &engine_;
     MemorySystem &mem_;
     CoreId id_;
     const MachineConfig &cfg_;
     CoreStats stats_;
+    FaultPlan *fault_ = nullptr;
 };
 
 } // namespace spmrt

@@ -1,5 +1,7 @@
 #include "sim/engine.hpp"
 
+#include <cstdio>
+
 namespace spmrt {
 
 Engine::Engine(uint32_t num_cores, size_t host_stack_bytes)
@@ -63,6 +65,8 @@ Engine::run()
         }
         SPMRT_ASSERT(next != nullptr,
                      "deadlock: all %u live cores are blocked", live_);
+        if (wdCycles_ != 0 || wdSwitches_ != 0)
+            watchdogCheck(next->time);
         running_ = next->id;
         ++switches_;
         GuestContext::switchTo(schedCtx_, next->ctx);
@@ -117,6 +121,45 @@ Engine::minOtherTime(CoreId self) const
             min_time = slot->time;
     }
     return min_time;
+}
+
+void
+Engine::watchdogCheck(Cycles next_time)
+{
+    bool cycles_over =
+        wdCycles_ != 0 && next_time > progressTime_ + wdCycles_;
+    bool switches_over =
+        wdSwitches_ != 0 && switches_ > progressSwitches_ + wdSwitches_;
+    // Each enabled bound must independently expire: cycle expiry alone can
+    // be one long memory stall, switch expiry alone can be legitimate
+    // backoff spinning at a nearly frozen clock.
+    if ((wdCycles_ != 0 && !cycles_over) ||
+        (wdSwitches_ != 0 && !switches_over))
+        return;
+
+    std::string report = log::format(
+        "watchdog: no progress for %llu cycles / %llu switches "
+        "(last progress at cycle %llu)\n",
+        static_cast<unsigned long long>(next_time - progressTime_),
+        static_cast<unsigned long long>(switches_ - progressSwitches_),
+        static_cast<unsigned long long>(progressTime_));
+    report += "engine state:\n";
+    for (const auto &slot : slots_) {
+        if (!slot->hasBody)
+            continue;
+        report += log::format(
+            "  core %3u: t=%llu %s\n", slot->id,
+            static_cast<unsigned long long>(slot->time),
+            slot->finished ? "finished"
+                           : (slot->blocked ? "BLOCKED" : "runnable"));
+    }
+    if (wdDump_)
+        report += wdDump_();
+    std::fputs(report.c_str(), stderr);
+    std::fflush(stderr);
+    SPMRT_PANIC("watchdog expired: global quiescence failure "
+                "(%u live cores, see dump above)",
+                live_);
 }
 
 Cycles

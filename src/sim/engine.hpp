@@ -104,6 +104,60 @@ class Engine
     /** Largest clock reached by any core so far. */
     Cycles maxTime() const;
 
+    /**
+     * @name Hang watchdog
+     *
+     * Once armed, the scheduler checks before every switch whether any
+     * progress (a noteProgress() call, normally one per completed task)
+     * happened within the last @p max_cycles simulated cycles and
+     * @p max_switches context switches. If both bounds are exceeded the
+     * engine prints @p dump plus its own per-core state table to stderr
+     * and panics — turning a silent infinite hang into a diagnosable
+     * failure. Either bound can be 0 to disable that dimension; arming
+     * with both 0 disables the watchdog.
+     * @{
+     */
+    void
+    armWatchdog(Cycles max_cycles, uint64_t max_switches,
+                std::function<std::string()> dump)
+    {
+        wdCycles_ = max_cycles;
+        wdSwitches_ = max_switches;
+        wdDump_ = std::move(dump);
+        noteProgressAt(maxTime());
+    }
+
+    /** Disarm the watchdog (leaves progress markers untouched). */
+    void
+    disarmWatchdog()
+    {
+        wdCycles_ = 0;
+        wdSwitches_ = 0;
+        wdDump_ = nullptr;
+    }
+
+    /** Record forward progress (called by the runtime per task retired). */
+    void
+    noteProgress()
+    {
+        noteProgressAt(running_ == kInvalidCore ? maxTime()
+                                                : slots_[running_]->time);
+    }
+    /** @} */
+
+  private:
+    void
+    noteProgressAt(Cycles t)
+    {
+        progressTime_ = t;
+        progressSwitches_ = switches_;
+    }
+
+    /** Check the watchdog bounds against @p next; panic on expiry. */
+    void watchdogCheck(Cycles next_time);
+
+  public:
+
   private:
     struct Slot
     {
@@ -128,6 +182,13 @@ class Engine
     uint32_t live_ = 0;
     uint64_t switches_ = 0;
     size_t stackBytes_;
+
+    // Watchdog state. wdCycles_/wdSwitches_ of 0 = that bound disabled.
+    Cycles wdCycles_ = 0;
+    uint64_t wdSwitches_ = 0;
+    std::function<std::string()> wdDump_;
+    Cycles progressTime_ = 0;
+    uint64_t progressSwitches_ = 0;
 };
 
 } // namespace spmrt

@@ -1,0 +1,104 @@
+#include "sim/fault.hpp"
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace spmrt {
+
+std::string
+FaultPlan::describe() const
+{
+    std::string out;
+    if (seed_ != 0)
+        out += log::format("fault plan (chaos seed 0x%llx):\n",
+                           static_cast<unsigned long long>(seed_));
+    else
+        out += "fault plan:\n";
+    for (const CoreStallWindow &w : coreStalls_)
+        out += log::format(
+            "  straggler core %u: [%llu, %llu) +%llu cyc/op\n", w.core,
+            static_cast<unsigned long long>(w.start),
+            static_cast<unsigned long long>(w.end),
+            static_cast<unsigned long long>(w.extraPerOp));
+    for (const LinkDelayWindow &w : linkDelays_)
+        out += log::format(
+            "  link delay at node (%u,%u): [%llu, %llu) +%llu cyc/hop\n",
+            w.x, w.y, static_cast<unsigned long long>(w.start),
+            static_cast<unsigned long long>(w.end),
+            static_cast<unsigned long long>(w.extra));
+    for (const LlcSlowWindow &w : llcSlows_)
+        out += log::format(
+            "  slow LLC bank %u: [%llu, %llu) +%llu cyc/req\n", w.bank,
+            static_cast<unsigned long long>(w.start),
+            static_cast<unsigned long long>(w.end),
+            static_cast<unsigned long long>(w.extra));
+    for (const LockHolderFault &f : lockFaults_)
+        out += log::format(
+            "  lock-holder delay on core %u: every %u-th acquire +%llu "
+            "cyc\n",
+            f.core, f.period, static_cast<unsigned long long>(f.extra));
+    out += log::format(
+        "  injected: stall=%llu link=%llu llc=%llu lock=%llu cycles "
+        "(%llu delayed critical sections)\n",
+        static_cast<unsigned long long>(injected_.coreStallCycles),
+        static_cast<unsigned long long>(injected_.linkDelayCycles),
+        static_cast<unsigned long long>(injected_.llcDelayCycles),
+        static_cast<unsigned long long>(injected_.lockHolderCycles),
+        static_cast<unsigned long long>(injected_.lockHolderHits));
+    return out;
+}
+
+FaultPlan
+FaultPlan::chaos(uint64_t plan_seed, const MachineConfig &cfg,
+                 Cycles horizon)
+{
+    FaultPlan plan;
+    plan.seed_ = plan_seed;
+    Xoshiro256StarStar rng(hash64(plan_seed ^ 0xfa017ed5eedULL));
+
+    const uint32_t cores = cfg.numCores();
+    auto window = [&](Cycles &start, Cycles &end) {
+        start = rng.nextBounded(horizon / 2);
+        end = start + horizon / 8 + rng.nextBounded(horizon / 2);
+    };
+
+    // 1-2 straggler cores, each 2-4x slower inside its window.
+    uint32_t stragglers = 1 + static_cast<uint32_t>(rng.nextBounded(2));
+    for (uint32_t i = 0; i < stragglers; ++i) {
+        Cycles start, end;
+        window(start, end);
+        plan.stallCore(static_cast<CoreId>(rng.nextBounded(cores)), start,
+                       end, 1 + rng.nextBounded(3));
+    }
+
+    // 2-4 link congestion spikes at random mesh nodes.
+    uint32_t spikes = 2 + static_cast<uint32_t>(rng.nextBounded(3));
+    for (uint32_t i = 0; i < spikes; ++i) {
+        Cycles start, end;
+        window(start, end);
+        plan.delayLinks(static_cast<uint32_t>(rng.nextBounded(cfg.meshCols)),
+                        static_cast<uint32_t>(rng.nextBounded(cfg.meshRows)),
+                        start, end, 2 + rng.nextBounded(16));
+    }
+
+    // 1-2 slow LLC banks.
+    uint32_t slow_banks = 1 + static_cast<uint32_t>(rng.nextBounded(2));
+    for (uint32_t i = 0; i < slow_banks; ++i) {
+        Cycles start, end;
+        window(start, end);
+        plan.slowLlcBank(
+            static_cast<uint32_t>(rng.nextBounded(cfg.llcBanks)), start,
+            end, 5 + rng.nextBounded(40));
+    }
+
+    // Lock-holder delays on 1-2 cores: stretch critical sections hard —
+    // this is what stresses the racy emptiness probes.
+    uint32_t holders = 1 + static_cast<uint32_t>(rng.nextBounded(2));
+    for (uint32_t i = 0; i < holders; ++i)
+        plan.delayLockHolder(static_cast<CoreId>(rng.nextBounded(cores)),
+                             2 + static_cast<uint32_t>(rng.nextBounded(5)),
+                             20 + rng.nextBounded(120));
+    return plan;
+}
+
+} // namespace spmrt

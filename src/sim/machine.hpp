@@ -140,6 +140,19 @@ class Machine
         return totalStat(&CoreStats::instructions);
     }
 
+    /**
+     * Install (or clear, with nullptr) a fault plan machine-wide: every
+     * core plus the NoC and LLC consult it. The plan must outlive the
+     * runs it perturbs.
+     */
+    void
+    setFaultPlan(FaultPlan *plan)
+    {
+        for (auto &core : cores_)
+            core->setFaultPlan(plan);
+        mem_.setFaultPlan(plan);
+    }
+
   private:
     MachineConfig cfg_;
     Engine engine_;

@@ -78,9 +78,16 @@ class StackModel
             spmSp_ -= bytes;
             base = spmSp_;
         } else {
-            SPMRT_ASSERT(dramSp_ >= cfg_.dramBase + bytes,
-                         "DRAM overflow stack exhausted (%u-byte frame)",
-                         bytes);
+            if (dramSp_ < cfg_.dramBase + bytes)
+                SPMRT_FATAL(
+                    "core %u: DRAM overflow stack exhausted pushing a "
+                    "%u-byte frame at depth %u (%u of %u bytes used); "
+                    "raise RuntimeConfig::dramStackBytes or reduce "
+                    "recursion depth",
+                    core_.id(), bytes, depth(),
+                    static_cast<uint32_t>(cfg_.dramBase + cfg_.dramBytes -
+                                          dramSp_),
+                    cfg_.dramBytes);
             dramSp_ -= bytes;
             base = dramSp_;
             if (cfg_.spmResident)
@@ -97,6 +104,12 @@ class StackModel
         // Callee-save spills at the frame's home location.
         for (uint32_t w = 0; w < cfg_.regSaveWords; ++w)
             core_.store<uint32_t>(base + w * 4, 0);
+        // Arm a canary in the first callee-save word (runtime-owned:
+        // locals start at localsOffset()). Untimed poke/peek so the
+        // check perturbs no timing; a torn canary at pop means guest
+        // code scribbled below its frame's local area.
+        if (cfg_.regSaveWords > 0)
+            core_.mem().pokeAs<uint32_t>(base, canaryWord(base));
         return base;
     }
 
@@ -107,6 +120,16 @@ class StackModel
         SPMRT_ASSERT(!frames_.empty(), "pop of empty stack");
         FrameRec frame = frames_.back();
         frames_.pop_back();
+        if (cfg_.regSaveWords > 0) {
+            uint32_t word = core_.mem().peekAs<uint32_t>(frame.base);
+            if (word != canaryWord(frame.base))
+                SPMRT_PANIC(
+                    "core %u: stack canary smashed at %s frame base "
+                    "0x%x (found 0x%08x, expected 0x%08x) — frame "
+                    "corruption below localsOffset()",
+                    core_.id(), frame.inSpm ? "SPM" : "DRAM", frame.base,
+                    word, canaryWord(frame.base));
+        }
         for (uint32_t w = 0; w < cfg_.regSaveWords; ++w)
             (void)core_.load<uint32_t>(frame.base + w * 4);
         core_.tick(2, 2);
@@ -140,6 +163,9 @@ class StackModel
 
   private:
     friend class StackFrame;
+
+    /** Position-dependent canary so a frame can't satisfy another's. */
+    static uint32_t canaryWord(Addr base) { return 0x5afec0deu ^ base; }
 
     struct FrameRec
     {

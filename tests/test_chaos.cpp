@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Chaos tests: deterministic fault injection over real workloads.
+ *
+ * The invariant under test is the one fault.hpp promises: perturbations
+ * change only timing, so (a) every run still terminates and produces
+ * bit-identical results to the fault-free run, and (b) the same
+ * (workload, seed, FaultPlan) triple gives identical cycle counts across
+ * fresh runs. A violation of (a) is a runtime protocol bug; a violation
+ * of (b) is nondeterminism in the simulator. The suite also exercises
+ * the engine watchdog, which must fire on a genuine quiescence failure
+ * and stay quiet on healthy runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "runtime/ws_runtime.hpp"
+#include "sim/fault.hpp"
+#include "workloads/cilksort.hpp"
+#include "workloads/fib.hpp"
+#include "workloads/uts.hpp"
+
+namespace spmrt {
+namespace {
+
+using namespace spmrt::workloads;
+
+// ---- FaultPlan unit behaviour -------------------------------------------
+
+TEST(FaultPlan, QueriesRespectWindows)
+{
+    FaultPlan plan;
+    plan.stallCore(2, 100, 200, 5)
+        .delayLinks(1, 0, 50, 60, 7)
+        .slowLlcBank(3, 10, 20, 11);
+
+    EXPECT_EQ(plan.coreStall(2, 99), 0u);
+    EXPECT_EQ(plan.coreStall(2, 100), 5u);
+    EXPECT_EQ(plan.coreStall(2, 199), 5u);
+    EXPECT_EQ(plan.coreStall(2, 200), 0u) << "end is exclusive";
+    EXPECT_EQ(plan.coreStall(1, 150), 0u) << "other cores unaffected";
+
+    EXPECT_EQ(plan.linkDelay(1, 0, 55), 7u);
+    EXPECT_EQ(plan.linkDelay(0, 1, 55), 0u);
+    EXPECT_EQ(plan.llcDelay(3, 15), 11u);
+    EXPECT_EQ(plan.llcDelay(2, 15), 0u);
+
+    EXPECT_EQ(plan.injected().coreStallCycles, 10u);
+    EXPECT_EQ(plan.injected().linkDelayCycles, 7u);
+    EXPECT_EQ(plan.injected().llcDelayCycles, 11u);
+    plan.resetInjected();
+    EXPECT_EQ(plan.injected().coreStallCycles, 0u);
+}
+
+TEST(FaultPlan, LockHolderDelayFiresPeriodically)
+{
+    FaultPlan plan;
+    plan.delayLockHolder(4, 3, 50);
+    // Acquisitions 1..6 by core 4: the 3rd and 6th are delayed.
+    for (int i = 1; i <= 6; ++i) {
+        Cycles extra = plan.lockHolderDelay(4);
+        EXPECT_EQ(extra, i % 3 == 0 ? 50u : 0u) << "acquisition " << i;
+    }
+    // Another core's acquisitions never hit.
+    for (int i = 0; i < 6; ++i)
+        EXPECT_EQ(plan.lockHolderDelay(5), 0u);
+    EXPECT_EQ(plan.injected().lockHolderHits, 2u);
+    EXPECT_EQ(plan.injected().lockHolderCycles, 100u);
+}
+
+TEST(FaultPlan, ChaosFactoryIsSeedDeterministic)
+{
+    MachineConfig cfg = MachineConfig::tiny();
+    FaultPlan a = FaultPlan::chaos(7, cfg);
+    FaultPlan b = FaultPlan::chaos(7, cfg);
+    FaultPlan c = FaultPlan::chaos(8, cfg);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a.describe(), b.describe());
+    EXPECT_NE(a.describe(), c.describe());
+    // Generated windows must target real resources.
+    for (const auto &w : a.coreStalls())
+        EXPECT_LT(w.core, cfg.numCores());
+    for (const auto &w : a.linkDelays()) {
+        EXPECT_LT(w.x, cfg.meshCols);
+        EXPECT_LT(w.y, cfg.meshRows);
+    }
+    for (const auto &w : a.llcSlows())
+        EXPECT_LT(w.bank, cfg.llcBanks);
+}
+
+// ---- Chaos matrix over real workloads -----------------------------------
+
+/** One timed work-stealing run, optionally perturbed by @p plan. */
+template <typename Kernel>
+Cycles
+runPerturbed(Machine &machine, FaultPlan *plan, const Kernel &kernel)
+{
+    WorkStealingRuntime rt(machine, RuntimeConfig::full());
+    if (plan != nullptr)
+        machine.setFaultPlan(plan);
+    Cycles cycles = rt.run([&](TaskContext &tc) { kernel(tc); });
+    machine.setFaultPlan(nullptr);
+    return cycles;
+}
+
+constexpr uint64_t kChaosSeeds[] = {1, 2, 3, 4};
+
+/** Sum of all injected-delay counters of @p plan. */
+uint64_t
+injectedTotal(const FaultPlan &plan)
+{
+    const auto &s = plan.injected();
+    return s.coreStallCycles + s.linkDelayCycles + s.llcDelayCycles +
+           s.lockHolderCycles;
+}
+
+TEST(Chaos, FibBitIdenticalUnderFaultMatrix)
+{
+    MachineConfig mcfg = MachineConfig::tiny();
+    auto run = [&](FaultPlan *plan, Cycles *cycles) {
+        Machine machine(mcfg);
+        Addr out = machine.dramAlloc(8, 8);
+        *cycles = runPerturbed(machine, plan, [&](TaskContext &tc) {
+            fibKernel(tc, 13, out);
+        });
+        return machine.mem().peekAs<int64_t>(out);
+    };
+
+    Cycles base_cycles = 0;
+    int64_t base = run(nullptr, &base_cycles);
+    EXPECT_EQ(base, fibReference(13));
+
+    Cycles horizon = std::max<Cycles>(base_cycles, 4096);
+    uint64_t injected = 0;
+    for (uint64_t seed : kChaosSeeds) {
+        FaultPlan plan = FaultPlan::chaos(seed, mcfg, horizon);
+        Cycles cycles_a = 0;
+        EXPECT_EQ(run(&plan, &cycles_a), base) << plan.describe();
+        injected += injectedTotal(plan);
+        // Same seed, fresh machine and plan: identical cycle count.
+        FaultPlan again = FaultPlan::chaos(seed, mcfg, horizon);
+        Cycles cycles_b = 0;
+        EXPECT_EQ(run(&again, &cycles_b), base);
+        EXPECT_EQ(cycles_a, cycles_b)
+            << "nondeterministic under chaos seed " << seed;
+    }
+    EXPECT_GT(injected, 0u) << "no plan perturbed anything; the matrix "
+                               "is not testing what it claims";
+}
+
+TEST(Chaos, CilksortBitIdenticalUnderFaultMatrix)
+{
+    MachineConfig mcfg = MachineConfig::tiny();
+    constexpr uint32_t kN = 600;
+    auto run = [&](FaultPlan *plan, Cycles *cycles) {
+        Machine machine(mcfg);
+        CilkSortData data = cilksortSetup(machine, kN, 900);
+        *cycles = runPerturbed(machine, plan, [&](TaskContext &tc) {
+            cilksortKernel(tc, data);
+        });
+        return downloadArray<uint32_t>(machine, data.data, kN);
+    };
+
+    Cycles base_cycles = 0;
+    std::vector<uint32_t> base = run(nullptr, &base_cycles);
+    EXPECT_TRUE(std::is_sorted(base.begin(), base.end()));
+
+    Cycles horizon = std::max<Cycles>(base_cycles, 4096);
+    for (uint64_t seed : kChaosSeeds) {
+        FaultPlan plan = FaultPlan::chaos(seed, mcfg, horizon);
+        Cycles cycles_a = 0;
+        EXPECT_EQ(run(&plan, &cycles_a), base) << plan.describe();
+        FaultPlan again = FaultPlan::chaos(seed, mcfg, horizon);
+        Cycles cycles_b = 0;
+        EXPECT_EQ(run(&again, &cycles_b), base);
+        EXPECT_EQ(cycles_a, cycles_b)
+            << "nondeterministic under chaos seed " << seed;
+    }
+}
+
+TEST(Chaos, UtsBitIdenticalUnderFaultMatrix)
+{
+    MachineConfig mcfg = MachineConfig::tiny();
+    UtsParams params = UtsParams::geometric(8, 2.5, 42);
+    uint64_t expected = utsReference(params);
+    auto run = [&](FaultPlan *plan, Cycles *cycles) {
+        Machine machine(mcfg);
+        UtsData data = utsSetup(machine, params);
+        *cycles = runPerturbed(machine, plan, [&](TaskContext &tc) {
+            utsKernel(tc, data);
+        });
+        return utsResult(machine, data);
+    };
+
+    Cycles base_cycles = 0;
+    EXPECT_EQ(run(nullptr, &base_cycles), expected);
+
+    Cycles horizon = std::max<Cycles>(base_cycles, 4096);
+    for (uint64_t seed : kChaosSeeds) {
+        FaultPlan plan = FaultPlan::chaos(seed, mcfg, horizon);
+        Cycles cycles_a = 0;
+        EXPECT_EQ(run(&plan, &cycles_a), expected) << plan.describe();
+        FaultPlan again = FaultPlan::chaos(seed, mcfg, horizon);
+        Cycles cycles_b = 0;
+        EXPECT_EQ(run(&again, &cycles_b), expected);
+        EXPECT_EQ(cycles_a, cycles_b)
+            << "nondeterministic under chaos seed " << seed;
+    }
+}
+
+TEST(Chaos, WholeRunStragglerSlowsRunNotResult)
+{
+    // A core stalled for the entire run must cost wall-clock cycles and
+    // change nothing else — the injection visibly has a timing effect.
+    MachineConfig mcfg = MachineConfig::tiny();
+    auto run = [&](FaultPlan *plan, Cycles *cycles) {
+        Machine machine(mcfg);
+        Addr out = machine.dramAlloc(8, 8);
+        *cycles = runPerturbed(machine, plan, [&](TaskContext &tc) {
+            fibKernel(tc, 12, out);
+        });
+        return machine.mem().peekAs<int64_t>(out);
+    };
+    Cycles base_cycles = 0;
+    int64_t base = run(nullptr, &base_cycles);
+
+    FaultPlan plan;
+    plan.stallCore(1, 0, ~0ull, 3); // +3 cycles on every op, forever
+    Cycles slow_cycles = 0;
+    EXPECT_EQ(run(&plan, &slow_cycles), base);
+    EXPECT_GT(plan.injected().coreStallCycles, 0u);
+    EXPECT_GT(slow_cycles, base_cycles)
+        << "a permanently stalled core should lengthen the run";
+}
+
+// ---- Watchdog -----------------------------------------------------------
+
+TEST(ChaosDeathTest, WatchdogFiresOnQuiescenceFailure)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Machine machine(MachineConfig::tiny());
+    RuntimeConfig cfg = RuntimeConfig::full();
+    cfg.watchdogCycles = 100'000;
+    WorkStealingRuntime rt(machine, cfg);
+    // A ready count with no matching child: the root waits forever, the
+    // other cores steal-spin forever, no task ever retires. The watchdog
+    // must convert this hang into a panic with a structured dump.
+    EXPECT_DEATH(rt.run([](TaskContext &tc) {
+        tc.setReadyCount(1);
+        tc.waitChildren();
+    }),
+                 "watchdog");
+}
+
+TEST(Chaos, WatchdogStaysQuietOnHealthyRun)
+{
+    Machine machine(MachineConfig::tiny());
+    RuntimeConfig cfg = RuntimeConfig::full();
+    cfg.watchdogCycles = 1'000'000; // tight but fair for fib(12)
+    Addr out = machine.dramAlloc(8, 8);
+    WorkStealingRuntime rt(machine, cfg);
+    rt.run([&](TaskContext &tc) { fibKernel(tc, 12, out); });
+    EXPECT_EQ(machine.mem().peekAs<int64_t>(out), fibReference(12));
+}
+
+} // namespace
+} // namespace spmrt

@@ -81,7 +81,56 @@ TEST_F(QueueOpsTest, RegionCarving)
     EXPECT_EQ(queue_.slots, queue_.head + 12);
     EXPECT_EQ(queue_.head % 8, 0u)
         << "head/tail pair must be loadable with one 8-byte access";
-    EXPECT_EQ(queue_.capacity, (128u - 12u) / 4u);
+    // 29 slots fit, rounded down to a power of two so the circular
+    // index mapping stays continuous when head/tail wrap at 2^32.
+    EXPECT_EQ(queue_.capacity, 16u);
+    EXPECT_TRUE(isPowerOfTwo(queue_.capacity));
+}
+
+TEST_F(QueueOpsTest, CapacityAlwaysPowerOfTwo)
+{
+    for (uint32_t bytes : {28u, 44u, 60u, 100u, 512u, 1000u}) {
+        QueueAddrs q = QueueAddrs::inRegion(1024, bytes);
+        EXPECT_TRUE(isPowerOfTwo(q.capacity)) << "region " << bytes;
+        EXPECT_LE(q.capacity, (bytes - 12) / 4);
+        EXPECT_GT(q.capacity * 2, (bytes - 12) / 4)
+            << "rounded down further than necessary";
+    }
+}
+
+TEST_F(QueueOpsTest, IndicesSurviveUint32Wraparound)
+{
+    // head/tail are monotonic uint32 counters; force them to within a
+    // few increments of 2^32 and push the queue across the wrap. With a
+    // capacity that divides 2^32 the slot mapping stays continuous, so
+    // FIFO order must be preserved — this is the regression test for
+    // the old non-power-of-two carving, where the mapping jumped at the
+    // wrap and steals returned stale slots.
+    setUpQueue(100); // 22 raw slots -> pow2 capacity 16
+    ASSERT_EQ(queue_.capacity, 16u);
+    const uint32_t start = 0xFFFFFFF0u; // 16 increments from wrap
+    auto &mem = machine_->mem();
+    mem.pokeAs<uint32_t>(queue_.head, start);
+    mem.pokeAs<uint32_t>(queue_.tail, start);
+    machine_->run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        QueueOps ops(core);
+        // Fill half, drain via FIFO steals while refilling, crossing
+        // the 2^32 boundary in both indices.
+        uint32_t next_in = 1, next_out = 1;
+        for (uint32_t i = 0; i < 8; ++i)
+            ASSERT_TRUE(ops.enqueue(queue_, next_in++));
+        for (uint32_t round = 0; round < 8; ++round) {
+            ASSERT_TRUE(ops.enqueue(queue_, next_in++));
+            ASSERT_EQ(ops.stealHead(queue_), next_out++);
+            ASSERT_EQ(ops.stealHead(queue_), next_out++);
+        }
+        EXPECT_EQ(ops.stealHead(queue_), 0u) << "queue should be empty";
+    });
+    // Both indices really did wrap past zero.
+    EXPECT_LT(mem.peekAs<uint32_t>(queue_.head), start);
+    EXPECT_LT(mem.peekAs<uint32_t>(queue_.tail), start);
 }
 
 TEST_F(QueueOpsTest, LifoForOwnerFifoForThief)
@@ -137,7 +186,7 @@ TEST_F(QueueOpsTest, LockExcludesConcurrentOwners)
     // All cores hammer the same queue; every enqueue must survive.
     // The region must hold every item: nothing drains concurrently.
     constexpr uint32_t kPerCore = 20;
-    setUpQueue(12 + 4 * (kPerCore * 8 + 1));
+    setUpQueue(12 + 4 * 256); // pow2 capacity 256 >= 8 cores * 20 items
     ASSERT_GE(queue_.capacity, kPerCore * machine_->numCores());
     machine_->run([&](Core &core) {
         QueueOps ops(core);
@@ -349,7 +398,7 @@ TEST(WorkStealing, QueueOverflowFallsBackToInlineExecution)
     WorkStealingRuntime rt(machine, cfg);
     Addr counter = machine.dramAlloc(4);
     machine.mem().pokeAs<uint32_t>(counter, 0);
-    constexpr uint32_t kChildren = 400; // > 125 queue slots
+    constexpr uint32_t kChildren = 400; // > 64 queue slots
 
     rt.run([&](TaskContext &tc) {
         StackFrame big(tc.stack(), 8 * kChildren + 16);
@@ -368,6 +417,11 @@ TEST(WorkStealing, QueueOverflowFallsBackToInlineExecution)
         big_tc.waitChildren();
     });
     EXPECT_EQ(machine.mem().peekAs<uint32_t>(counter), kChildren);
+    // The degraded path must be visible in the stats, and every inlined
+    // spawn still counts as an executed task.
+    uint64_t inlined = machine.totalStat(&CoreStats::spawnsInlined);
+    EXPECT_GT(inlined, 0u) << "queue never filled: test is too small";
+    EXPECT_GE(machine.totalStat(&CoreStats::tasksExecuted), kChildren);
 }
 
 TEST(WorkStealing, DeterministicCycleCounts)

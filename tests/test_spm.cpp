@@ -228,5 +228,88 @@ TEST_F(StackModelTest, OverflowingFrameLocalsLandInDram)
     });
 }
 
+TEST_F(StackModelTest, OverflowBoundaryIsExact)
+{
+    // A frame that exactly fills the SPM stack region stays resident; a
+    // frame one byte larger (rounded up to the 8-byte frame alignment)
+    // overflows. The residency check must not be off by one in either
+    // direction.
+    auto cfg = makeConfig(true, 256);
+    machine_->run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        {
+            StackModel stack(core, cfg);
+            stack.push(256); // exact fit
+            EXPECT_FALSE(stack.topInDram());
+            EXPECT_EQ(core.stats().stackFramesOverflowed, 0u);
+            stack.pop();
+        }
+        {
+            StackModel stack(core, cfg);
+            stack.push(257); // one byte over
+            EXPECT_TRUE(stack.topInDram());
+            EXPECT_EQ(core.stats().stackFramesOverflowed, 1u);
+            EXPECT_EQ(core.stats().stackFramesPushed, 2u);
+            stack.pop();
+        }
+    });
+}
+
+TEST_F(StackModelTest, DramExhaustionReportsCoreAndDepth)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    // Overflow-buffer exhaustion must name the core, the depth and the
+    // config knob to raise, not just die.
+    auto cfg = makeConfig(false); // DRAM-resident, 4096-byte buffer
+    EXPECT_DEATH(machine_->run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        StackModel stack(core, cfg);
+        for (int i = 0; i < 100; ++i) // 100 * 64 B > 4096 B
+            stack.push(64);
+    }),
+                 "core 0: DRAM overflow stack exhausted.*depth "
+                 "64.*dramStackBytes");
+}
+
+TEST_F(StackModelTest, SmashedCanaryIsDetectedOnPop)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    auto cfg = makeConfig(true);
+    cfg.regSaveWords = 4;
+    EXPECT_DEATH(machine_->run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        StackModel stack(core, cfg);
+        Addr base = stack.push(64);
+        // Scribble over the callee-save area below localsOffset() —
+        // exactly the corruption the canary guards against.
+        core.mem().pokeAs<uint32_t>(base, 0xdeadbeef);
+        stack.pop();
+    }),
+                 "stack canary smashed");
+}
+
+TEST_F(StackModelTest, CanaryIsPositionDependent)
+{
+    // Frames at different addresses arm different canary words, so a
+    // stale canary copied from another frame cannot pass verification.
+    auto cfg = makeConfig(true);
+    cfg.regSaveWords = 4;
+    machine_->run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        StackModel stack(core, cfg);
+        Addr a = stack.push(64);
+        Addr b = stack.push(64);
+        uint32_t canary_a = core.mem().peekAs<uint32_t>(a);
+        uint32_t canary_b = core.mem().peekAs<uint32_t>(b);
+        EXPECT_NE(canary_a, canary_b);
+        stack.pop();
+        stack.pop();
+    });
+}
+
 } // namespace
 } // namespace spmrt
