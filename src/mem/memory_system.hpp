@@ -30,6 +30,7 @@
 #include "mem/dram.hpp"
 #include "mem/llc.hpp"
 #include "mem/noc.hpp"
+#include "sim/checker.hpp"
 #include "sim/config.hpp"
 
 namespace spmrt {
@@ -129,6 +130,24 @@ class MemorySystem
         llc_.setFaultPlan(plan);
     }
 
+    /** Install (or clear, with nullptr) the concurrency checker. */
+    void setChecker(ConcurrencyChecker *checker) { checker_ = checker; }
+
+    /**
+     * The armed checker, or nullptr. When the checker is compiled out this
+     * is a compile-time nullptr, so `if (auto *ck = mem.checker())` hook
+     * sites fold away entirely.
+     */
+    ConcurrencyChecker *
+    checker() const
+    {
+#if SPMRT_CHECKER_ENABLED
+        return checker_;
+#else
+        return nullptr;
+#endif
+    }
+
     const AddressMap &map() const { return map_; }
     MeshNoc &noc() { return noc_; }
     LlcModel &llc() { return llc_; }
@@ -157,6 +176,7 @@ class MemorySystem
     std::vector<FluidServer> spmPorts_;
     std::vector<Cycles> storeDrain_;
     MemStats stats_;
+    ConcurrencyChecker *checker_ = nullptr;
 };
 
 } // namespace spmrt

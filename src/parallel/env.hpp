@@ -66,6 +66,11 @@ setupLoopEnv(TaskContext &tc, const EnvSpec &spec)
     // Writing the captured values into the frame is real traffic.
     std::vector<uint8_t> init(env.bytes, 0);
     tc.core().write(env.home, init.data(), env.bytes);
+    // From here until the owning frame pops, the environment is
+    // read-only: any further timed write is a protocol violation.
+    if (ConcurrencyChecker *ck = tc.core().mem().checker())
+        ck->protectRange(RegionKind::RoDup, env.home, env.bytes,
+                         env.homeCore);
     return env;
 }
 
@@ -92,6 +97,11 @@ class EnvReader
         std::vector<uint8_t> buffer(env.bytes);
         core_.read(env.home, buffer.data(), env.bytes);
         core_.write(base_, buffer.data(), env.bytes);
+        // The duplicate is read-only for the activation's lifetime; the
+        // frame pop releases the protection.
+        if (ConcurrencyChecker *ck = core_.mem().checker())
+            ck->protectRange(RegionKind::RoDup, base_, env.bytes,
+                             core_.id());
     }
 
     /** Charge the captured-word reads of one iteration. */

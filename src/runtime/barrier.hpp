@@ -52,11 +52,18 @@ class SimBarrier
         if (before + 1 < participants_) {
             waiting_.push_back(core.id());
             core.engine().block(core.id());
+            // The wake-up notification is an acquire of the last
+            // arrival's release below — without this edge every
+            // cross-region data handoff would look racy to the checker.
+            if (ConcurrencyChecker *ck = core.mem().checker())
+                ck->onLoadSync(core.id(), countAddr_, 4);
             return;
         }
         // Last arrival: reset the counter and release everyone.
         core.store<uint32_t>(countAddr_, 0);
         core.fence();
+        if (ConcurrencyChecker *ck = core.mem().checker())
+            ck->onStoreRelease(core.id(), countAddr_);
         Cycles release = core.now() + broadcastLatency_;
         core.engine().advanceTo(core.id(), release);
         for (CoreId id : waiting_)

@@ -80,6 +80,8 @@ class QueueOps
             core_.idle(backoff);
             backoff = std::min<Cycles>(backoff * 2, kBackoffMaxCycles);
         }
+        if (ConcurrencyChecker *ck = core_.mem().checker())
+            ck->onLockAcquired(core_.id(), lock);
         // Fault injection: a delayed lock holder sits on the lock it just
         // won, deterministically widening the critical section.
         if (FaultPlan *plan = core_.faultPlan()) {
@@ -93,15 +95,21 @@ class QueueOps
     void
     lockRelease(Addr lock)
     {
-        core_.fence();
-        core_.store<uint32_t>(lock, 0);
+        if (ConcurrencyChecker *ck = core_.mem().checker())
+            ck->onLockReleased(core_.id(), lock);
+        // storeRelease = fence + store: byte-for-byte the old timing, and
+        // it publishes the critical section to the next lock winner.
+        core_.storeRelease<uint32_t>(lock, 0);
     }
 
     /** One-load head/tail probe: returns (head, tail). */
     std::pair<uint32_t, uint32_t>
     peek(const QueueAddrs &q)
     {
-        uint64_t pair = core_.load<uint64_t>(q.head);
+        // The probe is racy *by design* (single atomic 8-byte load, no
+        // lock) — loadSync marks it as a sanctioned synchronizing read so
+        // the checker exempts it while still propagating release edges.
+        uint64_t pair = core_.loadSync<uint64_t>(q.head);
         return {static_cast<uint32_t>(pair),
                 static_cast<uint32_t>(pair >> 32)};
     }

@@ -34,6 +34,14 @@ StaticRuntime::StaticRuntime(Machine &machine, const RuntimeConfig &cfg)
         userSpm_.push_back(std::make_unique<SpmUserAllocator>(
             layout_.userBase(map, i), layout_.userBytes()));
     }
+
+    if (ConcurrencyChecker *ck = machine_.checker()) {
+        for (CoreId i = 0; i < cores; ++i) {
+            layout_.registerRegions(*ck, map, i);
+            ck->registerRegion(RegionKind::Stack, dramStackBase_[i],
+                               cfg_.dramStackBytes, i);
+        }
+    }
 }
 
 void

@@ -25,19 +25,29 @@ Worker::backoffWait()
 }
 
 void
-Worker::executeTask(Task &task)
+Worker::executeTask(Task &task, uint32_t trace_id)
 {
-    StackFrame frame(stack_, task.frameBytes());
-    TaskContext tc(*this, &task, frame, core_, stack_);
-    task.execute(tc);
+    // The registry id is passed explicitly: registry().remove() zeroes
+    // task.id before execution, but the checker's backtrace wants the id
+    // the task had while it sat in a queue slot.
+    ConcurrencyChecker *ck = core_.mem().checker();
+    if (ck != nullptr)
+        ck->onTaskBegin(core_.id(), trace_id);
+    {
+        StackFrame frame(stack_, task.frameBytes());
+        TaskContext tc(*this, &task, frame, core_, stack_);
+        task.execute(tc);
+    }
+    if (ck != nullptr)
+        ck->onTaskEnd(core_.id());
     ++core_.stats().tasksExecuted;
     core_.engine().noteProgress();
 }
 
 void
-Worker::executeSpawned(Task *task)
+Worker::executeSpawned(Task *task, uint32_t trace_id)
 {
-    executeTask(*task);
+    executeTask(*task, trace_id);
     if (task->parent != nullptr) {
         // Release semantics: the child's writes (e.g. its result into the
         // parent's frame) must land before the parent can observe rc==0.
@@ -56,7 +66,7 @@ Worker::tryExecuteLocal()
         return false;
     Task *task = rt_.registry().get(id);
     rt_.registry().remove(id);
-    executeSpawned(task);
+    executeSpawned(task, id);
     return true;
 }
 
@@ -126,7 +136,7 @@ Worker::tryStealOnce()
         probeCursor_ = 0; // success: restart from the closest neighbor
     Task *task = rt_.registry().get(id);
     rt_.registry().remove(id);
-    executeSpawned(task);
+    executeSpawned(task, id);
     return true;
 }
 
@@ -145,7 +155,8 @@ Worker::workerLoop()
             resetBackoff();
             continue;
         }
-        if (core_.load<uint32_t>(done) != 0)
+        // Synchronizing poll: acquires core 0's termination release edge.
+        if (core_.loadSync<uint32_t>(done) != 0)
             break;
         backoffWait();
     }
@@ -156,9 +167,16 @@ Worker::runRoot(Task &root)
 {
     executeTask(root);
     // All descendants have joined (the root's own wait() guarantees it);
-    // broadcast termination into every worker's scratchpad flag.
-    for (CoreId id = 0; id < rt_.activeCores(); ++id)
-        core_.store<uint32_t>(rt_.doneFlagAddr(id), 1);
+    // broadcast termination into every worker's scratchpad flag. The
+    // stores stay posted with one trailing fence (unchanged timing); each
+    // flag write additionally publishes a release edge so the workers'
+    // synchronizing polls acquire the whole computation.
+    for (CoreId id = 0; id < rt_.activeCores(); ++id) {
+        Addr flag = rt_.doneFlagAddr(id);
+        core_.store<uint32_t>(flag, 1);
+        if (ConcurrencyChecker *ck = core_.mem().checker())
+            ck->onStoreRelease(core_.id(), flag);
+    }
     core_.fence();
 }
 
@@ -213,8 +231,9 @@ Worker::spawn(TaskContext &tc, Task *child)
         // Its ready-count contribution was already published, so go
         // through the normal completion path.
         ++core_.stats().spawnsInlined;
+        uint32_t trace_id = child->id;
         rt_.registry().remove(child->id);
-        executeSpawned(child);
+        executeSpawned(child, trace_id);
     }
     (void)tc;
 }

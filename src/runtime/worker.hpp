@@ -66,10 +66,11 @@ class Worker
     bool tryExecuteLocal();
     /** One random-victim steal attempt; execute on success. */
     bool tryStealOnce();
-    /** Push a frame and run the task body. */
-    void executeTask(Task &task);
+    /** Push a frame and run the task body (@p trace_id labels the
+     *  checker's task backtrace; 0 = root/inline). */
+    void executeTask(Task &task, uint32_t trace_id = 0);
     /** Execute a dequeued task: run, signal parent, reclaim. */
-    void executeSpawned(Task *task);
+    void executeSpawned(Task *task, uint32_t trace_id = 0);
     /** Reset the steal backoff after useful work. */
     void resetBackoff() { backoff_ = backoffMin_; }
     /** Exponential-backoff idle wait. */

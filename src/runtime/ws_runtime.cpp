@@ -58,6 +58,21 @@ WorkStealingRuntime::WorkStealingRuntime(Machine &machine,
         userSpm_.push_back(std::make_unique<SpmUserAllocator>(
             layout_.userBase(map, i), layout_.userBytes()));
     }
+
+    // Describe the memory carving to the checker when one is armed (arm
+    // via Machine::armChecker() *before* constructing the runtime).
+    if (ConcurrencyChecker *ck = machine_.checker()) {
+        for (CoreId i = 0; i < cores; ++i) {
+            layout_.registerRegions(*ck, map, i);
+            ck->registerRegion(RegionKind::Stack, dramStackBase_[i],
+                               cfg_.dramStackBytes, i);
+            if (!cfg_.queueInSpm) {
+                QueueAddrs q = queueAddrs(i);
+                ck->registerRegion(RegionKind::Queue, queueRegionBase_[i],
+                                   cfg_.queueBytes, i, q.lock);
+            }
+        }
+    }
 }
 
 QueueAddrs

@@ -32,6 +32,8 @@ Core::read(Addr addr, void *out, uint32_t bytes)
         ++stats_.instructions;
     }
     engine_.advanceTo(id_, last_done);
+    if (ConcurrencyChecker *ck = mem_.checker())
+        ck->onLoad(id_, addr, bytes, now());
 }
 
 void
@@ -52,6 +54,8 @@ Core::write(Addr addr, const void *in, uint32_t bytes)
         ++stats_.instructions;
     }
     engine_.advanceTo(id_, issue);
+    if (ConcurrencyChecker *ck = mem_.checker())
+        ck->onStore(id_, addr, bytes, now());
 }
 
 } // namespace spmrt

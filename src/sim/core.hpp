@@ -88,6 +88,31 @@ class Core
         engine_.advanceTo(id_, done);
         ++stats_.loads;
         ++stats_.instructions;
+        if (ConcurrencyChecker *ck = mem_.checker())
+            ck->onLoad(id_, addr, sizeof(T), now());
+        return value;
+    }
+
+    /**
+     * Blocking typed load with acquire semantics for the checker. Use it
+     * for the protocol's sanctioned racy reads — the lock-free head/tail
+     * emptiness probe and the termination-flag poll — which are exempt
+     * from race checking but observe release edges on the word. Timing is
+     * identical to load().
+     */
+    template <typename T>
+    T
+    loadSync(Addr addr)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        engine_.syncPoint(id_);
+        T value;
+        Cycles done = mem_.load(id_, now(), addr, &value, sizeof(T));
+        engine_.advanceTo(id_, done);
+        ++stats_.loads;
+        ++stats_.instructions;
+        if (ConcurrencyChecker *ck = mem_.checker())
+            ck->onLoadSync(id_, addr, sizeof(T));
         return value;
     }
 
@@ -104,6 +129,30 @@ class Core
         engine_.advanceTo(id_, done);
         ++stats_.stores;
         ++stats_.instructions;
+        if (ConcurrencyChecker *ck = mem_.checker())
+            ck->onStore(id_, addr, sizeof(T), now());
+    }
+
+    /**
+     * Store with release semantics: drains prior posted stores, then
+     * stores. Timing is exactly fence() + store(); for the checker the
+     * write publishes a release edge on the word (flag broadcasts) instead
+     * of being race-checked.
+     */
+    template <typename T>
+    void
+    storeRelease(Addr addr, T value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        fence();
+        if (!isLocalSpm(addr))
+            engine_.syncPoint(id_);
+        Cycles done = mem_.store(id_, now(), addr, &value, sizeof(T));
+        engine_.advanceTo(id_, done);
+        ++stats_.stores;
+        ++stats_.instructions;
+        if (ConcurrencyChecker *ck = mem_.checker())
+            ck->onStoreRelease(id_, addr);
     }
 
     /**
@@ -125,6 +174,8 @@ class Core
         engine_.advanceTo(id_, done);
         ++stats_.amos;
         ++stats_.instructions;
+        if (ConcurrencyChecker *ck = mem_.checker())
+            ck->onAmo(id_, addr, now());
         return old_value;
     }
 

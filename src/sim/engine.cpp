@@ -65,6 +65,22 @@ Engine::run()
         }
         SPMRT_ASSERT(next != nullptr,
                      "deadlock: all %u live cores are blocked", live_);
+        if (schedPerturb_) {
+            // Seeded pick among cores within the window of the minimum.
+            // Any candidate satisfies the window-relaxed syncPoint bound
+            // (candidate.time <= min + window <= minOther + window), so
+            // the pick always makes progress.
+            schedCandidates_.clear();
+            for (auto &slot : slots_) {
+                if (slot->finished || slot->blocked)
+                    continue;
+                if (slot->time - next->time <= schedWindow_)
+                    schedCandidates_.push_back(slot.get());
+            }
+            if (schedCandidates_.size() > 1)
+                next = schedCandidates_[schedRng_.nextBounded(
+                    schedCandidates_.size())];
+        }
         if (wdCycles_ != 0 || wdSwitches_ != 0)
             watchdogCheck(next->time);
         running_ = next->id;
@@ -79,8 +95,17 @@ Engine::syncPoint(CoreId id)
 {
     // The scheduler resumes only the global-minimum core, so a single
     // failed check needs exactly one yield; loop anyway for robustness.
-    while (slots_[id]->time > minOtherTime(id))
+    // Under schedule perturbation the bound is relaxed by the window so
+    // the scheduler's off-minimum picks are admitted (guarding the
+    // "alone" sentinel against overflow).
+    while (true) {
+        Cycles limit = minOtherTime(id);
+        if (schedPerturb_ && limit != std::numeric_limits<Cycles>::max())
+            limit += schedWindow_;
+        if (slots_[id]->time <= limit)
+            return;
         yield(id);
+    }
 }
 
 void

@@ -13,6 +13,14 @@
  * Because the host scheduler is a deterministic argmin (ties broken by core
  * id), the entire simulation — including lock acquisition order and steal
  * interleavings — is reproducible run-to-run.
+ *
+ * Schedule exploration (perturbSchedule) deliberately loosens the argmin:
+ * among candidates whose clocks lie within a window of the global minimum,
+ * the scheduler picks one with a seeded RNG, and syncPoint admits any core
+ * within that window. Each seed is one alternative — still perfectly
+ * reproducible — interleaving of the same program: lock races resolve
+ * differently, steals hit different victims. Sweeping seeds with the
+ * ConcurrencyChecker armed turns the simulator into a protocol fuzzer.
  */
 
 #ifndef SPMRT_SIM_ENGINE_HPP
@@ -24,6 +32,7 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "common/rng.hpp"
 #include "common/types.hpp"
 #include "sim/context.hpp"
 
@@ -145,6 +154,39 @@ class Engine
     }
     /** @} */
 
+    /**
+     * @name Schedule exploration
+     *
+     * Enable seeded perturbation of the ready-core order: the scheduler
+     * picks uniformly among runnable cores whose clocks are within
+     * @p window cycles of the global minimum (window 0 still perturbs
+     * exact ties), and syncPoint admits cores within the same window.
+     * Timing results under perturbation are *different* valid
+     * interleavings, not noise — each seed is fully reproducible. The RNG
+     * discipline matches FaultPlan: one generator, seeded once, consumed
+     * only by scheduling decisions.
+     * @{
+     */
+    void
+    perturbSchedule(uint64_t seed, Cycles window = 0)
+    {
+        schedPerturb_ = true;
+        schedWindow_ = window;
+        schedRng_ = Xoshiro256StarStar(hash64(seed ^ 0x5c4ed01eULL));
+    }
+
+    /** Restore the strict deterministic argmin order. */
+    void
+    clearSchedulePerturbation()
+    {
+        schedPerturb_ = false;
+        schedWindow_ = 0;
+    }
+
+    /** True while schedule perturbation is active. */
+    bool schedulePerturbed() const { return schedPerturb_; }
+    /** @} */
+
   private:
     void
     noteProgressAt(Cycles t)
@@ -189,6 +231,12 @@ class Engine
     std::function<std::string()> wdDump_;
     Cycles progressTime_ = 0;
     uint64_t progressSwitches_ = 0;
+
+    // Schedule-exploration state.
+    bool schedPerturb_ = false;
+    Cycles schedWindow_ = 0;
+    Xoshiro256StarStar schedRng_;
+    std::vector<Slot *> schedCandidates_; ///< scratch, avoids per-pick alloc
 };
 
 } // namespace spmrt

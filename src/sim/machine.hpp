@@ -121,6 +121,10 @@ class Machine
         Cycles max_time = engine_.maxTime();
         for (CoreId i = 0; i < numCores(); ++i)
             engine_.advanceTo(i, max_time);
+        // The phase barrier is a genuine global synchronization point;
+        // mirror it in the checker's happens-before relation.
+        if (ConcurrencyChecker *ck = mem_.checker())
+            ck->onPhaseBarrier();
     }
 
     /** Sum of a per-core statistic over all cores. */
@@ -153,12 +157,40 @@ class Machine
         mem_.setFaultPlan(plan);
     }
 
+    /**
+     * Arm the concurrency checker: creates it (idempotently) and attaches
+     * it to the memory system so every timed access is observed. Arm
+     * *before* constructing a runtime — region registration happens in
+     * runtime constructors. Returns nullptr (with a warning) when the
+     * checker is compiled out (SPMRT_CHECKER=OFF).
+     */
+    ConcurrencyChecker *
+    armChecker()
+    {
+#if SPMRT_CHECKER_ENABLED
+        if (!checker_)
+            checker_ = std::make_unique<ConcurrencyChecker>(numCores());
+        mem_.setChecker(checker_.get());
+        return checker_.get();
+#else
+        SPMRT_WARN("armChecker(): checker compiled out (SPMRT_CHECKER=OFF)");
+        return nullptr;
+#endif
+    }
+
+    /** Detach the checker from the memory system (instance is kept). */
+    void disarmChecker() { mem_.setChecker(nullptr); }
+
+    /** The armed checker, or nullptr (disarmed or compiled out). */
+    ConcurrencyChecker *checker() const { return mem_.checker(); }
+
   private:
     MachineConfig cfg_;
     Engine engine_;
     MemorySystem mem_;
     RangeAllocator dramHeap_;
     std::vector<std::unique_ptr<Core>> cores_;
+    std::unique_ptr<ConcurrencyChecker> checker_;
 };
 
 } // namespace spmrt

@@ -27,6 +27,7 @@
 #include "common/log.hpp"
 #include "common/types.hpp"
 #include "mem/address_map.hpp"
+#include "sim/checker.hpp"
 #include "sim/config.hpp"
 
 namespace spmrt {
@@ -114,6 +115,25 @@ class SpmLayout
     ctrlBase(const AddressMap &map, CoreId id) const
     {
         return map.spmBase(id) + ctrlOffset();
+    }
+
+    /**
+     * Describe core @p id's SPM carving to the concurrency checker: the
+     * stack span, the task-queue region (its spin lock sits at queue base
+     * + 8, per QueueAddrs), and the control word. Region kinds label
+     * violation reports and drive the per-kind write rules.
+     */
+    void
+    registerRegions(ConcurrencyChecker &ck, const AddressMap &map,
+                    CoreId id) const
+    {
+        ck.registerRegion(RegionKind::Stack, stackLow(map, id),
+                          stackBytes(), id);
+        if (queueBytes_ > 0)
+            ck.registerRegion(RegionKind::Queue, queueBase(map, id),
+                              queueBytes_, id, queueBase(map, id) + 8);
+        ck.registerRegion(RegionKind::Ctrl, ctrlBase(map, id), kCtrlBytes,
+                          id);
     }
 
   private:

@@ -110,6 +110,10 @@ class StackModel
         // code scribbled below its frame's local area.
         if (cfg_.regSaveWords > 0)
             core_.mem().pokeAs<uint32_t>(base, canaryWord(base));
+        // Tell the checker the callee-save area is live: a *foreign*
+        // timed write there before pop is frame corruption.
+        if (ConcurrencyChecker *ck = core_.mem().checker())
+            ck->onFramePush(core_.id(), base, cfg_.regSaveWords * 4);
         return base;
     }
 
@@ -120,6 +124,10 @@ class StackModel
         SPMRT_ASSERT(!frames_.empty(), "pop of empty stack");
         FrameRec frame = frames_.back();
         frames_.pop_back();
+        // Drop every protection rooted in this frame (the canary area and
+        // any RO_DUP environment copies placed in its locals).
+        if (ConcurrencyChecker *ck = core_.mem().checker())
+            ck->onFramePop(core_.id(), frame.base, frame.bytes);
         if (cfg_.regSaveWords > 0) {
             uint32_t word = core_.mem().peekAs<uint32_t>(frame.base);
             if (word != canaryWord(frame.base))

@@ -17,6 +17,7 @@
 #include <algorithm>
 
 #include "runtime/ws_runtime.hpp"
+#include "sim/checker.hpp"
 #include "sim/fault.hpp"
 #include "workloads/cilksort.hpp"
 #include "workloads/fib.hpp"
@@ -92,16 +93,28 @@ TEST(FaultPlan, ChaosFactoryIsSeedDeterministic)
 
 // ---- Chaos matrix over real workloads -----------------------------------
 
-/** One timed work-stealing run, optionally perturbed by @p plan. */
+/**
+ * One timed work-stealing run, optionally perturbed by @p plan. Every
+ * chaos run doubles as a race-checker run: widened critical sections and
+ * shifted steal timings must leave the protocol violation-free. (The
+ * checker charges no cycles, so arming it here does not disturb the
+ * bit-identical-cycles assertions below.)
+ */
 template <typename Kernel>
 Cycles
 runPerturbed(Machine &machine, FaultPlan *plan, const Kernel &kernel)
 {
+#if SPMRT_CHECKER_ENABLED
+    ConcurrencyChecker *ck = machine.armChecker();
+#endif
     WorkStealingRuntime rt(machine, RuntimeConfig::full());
     if (plan != nullptr)
         machine.setFaultPlan(plan);
     Cycles cycles = rt.run([&](TaskContext &tc) { kernel(tc); });
     machine.setFaultPlan(nullptr);
+#if SPMRT_CHECKER_ENABLED
+    EXPECT_EQ(ck->violations().size(), 0u) << ck->report();
+#endif
     return cycles;
 }
 

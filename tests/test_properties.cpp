@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <deque>
 #include <map>
 #include <set>
@@ -17,6 +18,7 @@
 #include "mem/noc.hpp"
 #include "parallel/patterns.hpp"
 #include "runtime/queue_ops.hpp"
+#include "sim/checker.hpp"
 #include "spm/stack.hpp"
 
 namespace spmrt {
@@ -86,6 +88,198 @@ TEST_P(DequeModelTest, RandomOpsMatchReferenceDeque)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DequeModelTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---- QueueAddrs layout properties ------------------------------------------
+
+TEST(QueueAddrsProperties, CarvingInvariantsAcrossRegionSizes)
+{
+    // For any region size, the carving must produce the documented fixed
+    // offsets and the largest power-of-two slot count that fits — the
+    // power of two is what keeps "index % capacity" continuous across the
+    // 2^32 index wrap.
+    Xoshiro256StarStar rng(4242);
+    for (int trial = 0; trial < 200; ++trial) {
+        uint32_t bytes = 28 + static_cast<uint32_t>(rng.nextBounded(4069));
+        Addr base = static_cast<Addr>(8 * (1 + rng.nextBounded(1'000'000)));
+        QueueAddrs q = QueueAddrs::inRegion(base, bytes);
+        ASSERT_EQ(q.head, base);
+        ASSERT_EQ(q.tail, base + 4);
+        ASSERT_EQ(q.lock, base + 8);
+        ASSERT_EQ(q.slots, base + 12);
+        ASSERT_GE(q.capacity, 4u) << "bytes=" << bytes;
+        ASSERT_EQ(q.capacity & (q.capacity - 1), 0u)
+            << "capacity " << q.capacity << " is not a power of two";
+        // Largest that fits: capacity slots fit, double would not.
+        ASSERT_LE(12 + q.capacity * 4, bytes);
+        ASSERT_GT(q.capacity * 2, (bytes - 12) / 4);
+        // 2^32 is divisible by the capacity (wrap continuity).
+        ASSERT_EQ((uint64_t(1) << 32) % q.capacity, 0u);
+    }
+}
+
+// ---- Deque model across the 2^32 index wrap --------------------------------
+
+class DequeWrapTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(DequeWrapTest, RandomOpsMatchReferenceAcrossIndexWrap)
+{
+    // Same model check as above, but head and tail start 16 increments
+    // below 2^32 so the monotonically increasing indices wrap mid-test:
+    // fullness tests (tail - head) and slot mapping (index % capacity)
+    // must behave identically on both sides of the wrap.
+    constexpr uint32_t kStart = 0xFFFF'FFF0u;
+    Machine machine(MachineConfig::tiny());
+    Addr region = machine.dramAlloc(48, 64);
+    QueueAddrs queue = QueueAddrs::inRegion(region, 48);
+    ASSERT_EQ(queue.capacity, 8u);
+    auto &mem = machine.mem();
+    mem.pokeAs<uint32_t>(queue.lock, 0);
+    mem.pokeAs<uint32_t>(queue.head, kStart);
+    mem.pokeAs<uint32_t>(queue.tail, kStart);
+
+    uint64_t seed = GetParam();
+    machine.run([&](Core &core) {
+        if (core.id() != 0)
+            return;
+        QueueOps ops(core);
+        std::deque<uint32_t> model;
+        Xoshiro256StarStar rng(seed);
+        uint32_t next_id = 1;
+        for (int step = 0; step < 500; ++step) {
+            switch (rng.nextBounded(3)) {
+              case 0:
+                if (ops.enqueue(queue, next_id)) {
+                    model.push_back(next_id);
+                    ++next_id;
+                } else {
+                    ASSERT_EQ(model.size(), queue.capacity)
+                        << "false 'full' at step " << step;
+                }
+                break;
+              case 1: {
+                uint32_t got = ops.popTail(queue);
+                if (model.empty()) {
+                    ASSERT_EQ(got, 0u);
+                } else {
+                    ASSERT_EQ(got, model.back()) << "at step " << step;
+                    model.pop_back();
+                }
+                break;
+              }
+              default: {
+                uint32_t got = ops.stealHead(queue);
+                if (model.empty()) {
+                    ASSERT_EQ(got, 0u);
+                } else {
+                    ASSERT_EQ(got, model.front()) << "at step " << step;
+                    model.pop_front();
+                }
+                break;
+              }
+            }
+        }
+    });
+    // The indices really crossed the wrap (they only ever increase).
+    EXPECT_LT(mem.peekAs<uint32_t>(queue.head), kStart);
+    EXPECT_LT(mem.peekAs<uint32_t>(queue.tail), kStart);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DequeWrapTest,
+                         ::testing::Values(55, 89, 144, 233));
+
+// ---- Concurrent owner/thief vs. reference set ------------------------------
+
+class ConcurrentDequeTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(ConcurrentDequeTest, OwnerAndThiefLoseAndDuplicateNothing)
+{
+    // A real two-core interleaving: the owner mixes enqueues and LIFO
+    // pops while a thief steals FIFO concurrently, with the concurrency
+    // checker armed and (for nonzero seeds) the engine's schedule
+    // perturbed. Every enqueued id must be consumed exactly once by
+    // exactly one side, and the protocol must be violation-free.
+    uint64_t sched_seed = GetParam();
+    Machine machine(MachineConfig::tiny());
+    ConcurrencyChecker *ck = machine.armChecker();
+    if (sched_seed != 0)
+        machine.engine().perturbSchedule(sched_seed, 8);
+
+    constexpr uint32_t kQueueBytes = 128;
+    Addr region = machine.dramAlloc(kQueueBytes, 64);
+    QueueAddrs queue = QueueAddrs::inRegion(region, kQueueBytes);
+    if (ck != nullptr)
+        ck->registerRegion(RegionKind::Queue, region, kQueueBytes, 0,
+                           queue.lock);
+    auto &mem = machine.mem();
+    mem.pokeAs<uint32_t>(queue.lock, 0);
+    mem.pokeAs<uint32_t>(queue.head, 0);
+    mem.pokeAs<uint32_t>(queue.tail, 0);
+
+    constexpr uint32_t kIds = 200;
+    bool owner_done = false; // host-side; the DES host is single-threaded
+    std::vector<uint32_t> owner_got, thief_got;
+
+    std::vector<std::function<void(Core &)>> bodies(machine.numCores());
+    bodies[0] = [&](Core &core) {
+        QueueOps ops(core);
+        Xoshiro256StarStar rng(7 + sched_seed);
+        uint32_t next_id = 1;
+        while (next_id <= kIds) {
+            if (rng.nextBounded(3) != 0) {
+                if (ops.enqueue(queue, next_id))
+                    ++next_id;
+                else
+                    core.idle(64); // full: let the thief make room
+            } else {
+                uint32_t got = ops.popTail(queue);
+                if (got != 0)
+                    owner_got.push_back(got);
+            }
+        }
+        // Drain what's left so the final accounting is exact.
+        for (uint32_t got = ops.popTail(queue); got != 0;
+             got = ops.popTail(queue))
+            owner_got.push_back(got);
+        owner_done = true;
+    };
+    bodies[1] = [&](Core &core) {
+        QueueOps ops(core);
+        while (!owner_done || !ops.emptyUntimed(core.mem(), queue)) {
+            uint32_t got = ops.stealHead(queue);
+            if (got != 0)
+                thief_got.push_back(got);
+            else
+                core.idle(32);
+        }
+    };
+    for (CoreId i = 2; i < machine.numCores(); ++i)
+        bodies[i] = [](Core &) {};
+    machine.runPerCore(bodies);
+
+    if (ck != nullptr) {
+        EXPECT_EQ(ck->violations().size(), 0u) << ck->report();
+    }
+    EXPECT_TRUE(QueueOps(machine.core(0)).emptyUntimed(mem, queue));
+
+    // No loss, no duplication: the union of both sides is exactly 1..kIds.
+    std::vector<uint32_t> all(owner_got);
+    all.insert(all.end(), thief_got.begin(), thief_got.end());
+    std::sort(all.begin(), all.end());
+    ASSERT_EQ(all.size(), kIds)
+        << owner_got.size() << " popped + " << thief_got.size()
+        << " stolen";
+    for (uint32_t i = 0; i < kIds; ++i)
+        ASSERT_EQ(all[i], i + 1) << "id " << i + 1 << " lost or duplicated";
+    EXPECT_FALSE(thief_got.empty())
+        << "the thief never stole anything; the test exercised nothing";
+}
+
+INSTANTIATE_TEST_SUITE_P(SchedSeeds, ConcurrentDequeTest,
+                         ::testing::Values(0, 1, 2, 3, 4));
 
 // ---- Fluid server ------------------------------------------------------------
 
