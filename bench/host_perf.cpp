@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Host-performance trajectory bench: how fast the simulator itself runs.
+ *
+ * Runs fib/cilksort/uts/nqueens under the work-stealing runtime at 16 and
+ * 128 cores, once with the indexed-heap scheduler and once with the
+ * linear-scan reference scheduler, and records host wall-clock, context
+ * switches, sync points, and simulated cycles. Results go to
+ * BENCH_host_perf.json (schema documented in EXPERIMENTS.md) so every PR
+ * leaves a recorded perf point; CI's bench-smoke job compares the
+ * fast-vs-reference speedup against the committed baseline, which is
+ * machine-independent in a way absolute wall-clock is not.
+ *
+ * The two schedulers must agree on results, cycles, and switches — this
+ * bench asserts it (cheaply re-checking test_engine_equiv's contract at
+ * bench scale) so the recorded speedup is never a speedup into wrongness.
+ */
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/support.hpp"
+#include "runtime/ws_runtime.hpp"
+#include "workloads/cilksort.hpp"
+#include "workloads/fib.hpp"
+#include "workloads/nqueens.hpp"
+#include "workloads/uts.hpp"
+
+namespace spmrt {
+namespace {
+
+using namespace spmrt::workloads;
+
+/** One workload under measurement. */
+struct HostWorkload
+{
+    const char *name;
+    std::function<uint64_t(Machine &, WorkStealingRuntime &)> run;
+};
+
+std::vector<HostWorkload>
+makeWorkloads()
+{
+    const int fib_n = bench::scaled(17, 11);
+    const uint32_t sort_n = bench::scaled(6000u, 800u);
+    const uint32_t uts_depth = bench::scaled(9u, 6u);
+    const uint32_t queens_n = bench::scaled(8u, 6u);
+
+    std::vector<HostWorkload> w;
+    w.push_back({"fib", [fib_n](Machine &machine, WorkStealingRuntime &rt) {
+                     Addr out = machine.dramAlloc(8, 8);
+                     rt.run([&](TaskContext &tc) {
+                         fibKernel(tc, fib_n, out);
+                     });
+                     return static_cast<uint64_t>(
+                         machine.mem().peekAs<int64_t>(out));
+                 }});
+    w.push_back({"cilksort",
+                 [sort_n](Machine &machine, WorkStealingRuntime &rt) {
+                     CilkSortData data = cilksortSetup(machine, sort_n, 900);
+                     rt.run([&](TaskContext &tc) {
+                         cilksortKernel(tc, data);
+                     });
+                     return static_cast<uint64_t>(
+                         machine.mem().peekAs<uint32_t>(data.data));
+                 }});
+    w.push_back({"uts",
+                 [uts_depth](Machine &machine, WorkStealingRuntime &rt) {
+                     UtsParams params =
+                         UtsParams::geometric(uts_depth, 2.2, 42);
+                     UtsData data = utsSetup(machine, params);
+                     rt.run([&](TaskContext &tc) { utsKernel(tc, data); });
+                     return utsResult(machine, data);
+                 }});
+    w.push_back({"nqueens",
+                 [queens_n](Machine &machine, WorkStealingRuntime &rt) {
+                     NQueensData data = nqueensSetup(machine, queens_n);
+                     rt.run([&](TaskContext &tc) {
+                         nqueensKernel(tc, data);
+                     });
+                     return nqueensResult(machine, data);
+                 }});
+    return w;
+}
+
+/** The two machine scales of the trajectory. */
+MachineConfig
+machineFor(uint32_t cores)
+{
+    if (cores == 128)
+        return MachineConfig(); // the paper's 16x8 platform
+    MachineConfig cfg;
+    cfg.meshCols = 4;
+    cfg.meshRows = 4;
+    cfg.llcBanks = 8;
+    cfg.llcSetsPerBank = 32;
+    cfg.dramBytes = 128ull * 1024 * 1024;
+    return cfg;
+}
+
+/** One measured execution. */
+struct Sample
+{
+    uint64_t digest = 0;
+    double wallMs = 0;
+    uint64_t switches = 0;
+    uint64_t syncPoints = 0;
+    Cycles simCycles = 0;
+};
+
+Sample
+measure(const HostWorkload &workload, uint32_t cores, bool reference)
+{
+    Machine machine(machineFor(cores));
+    machine.engine().setReferenceScheduler(reference);
+    Sample sample;
+    uint64_t switches0 = machine.engine().switchCount();
+    uint64_t syncs0 = machine.engine().syncPointCount();
+    WorkStealingRuntime rt(machine, RuntimeConfig::full());
+    auto start = std::chrono::steady_clock::now();
+    sample.digest = workload.run(machine, rt);
+    auto stop = std::chrono::steady_clock::now();
+    sample.wallMs =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    sample.simCycles = machine.engine().maxTime();
+    sample.switches = machine.engine().switchCount() - switches0;
+    sample.syncPoints = machine.engine().syncPointCount() - syncs0;
+    return sample;
+}
+
+} // namespace
+} // namespace spmrt
+
+int
+main()
+{
+    using namespace spmrt;
+    auto workloads = makeWorkloads();
+    const uint32_t core_counts[] = {16, 128};
+
+    std::string json = "{\n  \"schema\": \"spmrt-host-perf-v1\",\n";
+    json += log::format("  \"quick\": %s,\n  \"rows\": [\n",
+                        bench::quickMode() ? "true" : "false");
+
+    std::printf("%-10s %6s %12s %12s %9s %14s %14s %8s\n", "workload",
+                "cores", "wall_ms", "wall_ms_ref", "speedup", "switches",
+                "syncpoints", "ok");
+    bool first = true;
+    bool all_ok = true;
+    for (const auto &workload : workloads) {
+        for (uint32_t cores : core_counts) {
+            Sample fast = measure(workload, cores, false);
+            Sample ref = measure(workload, cores, true);
+            // The speedup is only meaningful if it is a speedup into the
+            // identical simulation.
+            bool ok = fast.digest == ref.digest &&
+                      fast.simCycles == ref.simCycles &&
+                      fast.switches == ref.switches;
+            all_ok = all_ok && ok;
+            double speedup = fast.wallMs > 0 ? ref.wallMs / fast.wallMs : 0;
+            std::printf("%-10s %6u %12.2f %12.2f %8.2fx %14" PRIu64
+                        " %14" PRIu64 " %8s\n",
+                        workload.name, cores, fast.wallMs, ref.wallMs,
+                        speedup, fast.switches, fast.syncPoints,
+                        ok ? "yes" : "NO");
+            if (!first)
+                json += ",\n";
+            first = false;
+            json += log::format(
+                "    {\"workload\": \"%s\", \"cores\": %u, "
+                "\"wall_ms\": %.3f, \"wall_ms_reference\": %.3f, "
+                "\"speedup\": %.3f, \"switches\": %llu, "
+                "\"syncpoints\": %llu, \"sim_cycles\": %llu, "
+                "\"equivalent\": %s}",
+                workload.name, cores, fast.wallMs, ref.wallMs, speedup,
+                static_cast<unsigned long long>(fast.switches),
+                static_cast<unsigned long long>(fast.syncPoints),
+                static_cast<unsigned long long>(fast.simCycles),
+                ok ? "true" : "false");
+        }
+    }
+    json += "\n  ]\n}\n";
+
+    const char *path = "BENCH_host_perf.json";
+    if (FILE *f = std::fopen(path, "w")) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        std::printf("\nwrote %s\n", path);
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return 1;
+    }
+    if (!all_ok) {
+        std::fprintf(stderr,
+                     "scheduler equivalence violated in at least one row\n");
+        return 1;
+    }
+    return 0;
+}

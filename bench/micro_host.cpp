@@ -90,6 +90,91 @@ BM_RangeAllocator(benchmark::State &state)
 }
 BENCHMARK(BM_RangeAllocator);
 
+/**
+ * The scheduler's argmin structure under a switch-heavy load: every core
+ * advances by ~1 cycle and hits a sync point, so nearly every sync point
+ * is a yield plus a scheduler pick. Args: {reference?, cores}. Comparing
+ * the reference rows against the fast rows isolates the O(N) scan vs.
+ * O(log N) indexed-heap cost per switch.
+ */
+void
+BM_EngineScheduleSwitch(benchmark::State &state)
+{
+    const bool reference = state.range(0) != 0;
+    const uint32_t cores = static_cast<uint32_t>(state.range(1));
+    constexpr int kRounds = 200;
+    Engine engine(cores, 64 * 1024);
+    engine.setReferenceScheduler(reference);
+    uint64_t items = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        for (CoreId i = 0; i < cores; ++i) {
+            engine.setBody(i, [&engine, i] {
+                for (int k = 0; k < kRounds; ++k) {
+                    engine.advance(i, 1 + (i + k) % 3);
+                    engine.syncPoint(i);
+                }
+            });
+        }
+        state.ResumeTiming();
+        engine.run();
+        items += static_cast<uint64_t>(cores) * kRounds;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(items));
+    state.SetLabel(reference ? "reference" : "fast");
+}
+BENCHMARK(BM_EngineScheduleSwitch)
+    ->Args({0, 16})
+    ->Args({1, 16})
+    ->Args({0, 128})
+    ->Args({1, 128})
+    ->Unit(benchmark::kMicrosecond);
+
+/**
+ * The syncPoint fast path: core 0 takes tiny steps while every other
+ * core has already advanced far ahead, so core 0 stays the global
+ * minimum and its sync points must not yield. The fast scheduler pays
+ * one compare against the cached other-min; the reference scans all
+ * cores per sync point. Args: {reference?, cores}.
+ */
+void
+BM_EngineSyncPointFastPath(benchmark::State &state)
+{
+    const bool reference = state.range(0) != 0;
+    const uint32_t cores = static_cast<uint32_t>(state.range(1));
+    constexpr Cycles kHorizon = 20000;
+    Engine engine(cores, 64 * 1024);
+    engine.setReferenceScheduler(reference);
+    uint64_t items = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        engine.setBody(0, [&engine] {
+            Cycles stop = engine.time(0) + kHorizon;
+            while (engine.time(0) < stop) {
+                engine.advance(0, 1);
+                engine.syncPoint(0);
+            }
+        });
+        for (CoreId i = 1; i < cores; ++i) {
+            engine.setBody(i, [&engine, i] {
+                engine.advance(i, kHorizon + 1);
+                engine.syncPoint(i);
+            });
+        }
+        state.ResumeTiming();
+        engine.run();
+        items += kHorizon;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(items));
+    state.SetLabel(reference ? "reference" : "fast");
+}
+BENCHMARK(BM_EngineSyncPointFastPath)
+    ->Args({0, 16})
+    ->Args({1, 16})
+    ->Args({0, 128})
+    ->Args({1, 128})
+    ->Unit(benchmark::kMicrosecond);
+
 void
 BM_ContextSwitchPair(benchmark::State &state)
 {

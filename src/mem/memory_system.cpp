@@ -43,12 +43,38 @@ MemorySystem::spmService(CoreId owner, Cycles arrive)
     return arrive + wait + cfg_.spmLatency;
 }
 
+uint8_t *
+MemorySystem::resolveMiss(Addr addr, uint32_t size, DecodedAddr &decoded,
+                          Addr page, uint32_t off)
+{
+    decoded = map_.decode(addr, size); // asserts bounds, panics unmapped
+    uint8_t *base = backing(decoded, size);
+    if (decoded.region == MemRegion::Spm) {
+        // The SPM stride equals the page size and windows are
+        // stride-aligned, so the page base is the window base and the
+        // implemented-bytes limit applies from offset 0.
+        cacheLimit_ = cfg_.spmBytes;
+    } else {
+        uint64_t page_offset = decoded.offset - off;
+        uint64_t remaining = cfg_.dramBytes - page_offset;
+        cacheLimit_ = remaining < AddressMap::kSpmStride
+                          ? static_cast<uint32_t>(remaining)
+                          : static_cast<uint32_t>(AddressMap::kSpmStride);
+    }
+    cachePage_ = page;
+    cachePageOffset_ = decoded.offset - off;
+    cacheBase_ = base - off;
+    cacheRegion_ = decoded.region;
+    cacheOwner_ = decoded.owner;
+    return base;
+}
+
 Cycles
 MemorySystem::load(CoreId core, Cycles start, Addr addr, void *out,
                    uint32_t size)
 {
-    DecodedAddr decoded = map_.decode(addr, size);
-    std::memcpy(out, backing(decoded, size), size);
+    DecodedAddr decoded;
+    std::memcpy(out, resolve(addr, size, decoded), size);
 
     if (decoded.region == MemRegion::Spm) {
         if (decoded.owner == core) {
@@ -76,8 +102,8 @@ Cycles
 MemorySystem::store(CoreId core, Cycles start, Addr addr, const void *in,
                     uint32_t size)
 {
-    DecodedAddr decoded = map_.decode(addr, size);
-    std::memcpy(backing(decoded, size), in, size);
+    DecodedAddr decoded;
+    std::memcpy(resolve(addr, size, decoded), in, size);
 
     Cycles arrival;
     if (decoded.region == MemRegion::Spm) {
@@ -149,10 +175,11 @@ MemorySystem::amo(CoreId core, Cycles start, Addr addr, AmoOp op,
                   uint32_t operand, uint32_t &old_value)
 {
     SPMRT_ASSERT(addr % 4 == 0, "unaligned AMO at 0x%x", addr);
-    DecodedAddr decoded = map_.decode(addr, sizeof(uint32_t));
+    DecodedAddr decoded;
+    uint8_t *cell = resolve(addr, sizeof(uint32_t), decoded);
     ++stats_.amos;
 
-    old_value = applyAmo(backing(decoded, 4), op, operand);
+    old_value = applyAmo(cell, op, operand);
 
     if (decoded.region == MemRegion::Spm) {
         if (decoded.owner == core) {

@@ -159,6 +159,33 @@ class MemorySystem
     uint8_t *backing(const DecodedAddr &decoded, uint32_t size);
     const uint8_t *backing(const DecodedAddr &decoded, uint32_t size) const;
 
+    /**
+     * Decode @p addr and resolve its host backing pointer through a
+     * one-entry page cache. SPM windows are one page (kSpmStride) each
+     * and DRAM is page-tileable, so consecutive accesses to the same
+     * page — overwhelmingly the running core's own SPM — skip the full
+     * decode. Purely functional: timing and stats are untouched, and the
+     * cached limit reproduces decode()'s bounds assertions (an
+     * out-of-bounds access misses the cache and trips them).
+     */
+    uint8_t *
+    resolve(Addr addr, uint32_t size, DecodedAddr &decoded)
+    {
+        Addr page = addr & ~(AddressMap::kSpmStride - 1);
+        uint32_t off = static_cast<uint32_t>(addr - page);
+        if (page == cachePage_ && off + size <= cacheLimit_) {
+            decoded.region = cacheRegion_;
+            decoded.owner = cacheOwner_;
+            decoded.offset = cachePageOffset_ + off;
+            return cacheBase_ + off;
+        }
+        return resolveMiss(addr, size, decoded, page, off);
+    }
+
+    /** Full decode + cache refill (out of line; see resolve()). */
+    uint8_t *resolveMiss(Addr addr, uint32_t size, DecodedAddr &decoded,
+                         Addr page, uint32_t off);
+
     /** Serialize on an SPM port and pay its access latency. */
     Cycles spmService(CoreId owner, Cycles arrive);
 
@@ -177,6 +204,15 @@ class MemorySystem
     std::vector<Cycles> storeDrain_;
     MemStats stats_;
     ConcurrencyChecker *checker_ = nullptr;
+
+    // One-entry decode cache (see resolve()). cachePage_ starts at an
+    // unaligned sentinel so it can never match a real page base.
+    Addr cachePage_ = 1;
+    uint32_t cacheLimit_ = 0;      ///< valid bytes from the page base
+    uint32_t cachePageOffset_ = 0; ///< region offset of the page base
+    uint8_t *cacheBase_ = nullptr; ///< host pointer at the page base
+    MemRegion cacheRegion_ = MemRegion::Dram;
+    CoreId cacheOwner_ = kInvalidCore;
 };
 
 } // namespace spmrt

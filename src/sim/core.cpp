@@ -19,6 +19,7 @@ Core::read(Addr addr, void *out, uint32_t bytes)
     Cycles issue = now();
     Cycles last_done = issue;
     uint32_t offset = 0;
+    uint64_t chunks = 0;
     while (offset < bytes) {
         // Do not straddle LLC lines so the cache model stays simple.
         uint32_t line_room = kMaxChunk - ((addr + offset) % kMaxChunk);
@@ -28,9 +29,12 @@ Core::read(Addr addr, void *out, uint32_t bytes)
         last_done = std::max(last_done, done);
         issue += 1; // pipelined issue, one chunk per cycle
         offset += chunk;
-        ++stats_.loads;
-        ++stats_.instructions;
+        ++chunks;
     }
+    // Stats and checker bookkeeping hoisted out of the per-chunk loop;
+    // counts are identical to per-chunk increments.
+    stats_.loads += chunks;
+    stats_.instructions += chunks;
     engine_.advanceTo(id_, last_done);
     if (ConcurrencyChecker *ck = mem_.checker())
         ck->onLoad(id_, addr, bytes, now());
@@ -44,15 +48,17 @@ Core::write(Addr addr, const void *in, uint32_t bytes)
         engine_.syncPoint(id_);
     Cycles issue = now();
     uint32_t offset = 0;
+    uint64_t chunks = 0;
     while (offset < bytes) {
         uint32_t line_room = kMaxChunk - ((addr + offset) % kMaxChunk);
         uint32_t chunk = std::min({bytes - offset, line_room, kMaxChunk});
         mem_.store(id_, issue, addr + offset, src + offset, chunk);
         issue += 1;
         offset += chunk;
-        ++stats_.stores;
-        ++stats_.instructions;
+        ++chunks;
     }
+    stats_.stores += chunks;
+    stats_.instructions += chunks;
     engine_.advanceTo(id_, issue);
     if (ConcurrencyChecker *ck = mem_.checker())
         ck->onStore(id_, addr, bytes, now());

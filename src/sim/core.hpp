@@ -49,7 +49,8 @@ class Core
   public:
     Core(Engine &engine, MemorySystem &mem, CoreId id,
          const MachineConfig &cfg)
-        : engine_(engine), mem_(mem), id_(id), cfg_(cfg)
+        : engine_(engine), mem_(mem), id_(id), cfg_(cfg),
+          localSpmBase_(mem.map().spmBase(id))
     {
     }
 
@@ -213,16 +214,16 @@ class Core
         engine_.syncPoint(id_);
     }
 
-    /** True iff @p addr is inside this core's own scratchpad. */
+    /** True iff @p addr is inside this core's own scratchpad. The base is
+     *  cached at construction: this predicate runs on every store. */
     bool
     isLocalSpm(Addr addr) const
     {
-        Addr base = mem_.map().spmBase(id_);
-        return addr >= base && addr - base < cfg_.spmBytes;
+        return addr - localSpmBase_ < cfg_.spmBytes;
     }
 
     /** Base address of this core's scratchpad window. */
-    Addr spmBase() const { return mem_.map().spmBase(id_); }
+    Addr spmBase() const { return localSpmBase_; }
 
     /** Mutable access to the counters (the runtime updates them). */
     CoreStats &stats() { return stats_; }
@@ -242,6 +243,7 @@ class Core
     MemorySystem &mem_;
     CoreId id_;
     const MachineConfig &cfg_;
+    Addr localSpmBase_; ///< cached: consulted on every store
     CoreStats stats_;
     FaultPlan *fault_ = nullptr;
 };

@@ -1,19 +1,44 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 namespace spmrt {
 
+namespace {
+
+/**
+ * Compile-time default is the fast indexed-heap scheduler; the
+ * SPMRT_ENGINE_REFERENCE CMake option flips the default, and the
+ * same-named environment variable overrides either at startup so one
+ * binary can serve as its own oracle.
+ */
+bool
+defaultReferenceMode()
+{
+    if (const char *env = std::getenv("SPMRT_ENGINE_REFERENCE"))
+        return env[0] == '1';
+#ifdef SPMRT_ENGINE_REFERENCE_DEFAULT
+    return true;
+#else
+    return false;
+#endif
+}
+
+} // namespace
+
 Engine::Engine(uint32_t num_cores, size_t host_stack_bytes)
-    : stackBytes_(host_stack_bytes)
+    : stackBytes_(host_stack_bytes), referenceMode_(defaultReferenceMode())
 {
     slots_.reserve(num_cores);
     for (uint32_t i = 0; i < num_cores; ++i) {
         auto slot = std::make_unique<Slot>();
-        slot->engine = this;
         slot->id = i;
         slots_.push_back(std::move(slot));
     }
+    heap_.reserve(num_cores);
+    heapPos_.assign(num_cores, kNoHeapPos);
 }
 
 void
@@ -27,15 +52,36 @@ Engine::setBody(CoreId id, std::function<void()> body)
 void
 Engine::entryThunk(void *opaque)
 {
-    auto *slot = static_cast<Slot *>(opaque);
+    auto *engine = static_cast<Engine *>(opaque);
+    // The first activation happens through a dispatch, so running_ names
+    // this coroutine's core — no per-slot back-pointer needed.
+    Slot *slot = engine->slots_[engine->running_].get();
     // Each run() installs a fresh body; the coroutine parks between runs
     // so multi-phase benchmarks can reuse the machine (clocks persist).
     while (true) {
         slot->body();
-        slot->finished = true;
-        --slot->engine->live_;
-        GuestContext::switchTo(slot->ctx, slot->engine->schedCtx_);
+        engine->finishCurrent(*slot);
     }
+}
+
+void
+Engine::finishCurrent(Slot &slot)
+{
+    slot.finished = true;
+    --live_;
+    foldHighWater(slot.time);
+    if (referenceMode_) {
+        GuestContext::switchTo(slot.ctx, schedCtx_);
+        return; // resumed by a later run()
+    }
+    heapErase(slot.id);
+    if (live_ == 0) {
+        // Last core out ends the run: hand control back to run().
+        GuestContext::switchTo(slot.ctx, schedCtx_);
+        return; // resumed by a later run()
+    }
+    dispatchFrom(slot.ctx);
+    // Resumed by a later run(): fall through into the entryThunk loop.
 }
 
 void
@@ -49,10 +95,39 @@ Engine::run()
         }
         slot->finished = false;
         if (!slot->ctx.valid())
-            slot->ctx.init(stackBytes_, &Engine::entryThunk, slot.get());
+            slot->ctx.init(stackBytes_, &Engine::entryThunk, this);
         ++live_;
     }
 
+    if (referenceMode_) {
+        runReference();
+        return;
+    }
+
+    // Build the ready-heap over runnable cores. Insertion in id order
+    // keeps the build deterministic (the key already embeds the id
+    // tie-break, so any insertion order yields the same argmin).
+    heap_.clear();
+    std::fill(heapPos_.begin(), heapPos_.end(), kNoHeapPos);
+    for (auto &slot : slots_) {
+        if (!slot->finished && !slot->blocked)
+            heapInsert(slot->id, slot->time);
+    }
+
+    // Dispatch chains run guest-to-guest; control only returns here once
+    // the last live core finishes (the loop guards against nothing else).
+    while (live_ > 0) {
+        dispatchFrom(schedCtx_);
+        running_ = kInvalidCore;
+    }
+    running_ = kInvalidCore;
+}
+
+void
+Engine::runReference()
+{
+    // The original linear-scan scheduler, kept verbatim as the
+    // equivalence oracle for the indexed-heap fast path.
     while (live_ > 0) {
         // Deterministic argmin over unfinished, unblocked cores; ties
         // favor lower id.
@@ -86,13 +161,63 @@ Engine::run()
         running_ = next->id;
         ++switches_;
         GuestContext::switchTo(schedCtx_, next->ctx);
+        foldHighWater(next->time);
         running_ = kInvalidCore;
     }
+}
+
+Engine::Slot *
+Engine::pickNext()
+{
+    SPMRT_ASSERT(!heap_.empty(), "deadlock: all %u live cores are blocked",
+                 live_);
+    CoreId next_id = heap_[0].id;
+    if (schedPerturb_) {
+        collectWindowCandidates();
+        if (candidateIds_.size() > 1)
+            next_id = candidateIds_[schedRng_.nextBounded(
+                candidateIds_.size())];
+    }
+    return slots_[next_id].get();
+}
+
+void
+Engine::dispatchFrom(GuestContext &from)
+{
+    Slot *next = pickNext();
+    if (wdCycles_ != 0 || wdSwitches_ != 0)
+        watchdogCheck(next->time);
+    cachedOtherMin_ = heapMinTimeExcluding(next->id);
+    ++switches_;
+    if (next->id == running_)
+        return; // re-picked the yielding core: no host switch needed
+    running_ = next->id;
+    GuestContext::switchTo(from, next->ctx);
 }
 
 void
 Engine::syncPoint(CoreId id)
 {
+    ++syncPoints_;
+    Slot &slot = *slots_[id];
+
+    if (!referenceMode_) {
+        // Fast path: cachedOtherMin_ is the exact minimum clock among
+        // the other runnable cores, so the common case — this core still
+        // holds the global minimum — is a single compare. The loop body
+        // runs only when the core must actually yield.
+        while (true) {
+            Cycles limit = cachedOtherMin_;
+            if (schedPerturb_ && limit != kNoOtherCore)
+                limit += schedWindow_;
+            if (slot.time <= limit)
+                return;
+            foldHighWater(slot.time);
+            heapIncreaseKey(id, slot.time);
+            dispatchFrom(slot.ctx);
+        }
+    }
+
     // The scheduler resumes only the global-minimum core, so a single
     // failed check needs exactly one yield; loop anyway for robustness.
     // Under schedule perturbation the bound is relaxed by the window so
@@ -102,7 +227,7 @@ Engine::syncPoint(CoreId id)
         Cycles limit = minOtherTime(id);
         if (schedPerturb_ && limit != std::numeric_limits<Cycles>::max())
             limit += schedWindow_;
-        if (slots_[id]->time <= limit)
+        if (slot.time <= limit)
             return;
         yield(id);
     }
@@ -111,28 +236,60 @@ Engine::syncPoint(CoreId id)
 void
 Engine::yield(CoreId id)
 {
-    auto &slot = *slots_[id];
-    GuestContext::switchTo(slot.ctx, schedCtx_);
+    Slot &slot = *slots_[id];
+    if (referenceMode_) {
+        GuestContext::switchTo(slot.ctx, schedCtx_);
+        return;
+    }
+    foldHighWater(slot.time);
+    heapIncreaseKey(id, slot.time);
+    dispatchFrom(slot.ctx);
 }
 
 void
 Engine::block(CoreId id)
 {
-    auto &slot = *slots_[id];
+    Slot &slot = *slots_[id];
     SPMRT_ASSERT(running_ == id, "block() from a non-running core");
     slot.blocked = true;
-    GuestContext::switchTo(slot.ctx, schedCtx_);
+    if (referenceMode_) {
+        GuestContext::switchTo(slot.ctx, schedCtx_);
+    } else {
+        foldHighWater(slot.time);
+        heapErase(id);
+        dispatchFrom(slot.ctx);
+    }
     SPMRT_ASSERT(!slot.blocked, "blocked core %u resumed while parked", id);
 }
 
 void
 Engine::unblock(CoreId id, Cycles t)
 {
-    auto &slot = *slots_[id];
+    Slot &slot = *slots_[id];
     SPMRT_ASSERT(slot.blocked, "unblock() of a core that is not parked");
     slot.blocked = false;
     if (t > slot.time)
         slot.time = t;
+    foldHighWater(slot.time);
+    if (!referenceMode_) {
+        heapInsert(id, slot.time);
+        // The woken core joins the running core's "others"; min-fold
+        // keeps the syncPoint cache exact.
+        if (running_ != kInvalidCore && slot.time < cachedOtherMin_)
+            cachedOtherMin_ = slot.time;
+    }
+}
+
+void
+Engine::foreignClockChange(Slot &slot)
+{
+    foldHighWater(slot.time);
+    if (referenceMode_)
+        return;
+    if (heapPos_[slot.id] != kNoHeapPos)
+        heapIncreaseKey(slot.id, slot.time);
+    if (running_ != kInvalidCore)
+        cachedOtherMin_ = heapMinTimeExcluding(running_);
 }
 
 Cycles
@@ -147,6 +304,134 @@ Engine::minOtherTime(CoreId self) const
     }
     return min_time;
 }
+
+// ---- Indexed 4-ary min-heap ---------------------------------------------
+
+void
+Engine::heapSiftUp(uint32_t pos)
+{
+    HeapEntry entry = heap_[pos];
+    while (pos > 0) {
+        uint32_t parent = (pos - 1) / 4;
+        if (!heapLess(entry, heap_[parent]))
+            break;
+        heap_[pos] = heap_[parent];
+        heapPos_[heap_[pos].id] = pos;
+        pos = parent;
+    }
+    heap_[pos] = entry;
+    heapPos_[entry.id] = pos;
+}
+
+void
+Engine::heapSiftDown(uint32_t pos)
+{
+    HeapEntry entry = heap_[pos];
+    const uint32_t size = static_cast<uint32_t>(heap_.size());
+    while (true) {
+        uint32_t first = pos * 4 + 1;
+        if (first >= size)
+            break;
+        uint32_t last = std::min(first + 4, size);
+        uint32_t best = first;
+        for (uint32_t child = first + 1; child < last; ++child) {
+            if (heapLess(heap_[child], heap_[best]))
+                best = child;
+        }
+        if (!heapLess(heap_[best], entry))
+            break;
+        heap_[pos] = heap_[best];
+        heapPos_[heap_[pos].id] = pos;
+        pos = best;
+    }
+    heap_[pos] = entry;
+    heapPos_[entry.id] = pos;
+}
+
+void
+Engine::heapInsert(CoreId id, Cycles t)
+{
+    SPMRT_ASSERT(heapPos_[id] == kNoHeapPos,
+                 "core %u already in the ready heap", id);
+    heap_.push_back({t, id});
+    heapSiftUp(static_cast<uint32_t>(heap_.size()) - 1);
+}
+
+void
+Engine::heapErase(CoreId id)
+{
+    uint32_t pos = heapPos_[id];
+    SPMRT_ASSERT(pos != kNoHeapPos, "core %u not in the ready heap", id);
+    heapPos_[id] = kNoHeapPos;
+    uint32_t last = static_cast<uint32_t>(heap_.size()) - 1;
+    HeapEntry moved = heap_[last];
+    heap_.pop_back();
+    if (pos != last) {
+        // The displaced entry may need to move either way.
+        heap_[pos] = moved;
+        heapPos_[moved.id] = pos;
+        heapSiftDown(pos);
+        if (heapPos_[moved.id] == pos)
+            heapSiftUp(pos);
+    }
+}
+
+void
+Engine::heapIncreaseKey(CoreId id, Cycles t)
+{
+    uint32_t pos = heapPos_[id];
+    SPMRT_ASSERT(pos != kNoHeapPos, "core %u not in the ready heap", id);
+    heap_[pos].time = t;
+    heapSiftDown(pos); // clocks only move forward
+}
+
+Cycles
+Engine::heapMinTimeExcluding(CoreId self) const
+{
+    if (heap_.empty())
+        return kNoOtherCore;
+    if (heap_[0].id != self)
+        return heap_[0].time;
+    // The excluded core sits at the root; its replacement minimum is the
+    // least of the root's (at most four) children.
+    Cycles min_time = kNoOtherCore;
+    const uint32_t size = static_cast<uint32_t>(heap_.size());
+    const uint32_t last = std::min<uint32_t>(5, size);
+    for (uint32_t child = 1; child < last; ++child) {
+        if (heap_[child].time < min_time)
+            min_time = heap_[child].time;
+    }
+    return min_time;
+}
+
+void
+Engine::collectWindowCandidates()
+{
+    // Bounded descent: every entry within the window of the root's time,
+    // pruning subtrees whose root already exceeds it (children are never
+    // earlier than their parent). Candidates are sorted ascending so the
+    // RNG consumes exactly the same index stream as the reference
+    // scheduler's id-ordered scan.
+    candidateIds_.clear();
+    descentStack_.clear();
+    const Cycles min_time = heap_[0].time;
+    descentStack_.push_back(0);
+    const uint32_t size = static_cast<uint32_t>(heap_.size());
+    while (!descentStack_.empty()) {
+        uint32_t pos = descentStack_.back();
+        descentStack_.pop_back();
+        if (heap_[pos].time - min_time > schedWindow_)
+            continue;
+        candidateIds_.push_back(heap_[pos].id);
+        uint32_t first = pos * 4 + 1;
+        uint32_t last = std::min(first + 4, size);
+        for (uint32_t child = first; child < last; ++child)
+            descentStack_.push_back(child);
+    }
+    std::sort(candidateIds_.begin(), candidateIds_.end());
+}
+
+// ---- Watchdog ------------------------------------------------------------
 
 void
 Engine::watchdogCheck(Cycles next_time)
@@ -185,16 +470,6 @@ Engine::watchdogCheck(Cycles next_time)
     SPMRT_PANIC("watchdog expired: global quiescence failure "
                 "(%u live cores, see dump above)",
                 live_);
-}
-
-Cycles
-Engine::maxTime() const
-{
-    Cycles max_time = 0;
-    for (auto &slot : slots_)
-        if (slot->hasBody && slot->time > max_time)
-            max_time = slot->time;
-    return max_time;
 }
 
 } // namespace spmrt

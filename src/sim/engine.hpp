@@ -14,6 +14,25 @@
  * id), the entire simulation — including lock acquisition order and steal
  * interleavings — is reproducible run-to-run.
  *
+ * The argmin is maintained in a 4-ary indexed min-heap keyed by
+ * (time, id), so the tie-break is structural: picking the next core is an
+ * O(1) root read and every clock mutation is an O(log N) sift instead of
+ * the historical O(N) scan per context switch. Two fast paths ride on it:
+ *
+ *  - syncPoint keeps the minimum clock among *other* runnable cores cached
+ *    (exact, maintained incrementally), so the common case — the running
+ *    core still holds the global minimum — is a single compare with no
+ *    scan and no context switch;
+ *  - a yielding core switches guest-to-guest directly to the next argmin
+ *    core instead of bouncing through the scheduler context, halving host
+ *    context switches (watchdog and perturbation hooks run inline on the
+ *    yielding side).
+ *
+ * The original linear-scan scheduler is retained, runtime-selectable, as
+ * the equivalence oracle (see setReferenceScheduler); both produce
+ * bit-identical results, cycle counts, and switch counts by construction,
+ * and tests/test_engine_equiv.cpp enforces it.
+ *
  * Schedule exploration (perturbSchedule) deliberately loosens the argmin:
  * among candidates whose clocks lie within a window of the global minimum,
  * the scheduler picks one with a seeded RNG, and syncPoint admits any core
@@ -66,16 +85,25 @@ class Engine
     void
     advance(CoreId id, Cycles dt)
     {
-        slots_[id]->time += dt;
+        Slot &slot = *slots_[id];
+        slot.time += dt;
+        // Only the running core advances itself on the hot path; any
+        // other clock change (phase barriers, tests) must be reflected
+        // in the heap and the high-water mark immediately.
+        if (id != running_)
+            foreignClockChange(slot);
     }
 
     /** Move core @p id's clock forward to @p t if @p t is later. */
     void
     advanceTo(CoreId id, Cycles t)
     {
-        auto &slot = *slots_[id];
-        if (t > slot.time)
+        Slot &slot = *slots_[id];
+        if (t > slot.time) {
             slot.time = t;
+            if (id != running_)
+                foreignClockChange(slot);
+        }
     }
 
     /**
@@ -110,8 +138,46 @@ class Engine
     /** Number of context switches performed (diagnostics). */
     uint64_t switchCount() const { return switches_; }
 
-    /** Largest clock reached by any core so far. */
-    Cycles maxTime() const;
+    /** Number of syncPoint() calls observed (diagnostics). */
+    uint64_t syncPointCount() const { return syncPoints_; }
+
+    /**
+     * Largest clock reached by any core so far. O(1): the engine folds
+     * every suspended core's clock into a high-water mark at each switch
+     * point, so only the running core (if any) can be ahead of it.
+     */
+    Cycles
+    maxTime() const
+    {
+        Cycles t = highWater_;
+        if (running_ != kInvalidCore && slots_[running_]->time > t)
+            t = slots_[running_]->time;
+        return t;
+    }
+
+    /**
+     * @name Scheduler selection
+     *
+     * The indexed-heap scheduler is the default. The original O(N)
+     * linear-scan scheduler is kept, selectable at runtime, as the
+     * equivalence oracle: same argmin, same tie-break, same RNG
+     * consumption under perturbation, so results, cycle counts, and
+     * switch counts are bit-identical between the two. The default can
+     * be forced to the reference with the SPMRT_ENGINE_REFERENCE=1
+     * environment variable or the SPMRT_ENGINE_REFERENCE CMake option.
+     * @{
+     */
+    void
+    setReferenceScheduler(bool reference)
+    {
+        SPMRT_ASSERT(running_ == kInvalidCore,
+                     "cannot switch scheduler while guest code runs");
+        referenceMode_ = reference;
+    }
+
+    /** True while the linear-scan oracle scheduler is selected. */
+    bool referenceScheduler() const { return referenceMode_; }
+    /** @} */
 
     /**
      * @name Hang watchdog
@@ -188,6 +254,33 @@ class Engine
     /** @} */
 
   private:
+    struct Slot
+    {
+        GuestContext ctx;
+        std::function<void()> body;
+        Cycles time = 0;
+        CoreId id = kInvalidCore;
+        bool finished = false;
+        bool blocked = false;
+        bool hasBody = false;
+        // No back-pointer to the engine: the coroutine entry point
+        // receives the Engine* as its argument and identifies its slot
+        // via running_ on first activation (see entryThunk).
+    };
+
+    /** Heap entry: the key is (time, id), lowest wins. */
+    struct HeapEntry
+    {
+        Cycles time;
+        CoreId id;
+    };
+
+    static constexpr uint32_t kNoHeapPos = ~uint32_t(0);
+    static constexpr Cycles kNoOtherCore =
+        std::numeric_limits<Cycles>::max();
+
+    static void entryThunk(void *opaque);
+
     void
     noteProgressAt(Cycles t)
     {
@@ -198,32 +291,82 @@ class Engine
     /** Check the watchdog bounds against @p next; panic on expiry. */
     void watchdogCheck(Cycles next_time);
 
-  public:
-
-  private:
-    struct Slot
-    {
-        GuestContext ctx;
-        Cycles time = 0;
-        bool finished = false;
-        bool blocked = false;
-        bool hasBody = false;
-        std::function<void()> body;
-        Engine *engine = nullptr;
-        CoreId id = kInvalidCore;
-    };
-
-    static void entryThunk(void *opaque);
-
-    /** Minimal clock among unfinished cores other than @p self. */
+    /** Minimal clock among unfinished cores other than @p self (O(N);
+     *  reference scheduler only). */
     Cycles minOtherTime(CoreId self) const;
+
+    /** Fold a suspended core's clock into the high-water mark. */
+    void
+    foldHighWater(Cycles t)
+    {
+        if (t > highWater_)
+            highWater_ = t;
+    }
+
+    /** Slow path for clock changes on a non-running core. */
+    void foreignClockChange(Slot &slot);
+
+    /** The original O(N) linear-scan scheduling loop (oracle). */
+    void runReference();
+
+    /** Body-return bookkeeping for the current core. */
+    void finishCurrent(Slot &slot);
+
+    /**
+     * Pick the next core to run (heap root, or a seeded within-window
+     * candidate under perturbation), run the watchdog check, and switch
+     * from @p from into it. Called with all heap keys fresh.
+     */
+    void dispatchFrom(GuestContext &from);
+
+    /** Next core per the strict or perturbed policy (asserts progress). */
+    Slot *pickNext();
+
+    /** @name Indexed 4-ary min-heap over runnable cores
+     *  @{ */
+    static bool
+    heapLess(const HeapEntry &a, const HeapEntry &b)
+    {
+        return a.time < b.time || (a.time == b.time && a.id < b.id);
+    }
+
+    void heapSiftUp(uint32_t pos);
+    void heapSiftDown(uint32_t pos);
+    void heapInsert(CoreId id, Cycles t);
+    void heapErase(CoreId id);
+    void heapIncreaseKey(CoreId id, Cycles t);
+
+    /** Min time over heap entries excluding @p self; kNoOtherCore when
+     *  none. O(arity): self can only occlude the root. */
+    Cycles heapMinTimeExcluding(CoreId self) const;
+
+    /** Ids within @p window of the root's time, ascending (DFS with
+     *  subtree pruning; fills candidateIds_). */
+    void collectWindowCandidates();
+    /** @} */
 
     GuestContext schedCtx_;
     std::vector<std::unique_ptr<Slot>> slots_;
     CoreId running_ = kInvalidCore;
     uint32_t live_ = 0;
     uint64_t switches_ = 0;
+    uint64_t syncPoints_ = 0;
     size_t stackBytes_;
+    bool referenceMode_;
+
+    // Indexed-heap scheduler state.
+    std::vector<HeapEntry> heap_;    ///< runnable cores, keyed (time, id)
+    std::vector<uint32_t> heapPos_;  ///< core id -> heap index or kNoHeapPos
+    /**
+     * Exact minimum clock among runnable cores other than running_,
+     * recomputed at every dispatch and min-folded on unblock. Exactness
+     * holds because suspended cores' clocks are frozen: only the running
+     * core can change the runnable-other set (by waking a core), and that
+     * path updates the cache. syncPoint's no-scan fast path compares
+     * against this value.
+     */
+    Cycles cachedOtherMin_ = kNoOtherCore;
+    Cycles highWater_ = 0; ///< max clock ever folded (see maxTime())
 
     // Watchdog state. wdCycles_/wdSwitches_ of 0 = that bound disabled.
     Cycles wdCycles_ = 0;
@@ -236,7 +379,9 @@ class Engine
     bool schedPerturb_ = false;
     Cycles schedWindow_ = 0;
     Xoshiro256StarStar schedRng_;
-    std::vector<Slot *> schedCandidates_; ///< scratch, avoids per-pick alloc
+    std::vector<Slot *> schedCandidates_; ///< scratch (reference scan)
+    std::vector<CoreId> candidateIds_;    ///< scratch (heap descent)
+    std::vector<uint32_t> descentStack_;  ///< scratch (heap descent)
 };
 
 } // namespace spmrt

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Scheduler equivalence suite: the indexed-heap fast scheduler vs. the
+ * retained linear-scan reference scheduler.
+ *
+ * The engine contract is that the fast path changes *host* cost only:
+ * same deterministic argmin with lowest-id tie-break, same RNG
+ * consumption under perturbation, same watchdog semantics. So for every
+ * workload and scheduling regime — strict, seed-perturbed, and
+ * fault-injected — the two schedulers must produce byte-identical
+ * results, identical final cycle counts, and identical context-switch
+ * counts, with the concurrency checker armed and reporting zero
+ * violations on both. Any drift here means the fast scheduler is not a
+ * pure optimization and invalidates every recorded experiment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/ws_runtime.hpp"
+#include "sim/checker.hpp"
+#include "sim/fault.hpp"
+#include "workloads/cilksort.hpp"
+#include "workloads/fib.hpp"
+#include "workloads/nqueens.hpp"
+#include "workloads/uts.hpp"
+
+namespace spmrt {
+namespace {
+
+using namespace spmrt::workloads;
+
+constexpr Cycles kWindow = 8; ///< perturbation admission window
+
+/** Scheduling regime of one equivalence run. */
+struct Regime
+{
+    const char *name;
+    bool perturb = false;
+    uint64_t schedSeed = 0;
+    bool fault = false;
+    uint64_t faultSeed = 0;
+};
+
+std::vector<Regime>
+makeRegimes()
+{
+    std::vector<Regime> regimes;
+    regimes.push_back({"strict", false, 0, false, 0});
+    for (uint64_t seed = 1; seed <= 4; ++seed)
+        regimes.push_back({"perturbed", true, seed, false, 0});
+    regimes.push_back({"faulted", false, 0, true, 5});
+    regimes.push_back({"perturbed+faulted", true, 2, true, 9});
+    return regimes;
+}
+
+/** Everything the two schedulers must agree on. */
+struct Outcome
+{
+    uint64_t digest = 0;
+    Cycles cycles = 0;
+    uint64_t switches = 0;
+    uint64_t syncPoints = 0;
+    size_t violations = 0;
+    std::string report;
+};
+
+/** FNV-1a over a result vector, so array outputs digest to one word. */
+template <typename T>
+uint64_t
+fnvDigest(const std::vector<T> &values)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const T &v : values) {
+        h ^= static_cast<uint64_t>(v);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** One workload: reference digest + a run returning digest. */
+struct Workload
+{
+    const char *name;
+    uint64_t reference;
+    std::function<uint64_t(Machine &, WorkStealingRuntime &)> run;
+};
+
+std::vector<Workload>
+makeWorkloads()
+{
+    std::vector<Workload> w;
+
+    w.push_back({"fib", static_cast<uint64_t>(fibReference(12)),
+                 [](Machine &machine, WorkStealingRuntime &rt) {
+                     Addr out = machine.dramAlloc(8, 8);
+                     rt.run([&](TaskContext &tc) { fibKernel(tc, 12, out); });
+                     return static_cast<uint64_t>(
+                         machine.mem().peekAs<int64_t>(out));
+                 }});
+
+    {
+        constexpr uint32_t kN = 400;
+        constexpr uint64_t kDataSeed = 900;
+        Machine ref_machine(MachineConfig::tiny());
+        CilkSortData ref = cilksortSetup(ref_machine, kN, kDataSeed);
+        std::vector<uint32_t> sorted =
+            downloadArray<uint32_t>(ref_machine, ref.data, kN);
+        std::sort(sorted.begin(), sorted.end());
+        w.push_back({"cilksort", fnvDigest(sorted),
+                     [](Machine &machine, WorkStealingRuntime &rt) {
+                         CilkSortData data =
+                             cilksortSetup(machine, kN, kDataSeed);
+                         rt.run([&](TaskContext &tc) {
+                             cilksortKernel(tc, data);
+                         });
+                         return fnvDigest(downloadArray<uint32_t>(
+                             machine, data.data, kN));
+                     }});
+    }
+
+    {
+        UtsParams params = UtsParams::geometric(7, 2.2, 42);
+        w.push_back({"uts", utsReference(params),
+                     [params](Machine &machine, WorkStealingRuntime &rt) {
+                         UtsData data = utsSetup(machine, params);
+                         rt.run([&](TaskContext &tc) {
+                             utsKernel(tc, data);
+                         });
+                         return utsResult(machine, data);
+                     }});
+    }
+
+    w.push_back({"nqueens", nqueensReference(6),
+                 [](Machine &machine, WorkStealingRuntime &rt) {
+                     NQueensData data = nqueensSetup(machine, 6);
+                     rt.run([&](TaskContext &tc) {
+                         nqueensKernel(tc, data);
+                     });
+                     return nqueensResult(machine, data);
+                 }});
+
+    return w;
+}
+
+/** Run @p workload once under @p regime on the chosen scheduler. */
+Outcome
+runOnce(const Workload &workload, const Regime &regime, bool reference)
+{
+    Machine machine(MachineConfig::tiny());
+    machine.engine().setReferenceScheduler(reference);
+    ConcurrencyChecker *ck = machine.armChecker();
+    if (regime.perturb)
+        machine.engine().perturbSchedule(regime.schedSeed, kWindow);
+    FaultPlan plan;
+    if (regime.fault) {
+        plan = FaultPlan::chaos(regime.faultSeed, machine.config());
+        machine.setFaultPlan(&plan);
+    }
+
+    Outcome out;
+    Cycles start = machine.engine().maxTime();
+    uint64_t switches0 = machine.engine().switchCount();
+    uint64_t syncs0 = machine.engine().syncPointCount();
+    WorkStealingRuntime rt(machine, RuntimeConfig::full());
+    out.digest = workload.run(machine, rt);
+    out.cycles = machine.engine().maxTime() - start;
+    out.switches = machine.engine().switchCount() - switches0;
+    out.syncPoints = machine.engine().syncPointCount() - syncs0;
+    machine.setFaultPlan(nullptr);
+    if (ck != nullptr) {
+        out.violations = ck->violations().size();
+        out.report = ck->report();
+    }
+    return out;
+}
+
+class SchedulerEquivalence : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(SchedulerEquivalence, FastMatchesReferenceBitForBit)
+{
+    const Workload workload = makeWorkloads()[GetParam()];
+    SCOPED_TRACE(workload.name);
+
+    for (const Regime &regime : makeRegimes()) {
+        SCOPED_TRACE(regime.name);
+        Outcome fast = runOnce(workload, regime, false);
+        Outcome oracle = runOnce(workload, regime, true);
+
+        EXPECT_EQ(fast.digest, workload.reference)
+            << regime.name << ": fast scheduler computed a wrong result";
+        EXPECT_EQ(fast.digest, oracle.digest)
+            << regime.name << ": result diverged between schedulers";
+        EXPECT_EQ(fast.cycles, oracle.cycles)
+            << regime.name << ": simulated cycle counts diverged";
+        EXPECT_EQ(fast.switches, oracle.switches)
+            << regime.name << ": context-switch counts diverged";
+        EXPECT_EQ(fast.syncPoints, oracle.syncPoints)
+            << regime.name << ": syncPoint counts diverged";
+#if SPMRT_CHECKER_ENABLED
+        EXPECT_EQ(fast.violations, 0u)
+            << regime.name << " (fast):\n" << fast.report;
+        EXPECT_EQ(oracle.violations, 0u)
+            << regime.name << " (reference):\n" << oracle.report;
+#endif
+    }
+}
+
+std::string
+workloadName(const ::testing::TestParamInfo<size_t> &info)
+{
+    static const char *const names[] = {"fib", "cilksort", "uts", "nqueens"};
+    return names[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, SchedulerEquivalence,
+                         ::testing::Range<size_t>(0, 4), workloadName);
+
+// ---- Engine-level equivalence of the primitive operations ----------------
+
+/** Drive raw engine primitives and compare the two schedulers' traces. */
+struct EngineTrace
+{
+    std::vector<std::pair<CoreId, Cycles>> order;
+    uint64_t switches = 0;
+    Cycles maxTime = 0;
+};
+
+EngineTrace
+interleaveTrace(bool reference, uint64_t perturb_seed)
+{
+    Engine engine(4, 64 * 1024);
+    engine.setReferenceScheduler(reference);
+    if (perturb_seed != 0)
+        engine.perturbSchedule(perturb_seed, 4);
+    EngineTrace trace;
+    for (CoreId i = 0; i < 4; ++i) {
+        engine.setBody(i, [&engine, &trace, i] {
+            for (int k = 0; k < 20; ++k) {
+                engine.advance(i, 3 + (i * 7 + k) % 5);
+                engine.syncPoint(i);
+                trace.order.emplace_back(i, engine.time(i));
+            }
+        });
+    }
+    engine.run();
+    trace.switches = engine.switchCount();
+    trace.maxTime = engine.maxTime();
+    return trace;
+}
+
+TEST(SchedulerEquivalence, PrimitiveInterleavingsMatch)
+{
+    for (uint64_t seed : {0ull, 1ull, 2ull, 3ull}) {
+        EngineTrace fast = interleaveTrace(false, seed);
+        EngineTrace oracle = interleaveTrace(true, seed);
+        EXPECT_EQ(fast.order, oracle.order) << "seed " << seed;
+        EXPECT_EQ(fast.switches, oracle.switches) << "seed " << seed;
+        EXPECT_EQ(fast.maxTime, oracle.maxTime) << "seed " << seed;
+    }
+}
+
+TEST(SchedulerEquivalence, BlockUnblockMatches)
+{
+    // Core 0 parks; core 1 advances past it and wakes it at a later time;
+    // both then interleave. Exercises heap erase/insert and the cached
+    // other-min fold on unblock.
+    auto run = [](bool reference) {
+        Engine engine(2, 64 * 1024);
+        engine.setReferenceScheduler(reference);
+        EngineTrace trace;
+        engine.setBody(0, [&engine, &trace] {
+            engine.block(0);
+            for (int k = 0; k < 10; ++k) {
+                engine.advance(0, 2);
+                engine.syncPoint(0);
+                trace.order.emplace_back(0u, engine.time(0));
+            }
+        });
+        engine.setBody(1, [&engine, &trace] {
+            for (int k = 0; k < 10; ++k) {
+                engine.advance(1, 5);
+                engine.syncPoint(1);
+                trace.order.emplace_back(1u, engine.time(1));
+            }
+            engine.unblock(0, 17);
+        });
+        engine.run();
+        trace.switches = engine.switchCount();
+        trace.maxTime = engine.maxTime();
+        return trace;
+    };
+    EngineTrace fast = run(false);
+    EngineTrace oracle = run(true);
+    EXPECT_EQ(fast.order, oracle.order);
+    EXPECT_EQ(fast.switches, oracle.switches);
+    EXPECT_EQ(fast.maxTime, oracle.maxTime);
+    EXPECT_EQ(fast.maxTime, 50u);
+}
+
+TEST(SchedulerEquivalence, MaxTimeIsLiveDuringARun)
+{
+    // maxTime() is O(1) via the high-water mark; it must still be exact
+    // when sampled from inside guest code, where the running core can be
+    // ahead of every fold point.
+    Engine engine(2, 64 * 1024);
+    Cycles sampled = 0;
+    engine.setBody(0, [&engine, &sampled] {
+        engine.advance(0, 100);
+        sampled = engine.maxTime();
+        engine.syncPoint(0);
+    });
+    engine.setBody(1, [&engine] {
+        engine.advance(1, 40);
+        engine.syncPoint(1);
+    });
+    engine.run();
+    EXPECT_EQ(sampled, 100u);
+    EXPECT_EQ(engine.maxTime(), 100u);
+}
+
+TEST(SchedulerEquivalence, SchedulerSelectionIsExplicit)
+{
+    Engine engine(1, 64 * 1024);
+    bool initial = engine.referenceScheduler();
+    engine.setReferenceScheduler(!initial);
+    EXPECT_EQ(engine.referenceScheduler(), !initial);
+    engine.setReferenceScheduler(initial);
+    EXPECT_EQ(engine.referenceScheduler(), initial);
+}
+
+} // namespace
+} // namespace spmrt

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Gate host-perf regressions against the committed baseline.
+
+Compares a freshly measured BENCH_host_perf.json against
+bench/baseline_host_perf.json row by row (matched on workload + cores).
+The gated quantity is the fast-vs-reference *speedup ratio*, not absolute
+wall-clock: both schedulers run on the same machine in the same process,
+so their ratio is stable across CI runners while raw milliseconds are
+not. A row fails if its measured speedup falls below
+``tolerance * baseline_speedup`` (default tolerance 0.75, i.e. a >25%
+regression), or if the bench itself flagged the row as non-equivalent.
+
+Usage:
+    check_host_perf.py <measured.json> <baseline.json> [--tolerance 0.75]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "spmrt-host-perf-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {(r["workload"], r["cores"]): r for r in doc["rows"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("measured")
+    parser.add_argument("baseline")
+    parser.add_argument("--tolerance", type=float, default=0.75,
+                        help="minimum fraction of the baseline speedup "
+                             "that must be retained (default 0.75)")
+    args = parser.parse_args()
+
+    measured = load_rows(args.measured)
+    baseline = load_rows(args.baseline)
+
+    failures = []
+    print(f"{'workload':<10} {'cores':>6} {'speedup':>9} {'baseline':>9} "
+          f"{'floor':>7}  status")
+    for key, base in sorted(baseline.items()):
+        row = measured.get(key)
+        if row is None:
+            failures.append(f"{key}: missing from measured results")
+            continue
+        floor = args.tolerance * base["speedup"]
+        ok = row["speedup"] >= floor and row.get("equivalent", False)
+        status = "ok" if ok else "FAIL"
+        print(f"{key[0]:<10} {key[1]:>6} {row['speedup']:>8.2f}x "
+              f"{base['speedup']:>8.2f}x {floor:>6.2f}x  {status}")
+        if not row.get("equivalent", False):
+            failures.append(f"{key}: schedulers diverged (equivalent=false)")
+        elif row["speedup"] < floor:
+            failures.append(
+                f"{key}: speedup {row['speedup']:.2f}x below floor "
+                f"{floor:.2f}x (baseline {base['speedup']:.2f}x)")
+
+    if failures:
+        print("\nhost-perf regression check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nhost-perf regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
