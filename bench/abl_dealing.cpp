@@ -23,10 +23,11 @@ Cycles
 runLoop(bool dealing, int64_t n, const std::function<Cycles(int64_t)> &cost)
 {
     Machine machine{MachineConfig{}};
+    maybeArmTrace(machine);
     RuntimeConfig cfg = RuntimeConfig::full();
     cfg.workDealing = dealing;
     WorkStealingRuntime rt(machine, cfg);
-    return rt.run([&](TaskContext &tc) {
+    Cycles cycles = rt.run([&](TaskContext &tc) {
         ForOptions opts;
         opts.grain = 4;
         parallelFor(
@@ -36,44 +37,50 @@ runLoop(bool dealing, int64_t n, const std::function<Cycles(int64_t)> &cost)
             },
             opts);
     });
+    maybeWriteTrace(machine);
+    return cycles;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Report report("abl_dealing", argc, argv);
     const int64_t n = scaled<int64_t>(8192, 1024);
-    std::printf("# Ablation: work stealing vs. work dealing "
-                "(Zakkak-style)\n\n");
-    std::printf("%-14s %16s %16s %9s\n", "workload", "stealing (cyc)",
-                "dealing (cyc)", "ratio");
+    report.comment("Ablation: work stealing vs. work dealing "
+                   "(Zakkak-style)");
 
-    {
+    if (report.wants("uniform-loop")) {
         auto uniform = [](int64_t) -> Cycles { return 30; };
         Cycles steal = runLoop(false, n, uniform);
         Cycles deal = runLoop(true, n, uniform);
-        std::printf("%-14s %16" PRIu64 " %16" PRIu64 " %8.2fx\n",
-                    "uniform loop", steal, deal,
-                    static_cast<double>(deal) / steal);
+        report.row()
+            .cell("workload", "uniform loop")
+            .cell("stealing_cycles", steal)
+            .cell("dealing_cycles", deal)
+            .cell("ratio", static_cast<double>(deal) / steal);
     }
-    {
+    if (report.wants("skewed-loop")) {
         // Zipf-ish skew: cost unknown at spawn time.
         auto skewed = [](int64_t i) -> Cycles {
             return 5 + 4000 / (1 + static_cast<Cycles>(i));
         };
         Cycles steal = runLoop(false, n, skewed);
         Cycles deal = runLoop(true, n, skewed);
-        std::printf("%-14s %16" PRIu64 " %16" PRIu64 " %8.2fx\n",
-                    "skewed loop", steal, deal,
-                    static_cast<double>(deal) / steal);
+        report.row()
+            .cell("workload", "skewed loop")
+            .cell("stealing_cycles", steal)
+            .cell("dealing_cycles", deal)
+            .cell("ratio", static_cast<double>(deal) / steal);
     }
-    {
+    if (report.wants("uts")) {
         UtsParams tree = UtsParams::binomial(scaled<uint32_t>(128, 32), 4,
                                              scaled<double>(0.24, 0.2),
                                              7);
         auto run_uts = [&](bool dealing) {
             Machine machine{MachineConfig{}};
+            maybeArmTrace(machine);
             UtsData data = utsSetup(machine, tree);
             RuntimeConfig cfg = RuntimeConfig::full();
             cfg.workDealing = dealing;
@@ -81,18 +88,22 @@ main()
             Cycles cycles =
                 rt.run([&](TaskContext &tc) { utsKernel(tc, data); });
             if (utsResult(machine, data) != utsReference(tree))
-                std::printf("!! UTS result mismatch\n");
+                report.fail("UTS result mismatch (dealing=%d)", dealing);
+            maybeWriteTrace(machine);
             return cycles;
         };
         Cycles steal = run_uts(false);
         Cycles deal = run_uts(true);
-        std::printf("%-14s %16" PRIu64 " %16" PRIu64 " %8.2fx\n", "UTS",
-                    steal, deal, static_cast<double>(deal) / steal);
+        report.row()
+            .cell("workload", "UTS")
+            .cell("stealing_cycles", steal)
+            .cell("dealing_cycles", deal)
+            .cell("ratio", static_cast<double>(deal) / steal);
     }
-    std::printf("\n# expected: dealing loses across the board — every "
-                "spawn pays a remote\n# enqueue round trip, and imbalance "
-                "baked in at spawn time is never\n# corrected — "
-                "experimentally supporting the paper's choice of "
-                "stealing\n");
-    return 0;
+    report.comment("expected: dealing loses across the board — every "
+                   "spawn pays a remote enqueue round trip, and "
+                   "imbalance baked in at spawn time is never corrected "
+                   "— experimentally supporting the paper's choice of "
+                   "stealing");
+    return report.finish();
 }

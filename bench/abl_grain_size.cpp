@@ -14,22 +14,24 @@ using namespace spmrt;
 using namespace spmrt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Report report("abl_grain_size", argc, argv);
     const int64_t iterations = scaled<int64_t>(16384, 2048);
     HostGraph skewed = genPowerLaw(static_cast<uint32_t>(iterations), 8,
                                    0.7, 99);
 
-    std::printf("# Ablation: parallel_for grain size, %" PRId64
-                " iterations on 128 cores\n\n",
-                iterations);
-    std::printf("%-8s %16s %16s\n", "grain", "uniform (cyc)",
-                "skewed (cyc)");
+    report.comment("Ablation: parallel_for grain size, %" PRId64
+                   " iterations on 128 cores",
+                   iterations);
 
     for (int64_t grain : {1, 4, 16, 32, 64, 128, 512}) {
+        if (!report.wants(log::format("grain-%" PRId64, grain)))
+            continue;
         Cycles uniform_cycles, skewed_cycles;
         {
             Machine machine{MachineConfig{}};
+            maybeArmTrace(machine);
             WorkStealingRuntime rt(machine, RuntimeConfig::full());
             uniform_cycles = rt.run([&](TaskContext &tc) {
                 ForOptions opts;
@@ -39,9 +41,11 @@ main()
                     [](TaskContext &btc, int64_t) { btc.core().tick(20); },
                     opts);
             });
+            maybeWriteTrace(machine);
         }
         {
             Machine machine{MachineConfig{}};
+            maybeArmTrace(machine);
             WorkStealingRuntime rt(machine, RuntimeConfig::full());
             skewed_cycles = rt.run([&](TaskContext &tc) {
                 ForOptions opts;
@@ -56,11 +60,14 @@ main()
                     },
                     opts);
             });
+            maybeWriteTrace(machine);
         }
-        std::printf("%-8" PRId64 " %16" PRIu64 " %16" PRIu64 "\n", grain,
-                    uniform_cycles, skewed_cycles);
+        report.row()
+            .cell("grain", grain)
+            .cell("uniform_cycles", uniform_cycles)
+            .cell("skewed_cycles", skewed_cycles);
     }
-    std::printf("\n# expected: uniform loops tolerate coarse grains; "
-                "skewed loops need fine ones\n");
-    return 0;
+    report.comment("expected: uniform loops tolerate coarse grains; "
+                   "skewed loops need fine ones");
+    return report.finish();
 }

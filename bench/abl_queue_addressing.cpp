@@ -20,13 +20,12 @@ using namespace spmrt::bench;
 using namespace spmrt::workloads;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Report report("abl_queue_addressing", argc, argv);
     const int fib_n = scaled<int>(17, 12);
-    std::printf("# Ablation: victim queue addressing (both configs keep "
-                "the queue itself in SPM)\n\n");
-    std::printf("%-12s %-26s %12s %10s %9s\n", "workload", "addressing",
-                "cycles", "DI", "steals");
+    report.comment("Ablation: victim queue addressing (both configs "
+                   "keep the queue itself in SPM)");
 
     struct Mode
     {
@@ -39,37 +38,47 @@ main()
     };
 
     for (const Mode &mode : modes) {
+        if (!report.wants(std::string("Fib/") + mode.label))
+            continue;
         Machine machine{MachineConfig{}};
+        maybeArmTrace(machine);
         Addr out = machine.dramAlloc(8, 8);
         RuntimeConfig cfg = RuntimeConfig::full();
         cfg.queuePointerTable = mode.pointer_table;
         WorkStealingRuntime rt(machine, cfg);
         Cycles cycles = rt.run(
             [&](TaskContext &tc) { fibKernel(tc, fib_n, out); });
-        std::printf("%-12s %-26s %12" PRIu64 " %10" PRIu64 " %9" PRIu64
-                    "\n",
-                    "Fib", mode.label, cycles,
-                    machine.totalInstructions(),
-                    machine.totalStat(&CoreStats::stealHits));
+        maybeWriteTrace(machine);
+        report.row()
+            .cell("workload", "Fib")
+            .cell("addressing", mode.label)
+            .cell("cycles", cycles)
+            .cell("ops", machine.totalInstructions())
+            .cell("steals", machine.totalStat(&RuntimeStats::stealHits));
     }
 
     UtsParams tree = UtsParams::geometric(scaled<uint32_t>(9, 7),
                                           scaled<double>(2.7, 2.0), 42);
     for (const Mode &mode : modes) {
+        if (!report.wants(std::string("UTS/") + mode.label))
+            continue;
         Machine machine{MachineConfig{}};
+        maybeArmTrace(machine);
         UtsData data = utsSetup(machine, tree);
         RuntimeConfig cfg = RuntimeConfig::full();
         cfg.queuePointerTable = mode.pointer_table;
         WorkStealingRuntime rt(machine, cfg);
         Cycles cycles =
             rt.run([&](TaskContext &tc) { utsKernel(tc, data); });
-        std::printf("%-12s %-26s %12" PRIu64 " %10" PRIu64 " %9" PRIu64
-                    "\n",
-                    "UTS", mode.label, cycles,
-                    machine.totalInstructions(),
-                    machine.totalStat(&CoreStats::stealHits));
+        maybeWriteTrace(machine);
+        report.row()
+            .cell("workload", "UTS")
+            .cell("addressing", mode.label)
+            .cell("cycles", cycles)
+            .cell("ops", machine.totalInstructions())
+            .cell("steals", machine.totalStat(&RuntimeStats::stealHits));
     }
-    std::printf("\n# expected: the pointer table adds a DRAM load per "
-                "steal attempt,\n# slowing steal-heavy workloads\n");
-    return 0;
+    report.comment("expected: the pointer table adds a DRAM load per "
+                   "steal attempt, slowing steal-heavy workloads");
+    return report.finish();
 }

@@ -19,8 +19,9 @@ using namespace spmrt::bench;
 using namespace spmrt::workloads;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Report report("abl_victim_policy", argc, argv);
     struct Policy
     {
         const char *label;
@@ -32,15 +33,16 @@ main()
         {"round-robin", VictimPolicy::RoundRobin},
     };
 
-    std::printf("# Ablation: victim-selection policy, work-stealing "
-                "runtime (both in SPM)\n\n");
-    std::printf("%-10s %-16s %12s %10s %12s\n", "workload", "policy",
-                "cycles", "steals", "steal tries");
+    report.comment("Ablation: victim-selection policy, work-stealing "
+                   "runtime (both in SPM)");
 
     UtsParams tree = UtsParams::binomial(scaled<uint32_t>(128, 32), 4,
                                          scaled<double>(0.24, 0.2), 7);
     for (const Policy &policy : policies) {
+        if (!report.wants(std::string("UTS/") + policy.label))
+            continue;
         Machine machine{MachineConfig{}};
+        maybeArmTrace(machine);
         UtsData data = utsSetup(machine, tree);
         RuntimeConfig cfg = RuntimeConfig::full();
         cfg.victimPolicy = policy.policy;
@@ -48,18 +50,26 @@ main()
         Cycles cycles =
             rt.run([&](TaskContext &tc) { utsKernel(tc, data); });
         bool ok = utsResult(machine, data) == utsReference(tree);
-        std::printf("%-10s %-16s %12" PRIu64 " %10" PRIu64 " %12" PRIu64
-                    "%s\n",
-                    "UTS", policy.label, cycles,
-                    machine.totalStat(&CoreStats::stealHits),
-                    machine.totalStat(&CoreStats::stealAttempts),
-                    ok ? "" : "  !! wrong result");
+        if (!ok)
+            report.fail("UTS wrong result under %s", policy.label);
+        maybeWriteTrace(machine);
+        report.row()
+            .cell("workload", "UTS")
+            .cell("policy", policy.label)
+            .cell("cycles", cycles)
+            .cell("steals", machine.totalStat(&RuntimeStats::stealHits))
+            .cell("steal_tries",
+                  machine.totalStat(&RuntimeStats::stealAttempts))
+            .cell("ok", ok);
     }
 
     HostGraph graph = genPowerLaw(scaled<uint32_t>(8192, 1024), 16, 0.7,
                                   77);
     for (const Policy &policy : policies) {
+        if (!report.wants(std::string("PageRank/") + policy.label))
+            continue;
         Machine machine{MachineConfig{}};
+        maybeArmTrace(machine);
         PageRankData data = pagerankSetup(machine, graph);
         RuntimeConfig cfg = RuntimeConfig::full();
         cfg.victimPolicy = policy.policy;
@@ -67,15 +77,20 @@ main()
         Cycles cycles = rt.run(
             [&](TaskContext &tc) { pagerankKernel(tc, data, 1); });
         bool ok = pagerankVerify(machine, data, graph, 1);
-        std::printf("%-10s %-16s %12" PRIu64 " %10" PRIu64 " %12" PRIu64
-                    "%s\n",
-                    "PageRank", policy.label, cycles,
-                    machine.totalStat(&CoreStats::stealHits),
-                    machine.totalStat(&CoreStats::stealAttempts),
-                    ok ? "" : "  !! wrong result");
+        if (!ok)
+            report.fail("PageRank wrong result under %s", policy.label);
+        maybeWriteTrace(machine);
+        report.row()
+            .cell("workload", "PageRank")
+            .cell("policy", policy.label)
+            .cell("cycles", cycles)
+            .cell("steals", machine.totalStat(&RuntimeStats::stealHits))
+            .cell("steal_tries",
+                  machine.totalStat(&RuntimeStats::stealAttempts))
+            .cell("ok", ok);
     }
-    std::printf("\n# expected: random and round-robin diffuse work "
-                "fastest; nearest-first\n# trades cheaper steals for "
-                "slower diffusion\n");
-    return 0;
+    report.comment("expected: random and round-robin diffuse work "
+                   "fastest; nearest-first trades cheaper steals for "
+                   "slower diffusion");
+    return report.finish();
 }

@@ -10,8 +10,6 @@
  * the return traffic, and ruche channels widen X).
  */
 
-#include <cinttypes>
-#include <cstdio>
 #include <vector>
 
 #include "bench/support.hpp"
@@ -20,10 +18,15 @@ using namespace spmrt;
 using namespace spmrt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Report report("fig05_remote_latency", argc, argv);
+    if (!report.wants("remote-latency-grid"))
+        return report.finish();
+
     MachineConfig cfg; // full 16x8 machine
     Machine machine(cfg);
+    maybeArmTrace(machine);
     const uint32_t loads = scaled<uint32_t>(200, 40);
     Addr hot = machine.mem().map().spmBase(0);
 
@@ -43,22 +46,37 @@ main()
         }
         avg_latency[core.id()] = static_cast<double>(load_time) / loads;
     });
+    maybeWriteTrace(machine);
 
     double max_latency = 0;
     for (double latency : avg_latency)
         max_latency = std::max(max_latency, latency);
 
-    std::printf("# Fig. 5: remote SPM load latency, normalized to the\n"
-                "# slowest core; %ux%u mesh, all cores loading from core "
-                "0\n",
-                cfg.meshCols, cfg.meshRows);
+    report.comment("Fig. 5: remote SPM load latency, normalized to the "
+                   "slowest core; %ux%u mesh, all cores loading from "
+                   "core 0",
+                   cfg.meshCols, cfg.meshRows);
+    // The figure itself: a normalized latency grid in mesh layout
+    // (Heatmap cells are integers, so normalized values are permille).
+    obs::Heatmap grid;
+    grid.title = "fig05_normalized_latency_permille";
+    grid.labelColumn = "row";
+    for (uint32_t x = 0; x < cfg.meshCols; ++x)
+        grid.columns.push_back(log::format("x%02u", x));
     for (uint32_t y = 0; y < cfg.meshRows; ++y) {
-        for (uint32_t x = 0; x < cfg.meshCols; ++x) {
-            double norm = avg_latency[cfg.coreAt(x, y)] / max_latency;
-            std::printf("%4.1f", norm);
-        }
+        std::vector<uint64_t> values;
+        for (uint32_t x = 0; x < cfg.meshCols; ++x)
+            values.push_back(static_cast<uint64_t>(
+                avg_latency[cfg.coreAt(x, y)] / max_latency * 1000.0 +
+                0.5));
+        grid.addRow(log::format("y%u", y), values);
+        std::printf("# ");
+        for (uint64_t norm : values)
+            std::printf("%4.1f", static_cast<double>(norm) / 1000.0);
         std::printf("\n");
     }
+    grid.writeCsv("BENCH_fig05_latency_heatmap.csv");
+    report.comment("wrote BENCH_fig05_latency_heatmap.csv");
 
     // Shape checks, mirroring the paper's observations.
     auto rowAvg = [&](uint32_t y) {
@@ -67,10 +85,12 @@ main()
             total += avg_latency[cfg.coreAt(x, y)];
         return total / cfg.meshCols;
     };
-    std::printf("\n# row-average latency (cycles):");
     for (uint32_t y = 0; y < cfg.meshRows; ++y)
-        std::printf(" %.1f", rowAvg(y));
-    std::printf("\n# gradient check: farthest row %.2fx the nearest row\n",
-                rowAvg(cfg.meshRows - 1) / rowAvg(0));
-    return 0;
+        report.row()
+            .cell("mesh_row", static_cast<uint64_t>(y))
+            .cell("avg_latency_cycles", rowAvg(y))
+            .cell("normalized", rowAvg(y) / rowAvg(cfg.meshRows - 1));
+    report.comment("gradient check: farthest row %.2fx the nearest row",
+                   rowAvg(cfg.meshRows - 1) / rowAvg(0));
+    return report.finish();
 }

@@ -7,11 +7,14 @@
  *
  * Expected shape: duplication reduces most kernels' time; the paper
  * reports an overall 1.57x on its PageRank input.
+ *
+ * Also exports per-link NoC and per-bank LLC heatmaps for both runs
+ * (BENCH_fig06_noc_heatmap_*.csv / BENCH_fig06_llc_heatmap_*.csv): the
+ * without-duplication run concentrates traffic on the links around the
+ * environment's home core, which the heatmap makes visible.
  */
 
 #include <array>
-#include <cinttypes>
-#include <cstdio>
 
 #include "bench/support.hpp"
 #include "workloads/pagerank.hpp"
@@ -21,23 +24,31 @@ using namespace spmrt::bench;
 using namespace spmrt::workloads;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Report report("fig06_ro_duplication", argc, argv);
     const uint32_t vertices = scaled<uint32_t>(8192, 1024);
     const uint32_t degree = 16;
     HostGraph graph = genPowerLaw(vertices, degree, 0.7, 2023);
 
-    std::printf("# Fig. 6: PageRank kernel times with (w/ RD) and "
-                "without (w/o RD)\n# read-only data duplication; "
-                "email-like graph V=%u E=%" PRIu64 "\n",
-                vertices, graph.numEdges());
+    report.comment("Fig. 6: PageRank kernel times with (w/ RD) and "
+                   "without (w/o RD) read-only data duplication; "
+                   "email-like graph V=%u E=%" PRIu64,
+                   vertices, graph.numEdges());
 
     std::array<Cycles, kPageRankKernels> kernels_with{};
     std::array<Cycles, kPageRankKernels> kernels_without{};
     Cycles total_with = 0, total_without = 0;
+    bool ran_both = true;
 
     for (bool duplicate : {true, false}) {
+        if (!report.wants(duplicate ? "with-duplication"
+                                    : "without-duplication")) {
+            ran_both = false;
+            continue;
+        }
         Machine machine{MachineConfig{}};
+        maybeArmTrace(machine);
         PageRankData data = pagerankSetup(machine, graph);
         RuntimeConfig cfg = RuntimeConfig::full();
         cfg.roDuplication = duplicate;
@@ -47,19 +58,39 @@ main()
             (void)pagerankIteration(tc, data, &kernels);
         });
         (duplicate ? total_with : total_without) = cycles;
+        maybeWriteTrace(machine);
+
+        // Contention heatmaps: per-link NoC occupancy and per-bank LLC
+        // traffic for this run, as CSV for offline plotting.
+        const char *tag = duplicate ? "with_rd" : "without_rd";
+        obs::Heatmap noc_map = machine.mem().noc().linkHeatmap();
+        noc_map.writeCsv(
+            log::format("BENCH_fig06_noc_heatmap_%s.csv", tag).c_str());
+        obs::Heatmap llc_map = machine.mem().llc().bankHeatmap();
+        llc_map.writeCsv(
+            log::format("BENCH_fig06_llc_heatmap_%s.csv", tag).c_str());
+        report.comment("wrote BENCH_fig06_noc_heatmap_%s.csv and "
+                       "BENCH_fig06_llc_heatmap_%s.csv",
+                       tag, tag);
     }
 
-    std::printf("\n%-8s %14s %14s %8s\n", "kernel", "w/ RD (cyc)",
-                "w/o RD (cyc)", "ratio");
-    for (uint32_t k = 0; k < kPageRankKernels; ++k) {
-        std::printf("K%-7u %14" PRIu64 " %14" PRIu64 " %7.2fx\n", k + 1,
-                    kernels_with[k], kernels_without[k],
-                    static_cast<double>(kernels_without[k]) /
-                        static_cast<double>(kernels_with[k]));
+    if (ran_both && !report.listing()) {
+        for (uint32_t k = 0; k < kPageRankKernels; ++k) {
+            report.row()
+                .cell("kernel", log::format("K%u", k + 1))
+                .cell("with_rd_cycles", kernels_with[k])
+                .cell("without_rd_cycles", kernels_without[k])
+                .cell("ratio",
+                      static_cast<double>(kernels_without[k]) /
+                          static_cast<double>(kernels_with[k]));
+        }
+        report.row()
+            .cell("kernel", "total")
+            .cell("with_rd_cycles", total_with)
+            .cell("without_rd_cycles", total_without)
+            .cell("ratio",
+                  static_cast<double>(total_without) / total_with);
+        report.comment("paper: overall speedup 1.57x from duplication");
     }
-    std::printf("%-8s %14" PRIu64 " %14" PRIu64 " %7.2fx\n", "total",
-                total_with, total_without,
-                static_cast<double>(total_without) / total_with);
-    std::printf("\n# paper: overall speedup 1.57x from duplication\n");
-    return 0;
+    return report.finish();
 }

@@ -11,9 +11,6 @@
  * overflow check never runs a stack in SPM).
  */
 
-#include <cinttypes>
-#include <cstdio>
-
 #include "bench/support.hpp"
 #include "workloads/fib.hpp"
 
@@ -22,45 +19,46 @@ using namespace spmrt::bench;
 using namespace spmrt::workloads;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Report report("fig07_fib_variants", argc, argv);
     const int n = scaled<int>(18, 12);
-    std::printf("# Fig. 7: fib(%d) across work-stealing placement "
-                "variants; speedup\n# is relative to the naive "
-                "both-in-DRAM runtime\n\n",
-                n);
+    report.comment("Fig. 7: fib(%d) across work-stealing placement "
+                   "variants; speedup is relative to the naive "
+                   "both-in-DRAM runtime",
+                   n);
 
     auto run_fib = [&](RuntimeConfig cfg) {
         Machine machine{MachineConfig{}};
+        maybeArmTrace(machine);
         Addr out = machine.dramAlloc(8, 8);
         WorkStealingRuntime rt(machine, cfg);
         Cycles cycles = rt.run(
             [&](TaskContext &tc) { fibKernel(tc, n, out); });
         if (machine.mem().peekAs<int64_t>(out) != fibReference(n))
-            std::printf("!! fib result mismatch\n");
+            report.fail("fib result mismatch");
+        maybeWriteTrace(machine);
         return cycles;
     };
 
-    std::printf("%-8s %-22s %12s %9s\n", "series", "variant", "cycles",
-                "speedup");
     Cycles baseline = 0;
-    for (const Variant &variant : wsVariants()) {
-        Cycles cycles = run_fib(variant.cfg);
-        if (baseline == 0)
-            baseline = cycles;
-        std::printf("%-8s %-22s %12" PRIu64 " %8.2fx\n", "Fib",
-                    variant.label, cycles,
-                    static_cast<double>(baseline) / cycles);
+    for (const char *series : {"Fib", "Fib-S"}) {
+        for (const Variant &variant : wsVariants()) {
+            if (!report.wants(std::string(series) + "/" + variant.label))
+                continue;
+            RuntimeConfig cfg = variant.cfg;
+            cfg.swOverflowCheck = std::string(series) == "Fib-S";
+            Cycles cycles = run_fib(cfg);
+            if (baseline == 0)
+                baseline = cycles;
+            report.row()
+                .cell("series", series)
+                .cell("variant", variant.label)
+                .cell("cycles", cycles)
+                .cell("speedup", static_cast<double>(baseline) / cycles);
+        }
     }
-    for (const Variant &variant : wsVariants()) {
-        RuntimeConfig cfg = variant.cfg;
-        cfg.swOverflowCheck = true;
-        Cycles cycles = run_fib(cfg);
-        std::printf("%-8s %-22s %12" PRIu64 " %8.2fx\n", "Fib-S",
-                    variant.label, cycles,
-                    static_cast<double>(baseline) / cycles);
-    }
-    std::printf("\n# paper: best variant ~2x the naive one; Fib-S "
-                "slightly below Fib\n");
-    return 0;
+    report.comment("paper: best variant ~2x the naive one; Fib-S "
+                   "slightly below Fib");
+    return report.finish();
 }

@@ -16,16 +16,13 @@ using namespace spmrt;
 using namespace spmrt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("# Fig. 9: speedup over the static runtime (stack in "
-                "SPM)\n");
+    Report report("fig09_speedup", argc, argv);
+    report.comment("Fig. 9: speedup over the static runtime (stack in "
+                   "SPM)");
     if (quickMode())
-        std::printf("# QUICK MODE: shrunken inputs\n");
-    std::printf("\n%-10s %-9s", "workload", "input");
-    for (const Variant &variant : table1Variants())
-        std::printf(" %21s", variant.label);
-    std::printf("\n");
+        report.comment("QUICK MODE: shrunken inputs");
 
     MachineConfig machine_cfg;
     for (const WorkloadRow &row : table1Rows()) {
@@ -42,10 +39,10 @@ main()
             row.workload == "UTS";
         if (!representative)
             continue;
-        std::printf("%-10s %-9s", row.workload.c_str(),
-                    row.input.c_str());
+        if (!report.wants(row.workload + "/" + row.input))
+            continue;
         double baseline = 0;
-        std::vector<double> cycles;
+        std::vector<std::pair<const char *, double>> cycles;
         bool all_ok = true;
         for (const Variant &variant : table1Variants()) {
             RowInstance instance;
@@ -59,16 +56,22 @@ main()
                     return instance.verify(machine);
                 });
             all_ok = all_ok && result.verified;
-            cycles.push_back(static_cast<double>(result.cycles));
+            cycles.emplace_back(variant.label,
+                                static_cast<double>(result.cycles));
             if (std::string(variant.label) == "static spm-stack")
                 baseline = static_cast<double>(result.cycles);
         }
-        for (double value : cycles)
-            std::printf(" %20.2fx", baseline / value);
-        std::printf("%s\n", all_ok ? "" : "  !! verify failed");
-        std::fflush(stdout);
+        if (!all_ok)
+            report.fail("%s/%s failed verification",
+                        row.workload.c_str(), row.input.c_str());
+        Report &r = report.row()
+                         .cell("workload", row.workload)
+                         .cell("input", row.input);
+        for (const auto &[label, value] : cycles)
+            r.cell(label, baseline / value);
+        r.cell("ok", all_ok);
     }
-    std::printf("\n# paper: up to 3.94x for statically schedulable "
-                "workloads, up to 28.5x for dynamic ones\n");
-    return 0;
+    report.comment("paper: up to 3.94x for statically schedulable "
+                   "workloads, up to 28.5x for dynamic ones");
+    return report.finish();
 }

@@ -16,18 +16,19 @@ using namespace spmrt;
 using namespace spmrt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("# Fig. 10: spawn-sync workloads, normalized to "
-                "both-in-SPM\n\n");
-    std::printf("%-10s %-9s %-22s %12s %12s %5s\n", "workload", "input",
-                "variant", "cycles", "normalized", "ok");
+    Report report("fig10_spawn_sync", argc, argv);
+    report.comment("Fig. 10: spawn-sync workloads, normalized to "
+                   "both-in-SPM");
 
     MachineConfig machine_cfg;
     for (const WorkloadRow &row : table1Rows()) {
         if (row.hasStatic)
             continue; // only MatrixTranspose and CilkSort
-        // Run best variant (both SPM) first to get the normalizer.
+        if (!report.wants(row.workload + "/" + row.input))
+            continue;
+        // Run all four variants; the last one (both SPM) normalizes.
         std::vector<std::pair<Variant, RunResult>> results;
         for (const Variant &variant : wsVariants()) {
             RowInstance instance;
@@ -44,13 +45,19 @@ main()
         }
         double best = static_cast<double>(results.back().second.cycles);
         for (auto &[variant, result] : results) {
-            std::printf("%-10s %-9s %-22s %12" PRIu64 " %11.2fx %5s\n",
-                        row.workload.c_str(), row.input.c_str(),
-                        variant.label, result.cycles,
-                        best / static_cast<double>(result.cycles),
-                        result.verified ? "yes" : "NO");
+            if (!result.verified)
+                report.fail("%s/%s under '%s' failed verification",
+                            row.workload.c_str(), row.input.c_str(),
+                            variant.label);
+            report.row()
+                .cell("workload", row.workload)
+                .cell("input", row.input)
+                .cell("variant", variant.label)
+                .cell("cycles", result.cycles)
+                .cell("normalized",
+                      best / static_cast<double>(result.cycles))
+                .cell("ok", result.verified);
         }
-        std::printf("\n");
     }
-    return 0;
+    return report.finish();
 }

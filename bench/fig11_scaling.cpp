@@ -48,23 +48,24 @@ scalingRows()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Report report("fig11_scaling", argc, argv);
     std::vector<uint32_t> core_counts = {1, 2, 4, 8, 16, 32, 64, 128};
     if (quickMode())
         core_counts = {1, 8, 128};
 
-    std::printf("# Fig. 11: speedup over one active core, work-stealing "
-                "runtime, both in SPM\n\n");
-    std::printf("%-10s", "workload");
-    for (uint32_t cores : core_counts)
-        std::printf(" %8u", cores);
-    std::printf("\n");
+    report.comment("Fig. 11: speedup over one active core, work-stealing "
+                   "runtime, both in SPM");
+    report.comment("ideal speedup at 128 cores: 128x");
 
     MachineConfig machine_cfg; // full mesh; only N cores participate
     for (const WorkloadRow &row : scalingRows()) {
-        std::printf("%-10s", row.workload.c_str());
+        if (!report.wants(row.workload))
+            continue;
+        Report &r = report.row().cell("workload", row.workload);
         double serial = 0;
+        bool all_ok = true;
         for (uint32_t cores : core_counts) {
             Variant variant{false, RuntimeConfig::full(), "ws"};
             variant.cfg.activeCores = cores;
@@ -80,13 +81,13 @@ main()
                 });
             if (cores == core_counts.front())
                 serial = static_cast<double>(result.cycles);
-            std::printf(" %7.1f%s",
-                        serial / static_cast<double>(result.cycles),
-                        result.verified ? "x" : "!");
-            std::fflush(stdout);
+            all_ok = all_ok && result.verified;
+            r.cell(log::format("x%u", cores).c_str(),
+                   serial / static_cast<double>(result.cycles));
         }
-        std::printf("\n");
+        if (!all_ok)
+            report.fail("%s failed verification", row.workload.c_str());
+        r.cell("ok", all_ok);
     }
-    std::printf("\n# ideal speedup at 128 cores: 128x\n");
-    return 0;
+    return report.finish();
 }

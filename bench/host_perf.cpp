@@ -135,23 +135,24 @@ measure(const HostWorkload &workload, uint32_t cores, bool reference)
 } // namespace spmrt
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace spmrt;
+    bench::Report report("host_perf", argc, argv);
     auto workloads = makeWorkloads();
     const uint32_t core_counts[] = {16, 128};
 
+    // The trajectory file keeps its own schema (spmrt-host-perf-v1):
+    // CI's bench-smoke gate and the committed baseline both parse it.
     std::string json = "{\n  \"schema\": \"spmrt-host-perf-v1\",\n";
     json += log::format("  \"quick\": %s,\n  \"rows\": [\n",
                         bench::quickMode() ? "true" : "false");
 
-    std::printf("%-10s %6s %12s %12s %9s %14s %14s %8s\n", "workload",
-                "cores", "wall_ms", "wall_ms_ref", "speedup", "switches",
-                "syncpoints", "ok");
     bool first = true;
-    bool all_ok = true;
     for (const auto &workload : workloads) {
         for (uint32_t cores : core_counts) {
+            if (!report.wants(log::format("%s/%u", workload.name, cores)))
+                continue;
             Sample fast = measure(workload, cores, false);
             Sample ref = measure(workload, cores, true);
             // The speedup is only meaningful if it is a speedup into the
@@ -159,13 +160,20 @@ main()
             bool ok = fast.digest == ref.digest &&
                       fast.simCycles == ref.simCycles &&
                       fast.switches == ref.switches;
-            all_ok = all_ok && ok;
+            if (!ok)
+                report.fail("%s at %u cores: fast and reference "
+                            "schedulers disagree",
+                            workload.name, cores);
             double speedup = fast.wallMs > 0 ? ref.wallMs / fast.wallMs : 0;
-            std::printf("%-10s %6u %12.2f %12.2f %8.2fx %14" PRIu64
-                        " %14" PRIu64 " %8s\n",
-                        workload.name, cores, fast.wallMs, ref.wallMs,
-                        speedup, fast.switches, fast.syncPoints,
-                        ok ? "yes" : "NO");
+            report.row()
+                .cell("workload", workload.name)
+                .cell("cores", cores)
+                .cell("wall_ms", fast.wallMs)
+                .cell("wall_ms_ref", ref.wallMs)
+                .cell("speedup", speedup)
+                .cell("switches", fast.switches)
+                .cell("syncpoints", fast.syncPoints)
+                .cell("ok", ok);
             if (!first)
                 json += ",\n";
             first = false;
@@ -184,19 +192,15 @@ main()
     }
     json += "\n  ]\n}\n";
 
-    const char *path = "BENCH_host_perf.json";
-    if (FILE *f = std::fopen(path, "w")) {
-        std::fputs(json.c_str(), f);
-        std::fclose(f);
-        std::printf("\nwrote %s\n", path);
-    } else {
-        std::fprintf(stderr, "cannot write %s\n", path);
-        return 1;
+    if (!report.listing()) {
+        const char *path = "BENCH_host_perf.json";
+        if (FILE *f = std::fopen(path, "w")) {
+            std::fputs(json.c_str(), f);
+            std::fclose(f);
+            std::printf("wrote %s\n", path);
+        } else {
+            report.fail("cannot write %s", path);
+        }
     }
-    if (!all_ok) {
-        std::fprintf(stderr,
-                     "scheduler equivalence violated in at least one row\n");
-        return 1;
-    }
-    return 0;
+    return report.finish();
 }

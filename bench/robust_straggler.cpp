@@ -34,6 +34,7 @@ RunOut
 runLoop(bool use_static, int64_t n, FaultPlan *plan)
 {
     Machine machine{MachineConfig::small()};
+    maybeArmTrace(machine);
     Addr out = machine.dramAllocArray<uint32_t>(n);
     if (plan != nullptr) {
         plan->resetInjected();
@@ -61,6 +62,7 @@ runLoop(bool use_static, int64_t n, FaultPlan *plan)
         cycles = rt.run(body);
     }
     machine.setFaultPlan(nullptr);
+    maybeWriteTrace(machine);
     return {cycles, downloadArray<uint32_t>(machine, out,
                                             static_cast<uint32_t>(n))};
 }
@@ -78,16 +80,17 @@ stragglerPlan(const std::vector<CoreId> &cores, Cycles extra)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Report report("robust_straggler", argc, argv);
     const int64_t n = scaled<int64_t>(4096, 512);
     const Cycles extra = 80; // ~3x slower per 40-cycle iteration
 
-    std::printf("# Robustness: straggler cores, static vs. "
-                "work-stealing schedule\n");
-    std::printf("# %" PRId64 " iterations x 40 cycles on 32 cores; "
-                "stragglers pay +%" PRIu64 " cycles per op\n\n",
-                n, extra);
+    report.comment("Robustness: straggler cores, static vs. "
+                   "work-stealing schedule");
+    report.comment("%" PRId64 " iterations x 40 cycles on 32 cores; "
+                   "stragglers pay +%" PRIu64 " cycles per op",
+                   n, extra);
 
     // Stragglers avoid core 0 (it runs the root task under both
     // runtimes, which would conflate scheduler and root slowdown).
@@ -95,10 +98,18 @@ main()
         {}, {3}, {3, 7, 13, 21}};
     const char *labels[] = {"none", "1 straggler", "4 stragglers"};
 
+    if (report.listing()) {
+        for (const char *label : labels)
+            (void)report.wants(label);
+        return report.finish();
+    }
+
+    // The fault-free baseline always runs: slowdown ratios and the
+    // bit-identical result check need it, even under --filter.
     RunOut static_base, ws_base;
-    std::printf("%-14s %14s %9s %14s %9s\n", "stragglers", "static (cyc)",
-                "slowdown", "ws (cyc)", "slowdown");
     for (size_t c = 0; c < cases.size(); ++c) {
+        if (c > 0 && !report.wants(labels[c]))
+            continue;
         FaultPlan plan = stragglerPlan(cases[c], extra);
         FaultPlan plan2 = plan; // independent copy for the second run
         RunOut st = runLoop(true, n, cases[c].empty() ? nullptr : &plan);
@@ -110,21 +121,22 @@ main()
         }
         if (st.result != static_base.result ||
             ws.result != ws_base.result) {
-            std::fprintf(stderr,
-                         "FAIL: results changed under fault injection "
-                         "(%s)\n",
-                         labels[c]);
-            return 1;
+            report.fail("results changed under fault injection (%s)",
+                        labels[c]);
+            return report.finish();
         }
-        std::printf("%-14s %14" PRIu64 " %8.2fx %14" PRIu64 " %8.2fx\n",
-                    labels[c], st.cycles,
-                    static_cast<double>(st.cycles) / static_base.cycles,
-                    ws.cycles,
-                    static_cast<double>(ws.cycles) / ws_base.cycles);
+        report.row()
+            .cell("stragglers", labels[c])
+            .cell("static_cycles", st.cycles)
+            .cell("static_slowdown",
+                  static_cast<double>(st.cycles) / static_base.cycles)
+            .cell("ws_cycles", ws.cycles)
+            .cell("ws_slowdown",
+                  static_cast<double>(ws.cycles) / ws_base.cycles);
     }
 
-    std::printf("\n# Expectation: static slowdown tracks the straggler "
-                "slowdown factor;\n# work stealing re-balances around "
-                "the slow cores and degrades much less.\n");
-    return 0;
+    report.comment("Expectation: static slowdown tracks the straggler "
+                   "slowdown factor; work stealing re-balances around "
+                   "the slow cores and degrades much less.");
+    return report.finish();
 }

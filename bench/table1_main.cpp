@@ -18,18 +18,18 @@ using namespace spmrt;
 using namespace spmrt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("# Table 1: cycles (K) and dynamic ops (K) per workload "
-                "and runtime configuration\n");
+    Report report("table1_main", argc, argv);
+    report.comment("Table 1: cycles (K) and dynamic ops (K) per workload "
+                   "and runtime configuration");
     if (quickMode())
-        std::printf("# QUICK MODE: shrunken inputs\n");
-    std::printf("\n%-10s %-9s %-22s %11s %11s %8s %5s\n", "workload",
-                "input", "config", "cycles(K)", "ops(K)", "steals",
-                "ok");
+        report.comment("QUICK MODE: shrunken inputs");
 
     MachineConfig machine_cfg; // the paper's 16x8 machine
     for (const WorkloadRow &row : table1Rows()) {
+        if (!report.wants(row.workload + "/" + row.input))
+            continue;
         for (const Variant &variant : table1Variants()) {
             if (variant.isStatic && !row.hasStatic)
                 continue;
@@ -43,15 +43,19 @@ main()
                 [&](Machine &machine) {
                     return instance.verify(machine);
                 });
-            std::printf("%-10s %-9s %-22s %11.1f %11.1f %8" PRIu64
-                        " %5s\n",
-                        row.workload.c_str(), row.input.c_str(),
-                        variant.label, result.cycles / 1000.0,
-                        result.instructions / 1000.0, result.steals,
-                        result.verified ? "yes" : "NO");
-            std::fflush(stdout);
+            if (!result.verified)
+                report.fail("%s/%s under '%s' failed verification",
+                            row.workload.c_str(), row.input.c_str(),
+                            variant.label);
+            report.row()
+                .cell("workload", row.workload)
+                .cell("input", row.input)
+                .cell("config", variant.label)
+                .cell("cycles_k", result.cycles / 1000.0)
+                .cell("ops_k", result.instructions / 1000.0)
+                .cell("steals", result.steals)
+                .cell("ok", result.verified);
         }
-        std::printf("\n");
     }
-    return 0;
+    return report.finish();
 }

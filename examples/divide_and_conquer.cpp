@@ -59,7 +59,7 @@ main(int argc, char **argv)
         std::printf("%-24s %14" PRIu64 " %12" PRIu64 " %10" PRIu64 "\n",
                     variant.label, cycles,
                     machine.totalInstructions() / 1000,
-                    machine.totalStat(&CoreStats::stealHits));
+                    machine.totalStat(&RuntimeStats::stealHits));
     }
 
     std::printf("\nfib(%d): exponential fine-grained task tree\n", fib_n);
@@ -76,7 +76,7 @@ main(int argc, char **argv)
         std::printf("%-24s %14" PRIu64 " %12" PRIu64 " %10" PRIu64 "\n",
                     variant.label, cycles,
                     machine.totalInstructions() / 1000,
-                    machine.totalStat(&CoreStats::stealHits));
+                    machine.totalStat(&RuntimeStats::stealHits));
     }
     std::printf("\nall results verified: %s\n", ok ? "OK" : "FAILED");
     return ok ? 0 : 1;

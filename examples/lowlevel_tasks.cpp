@@ -108,7 +108,7 @@ main(int argc, char **argv)
                 fibReference(n));
     std::printf("cycles: %" PRIu64 ", tasks spawned: %" PRIu64
                 ", steals: %" PRIu64 "\n",
-                cycles, machine.totalStat(&CoreStats::tasksSpawned),
-                machine.totalStat(&CoreStats::stealHits));
+                cycles, machine.totalStat(&RuntimeStats::tasksSpawned),
+                machine.totalStat(&RuntimeStats::stealHits));
     return result == fibReference(n) ? 0 : 1;
 }

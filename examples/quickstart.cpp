@@ -72,10 +72,10 @@ main()
     std::printf("  dynamic ops       : %" PRIu64 "\n",
                 machine.totalInstructions());
     std::printf("  tasks spawned     : %" PRIu64 "\n",
-                machine.totalStat(&CoreStats::tasksSpawned));
+                machine.totalStat(&RuntimeStats::tasksSpawned));
     std::printf("  steal hits/tries  : %" PRIu64 "/%" PRIu64 "\n",
-                machine.totalStat(&CoreStats::stealHits),
-                machine.totalStat(&CoreStats::stealAttempts));
+                machine.totalStat(&RuntimeStats::stealHits),
+                machine.totalStat(&RuntimeStats::stealAttempts));
     std::printf("  LLC hits/misses   : %" PRIu64 "/%" PRIu64 "\n",
                 machine.mem().llc().hits(), machine.mem().llc().misses());
     return checksum == kN * (kN - 1) ? 0 : 1;

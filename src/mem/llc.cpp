@@ -1,5 +1,6 @@
 #include "mem/llc.hpp"
 
+#include "obs/stats.hpp"
 #include "sim/fault.hpp"
 
 namespace spmrt {
@@ -15,6 +16,39 @@ LlcModel::LlcModel(const MachineConfig &cfg, DramModel &dram)
     banks_.assign(numBanks_, FluidServer(1));
     tags_.assign(static_cast<size_t>(numBanks_) * setsPerBank_ * ways_,
                  Way{});
+    bankAccesses_.assign(numBanks_, 0);
+    bankHits_.assign(numBanks_, 0);
+    bankMisses_.assign(numBanks_, 0);
+    bankWaitCycles_.assign(numBanks_, 0);
+}
+
+obs::Heatmap
+LlcModel::bankHeatmap() const
+{
+    obs::Heatmap map;
+    map.title = "llc_banks";
+    map.labelColumn = "bank";
+    map.columns = {"accesses", "hits", "misses", "wait_cycles"};
+    for (uint32_t b = 0; b < numBanks_; ++b)
+        map.addRow(log::format("%02u", b),
+                   {bankAccesses_[b], bankHits_[b], bankMisses_[b],
+                    bankWaitCycles_[b]});
+    return map;
+}
+
+void
+LlcModel::registerStats(obs::StatRegistry &registry) const
+{
+    registry.add("llc/hits", &hits_);
+    registry.add("llc/misses", &misses_);
+    registry.add("llc/writebacks", &writebacks_);
+    for (uint32_t b = 0; b < numBanks_; ++b) {
+        std::string prefix = log::format("llc/bank/%02u/", b);
+        registry.add(prefix + "accesses", &bankAccesses_[b]);
+        registry.add(prefix + "hits", &bankHits_[b]);
+        registry.add(prefix + "misses", &bankMisses_[b]);
+        registry.add(prefix + "wait_cycles", &bankWaitCycles_[b]);
+    }
 }
 
 void
@@ -23,6 +57,10 @@ LlcModel::reset()
     for (FluidServer &bank : banks_)
         bank.reset();
     std::fill(tags_.begin(), tags_.end(), Way{});
+    std::fill(bankAccesses_.begin(), bankAccesses_.end(), 0);
+    std::fill(bankHits_.begin(), bankHits_.end(), 0);
+    std::fill(bankMisses_.begin(), bankMisses_.end(), 0);
+    std::fill(bankWaitCycles_.begin(), bankWaitCycles_.end(), 0);
     useClock_ = 0;
     hits_ = 0;
     misses_ = 0;
@@ -51,6 +89,8 @@ LlcModel::access(Cycles arrive, uint64_t dram_offset, uint32_t bytes,
     Cycles wait = banks_[bank].charge(arrive, bankOccupancy_);
     Cycles slow = fault_ != nullptr ? fault_->llcDelay(bank, arrive) : 0;
     Cycles done = arrive + wait + bankLatency_ + slow;
+    ++bankAccesses_[bank];
+    bankWaitCycles_[bank] += wait;
 
     Way *ways = set(bank, index);
     ++useClock_;
@@ -61,12 +101,14 @@ LlcModel::access(Cycles arrive, uint64_t dram_offset, uint32_t bytes,
             ways[w].lastUse = useClock_;
             ways[w].dirty = ways[w].dirty || is_store;
             ++hits_;
+            ++bankHits_[bank];
             return done;
         }
     }
 
     // Miss: pick an invalid way or evict the LRU way.
     ++misses_;
+    ++bankMisses_[bank];
     uint32_t victim = 0;
     for (uint32_t w = 0; w < ways_; ++w) {
         if (!ways[w].valid) {

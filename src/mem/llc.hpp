@@ -21,11 +21,16 @@
 #include "common/types.hpp"
 #include "mem/dram.hpp"
 #include "mem/fluid_server.hpp"
+#include "obs/heatmap.hpp"
 #include "sim/config.hpp"
 
 namespace spmrt {
 
 class FaultPlan;
+
+namespace obs {
+class StatRegistry;
+} // namespace obs
 
 /**
  * All LLC banks plus their interface to DRAM.
@@ -58,6 +63,31 @@ class LlcModel
     uint64_t misses() const { return misses_; }
     uint64_t writebacks() const { return writebacks_; }
 
+    /** Number of banks (rows of the contention heatmap). */
+    uint32_t numBanks() const { return numBanks_; }
+
+    /** Per-bank cumulative access counts (diagnostics). */
+    const std::vector<uint64_t> &bankAccesses() const
+    {
+        return bankAccesses_;
+    }
+
+    /** Per-bank cumulative queueing-wait cycles (diagnostics). */
+    const std::vector<uint64_t> &bankWaitCycles() const
+    {
+        return bankWaitCycles_;
+    }
+
+    /**
+     * Snapshot the per-bank contention heatmap: one row per bank with its
+     * cumulative accesses, hits, misses, and queueing wait at the bank
+     * server.
+     */
+    obs::Heatmap bankHeatmap() const;
+
+    /** Register counters under llc/ (aggregates + per-bank). */
+    void registerStats(obs::StatRegistry &registry) const;
+
     /** Invalidate all lines and forget occupancy. */
     void reset();
 
@@ -84,6 +114,10 @@ class LlcModel
 
     std::vector<FluidServer> banks_; ///< per-bank service queues
     std::vector<Way> tags_;        ///< [bank][set][way] flattened
+    std::vector<uint64_t> bankAccesses_;
+    std::vector<uint64_t> bankHits_;
+    std::vector<uint64_t> bankMisses_;
+    std::vector<uint64_t> bankWaitCycles_;
     uint64_t useClock_ = 0;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;

@@ -1,5 +1,7 @@
 #include "mem/memory_system.hpp"
 
+#include "obs/stats.hpp"
+
 namespace spmrt {
 
 namespace {
@@ -215,6 +217,22 @@ MemorySystem::peek(Addr addr, void *out, uint32_t size) const
 {
     DecodedAddr decoded = map_.decode(addr, size);
     std::memcpy(out, backing(decoded, size), size);
+}
+
+void
+MemorySystem::registerStats(obs::StatRegistry &registry) const
+{
+    registry.add("mem/local_spm_loads", &stats_.localSpmLoads);
+    registry.add("mem/local_spm_stores", &stats_.localSpmStores);
+    registry.add("mem/remote_spm_loads", &stats_.remoteSpmLoads);
+    registry.add("mem/remote_spm_stores", &stats_.remoteSpmStores);
+    registry.add("mem/dram_loads", &stats_.dramLoads);
+    registry.add("mem/dram_stores", &stats_.dramStores);
+    registry.add("mem/amos", &stats_.amos);
+    noc_.registerStats(registry);
+    llc_.registerStats(registry);
+    registry.add("dram/bytes_moved", dram_.bytesMovedPtr());
+    registry.add("dram/transfers", dram_.transfersPtr());
 }
 
 } // namespace spmrt

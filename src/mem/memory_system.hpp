@@ -154,6 +154,9 @@ class MemorySystem
     DramModel &dram() { return dram_; }
     const MemStats &stats() const { return stats_; }
 
+    /** Register every memory-side counter: mem/, noc/, llc/, dram/. */
+    void registerStats(obs::StatRegistry &registry) const;
+
   private:
     /** Host pointer backing a decoded address. */
     uint8_t *backing(const DecodedAddr &decoded, uint32_t size);

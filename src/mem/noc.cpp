@@ -1,5 +1,6 @@
 #include "mem/noc.hpp"
 
+#include "obs/stats.hpp"
 #include "sim/fault.hpp"
 
 namespace spmrt {
@@ -12,6 +13,41 @@ MeshNoc::MeshNoc(const MachineConfig &cfg) : cfg_(cfg)
                       kNumDirs,
                   FluidServer(1));
     linkFlits_.assign(links_.size(), 0);
+    linkWaitCycles_.assign(links_.size(), 0);
+}
+
+void
+MeshNoc::linkCoords(size_t index, uint32_t &x, uint32_t &y,
+                    uint32_t &dir) const
+{
+    dir = static_cast<uint32_t>(index % kNumDirs);
+    uint32_t node = static_cast<uint32_t>(index / kNumDirs);
+    x = node % cfg_.meshCols;
+    y = node / cfg_.meshCols;
+}
+
+obs::Heatmap
+MeshNoc::linkHeatmap() const
+{
+    obs::Heatmap map;
+    map.title = "noc_links";
+    map.labelColumn = "link";
+    map.columns = {"x", "y", "dir", "flits", "wait_cycles", "backlog"};
+    for (size_t i = 0; i < links_.size(); ++i) {
+        uint32_t x, y, dir;
+        linkCoords(i, x, y, dir);
+        map.addRow(linkName(i),
+                   {x, y, dir, linkFlits_[i], linkWaitCycles_[i],
+                    links_[i].backlogUnits()});
+    }
+    return map;
+}
+
+void
+MeshNoc::registerStats(obs::StatRegistry &registry) const
+{
+    registry.add("noc/packets", &packets_);
+    registry.add("noc/link_cycles_used", &linkCyclesUsed_);
 }
 
 std::string
@@ -32,6 +68,7 @@ MeshNoc::reset()
     for (FluidServer &server : links_)
         server.reset();
     std::fill(linkFlits_.begin(), linkFlits_.end(), 0);
+    std::fill(linkWaitCycles_.begin(), linkWaitCycles_.end(), 0);
     linkCyclesUsed_ = 0;
     packets_ = 0;
 }
@@ -42,7 +79,9 @@ MeshNoc::hop(uint32_t x, uint32_t y, Dir dir, Cycles t, uint32_t flits)
     FluidServer &server = link(x, y, dir);
     Cycles wait = server.charge(t, flits);
     linkCyclesUsed_ += flits;
-    linkFlits_[&server - links_.data()] += flits;
+    size_t index = static_cast<size_t>(&server - links_.data());
+    linkFlits_[index] += flits;
+    linkWaitCycles_[index] += wait;
     Cycles extra = fault_ != nullptr ? fault_->linkDelay(x, y, t) : 0;
     return t + wait + cfg_.linkLatency + extra;
 }

@@ -27,11 +27,16 @@
 #include "common/log.hpp"
 #include "common/types.hpp"
 #include "mem/fluid_server.hpp"
+#include "obs/heatmap.hpp"
 #include "sim/config.hpp"
 
 namespace spmrt {
 
 class FaultPlan;
+
+namespace obs {
+class StatRegistry;
+} // namespace obs
 
 /** A network endpoint in mesh coordinates. */
 struct NocEndpoint
@@ -95,6 +100,31 @@ class MeshNoc
      *  linkFree). */
     const std::vector<uint64_t> &linkFlits() const { return linkFlits_; }
 
+    /** Per-link cumulative queueing-wait cycles (diagnostics). */
+    const std::vector<uint64_t> &linkWaitCycles() const
+    {
+        return linkWaitCycles_;
+    }
+
+    /** Number of links (rows of the occupancy heatmap). */
+    size_t numLinks() const { return links_.size(); }
+
+    /** Mesh coordinates and direction code (0..5 = E/W/N/S/RE/RW) of
+     *  link @p index. */
+    void linkCoords(size_t index, uint32_t &x, uint32_t &y,
+                    uint32_t &dir) const;
+
+    /**
+     * Snapshot the per-link occupancy heatmap: one row per link with its
+     * mesh coordinates, direction, cumulative flits, cumulative queueing
+     * wait, and instantaneous backlog. Fig. 6's hot-spot picture is this
+     * table rendered spatially.
+     */
+    obs::Heatmap linkHeatmap() const;
+
+    /** Register aggregate counters under noc/. */
+    void registerStats(obs::StatRegistry &registry) const;
+
     /** Human-readable name of link @p index (diagnostics). */
     std::string linkName(size_t index) const;
 
@@ -141,6 +171,7 @@ class MeshNoc
     MachineConfig cfg_;
     std::vector<FluidServer> links_;
     std::vector<uint64_t> linkFlits_;
+    std::vector<uint64_t> linkWaitCycles_;
     uint64_t linkCyclesUsed_ = 0;
     uint64_t packets_ = 0;
     FaultPlan *fault_ = nullptr;

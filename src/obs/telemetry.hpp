@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The telemetry bundle a Machine arms.
+ *
+ * One StatRegistry (named hierarchical counters registered by every layer)
+ * plus one Tracer (timeline events). Created lazily by
+ * Machine::armTelemetry(), which also attaches the tracer to the engine
+ * and every core — mirroring the armChecker() lifecycle. When the
+ * SPMRT_TELEMETRY CMake option is OFF, armTelemetry() returns nullptr and
+ * every hook site folds away (see trace.hpp for the gating macro).
+ */
+
+#ifndef SPMRT_OBS_TELEMETRY_HPP
+#define SPMRT_OBS_TELEMETRY_HPP
+
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
+
+namespace spmrt {
+namespace obs {
+
+/** Everything an armed Machine reports through. */
+struct Telemetry
+{
+    StatRegistry stats;
+    Tracer tracer;
+};
+
+} // namespace obs
+} // namespace spmrt
+
+#endif // SPMRT_OBS_TELEMETRY_HPP

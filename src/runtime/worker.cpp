@@ -33,14 +33,20 @@ Worker::executeTask(Task &task, uint32_t trace_id)
     ConcurrencyChecker *ck = core_.mem().checker();
     if (ck != nullptr)
         ck->onTaskBegin(core_.id(), trace_id);
+    obs::Tracer *tr = core_.tracer();
+    if (tr != nullptr)
+        tr->begin(obs::kTraceTask, core_.id(), core_.now(), "task", "id",
+                  trace_id);
     {
         StackFrame frame(stack_, task.frameBytes());
         TaskContext tc(*this, &task, frame, core_, stack_);
         task.execute(tc);
     }
+    if (tr != nullptr)
+        tr->end(obs::kTraceTask, core_.id(), core_.now(), "task");
     if (ck != nullptr)
         ck->onTaskEnd(core_.id());
-    ++core_.stats().tasksExecuted;
+    ++core_.stats().rt.tasksExecuted;
     core_.engine().noteProgress();
 }
 
@@ -123,15 +129,21 @@ Worker::tryStealOnce()
     uint32_t peers = rt_.activeCores();
     if (peers < 2 || rt_.config().workDealing)
         return false; // dealing runtimes never steal
-    ++core_.stats().stealAttempts;
+    ++core_.stats().rt.stealAttempts;
     CoreId victim = chooseVictim(peers);
     core_.tick(3, 3); // selection: RNG/cursor + compare + branch
+    if (obs::Tracer *tr = core_.tracer())
+        tr->instant(obs::kTraceSteal, core_.id(), core_.now(),
+                    "steal_attempt", "victim", victim);
 
     QueueAddrs addrs = rt_.victimQueueAddrs(core_, victim);
     uint32_t id = qops_.stealHead(addrs);
     if (id == 0)
         return false;
-    ++core_.stats().stealHits;
+    ++core_.stats().rt.stealHits;
+    if (obs::Tracer *tr = core_.tracer())
+        tr->instant(obs::kTraceSteal, core_.id(), core_.now(), "steal_hit",
+                    "victim", victim);
     if (rt_.config().victimPolicy == VictimPolicy::Nearest)
         probeCursor_ = 0; // success: restart from the closest neighbor
     Task *task = rt_.registry().get(id);
@@ -212,9 +224,12 @@ Worker::spawn(TaskContext &tc, Task *child)
 {
     SPMRT_ASSERT(child->home != kNullAddr,
                  "spawned task was not prepared (no home cell)");
-    ++core_.stats().tasksSpawned;
+    ++core_.stats().rt.tasksSpawned;
     core_.tick(4, 4); // task setup: vtable, fields, enqueue call
     rt_.registry().add(child);
+    if (obs::Tracer *tr = core_.tracer())
+        tr->instant(obs::kTraceSpawn, core_.id(), core_.now(), "spawn",
+                    "id", child->id);
 
     // Work dealing: push the child to a peer's queue round-robin at
     // spawn time (a remote-SPM enqueue) instead of keeping it local.
@@ -230,7 +245,7 @@ Worker::spawn(TaskContext &tc, Task *child)
         // Queue full: degrade gracefully by executing the child inline.
         // Its ready-count contribution was already published, so go
         // through the normal completion path.
-        ++core_.stats().spawnsInlined;
+        ++core_.stats().rt.spawnsInlined;
         uint32_t trace_id = child->id;
         rt_.registry().remove(child->id);
         executeSpawned(child, trace_id);
@@ -243,6 +258,9 @@ Worker::wait(TaskContext &tc)
 {
     Task *self = tc.task();
     SPMRT_ASSERT(self != nullptr, "wait outside a task");
+    obs::Tracer *tr = core_.tracer();
+    if (tr != nullptr)
+        tr->begin(obs::kTraceSync, core_.id(), core_.now(), "wait");
     // Fig. 4(b): poll own ready count; pop local LIFO; else steal FIFO.
     while (core_.load<uint32_t>(self->home) > 0) {
         if (tryExecuteLocal()) {
@@ -255,6 +273,8 @@ Worker::wait(TaskContext &tc)
         }
         backoffWait();
     }
+    if (tr != nullptr)
+        tr->end(obs::kTraceSync, core_.id(), core_.now(), "wait");
 }
 
 void

@@ -148,10 +148,10 @@ WorkStealingRuntime::watchdogDump() const
             "done=%u depth=%u exec=%llu steals=%llu/%llu inline=%llu\n",
             i, head, tail, tail - head, lock, done,
             workers_[i]->stack().depth(),
-            static_cast<unsigned long long>(st.tasksExecuted),
-            static_cast<unsigned long long>(st.stealHits),
-            static_cast<unsigned long long>(st.stealAttempts),
-            static_cast<unsigned long long>(st.spawnsInlined));
+            static_cast<unsigned long long>(st.rt.tasksExecuted),
+            static_cast<unsigned long long>(st.rt.stealHits),
+            static_cast<unsigned long long>(st.rt.stealAttempts),
+            static_cast<unsigned long long>(st.rt.spawnsInlined));
     }
     out += log::format("  live tasks in registry: %zu\n",
                        registry_.liveCount());

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/stats.hpp"
+
 namespace spmrt {
 
 namespace {
@@ -33,8 +35,8 @@ Core::read(Addr addr, void *out, uint32_t bytes)
     }
     // Stats and checker bookkeeping hoisted out of the per-chunk loop;
     // counts are identical to per-chunk increments.
-    stats_.loads += chunks;
-    stats_.instructions += chunks;
+    stats_.isa.loads += chunks;
+    stats_.isa.instructions += chunks;
     engine_.advanceTo(id_, last_done);
     if (ConcurrencyChecker *ck = mem_.checker())
         ck->onLoad(id_, addr, bytes, now());
@@ -57,11 +59,32 @@ Core::write(Addr addr, const void *in, uint32_t bytes)
         offset += chunk;
         ++chunks;
     }
-    stats_.stores += chunks;
-    stats_.instructions += chunks;
+    stats_.isa.stores += chunks;
+    stats_.isa.instructions += chunks;
     engine_.advanceTo(id_, issue);
     if (ConcurrencyChecker *ck = mem_.checker())
         ck->onStore(id_, addr, bytes, now());
+}
+
+void
+Core::registerStats(obs::StatRegistry &registry) const
+{
+    std::string prefix = log::format("core/%03u/", id_);
+    auto add = [&](const char *name, const uint64_t &value) {
+        registry.add(prefix + name, &value);
+    };
+    add("isa/instructions", stats_.isa.instructions);
+    add("isa/loads", stats_.isa.loads);
+    add("isa/stores", stats_.isa.stores);
+    add("isa/amos", stats_.isa.amos);
+    add("isa/fences", stats_.isa.fences);
+    add("rt/tasks_executed", stats_.rt.tasksExecuted);
+    add("rt/tasks_spawned", stats_.rt.tasksSpawned);
+    add("rt/steal_attempts", stats_.rt.stealAttempts);
+    add("rt/steal_hits", stats_.rt.stealHits);
+    add("rt/stack_frames_pushed", stats_.rt.stackFramesPushed);
+    add("rt/stack_frames_overflowed", stats_.rt.stackFramesOverflowed);
+    add("rt/spawns_inlined", stats_.rt.spawnsInlined);
 }
 
 } // namespace spmrt

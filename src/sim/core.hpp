@@ -17,21 +17,33 @@
 #include "common/log.hpp"
 #include "common/types.hpp"
 #include "mem/memory_system.hpp"
+#include "obs/trace.hpp"
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault.hpp"
 
 namespace spmrt {
 
-/** Per-core dynamic execution counters. */
-struct CoreStats
+namespace obs {
+class StatRegistry;
+} // namespace obs
+
+/**
+ * ISA-level dynamic execution counters, charged by the Core itself (the
+ * analogue of the paper's dynamic instruction counts).
+ */
+struct IsaStats
 {
     uint64_t instructions = 0; ///< dynamic operations charged
     uint64_t loads = 0;
     uint64_t stores = 0;
     uint64_t amos = 0;
     uint64_t fences = 0;
-    // Runtime-level counters, incremented by the task runtime.
+};
+
+/** Runtime-level counters, incremented by the task runtime layers. */
+struct RuntimeStats
+{
     uint64_t tasksExecuted = 0;
     uint64_t tasksSpawned = 0;
     uint64_t stealAttempts = 0;
@@ -39,6 +51,18 @@ struct CoreStats
     uint64_t stackFramesPushed = 0;
     uint64_t stackFramesOverflowed = 0;
     uint64_t spawnsInlined = 0; ///< queue-full spawns executed inline
+};
+
+/**
+ * Per-core dynamic execution counters: the ISA-level scope (what the
+ * modelled hardware retires) and the runtime-level scope (what the task
+ * runtime does with it), kept separate so the telemetry registry can
+ * export them as distinct hierarchies (core/NNN/isa/... vs core/NNN/rt/...).
+ */
+struct CoreStats
+{
+    IsaStats isa;
+    RuntimeStats rt;
 };
 
 /**
@@ -74,7 +98,7 @@ class Core
         if (fault_ != nullptr)
             cycles += fault_->coreStall(id_, engine_.time(id_));
         engine_.advance(id_, cycles);
-        stats_.instructions += instrs;
+        stats_.isa.instructions += instrs;
     }
 
     /** Blocking typed load. */
@@ -87,8 +111,8 @@ class Core
         T value;
         Cycles done = mem_.load(id_, now(), addr, &value, sizeof(T));
         engine_.advanceTo(id_, done);
-        ++stats_.loads;
-        ++stats_.instructions;
+        ++stats_.isa.loads;
+        ++stats_.isa.instructions;
         if (ConcurrencyChecker *ck = mem_.checker())
             ck->onLoad(id_, addr, sizeof(T), now());
         return value;
@@ -110,8 +134,8 @@ class Core
         T value;
         Cycles done = mem_.load(id_, now(), addr, &value, sizeof(T));
         engine_.advanceTo(id_, done);
-        ++stats_.loads;
-        ++stats_.instructions;
+        ++stats_.isa.loads;
+        ++stats_.isa.instructions;
         if (ConcurrencyChecker *ck = mem_.checker())
             ck->onLoadSync(id_, addr, sizeof(T));
         return value;
@@ -128,8 +152,8 @@ class Core
             engine_.syncPoint(id_);
         Cycles done = mem_.store(id_, now(), addr, &value, sizeof(T));
         engine_.advanceTo(id_, done);
-        ++stats_.stores;
-        ++stats_.instructions;
+        ++stats_.isa.stores;
+        ++stats_.isa.instructions;
         if (ConcurrencyChecker *ck = mem_.checker())
             ck->onStore(id_, addr, sizeof(T), now());
     }
@@ -150,8 +174,8 @@ class Core
             engine_.syncPoint(id_);
         Cycles done = mem_.store(id_, now(), addr, &value, sizeof(T));
         engine_.advanceTo(id_, done);
-        ++stats_.stores;
-        ++stats_.instructions;
+        ++stats_.isa.stores;
+        ++stats_.isa.instructions;
         if (ConcurrencyChecker *ck = mem_.checker())
             ck->onStoreRelease(id_, addr);
     }
@@ -173,8 +197,8 @@ class Core
         uint32_t old_value = 0;
         Cycles done = mem_.amo(id_, now(), addr, op, operand, old_value);
         engine_.advanceTo(id_, done);
-        ++stats_.amos;
-        ++stats_.instructions;
+        ++stats_.isa.amos;
+        ++stats_.isa.instructions;
         if (ConcurrencyChecker *ck = mem_.checker())
             ck->onAmo(id_, addr, now());
         return old_value;
@@ -200,8 +224,8 @@ class Core
     fence()
     {
         engine_.advanceTo(id_, mem_.storeDrainTime(id_));
-        ++stats_.fences;
-        ++stats_.instructions;
+        ++stats_.isa.fences;
+        ++stats_.isa.instructions;
     }
 
     /** Cooperative yield with a small idle charge (backoff loops). */
@@ -238,6 +262,27 @@ class Core
     /** The active fault plan, or nullptr (consulted by the runtime). */
     FaultPlan *faultPlan() { return fault_; }
 
+    /** Attach (or detach, with nullptr) the timeline tracer. */
+    void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
+
+    /**
+     * The attached tracer, or nullptr. A compile-time nullptr when the
+     * telemetry subsystem is compiled out, so `if (auto *t = tracer())`
+     * hook sites in the runtime and stack model fold away entirely.
+     */
+    obs::Tracer *
+    tracer() const
+    {
+#if SPMRT_TELEMETRY_ENABLED
+        return tracer_;
+#else
+        return nullptr;
+#endif
+    }
+
+    /** Register this core's counters under core/NNN/{isa,rt}/. */
+    void registerStats(obs::StatRegistry &registry) const;
+
   private:
     Engine &engine_;
     MemorySystem &mem_;
@@ -246,6 +291,7 @@ class Core
     Addr localSpmBase_; ///< cached: consulted on every store
     CoreStats stats_;
     FaultPlan *fault_ = nullptr;
+    obs::Tracer *tracer_ = nullptr;
 };
 
 } // namespace spmrt

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
+
+#include "common/env.hpp"
 
 namespace spmrt {
 
@@ -17,13 +18,12 @@ namespace {
 bool
 defaultReferenceMode()
 {
-    if (const char *env = std::getenv("SPMRT_ENGINE_REFERENCE"))
-        return env[0] == '1';
 #ifdef SPMRT_ENGINE_REFERENCE_DEFAULT
-    return true;
+    const bool compiled_default = true;
 #else
-    return false;
+    const bool compiled_default = false;
 #endif
+    return env::boolValue("SPMRT_ENGINE_REFERENCE", compiled_default);
 }
 
 } // namespace
@@ -158,6 +158,8 @@ Engine::runReference()
         }
         if (wdCycles_ != 0 || wdSwitches_ != 0)
             watchdogCheck(next->time);
+        if (obs::Tracer *t = tracer())
+            t->instant(obs::kTraceSwitch, next->id, next->time, "switch");
         running_ = next->id;
         ++switches_;
         GuestContext::switchTo(schedCtx_, next->ctx);
@@ -188,6 +190,10 @@ Engine::dispatchFrom(GuestContext &from)
     if (wdCycles_ != 0 || wdSwitches_ != 0)
         watchdogCheck(next->time);
     cachedOtherMin_ = heapMinTimeExcluding(next->id);
+    // Mirrors the reference scheduler: one event per dispatch, so a trace
+    // taken under either scheduler shows the same timeline.
+    if (obs::Tracer *t = tracer())
+        t->instant(obs::kTraceSwitch, next->id, next->time, "switch");
     ++switches_;
     if (next->id == running_)
         return; // re-picked the yielding core: no host switch needed

@@ -53,6 +53,7 @@
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "obs/trace.hpp"
 #include "sim/context.hpp"
 
 namespace spmrt {
@@ -140,6 +141,28 @@ class Engine
 
     /** Number of syncPoint() calls observed (diagnostics). */
     uint64_t syncPointCount() const { return syncPoints_; }
+
+    /** Stable pointers to the counters, for StatRegistry registration. */
+    const uint64_t *switchCountPtr() const { return &switches_; }
+    const uint64_t *syncPointCountPtr() const { return &syncPoints_; }
+
+    /** Attach (or detach, with nullptr) the timeline tracer. */
+    void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
+
+    /**
+     * The attached tracer, or nullptr — a compile-time nullptr when
+     * telemetry is compiled out, so the context-switch hook in the
+     * dispatch path folds away.
+     */
+    obs::Tracer *
+    tracer() const
+    {
+#if SPMRT_TELEMETRY_ENABLED
+        return tracer_;
+#else
+        return nullptr;
+#endif
+    }
 
     /**
      * Largest clock reached by any core so far. O(1): the engine folds
@@ -374,6 +397,8 @@ class Engine
     std::function<std::string()> wdDump_;
     Cycles progressTime_ = 0;
     uint64_t progressSwitches_ = 0;
+
+    obs::Tracer *tracer_ = nullptr;
 
     // Schedule-exploration state.
     bool schedPerturb_ = false;

@@ -18,6 +18,7 @@
 #include "common/types.hpp"
 #include "mem/alloc.hpp"
 #include "mem/memory_system.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/config.hpp"
 #include "sim/core.hpp"
 #include "sim/engine.hpp"
@@ -127,13 +128,23 @@ class Machine
             ck->onPhaseBarrier();
     }
 
-    /** Sum of a per-core statistic over all cores. */
+    /** Sum of a per-core ISA-level statistic over all cores. */
     uint64_t
-    totalStat(uint64_t CoreStats::*field) const
+    totalStat(uint64_t IsaStats::*field) const
     {
         uint64_t total = 0;
         for (const auto &core : cores_)
-            total += core->stats().*field;
+            total += core->stats().isa.*field;
+        return total;
+    }
+
+    /** Sum of a per-core runtime-level statistic over all cores. */
+    uint64_t
+    totalStat(uint64_t RuntimeStats::*field) const
+    {
+        uint64_t total = 0;
+        for (const auto &core : cores_)
+            total += core->stats().rt.*field;
         return total;
     }
 
@@ -141,7 +152,7 @@ class Machine
     uint64_t
     totalInstructions() const
     {
-        return totalStat(&CoreStats::instructions);
+        return totalStat(&IsaStats::instructions);
     }
 
     /**
@@ -155,6 +166,10 @@ class Machine
         for (auto &core : cores_)
             core->setFaultPlan(plan);
         mem_.setFaultPlan(plan);
+#if SPMRT_TELEMETRY_ENABLED
+        if (telemetry_ && plan != nullptr)
+            reportFaultPlan(*plan);
+#endif
     }
 
     /**
@@ -184,13 +199,101 @@ class Machine
     /** The armed checker, or nullptr (disarmed or compiled out). */
     ConcurrencyChecker *checker() const { return mem_.checker(); }
 
+    /**
+     * Arm the telemetry subsystem: lazily creates the Telemetry bundle,
+     * registers every layer's counters in its StatRegistry, and attaches
+     * its Tracer to the engine and all cores with @p categories armed.
+     * Hooks only read simulated state and charge no cycles, so an armed
+     * run stays bit-identical to a disarmed one (tests/test_obs.cpp).
+     * Returns nullptr (with a warning) when telemetry is compiled out
+     * (SPMRT_TELEMETRY=OFF).
+     */
+    obs::Telemetry *
+    armTelemetry(uint32_t categories = obs::kTraceAll)
+    {
+#if SPMRT_TELEMETRY_ENABLED
+        if (!telemetry_) {
+            telemetry_ = std::make_unique<obs::Telemetry>();
+            for (const auto &core : cores_)
+                core->registerStats(telemetry_->stats);
+            mem_.registerStats(telemetry_->stats);
+            telemetry_->stats.add("engine/switches",
+                                  engine_.switchCountPtr());
+            telemetry_->stats.add("engine/sync_points",
+                                  engine_.syncPointCountPtr());
+        }
+        telemetry_->tracer.setCategories(categories);
+        engine_.setTracer(&telemetry_->tracer);
+        for (auto &core : cores_)
+            core->setTracer(&telemetry_->tracer);
+        return telemetry_.get();
+#else
+        (void)categories;
+        SPMRT_WARN("armTelemetry(): telemetry compiled out "
+                   "(SPMRT_TELEMETRY=OFF)");
+        return nullptr;
+#endif
+    }
+
+    /** Detach the tracer everywhere (stats/events are kept). */
+    void
+    disarmTelemetry()
+    {
+        engine_.setTracer(nullptr);
+        for (auto &core : cores_)
+            core->setTracer(nullptr);
+    }
+
+    /** The armed telemetry bundle, or nullptr (never armed/compiled out). */
+    obs::Telemetry *
+    telemetry() const
+    {
+#if SPMRT_TELEMETRY_ENABLED
+        return telemetry_.get();
+#else
+        return nullptr;
+#endif
+    }
+
   private:
+#if SPMRT_TELEMETRY_ENABLED
+    /**
+     * Mirror an installed fault plan into the telemetry: every window
+     * becomes a complete span on the synthetic "faults" track, and the
+     * plan's injected-delay totals join the registry under fault/.
+     */
+    void
+    reportFaultPlan(FaultPlan &plan)
+    {
+        obs::Tracer &tracer = telemetry_->tracer;
+        for (const auto &w : plan.coreStalls())
+            tracer.span(obs::kTraceFault, obs::kTraceFaultTrack, w.start,
+                        w.end, "core_stall", "core", w.core,
+                        "extra_per_op", w.extraPerOp);
+        for (const auto &w : plan.linkDelays())
+            tracer.span(obs::kTraceFault, obs::kTraceFaultTrack, w.start,
+                        w.end, "link_delay", "node_x", w.x, "node_y", w.y);
+        for (const auto &w : plan.llcSlows())
+            tracer.span(obs::kTraceFault, obs::kTraceFaultTrack, w.start,
+                        w.end, "llc_slow", "bank", w.bank, "extra",
+                        w.extra);
+        const FaultPlan::InjectedStats &injected = plan.injected();
+        obs::StatRegistry &stats = telemetry_->stats;
+        stats.add("fault/core_stall_cycles", &injected.coreStallCycles);
+        stats.add("fault/link_delay_cycles", &injected.linkDelayCycles);
+        stats.add("fault/llc_delay_cycles", &injected.llcDelayCycles);
+        stats.add("fault/lock_holder_cycles", &injected.lockHolderCycles);
+        stats.add("fault/lock_holder_hits", &injected.lockHolderHits);
+    }
+#endif
+
     MachineConfig cfg_;
     Engine engine_;
     MemorySystem mem_;
     RangeAllocator dramHeap_;
     std::vector<std::unique_ptr<Core>> cores_;
     std::unique_ptr<ConcurrencyChecker> checker_;
+    std::unique_ptr<obs::Telemetry> telemetry_;
 };
 
 } // namespace spmrt

@@ -90,11 +90,15 @@ class StackModel
                     cfg_.dramBytes);
             dramSp_ -= bytes;
             base = dramSp_;
-            if (cfg_.spmResident)
-                ++core_.stats().stackFramesOverflowed;
+            if (cfg_.spmResident) {
+                ++core_.stats().rt.stackFramesOverflowed;
+                if (obs::Tracer *tr = core_.tracer())
+                    tr->instant(obs::kTraceSpill, core_.id(), core_.now(),
+                                "stack_spill", "bytes", bytes);
+            }
         }
         frames_.push_back(FrameRec{base, bytes, in_spm});
-        ++core_.stats().stackFramesPushed;
+        ++core_.stats().rt.stackFramesPushed;
 
         // Call overhead: sp adjust + jal (2 ops), plus the software
         // overflow check when the CSR hardware is not modelled.

@@ -165,8 +165,8 @@ TEST(WorkDealing, NeverSteals)
     cfg.workDealing = true;
     WorkStealingRuntime rt(machine, cfg);
     rt.run([&](TaskContext &tc) { fibKernel(tc, 12, out); });
-    EXPECT_EQ(machine.totalStat(&CoreStats::stealHits), 0u);
-    EXPECT_EQ(machine.totalStat(&CoreStats::stealAttempts), 0u);
+    EXPECT_EQ(machine.totalStat(&RuntimeStats::stealHits), 0u);
+    EXPECT_EQ(machine.totalStat(&RuntimeStats::stealAttempts), 0u);
 }
 
 TEST(WorkDealing, SpreadsWorkAcrossCores)

@@ -225,7 +225,7 @@ TEST_P(VictimPolicyTest, CorrectAndActuallySteals)
     WorkStealingRuntime rt(machine, cfg);
     rt.run([&](TaskContext &tc) { nqueensKernel(tc, data); });
     EXPECT_EQ(nqueensResult(machine, data), nqueensReference(7));
-    EXPECT_GT(machine.totalStat(&CoreStats::stealHits), 0u);
+    EXPECT_GT(machine.totalStat(&RuntimeStats::stealHits), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Policies, VictimPolicyTest,

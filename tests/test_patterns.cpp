@@ -123,7 +123,7 @@ TEST(ParallelFor, GrainControlsLeafCount)
     });
     // Spawned task count: a 256-iteration loop at grain 64 builds a
     // 4-leaf binary tree = 3 spawned right halves.
-    EXPECT_EQ(machine.totalStat(&CoreStats::tasksSpawned), 3u);
+    EXPECT_EQ(machine.totalStat(&RuntimeStats::tasksSpawned), 3u);
 }
 
 TEST(ParallelFor, DynamicBalancesSkewedWork)
@@ -251,7 +251,7 @@ TEST(ParallelInvoke, FibMatchesReference)
     });
     EXPECT_EQ(machine.mem().peekAs<int64_t>(out), Fib::reference(12));
     // fib(12) spawns plenty of tasks.
-    EXPECT_GT(machine.totalStat(&CoreStats::tasksSpawned), 100u);
+    EXPECT_GT(machine.totalStat(&RuntimeStats::tasksSpawned), 100u);
 }
 
 TEST(ParallelInvoke, ThreeWayInvoke)

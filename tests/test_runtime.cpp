@@ -349,7 +349,7 @@ TEST(WorkStealing, WorkIsActuallyStolen)
         },
         /*root_frame_bytes=*/256);
     EXPECT_GT(executors.size(), 1u) << "no steals happened";
-    uint64_t hits = machine.totalStat(&CoreStats::stealHits);
+    uint64_t hits = machine.totalStat(&RuntimeStats::stealHits);
     EXPECT_GT(hits, 0u);
 }
 
@@ -419,9 +419,9 @@ TEST(WorkStealing, QueueOverflowFallsBackToInlineExecution)
     EXPECT_EQ(machine.mem().peekAs<uint32_t>(counter), kChildren);
     // The degraded path must be visible in the stats, and every inlined
     // spawn still counts as an executed task.
-    uint64_t inlined = machine.totalStat(&CoreStats::spawnsInlined);
+    uint64_t inlined = machine.totalStat(&RuntimeStats::spawnsInlined);
     EXPECT_GT(inlined, 0u) << "queue never filled: test is too small";
-    EXPECT_GE(machine.totalStat(&CoreStats::tasksExecuted), kChildren);
+    EXPECT_GE(machine.totalStat(&RuntimeStats::tasksExecuted), kChildren);
 }
 
 TEST(WorkStealing, DeterministicCycleCounts)

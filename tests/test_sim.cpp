@@ -99,7 +99,7 @@ TEST(Machine, TickAdvancesClockAndCounts)
     machine.run([](Core &core) { core.tick(5, 3); });
     for (CoreId i = 0; i < machine.numCores(); ++i) {
         EXPECT_EQ(machine.engine().time(i), 5u);
-        EXPECT_EQ(machine.core(i).stats().instructions, 3u);
+        EXPECT_EQ(machine.core(i).stats().isa.instructions, 3u);
     }
 }
 

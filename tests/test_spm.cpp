@@ -107,7 +107,7 @@ TEST_F(StackModelTest, FramesLiveInSpmUntilOverflow)
         }
         stack.push(64); // fifth frame must overflow
         EXPECT_TRUE(stack.topInDram());
-        EXPECT_EQ(core.stats().stackFramesOverflowed, 1u);
+        EXPECT_EQ(core.stats().rt.stackFramesOverflowed, 1u);
         for (int i = 0; i < 5; ++i)
             stack.pop();
         // After popping back below the threshold, SPM is used again.
@@ -242,15 +242,15 @@ TEST_F(StackModelTest, OverflowBoundaryIsExact)
             StackModel stack(core, cfg);
             stack.push(256); // exact fit
             EXPECT_FALSE(stack.topInDram());
-            EXPECT_EQ(core.stats().stackFramesOverflowed, 0u);
+            EXPECT_EQ(core.stats().rt.stackFramesOverflowed, 0u);
             stack.pop();
         }
         {
             StackModel stack(core, cfg);
             stack.push(257); // one byte over
             EXPECT_TRUE(stack.topInDram());
-            EXPECT_EQ(core.stats().stackFramesOverflowed, 1u);
-            EXPECT_EQ(core.stats().stackFramesPushed, 2u);
+            EXPECT_EQ(core.stats().rt.stackFramesOverflowed, 1u);
+            EXPECT_EQ(core.stats().rt.stackFramesPushed, 2u);
             stack.pop();
         }
     });

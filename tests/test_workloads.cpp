@@ -88,7 +88,7 @@ TEST(Fib, GeneratesExponentialTasks)
     WorkStealingRuntime rt(machine, RuntimeConfig::full());
     rt.run([&](TaskContext &tc) { fibKernel(tc, 10, out); });
     // fib(10) has 177 calls; each non-leaf spawns one child.
-    EXPECT_GT(machine.totalStat(&CoreStats::tasksSpawned), 80u);
+    EXPECT_GT(machine.totalStat(&RuntimeStats::tasksSpawned), 80u);
 }
 
 // ---- MatMul -----------------------------------------------------------------
@@ -359,7 +359,7 @@ TEST(NQueens, StackHeavyWorkloadOverflowsDramStack)
     WorkStealingRuntime rt(machine, cfg);
     rt.run([&](TaskContext &tc) { nqueensKernel(tc, data); });
     EXPECT_EQ(nqueensResult(machine, data), nqueensReference(7));
-    EXPECT_GT(machine.totalStat(&CoreStats::stackFramesOverflowed), 0u);
+    EXPECT_GT(machine.totalStat(&RuntimeStats::stackFramesOverflowed), 0u);
 }
 
 // ---- UTS -----------------------------------------------------------------------------

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by the telemetry
+subsystem (obs::Tracer::writeChromeJson), and optionally a heatmap CSV.
+
+Checks, per the schema contract in DESIGN.md Sec. 11:
+
+* the document is an object with a ``traceEvents`` list and an
+  ``otherData.schema`` of ``spmrt-trace-v1``;
+* every event carries ``name``/``ph``/``ts``/``pid``/``tid`` with a
+  non-negative integer timestamp and a known phase (B, E, i, X, M);
+* per (pid, tid) track, timestamps of B/E/i events are monotonically
+  non-decreasing in file order (each simulated core's clock only moves
+  forward; X fault windows are emitted at plan-install time and M
+  metadata is timeless, so both are exempt);
+* B/E events balance and nest with matching names per track;
+* the trace contains at least one event (an empty trace means the
+  telemetry hooks were not armed).
+
+With ``--heatmap`` (a CSV from MeshNoc::linkHeatmap) plus ``--mesh-cols``
+and ``--mesh-rows``, additionally checks that every link's coordinates
+are inside the mesh and its direction index below 6 (E/W/N/S/RE/RW).
+
+Usage:
+    check_trace.py <trace.json> [--heatmap <links.csv>
+                                 --mesh-cols 16 --mesh-rows 8]
+"""
+
+import argparse
+import csv
+import json
+import sys
+
+KNOWN_PHASES = {"B", "E", "i", "X", "M"}
+NUM_LINK_DIRS = 6
+
+
+def fail(message):
+    sys.exit(f"FAIL: {message}")
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: no traceEvents array")
+    other = doc.get("otherData", {})
+    if other.get("schema") != "spmrt-trace-v1":
+        fail(f"{path}: unexpected otherData.schema "
+             f"{other.get('schema')!r}")
+
+    events = doc["traceEvents"]
+    last_ts = {}     # (pid, tid) -> last B/E/i timestamp seen
+    open_spans = {}  # (pid, tid) -> stack of open begin names
+    counted = 0
+    for index, event in enumerate(events):
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                fail(f"{path}: event {index} missing {key!r}: {event}")
+        phase = event["ph"]
+        if phase not in KNOWN_PHASES:
+            fail(f"{path}: event {index} has unknown phase {phase!r}")
+        if phase == "M":
+            continue  # metadata records are timeless
+        if "ts" not in event:
+            fail(f"{path}: event {index} missing 'ts': {event}")
+        ts = event["ts"]
+        if not isinstance(ts, int) or ts < 0:
+            fail(f"{path}: event {index} has bad timestamp {ts!r}")
+        counted += 1
+        if phase == "X":
+            if not isinstance(event.get("dur"), int) or event["dur"] < 0:
+                fail(f"{path}: event {index} (X) has bad dur "
+                     f"{event.get('dur')!r}")
+            continue
+        track = (event["pid"], event["tid"])
+        if ts < last_ts.get(track, 0):
+            fail(f"{path}: event {index} ({event['name']!r}) goes "
+                 f"backwards on track {track}: {ts} < {last_ts[track]}")
+        last_ts[track] = ts
+        if phase == "B":
+            open_spans.setdefault(track, []).append(event["name"])
+        elif phase == "E":
+            stack = open_spans.get(track, [])
+            if not stack:
+                fail(f"{path}: event {index} ends {event['name']!r} on "
+                     f"track {track} with no open begin")
+            if stack[-1] != event["name"]:
+                fail(f"{path}: event {index} ends {event['name']!r} but "
+                     f"{stack[-1]!r} is open on track {track}")
+            stack.pop()
+    for track, stack in open_spans.items():
+        if stack:
+            fail(f"{path}: track {track} left {stack!r} open")
+    if counted == 0:
+        fail(f"{path}: trace has no events — telemetry was not armed?")
+    declared = other.get("events")
+    if declared is not None and declared != counted:
+        fail(f"{path}: otherData.events={declared} but {counted} "
+             f"non-metadata events present")
+    dropped = other.get("dropped", 0)
+    print(f"OK: {path}: {counted} events on {len(last_ts)} tracks"
+          f" ({dropped} dropped)")
+
+
+def check_heatmap(path, mesh_cols, mesh_rows):
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    if not rows:
+        fail(f"{path}: empty heatmap")
+    for field in ("x", "y", "dir"):
+        if field not in rows[0]:
+            fail(f"{path}: missing column {field!r}")
+    for line, row in enumerate(rows, start=2):
+        x, y, direction = int(row["x"]), int(row["y"]), int(row["dir"])
+        if x >= mesh_cols or y >= mesh_rows:
+            fail(f"{path}:{line}: link at ({x},{y}) outside the "
+                 f"{mesh_cols}x{mesh_rows} mesh")
+        if direction >= NUM_LINK_DIRS:
+            fail(f"{path}:{line}: direction {direction} out of range")
+    expected = mesh_cols * mesh_rows * NUM_LINK_DIRS
+    if len(rows) != expected:
+        fail(f"{path}: {len(rows)} links, expected {expected} "
+             f"({mesh_cols}x{mesh_rows}x{NUM_LINK_DIRS})")
+    print(f"OK: {path}: {len(rows)} links within the "
+          f"{mesh_cols}x{mesh_rows} mesh")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--heatmap", help="NoC link heatmap CSV")
+    parser.add_argument("--mesh-cols", type=int, default=16)
+    parser.add_argument("--mesh-rows", type=int, default=8)
+    args = parser.parse_args()
+
+    check_trace(args.trace)
+    if args.heatmap:
+        check_heatmap(args.heatmap, args.mesh_cols, args.mesh_rows)
+
+
+if __name__ == "__main__":
+    main()
