@@ -9,9 +9,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench/support.hpp"
 #include "common/rng.hpp"
 #include "mem/alloc.hpp"
 #include "mem/fluid_server.hpp"
+#include "mem/memory_system.hpp"
 #include "mem/noc.hpp"
 #include "runtime/task.hpp"
 #include "sim/engine.hpp"
@@ -63,6 +68,73 @@ BM_NocTraverse(benchmark::State &state)
     }
 }
 BENCHMARK(BM_NocTraverse);
+
+/**
+ * Same random traffic as BM_NocTraverse, but toggling the compiled route
+ * tables. Args: {compiled?}. The "walk" row is the per-hop routing walk
+ * (fault-plan fallback path); the "compiled" row replays the prebuilt
+ * link list. The delta is the host cost the route tables remove from
+ * every remote access.
+ */
+void
+BM_NocTraverseCompiled(benchmark::State &state)
+{
+    const bool compiled = state.range(0) != 0;
+    MachineConfig cfg;
+    MeshNoc noc(cfg);
+    noc.setCompiledRoutes(compiled);
+    Xoshiro256StarStar rng(3);
+    Cycles t = 0;
+    for (auto _ : state) {
+        CoreId src = static_cast<CoreId>(rng.nextBounded(cfg.numCores()));
+        CoreId dst = static_cast<CoreId>(rng.nextBounded(cfg.numCores()));
+        benchmark::DoNotOptimize(noc.traverse(
+            noc.coreEndpoint(src), noc.coreEndpoint(dst), t++, 4));
+    }
+    state.SetLabel(compiled ? "compiled" : "walk");
+}
+BENCHMARK(BM_NocTraverseCompiled)->Arg(0)->Arg(1);
+
+/**
+ * The dominant simulated-memory operation: the issuing core loading a
+ * word from its own scratchpad. Exercises the computed decode plus the
+ * inline local fast path in MemorySystem::load().
+ */
+void
+BM_LocalSpmLoad(benchmark::State &state)
+{
+    MemorySystem mem(MachineConfig::tiny());
+    Cycles t = 0;
+    uint32_t value = 0;
+    uint32_t offset = 0;
+    for (auto _ : state) {
+        Addr addr = AddressMap::kSpmBase + (offset & 1023u);
+        offset += 4;
+        benchmark::DoNotOptimize(t = mem.load(0, t, addr, &value, 4));
+    }
+}
+BENCHMARK(BM_LocalSpmLoad);
+
+/**
+ * A blocking load from another core's scratchpad: request packet across
+ * the mesh, SPM port service at the owner, response packet back. Bounds
+ * the host cost of the full remote round trip (decode + two compiled
+ * traversals + port charge).
+ */
+void
+BM_RemoteSpmRoundTrip(benchmark::State &state)
+{
+    MachineConfig cfg = MachineConfig::tiny();
+    MemorySystem mem(cfg);
+    const CoreId owner = cfg.numCores() - 1;
+    const Addr addr =
+        AddressMap::kSpmBase + owner * AddressMap::kSpmStride;
+    Cycles t = 0;
+    uint32_t value = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(t = mem.load(0, t, addr, &value, 4));
+}
+BENCHMARK(BM_RemoteSpmRoundTrip);
 
 void
 BM_TaskRegistryAddRemove(benchmark::State &state)
@@ -200,7 +272,72 @@ BM_ContextSwitchPair(benchmark::State &state)
 }
 BENCHMARK(BM_ContextSwitchPair)->Unit(benchmark::kMicrosecond);
 
+/**
+ * Console reporter that also mirrors every finished run into the shared
+ * bench::Report, so micro benches publish the same spmrt-bench-v1 JSON
+ * as the experiment benches (CI perf-smoke uploads it as an artifact).
+ */
+class ReportCollector : public benchmark::ConsoleReporter
+{
+  public:
+    explicit ReportCollector(bench::Report &report) : report_(report) {}
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.run_type != Run::RT_Iteration)
+                continue;
+            if (run.error_occurred) {
+                report_.fail("%s: %s", run.benchmark_name().c_str(),
+                             run.error_message.c_str());
+                continue;
+            }
+            report_.row()
+                .cell("bench", run.benchmark_name())
+                .cell("time_per_op", run.GetAdjustedRealTime())
+                .cell("cpu_per_op", run.GetAdjustedCPUTime())
+                .cell("unit", benchmark::GetTimeUnitString(run.time_unit))
+                .cell("iterations", run.iterations);
+            if (!run.report_label.empty())
+                report_.cell("label", run.report_label);
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    bench::Report &report_;
+};
+
 } // namespace
 } // namespace spmrt
 
-BENCHMARK_MAIN();
+/**
+ * Like BENCHMARK_MAIN(), but routes results through bench::Report.
+ * --out=<path> is peeled off for the Report (spmrt-bench-v1 JSON);
+ * every other flag goes to google-benchmark untouched, so the usual
+ * --benchmark_filter= etc. still work.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> report_args = {argv[0]};
+    std::vector<char *> bm_args = {argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("--out=", 0) == 0)
+            report_args.push_back(argv[i]);
+        else
+            bm_args.push_back(argv[i]);
+    }
+    spmrt::bench::Report report(
+        "micro_host", static_cast<int>(report_args.size()),
+        report_args.data());
+    int bm_argc = static_cast<int>(bm_args.size());
+    benchmark::Initialize(&bm_argc, bm_args.data());
+    if (benchmark::ReportUnrecognizedArguments(bm_argc, bm_args.data()))
+        return 1;
+    spmrt::ReportCollector reporter(report);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    return report.finish();
+}

@@ -41,12 +41,16 @@ class FluidServer
     Cycles
     charge(Cycles t, uint64_t units)
     {
+        // rate_ == 1 for nearly every server (links, SPM ports, LLC
+        // banks); branching past the division there is much cheaper than
+        // dividing by a runtime value, and arithmetically identical.
         if (t > anchor_) {
-            uint64_t drained = (t - anchor_) * rate_;
+            uint64_t drained =
+                rate_ == 1 ? t - anchor_ : (t - anchor_) * rate_;
             backlog_ = backlog_ > drained ? backlog_ - drained : 0;
             anchor_ = t;
         }
-        Cycles delay = backlog_ / rate_;
+        Cycles delay = rate_ == 1 ? backlog_ : backlog_ / rate_;
         backlog_ += units;
         return delay;
     }

@@ -23,10 +23,9 @@
 #include "mem/fluid_server.hpp"
 #include "obs/heatmap.hpp"
 #include "sim/config.hpp"
+#include "sim/fault.hpp"
 
 namespace spmrt {
-
-class FaultPlan;
 
 namespace obs {
 class StatRegistry;
@@ -50,14 +49,57 @@ class LlcModel
     /**
      * Access @p bytes at DRAM offset @p dram_offset through the LLC.
      *
+     * Defined here so the hot lookup — bank charge, set index hash, tag
+     * match — inlines into MemorySystem's DRAM paths; only the miss
+     * (victim selection + DRAM fill) stays out of line.
+     *
      * @param arrive time the request reaches the bank.
      * @param dram_offset byte offset within DRAM.
      * @param bytes access size (must not straddle a line).
      * @param is_store stores mark the line dirty.
      * @return time the bank can send the response.
      */
-    Cycles access(Cycles arrive, uint64_t dram_offset, uint32_t bytes,
-                  bool is_store);
+    Cycles
+    access(Cycles arrive, uint64_t dram_offset, uint32_t bytes,
+           bool is_store)
+    {
+        const uint64_t line = dram_offset / lineBytes_;
+        SPMRT_ASSERT((dram_offset % lineBytes_) + bytes <= lineBytes_,
+                     "LLC access straddles a line boundary");
+        const uint32_t bank = bankOf(dram_offset);
+        // XOR-fold the upper address bits into the set index so regular
+        // strides (e.g. the per-core 256 KB overflow stacks) don't all
+        // land in one set — the index hashing any real LLC employs.
+        const uint64_t in_bank = line / numBanks_;
+        const uint64_t folded = in_bank ^ (in_bank / setsPerBank_) ^
+                                (in_bank / setsPerBank_ / setsPerBank_);
+        const uint32_t index =
+            static_cast<uint32_t>(folded % setsPerBank_);
+        const uint64_t tag = in_bank / setsPerBank_;
+
+        // Serialize at the bank, then pay the tag/data pipeline latency.
+        Cycles wait = banks_[bank].charge(arrive, bankOccupancy_);
+        Cycles slow =
+            fault_ != nullptr ? fault_->llcDelay(bank, arrive) : 0;
+        Cycles done = arrive + wait + bankLatency_ + slow;
+        ++bankAccesses_[bank];
+        bankWaitCycles_[bank] += wait;
+
+        Way *ways = set(bank, index);
+        ++useClock_;
+
+        // Hit path.
+        for (uint32_t w = 0; w < ways_; ++w) {
+            if (ways[w].valid && ways[w].tag == tag) {
+                ways[w].lastUse = useClock_;
+                ways[w].dirty = ways[w].dirty || is_store;
+                ++hits_;
+                ++bankHits_[bank];
+                return done;
+            }
+        }
+        return fill(done, bank, ways, tag, line, is_store);
+    }
 
     uint64_t hits() const { return hits_; }
     uint64_t misses() const { return misses_; }
@@ -130,6 +172,10 @@ class LlcModel
         return &tags_[(static_cast<size_t>(bank) * setsPerBank_ + index) *
                       ways_];
     }
+
+    /** Miss path: victim selection, write-back, DRAM line fill. */
+    Cycles fill(Cycles done, uint32_t bank, Way *ways, uint64_t tag,
+                uint64_t line, bool is_store);
 };
 
 } // namespace spmrt

@@ -1,5 +1,7 @@
 #include "mem/memory_system.hpp"
 
+#include <algorithm>
+
 #include "obs/stats.hpp"
 
 namespace spmrt {
@@ -18,6 +20,7 @@ MemorySystem::MemorySystem(const MachineConfig &cfg)
     spmData_.assign(static_cast<size_t>(cfg.numCores()) * cfg.spmBytes, 0);
     spmPorts_.assign(cfg.numCores(), FluidServer(1));
     storeDrain_.assign(cfg.numCores(), 0);
+    invalidateDecodeCache(); // snap the precomputed decode constants
 }
 
 uint8_t *
@@ -38,51 +41,19 @@ MemorySystem::backing(const DecodedAddr &decoded, uint32_t size) const
     return const_cast<MemorySystem *>(this)->backing(decoded, size);
 }
 
-Cycles
-MemorySystem::spmService(CoreId owner, Cycles arrive)
-{
-    Cycles wait = spmPorts_[owner].charge(arrive, 1);
-    return arrive + wait + cfg_.spmLatency;
-}
-
 uint8_t *
-MemorySystem::resolveMiss(Addr addr, uint32_t size, DecodedAddr &decoded,
-                          Addr page, uint32_t off)
+MemorySystem::resolveSlow(Addr addr, uint32_t size, DecodedAddr &decoded)
 {
+    ++decodeMisses_;
     decoded = map_.decode(addr, size); // asserts bounds, panics unmapped
-    uint8_t *base = backing(decoded, size);
-    if (decoded.region == MemRegion::Spm) {
-        // The SPM stride equals the page size and windows are
-        // stride-aligned, so the page base is the window base and the
-        // implemented-bytes limit applies from offset 0.
-        cacheLimit_ = cfg_.spmBytes;
-    } else {
-        uint64_t page_offset = decoded.offset - off;
-        uint64_t remaining = cfg_.dramBytes - page_offset;
-        cacheLimit_ = remaining < AddressMap::kSpmStride
-                          ? static_cast<uint32_t>(remaining)
-                          : static_cast<uint32_t>(AddressMap::kSpmStride);
-    }
-    cachePage_ = page;
-    cachePageOffset_ = decoded.offset - off;
-    cacheBase_ = base - off;
-    cacheRegion_ = decoded.region;
-    cacheOwner_ = decoded.owner;
-    return base;
+    return backing(decoded, size);
 }
 
 Cycles
-MemorySystem::load(CoreId core, Cycles start, Addr addr, void *out,
-                   uint32_t size)
+MemorySystem::loadRemote(CoreId core, Cycles start,
+                         const DecodedAddr &decoded, uint32_t size)
 {
-    DecodedAddr decoded;
-    std::memcpy(out, resolve(addr, size, decoded), size);
-
     if (decoded.region == MemRegion::Spm) {
-        if (decoded.owner == core) {
-            ++stats_.localSpmLoads;
-            return spmService(core, start);
-        }
         ++stats_.remoteSpmLoads;
         NocEndpoint self = noc_.coreEndpoint(core);
         NocEndpoint owner = noc_.coreEndpoint(decoded.owner);
@@ -101,23 +72,11 @@ MemorySystem::load(CoreId core, Cycles start, Addr addr, void *out,
 }
 
 Cycles
-MemorySystem::store(CoreId core, Cycles start, Addr addr, const void *in,
-                    uint32_t size)
+MemorySystem::storeRemote(CoreId core, Cycles start,
+                          const DecodedAddr &decoded, uint32_t size)
 {
-    DecodedAddr decoded;
-    std::memcpy(resolve(addr, size, decoded), in, size);
-
     Cycles arrival;
     if (decoded.region == MemRegion::Spm) {
-        if (decoded.owner == core) {
-            ++stats_.localSpmStores;
-            arrival = spmService(core, start);
-            // A local store still holds the core for the SPM latency;
-            // there is no deeper queue to post into.
-            storeDrain_[core] =
-                arrival > storeDrain_[core] ? arrival : storeDrain_[core];
-            return arrival;
-        }
         ++stats_.remoteSpmStores;
         NocEndpoint self = noc_.coreEndpoint(core);
         NocEndpoint owner = noc_.coreEndpoint(decoded.owner);
@@ -134,6 +93,115 @@ MemorySystem::store(CoreId core, Cycles start, Addr addr, const void *in,
         arrival > storeDrain_[core] ? arrival : storeDrain_[core];
     // Posted: the core pays one issue cycle and moves on.
     return start + 1;
+}
+
+BurstResult
+MemorySystem::loadBurst(CoreId core, Cycles issue, Addr addr, void *out,
+                        uint32_t bytes)
+{
+    BurstResult result;
+    result.lastDone = issue;
+    result.lastIssue = issue;
+    if (bytes == 0)
+        return result;
+
+    // Whole-burst local fast path: resolve the first chunk (which the
+    // generic loop would do anyway); if the issuing core's own SPM
+    // window covers the entire burst, do one byte copy and a tight
+    // port-timing loop.
+    uint32_t first_chunk =
+        std::min(bytes, kMaxChunk - (addr % kMaxChunk));
+    DecodedAddr decoded;
+    const uint8_t *base = resolve(addr, first_chunk, decoded);
+    if (decoded.region == MemRegion::Spm && decoded.owner == core &&
+        decoded.offset + bytes <= cfg_.spmBytes) {
+        std::memcpy(out, base, bytes);
+        uint32_t offset = 0;
+        while (offset < bytes) {
+            uint32_t chunk = std::min(
+                bytes - offset, kMaxChunk - ((addr + offset) % kMaxChunk));
+            Cycles done = spmService(core, issue);
+            if (done > result.lastDone)
+                result.lastDone = done;
+            issue += 1;
+            offset += chunk;
+            ++result.chunks;
+        }
+        stats_.localSpmLoads += result.chunks;
+        result.lastIssue = issue;
+        return result;
+    }
+
+    // Generic per-chunk path (remote SPM, DRAM, or a burst that leaves
+    // the cached window — e.g. one crossing into a neighbour's SPM).
+    auto *dst = static_cast<uint8_t *>(out);
+    uint32_t offset = 0;
+    while (offset < bytes) {
+        uint32_t chunk = std::min(bytes - offset,
+                                  kMaxChunk - ((addr + offset) % kMaxChunk));
+        Cycles done = load(core, issue, addr + offset, dst + offset, chunk);
+        if (done > result.lastDone)
+            result.lastDone = done;
+        issue += 1; // pipelined issue, one chunk per cycle
+        offset += chunk;
+        ++result.chunks;
+    }
+    result.lastIssue = issue;
+    return result;
+}
+
+BurstResult
+MemorySystem::storeBurst(CoreId core, Cycles issue, Addr addr,
+                         const void *in, uint32_t bytes)
+{
+    BurstResult result;
+    result.lastDone = issue;
+    result.lastIssue = issue;
+    if (bytes == 0)
+        return result;
+
+    uint32_t first_chunk =
+        std::min(bytes, kMaxChunk - (addr % kMaxChunk));
+    DecodedAddr decoded;
+    uint8_t *base = resolve(addr, first_chunk, decoded);
+    if (decoded.region == MemRegion::Spm && decoded.owner == core &&
+        decoded.offset + bytes <= cfg_.spmBytes) {
+        std::memcpy(base, in, bytes);
+        Cycles drain = storeDrain_[core];
+        uint32_t offset = 0;
+        while (offset < bytes) {
+            uint32_t chunk = std::min(
+                bytes - offset, kMaxChunk - ((addr + offset) % kMaxChunk));
+            Cycles arrival = spmService(core, issue);
+            if (arrival > drain)
+                drain = arrival;
+            if (arrival > result.lastDone)
+                result.lastDone = arrival;
+            issue += 1;
+            offset += chunk;
+            ++result.chunks;
+        }
+        storeDrain_[core] = drain;
+        stats_.localSpmStores += result.chunks;
+        result.lastIssue = issue;
+        return result;
+    }
+
+    const auto *src = static_cast<const uint8_t *>(in);
+    uint32_t offset = 0;
+    while (offset < bytes) {
+        uint32_t chunk = std::min(bytes - offset,
+                                  kMaxChunk - ((addr + offset) % kMaxChunk));
+        Cycles done =
+            store(core, issue, addr + offset, src + offset, chunk);
+        if (done > result.lastDone)
+            result.lastDone = done;
+        issue += 1;
+        offset += chunk;
+        ++result.chunks;
+    }
+    result.lastIssue = issue;
+    return result;
 }
 
 uint32_t
@@ -201,22 +269,6 @@ MemorySystem::amo(CoreId core, Cycles start, Addr addr, AmoOp op,
     Cycles at_bank = noc_.traverse(self, bank, start, 8);
     Cycles served = llc_.access(at_bank, decoded.offset, 4, true) + 1;
     return noc_.traverse(bank, self, served, 4);
-}
-
-void
-MemorySystem::poke(Addr addr, const void *in, uint32_t size)
-{
-    // Honor region boundaries but allow arbitrarily large DRAM pokes by
-    // splitting on line-sized chunks is unnecessary: decode checks bounds.
-    DecodedAddr decoded = map_.decode(addr, size);
-    std::memcpy(backing(decoded, size), in, size);
-}
-
-void
-MemorySystem::peek(Addr addr, void *out, uint32_t size) const
-{
-    DecodedAddr decoded = map_.decode(addr, size);
-    std::memcpy(out, backing(decoded, size), size);
 }
 
 void

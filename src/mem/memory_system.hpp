@@ -58,6 +58,14 @@ struct MemStats
     uint64_t amos = 0;
 };
 
+/** Result of a chunked burst (see MemorySystem::loadBurst/storeBurst). */
+struct BurstResult
+{
+    uint64_t chunks = 0;  ///< line-sized chunks the burst split into
+    Cycles lastDone = 0;  ///< completion time of the slowest chunk (loads)
+    Cycles lastIssue = 0; ///< issue time one past the final chunk (stores)
+};
+
 /**
  * The complete memory system for one simulated machine.
  */
@@ -69,23 +77,76 @@ class MemorySystem
     MemorySystem(const MemorySystem &) = delete;
     MemorySystem &operator=(const MemorySystem &) = delete;
 
+    /** Largest single timed transfer: one LLC line. Bursts split on this. */
+    static constexpr uint32_t kMaxChunk = 64;
+
     /** @name Timed guest accesses
      *  All take the issuing core and its current clock and return the
      *  core-visible completion time of the operation.
+     *
+     *  load() and store() are defined in the header so the dominant case
+     *  — the issuing core touching its own scratchpad — inlines into the
+     *  Core call sites as one predicted branch off the decode cache, a
+     *  byte copy, and the fixed port/2-cycle timing. Remote SPM, DRAM,
+     *  and decode-cache misses take the out-of-line slow paths. The fast
+     *  path is timing- and stats-identical to the generic one by
+     *  construction: it runs exactly the same spmService() charge and
+     *  the same counter increments, just without the dispatch overhead.
      *  @{
      */
 
     /** Blocking load of @p size bytes at @p addr into @p out. */
-    Cycles load(CoreId core, Cycles start, Addr addr, void *out,
-                uint32_t size);
+    Cycles
+    load(CoreId core, Cycles start, Addr addr, void *out, uint32_t size)
+    {
+        DecodedAddr decoded;
+        const uint8_t *src = resolve(addr, size, decoded);
+        std::memcpy(out, src, size);
+        if (decoded.region == MemRegion::Spm && decoded.owner == core) {
+            ++stats_.localSpmLoads;
+            return spmService(core, start);
+        }
+        return loadRemote(core, start, decoded, size);
+    }
 
     /**
      * Posted store of @p size bytes. The returned time is when the core
      * may continue (issue cost only); the store's arrival is folded into
      * the core's drain time for fences.
      */
-    Cycles store(CoreId core, Cycles start, Addr addr, const void *in,
-                 uint32_t size);
+    Cycles
+    store(CoreId core, Cycles start, Addr addr, const void *in,
+          uint32_t size)
+    {
+        DecodedAddr decoded;
+        std::memcpy(resolve(addr, size, decoded), in, size);
+        if (decoded.region == MemRegion::Spm && decoded.owner == core) {
+            ++stats_.localSpmStores;
+            // A local store still holds the core for the SPM latency;
+            // there is no deeper queue to post into.
+            Cycles arrival = spmService(core, start);
+            if (arrival > storeDrain_[core])
+                storeDrain_[core] = arrival;
+            return arrival;
+        }
+        return storeRemote(core, start, decoded, size);
+    }
+
+    /**
+     * Chunked bulk load: @p bytes at @p addr split on kMaxChunk-byte LLC
+     * lines, one chunk issued per cycle from @p issue. Per-chunk stats
+     * and resolve work are hoisted out of the loop when the whole burst
+     * lands in the issuing core's own scratchpad (one byte copy, then a
+     * tight port-timing loop); chunk boundaries, charges, and counter
+     * totals are identical to issuing each chunk through load().
+     */
+    BurstResult loadBurst(CoreId core, Cycles issue, Addr addr, void *out,
+                          uint32_t bytes);
+
+    /** Chunked bulk store, pipelined and posted per chunk (see
+     *  loadBurst for the hoisted local fast path). */
+    BurstResult storeBurst(CoreId core, Cycles issue, Addr addr,
+                           const void *in, uint32_t bytes);
 
     /**
      * Atomic 32-bit read-modify-write at the home endpoint of @p addr.
@@ -100,10 +161,30 @@ class MemorySystem
     /** @} */
 
     /** @name Untimed host access (setup, verification, debugging)
+     *  Defined inline through the same computed resolve() as the timed
+     *  paths: stack canary checks peek/poke on every frame push/pop, so
+     *  these are hot on the host even though they cost zero simulated
+     *  cycles. Out-of-range addresses still reach the canonical decode
+     *  panic via resolveSlow().
      *  @{
      */
-    void poke(Addr addr, const void *in, uint32_t size);
-    void peek(Addr addr, void *out, uint32_t size) const;
+    void
+    poke(Addr addr, const void *in, uint32_t size)
+    {
+        DecodedAddr decoded;
+        std::memcpy(resolve(addr, size, decoded), in, size);
+    }
+
+    void
+    peek(Addr addr, void *out, uint32_t size) const
+    {
+        // resolve() is logically const (it only computes, or bumps the
+        // diagnostic decodeMisses_ counter on the slow path).
+        DecodedAddr decoded;
+        const uint8_t *src =
+            const_cast<MemorySystem *>(this)->resolve(addr, size, decoded);
+        std::memcpy(out, src, size);
+    }
 
     template <typename T>
     T
@@ -154,6 +235,33 @@ class MemorySystem
     DramModel &dram() { return dram_; }
     const MemStats &stats() const { return stats_; }
 
+    /**
+     * Invalidate cached decode state. resolve() decodes through
+     * precomputed constants (region spans, backing-array bases) snapped
+     * from the AddressMap at construction; this recomputes them. The
+     * audit of the former one-entry decode cache found two problems —
+     * scheduler interleaving made consecutive accesses alternate owners
+     * so the single entry thrashed, and any future remapping of an
+     * address range would have silently served stale entries — which is
+     * why decode state is now a pure function of these constants. With
+     * today's static AddressMap nothing ever *needs* to call this; any
+     * future feature that remaps an address range, resizes a backing
+     * store, or reuses a window for a different owner MUST call it (or
+     * the spans/bases here will alias the old mapping). Cheap enough to
+     * call defensively.
+     */
+    void
+    invalidateDecodeCache()
+    {
+        spmSpan_ = cfg_.numCores() * AddressMap::kSpmStride;
+        spmBase_ = spmData_.data();
+        dramBase_ = dramData_.data();
+    }
+
+    /** Full AddressMap decodes taken so far (accesses that fell off the
+     *  computed fast decode; testing — 0 proves full coverage). */
+    uint64_t decodeMisses() const { return decodeMisses_; }
+
     /** Register every memory-side counter: mem/, noc/, llc/, dram/. */
     void registerStats(obs::StatRegistry &registry) const;
 
@@ -163,34 +271,62 @@ class MemorySystem
     const uint8_t *backing(const DecodedAddr &decoded, uint32_t size) const;
 
     /**
-     * Decode @p addr and resolve its host backing pointer through a
-     * one-entry page cache. SPM windows are one page (kSpmStride) each
-     * and DRAM is page-tileable, so consecutive accesses to the same
-     * page — overwhelmingly the running core's own SPM — skip the full
-     * decode. Purely functional: timing and stats are untouched, and the
-     * cached limit reproduces decode()'s bounds assertions (an
-     * out-of-bounds access misses the cache and trips them).
+     * Decode @p addr and resolve its host backing pointer. The PGAS map
+     * is static, so decode is a pure computation over precomputed spans
+     * (see invalidateDecodeCache()): a subtract/compare picks the
+     * region, shift/mask pick owner and offset — no cached state to
+     * miss or go stale, regardless of how the scheduler interleaves
+     * cores. Purely functional: timing and stats are untouched. The
+     * in-range checks mirror decode()'s bounds assertions exactly;
+     * anything that fails them falls to resolveSlow(), whose full
+     * decode raises the canonical panic/assert.
      */
     uint8_t *
     resolve(Addr addr, uint32_t size, DecodedAddr &decoded)
     {
-        Addr page = addr & ~(AddressMap::kSpmStride - 1);
-        uint32_t off = static_cast<uint32_t>(addr - page);
-        if (page == cachePage_ && off + size <= cacheLimit_) {
-            decoded.region = cacheRegion_;
-            decoded.owner = cacheOwner_;
-            decoded.offset = cachePageOffset_ + off;
-            return cacheBase_ + off;
+        uint32_t spm_off = addr - AddressMap::kSpmBase;
+        if (spm_off < spmSpan_) {
+            uint32_t off = spm_off & (AddressMap::kSpmStride - 1);
+            if (off + size <= cfg_.spmBytes) {
+                CoreId owner = spm_off / AddressMap::kSpmStride;
+                decoded.region = MemRegion::Spm;
+                decoded.owner = owner;
+                decoded.offset = off;
+                return spmBase_ +
+                       static_cast<size_t>(owner) * cfg_.spmBytes + off;
+            }
+            return resolveSlow(addr, size, decoded);
         }
-        return resolveMiss(addr, size, decoded, page, off);
+        uint32_t dram_off = addr - AddressMap::kDramBase;
+        if (addr >= AddressMap::kDramBase &&
+            static_cast<uint64_t>(dram_off) + size <= cfg_.dramBytes) {
+            decoded.region = MemRegion::Dram;
+            decoded.owner = kInvalidCore;
+            decoded.offset = dram_off;
+            return dramBase_ + dram_off;
+        }
+        return resolveSlow(addr, size, decoded);
     }
 
-    /** Full decode + cache refill (out of line; see resolve()). */
-    uint8_t *resolveMiss(Addr addr, uint32_t size, DecodedAddr &decoded,
-                         Addr page, uint32_t off);
+    /** Full AddressMap decode (out of line; panics on bad accesses). */
+    uint8_t *resolveSlow(Addr addr, uint32_t size, DecodedAddr &decoded);
 
-    /** Serialize on an SPM port and pay its access latency. */
-    Cycles spmService(CoreId owner, Cycles arrive);
+    /** Timed remote-SPM / DRAM load path (out of line). */
+    Cycles loadRemote(CoreId core, Cycles start, const DecodedAddr &decoded,
+                      uint32_t size);
+
+    /** Timed remote-SPM / DRAM posted-store path (out of line). */
+    Cycles storeRemote(CoreId core, Cycles start,
+                       const DecodedAddr &decoded, uint32_t size);
+
+    /** Serialize on an SPM port and pay its access latency. Inline: this
+     *  is the entire timing model of a local scratchpad access. */
+    Cycles
+    spmService(CoreId owner, Cycles arrive)
+    {
+        Cycles wait = spmPorts_[owner].charge(arrive, 1);
+        return arrive + wait + cfg_.spmLatency;
+    }
 
     /** Apply @p op to a 32-bit cell, returning the old value. */
     static uint32_t applyAmo(uint8_t *cell, AmoOp op, uint32_t operand);
@@ -208,14 +344,12 @@ class MemorySystem
     MemStats stats_;
     ConcurrencyChecker *checker_ = nullptr;
 
-    // One-entry decode cache (see resolve()). cachePage_ starts at an
-    // unaligned sentinel so it can never match a real page base.
-    Addr cachePage_ = 1;
-    uint32_t cacheLimit_ = 0;      ///< valid bytes from the page base
-    uint32_t cachePageOffset_ = 0; ///< region offset of the page base
-    uint8_t *cacheBase_ = nullptr; ///< host pointer at the page base
-    MemRegion cacheRegion_ = MemRegion::Dram;
-    CoreId cacheOwner_ = kInvalidCore;
+    uint64_t decodeMisses_ = 0; ///< full decodes (slow path; testing)
+
+    // Precomputed decode constants (see invalidateDecodeCache()).
+    uint32_t spmSpan_ = 0;          ///< numCores * kSpmStride
+    uint8_t *spmBase_ = nullptr;    ///< spmData_.data()
+    uint8_t *dramBase_ = nullptr;   ///< dramData_.data()
 };
 
 } // namespace spmrt

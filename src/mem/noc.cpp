@@ -11,9 +11,14 @@ MeshNoc::MeshNoc(const MachineConfig &cfg) : cfg_(cfg)
     // LLC rows (a row-0 node's north link reaches the top LLC row).
     links_.assign(static_cast<size_t>(cfg_.meshCols) * cfg_.meshRows *
                       kNumDirs,
-                  FluidServer(1));
-    linkFlits_.assign(links_.size(), 0);
-    linkWaitCycles_.assign(links_.size(), 0);
+                  LinkState{});
+
+    // Route table over all endpoint nodes: the core array plus the two
+    // virtual LLC rows (y = -1 and y = meshRows). Routes are compiled
+    // lazily on first use; a 16x8 mesh needs 160^2 entries (~200 KiB).
+    size_t num_nodes = static_cast<size_t>(cfg_.meshCols) *
+                       (static_cast<size_t>(cfg_.meshRows) + 2);
+    routes_.assign(num_nodes * num_nodes, Route{});
 }
 
 void
@@ -37,8 +42,8 @@ MeshNoc::linkHeatmap() const
         uint32_t x, y, dir;
         linkCoords(i, x, y, dir);
         map.addRow(linkName(i),
-                   {x, y, dir, linkFlits_[i], linkWaitCycles_[i],
-                    links_[i].backlogUnits()});
+                   {x, y, dir, links_[i].flits, links_[i].waitCycles,
+                    links_[i].server.backlogUnits()});
     }
     return map;
 }
@@ -48,6 +53,8 @@ MeshNoc::registerStats(obs::StatRegistry &registry) const
 {
     registry.add("noc/packets", &packets_);
     registry.add("noc/link_cycles_used", &linkCyclesUsed_);
+    registry.add("noc/compiled_traversals", &compiledTraversals_);
+    registry.add("noc/walked_traversals", &walkedTraversals_);
 }
 
 std::string
@@ -65,44 +72,35 @@ MeshNoc::linkName(size_t index) const
 void
 MeshNoc::reset()
 {
-    for (FluidServer &server : links_)
-        server.reset();
-    std::fill(linkFlits_.begin(), linkFlits_.end(), 0);
-    std::fill(linkWaitCycles_.begin(), linkWaitCycles_.end(), 0);
+    for (LinkState &link : links_) {
+        link.server.reset();
+        link.flits = 0;
+        link.waitCycles = 0;
+    }
     linkCyclesUsed_ = 0;
     packets_ = 0;
+    compiledTraversals_ = 0;
+    walkedTraversals_ = 0;
+    // Compiled routes are pure topology; they survive a reset.
 }
 
 Cycles
 MeshNoc::hop(uint32_t x, uint32_t y, Dir dir, Cycles t, uint32_t flits)
 {
-    FluidServer &server = link(x, y, dir);
-    Cycles wait = server.charge(t, flits);
+    LinkState &state = link(x, y, dir);
+    Cycles wait = state.server.charge(t, flits);
     linkCyclesUsed_ += flits;
-    size_t index = static_cast<size_t>(&server - links_.data());
-    linkFlits_[index] += flits;
-    linkWaitCycles_[index] += wait;
+    state.flits += flits;
+    state.waitCycles += wait;
     Cycles extra = fault_ != nullptr ? fault_->linkDelay(x, y, t) : 0;
     return t + wait + cfg_.linkLatency + extra;
 }
 
-Cycles
-MeshNoc::traverse(const NocEndpoint &src, const NocEndpoint &dst,
-                  Cycles start, uint32_t payload_bytes)
+void
+MeshNoc::buildRoute(Route &route, uint32_t x, int32_t y,
+                    const NocEndpoint &dst)
 {
-    ++packets_;
-    const uint32_t flits = 1 + divCeil(payload_bytes, cfg_.flitBytes);
-    Cycles t = start;
-
-    // Injection starts at a core-array node. LLC endpoints never originate
-    // traffic in this model (responses are charged by the caller with the
-    // roles swapped), so clamp the walking row into the core array.
-    uint32_t x = src.x;
-    int32_t y = src.y;
-    if (y < 0)
-        y = 0;
-    if (y >= static_cast<int32_t>(cfg_.meshRows))
-        y = static_cast<int32_t>(cfg_.meshRows) - 1;
+    route.offset = static_cast<uint32_t>(routeLinks_.size());
 
     // --- X dimension first (dimension-ordered routing), using ruche
     // (express) channels for long straights when configured.
@@ -110,12 +108,13 @@ MeshNoc::traverse(const NocEndpoint &src, const NocEndpoint &dst,
         uint32_t dist = x < dst.x ? dst.x - x : x - dst.x;
         bool east = x < dst.x;
         if (cfg_.rucheX > 1 && dist >= cfg_.rucheX) {
-            t = hop(x, static_cast<uint32_t>(y),
-                    east ? kRucheEast : kRucheWest, t, flits);
+            routeLinks_.push_back(static_cast<uint32_t>(
+                linkIndex(x, static_cast<uint32_t>(y),
+                          east ? kRucheEast : kRucheWest)));
             x = east ? x + cfg_.rucheX : x - cfg_.rucheX;
         } else {
-            t = hop(x, static_cast<uint32_t>(y), east ? kEast : kWest, t,
-                    flits);
+            routeLinks_.push_back(static_cast<uint32_t>(linkIndex(
+                x, static_cast<uint32_t>(y), east ? kEast : kWest)));
             x = east ? x + 1 : x - 1;
         }
     }
@@ -130,9 +129,91 @@ MeshNoc::traverse(const NocEndpoint &src, const NocEndpoint &dst,
                   : (y < static_cast<int32_t>(cfg_.meshRows) - 1
                          ? y
                          : static_cast<int32_t>(cfg_.meshRows) - 1));
+        routeLinks_.push_back(static_cast<uint32_t>(
+            linkIndex(x, link_row, north ? kNorth : kSouth)));
+        y += north ? -1 : 1;
+    }
+
+    route.hops = static_cast<uint16_t>(routeLinks_.size() - route.offset);
+}
+
+Cycles
+MeshNoc::traverseWalk(uint32_t x, int32_t y, const NocEndpoint &dst,
+                      Cycles start, uint32_t flits)
+{
+    ++walkedTraversals_;
+    Cycles t = start;
+
+    // Same loops as buildRoute(), but charging each hop as it is chosen
+    // and querying the fault plan per hop.
+    while (x != dst.x) {
+        uint32_t dist = x < dst.x ? dst.x - x : x - dst.x;
+        bool east = x < dst.x;
+        if (cfg_.rucheX > 1 && dist >= cfg_.rucheX) {
+            t = hop(x, static_cast<uint32_t>(y),
+                    east ? kRucheEast : kRucheWest, t, flits);
+            x = east ? x + cfg_.rucheX : x - cfg_.rucheX;
+        } else {
+            t = hop(x, static_cast<uint32_t>(y), east ? kEast : kWest, t,
+                    flits);
+            x = east ? x + 1 : x - 1;
+        }
+    }
+
+    while (y != dst.y) {
+        bool north = y > dst.y;
+        uint32_t link_row = static_cast<uint32_t>(
+            north ? (y > 0 ? y : 0)
+                  : (y < static_cast<int32_t>(cfg_.meshRows) - 1
+                         ? y
+                         : static_cast<int32_t>(cfg_.meshRows) - 1));
         t = hop(x, link_row, north ? kNorth : kSouth, t, flits);
         y += north ? -1 : 1;
     }
+
+    return t + (flits - 1);
+}
+
+Cycles
+MeshNoc::traverse(const NocEndpoint &src, const NocEndpoint &dst,
+                  Cycles start, uint32_t payload_bytes)
+{
+    ++packets_;
+    const uint32_t flits = 1 + divCeil(payload_bytes, cfg_.flitBytes);
+
+    // Injection starts at a core-array node. LLC endpoints never originate
+    // traffic in this model (responses are charged by the caller with the
+    // roles swapped), so clamp the walking row into the core array.
+    uint32_t x = src.x;
+    int32_t y = src.y;
+    if (y < 0)
+        y = 0;
+    if (y >= static_cast<int32_t>(cfg_.meshRows))
+        y = static_cast<int32_t>(cfg_.meshRows) - 1;
+
+    // A plan with link-delay windows forces the per-hop walk — even
+    // outside the windows — so injected timing can never be skipped.
+    if (!compiledEnabled_ || (fault_ != nullptr && fault_->hasLinkDelays()))
+        return traverseWalk(x, y, dst, start, flits);
+
+    ++compiledTraversals_;
+    size_t num_nodes = static_cast<size_t>(cfg_.meshCols) *
+                       (static_cast<size_t>(cfg_.meshRows) + 2);
+    Route &r = routes_[static_cast<size_t>(nodeIndex(x, y)) * num_nodes +
+                       nodeIndex(dst.x, dst.y)];
+    if (r.offset == kRouteUnbuilt)
+        buildRoute(r, x, y, dst);
+
+    Cycles t = start;
+    const uint32_t *link_ids = routeLinks_.data() + r.offset;
+    for (uint16_t i = 0; i < r.hops; ++i) {
+        LinkState &state = links_[link_ids[i]];
+        Cycles wait = state.server.charge(t, flits);
+        state.flits += flits;
+        state.waitCycles += wait;
+        t += wait + cfg_.linkLatency;
+    }
+    linkCyclesUsed_ += static_cast<uint64_t>(flits) * r.hops;
 
     // Tail serialization: the body flits arrive one per cycle behind the
     // head.

@@ -56,6 +56,16 @@ class MeshNoc
     /**
      * Route one packet from @p src to @p dst, reserving link occupancy.
      *
+     * The hop sequence of a packet is a pure function of (src, dst) —
+     * X-Y routing never consults time or occupancy — so the common case
+     * walks a compiled per-(src,dst) table of link indices, touching only
+     * the live state (fluid backlog, flit/wait counters) per hop. The
+     * timing is identical to the uncached per-hop walk by construction:
+     * the same links are charged the same flits in the same order.
+     * Whenever the installed FaultPlan carries link-delay windows (or
+     * compiled routes are disabled), the uncached walk is taken instead
+     * so per-hop fault queries are never skipped.
+     *
      * @param src source endpoint.
      * @param dst destination endpoint.
      * @param start injection time (cycles).
@@ -64,6 +74,19 @@ class MeshNoc
      */
     Cycles traverse(const NocEndpoint &src, const NocEndpoint &dst,
                     Cycles start, uint32_t payload_bytes);
+
+    /** Enable/disable the compiled route tables (testing; default on). */
+    void setCompiledRoutes(bool on) { compiledEnabled_ = on; }
+
+    /** Whether compiled route tables are enabled. */
+    bool compiledRoutesEnabled() const { return compiledEnabled_; }
+
+    /** Packets routed through the compiled tables (diagnostics). */
+    uint64_t compiledTraversals() const { return compiledTraversals_; }
+
+    /** Packets routed through the uncached per-hop walk (diagnostics:
+     *  proves the fault-window fallback actually engaged). */
+    uint64_t walkedTraversals() const { return walkedTraversals_; }
 
     /** Endpoint of core @p id. */
     NocEndpoint
@@ -96,14 +119,25 @@ class MeshNoc
     /** Install (or clear, with nullptr) a fault plan consulted per hop. */
     void setFaultPlan(FaultPlan *plan) { fault_ = plan; }
 
-    /** Per-link cumulative flit counts (diagnostics; indexed like
-     *  linkFree). */
-    const std::vector<uint64_t> &linkFlits() const { return linkFlits_; }
-
-    /** Per-link cumulative queueing-wait cycles (diagnostics). */
-    const std::vector<uint64_t> &linkWaitCycles() const
+    /** Per-link cumulative flit counts (diagnostics snapshot; indexed
+     *  like linkCoords). */
+    std::vector<uint64_t>
+    linkFlits() const
     {
-        return linkWaitCycles_;
+        std::vector<uint64_t> flits(links_.size());
+        for (size_t i = 0; i < links_.size(); ++i)
+            flits[i] = links_[i].flits;
+        return flits;
+    }
+
+    /** Per-link cumulative queueing-wait cycles (diagnostics snapshot). */
+    std::vector<uint64_t>
+    linkWaitCycles() const
+    {
+        std::vector<uint64_t> waits(links_.size());
+        for (size_t i = 0; i < links_.size(); ++i)
+            waits[i] = links_[i].waitCycles;
+        return waits;
     }
 
     /** Number of links (rows of the occupancy heatmap). */
@@ -134,7 +168,8 @@ class MeshNoc
     {
         size_t best = 0;
         for (size_t i = 1; i < links_.size(); ++i)
-            if (links_[i].backlogUnits() > links_[best].backlogUnits())
+            if (links_[i].server.backlogUnits() >
+                links_[best].server.backlogUnits())
                 best = i;
         return best;
     }
@@ -143,7 +178,7 @@ class MeshNoc
     uint64_t
     linkBacklog(size_t index) const
     {
-        return links_[index].backlogUnits();
+        return links_[index].server.backlogUnits();
     }
 
   private:
@@ -158,22 +193,69 @@ class MeshNoc
         kNumDirs
     };
 
-    /** Fluid server of the @p dir link leaving node (x, y). */
-    FluidServer &
+    /** Index of the @p dir link leaving node (x, y). */
+    size_t
+    linkIndex(uint32_t x, uint32_t y, Dir dir) const
+    {
+        return (static_cast<size_t>(y) * cfg_.meshCols + x) * kNumDirs +
+               dir;
+    }
+
+    /**
+     * Live state of one mesh link. The fluid server and both cumulative
+     * counters are fused into one struct (40 bytes) so charging a hop
+     * touches a single cache line instead of three parallel arrays.
+     */
+    struct LinkState
+    {
+        FluidServer server{1};
+        uint64_t flits = 0;      ///< cumulative flits carried
+        uint64_t waitCycles = 0; ///< cumulative queueing wait
+    };
+
+    /** State of the @p dir link leaving node (x, y). */
+    LinkState &
     link(uint32_t x, uint32_t y, Dir dir)
     {
-        return links_[(y * cfg_.meshCols + x) * kNumDirs + dir];
+        return links_[linkIndex(x, y, dir)];
     }
 
     /** Charge one hop across the @p dir link out of (x, y). */
     Cycles hop(uint32_t x, uint32_t y, Dir dir, Cycles t, uint32_t flits);
 
+    /** A compiled (src, dst) route: a slice of routeLinks_. */
+    struct Route
+    {
+        uint32_t offset = kRouteUnbuilt; ///< first link in routeLinks_
+        uint16_t hops = 0;               ///< number of links on the path
+    };
+
+    static constexpr uint32_t kRouteUnbuilt = ~uint32_t(0);
+
+    /** Endpoint y spans [-1, meshRows]; bias into [0, meshRows + 1]. */
+    uint32_t
+    nodeIndex(uint32_t x, int32_t y) const
+    {
+        return static_cast<uint32_t>(y + 1) * cfg_.meshCols + x;
+    }
+
+    /** Compile the hop sequence for one route (lazy, on first use). */
+    void buildRoute(Route &route, uint32_t x, int32_t y,
+                    const NocEndpoint &dst);
+
+    /** The original uncached per-hop walk (fault-window fallback). */
+    Cycles traverseWalk(uint32_t x, int32_t y, const NocEndpoint &dst,
+                        Cycles start, uint32_t flits);
+
     MachineConfig cfg_;
-    std::vector<FluidServer> links_;
-    std::vector<uint64_t> linkFlits_;
-    std::vector<uint64_t> linkWaitCycles_;
+    std::vector<LinkState> links_;
+    std::vector<Route> routes_;        ///< per-(src,dst) node pair
+    std::vector<uint32_t> routeLinks_; ///< shared pool of link indices
     uint64_t linkCyclesUsed_ = 0;
     uint64_t packets_ = 0;
+    uint64_t compiledTraversals_ = 0;
+    uint64_t walkedTraversals_ = 0;
+    bool compiledEnabled_ = true;
     FaultPlan *fault_ = nullptr;
 };
 

@@ -1,43 +1,20 @@
 #include "sim/core.hpp"
 
-#include <algorithm>
-
 #include "obs/stats.hpp"
 
 namespace spmrt {
 
-namespace {
-
-/** Largest single transfer: one LLC line. */
-constexpr uint32_t kMaxChunk = 64;
-
-} // namespace
-
 void
 Core::read(Addr addr, void *out, uint32_t bytes)
 {
-    auto *dst = static_cast<uint8_t *>(out);
     engine_.syncPoint(id_);
-    Cycles issue = now();
-    Cycles last_done = issue;
-    uint32_t offset = 0;
-    uint64_t chunks = 0;
-    while (offset < bytes) {
-        // Do not straddle LLC lines so the cache model stays simple.
-        uint32_t line_room = kMaxChunk - ((addr + offset) % kMaxChunk);
-        uint32_t chunk = std::min({bytes - offset, line_room, kMaxChunk});
-        Cycles done =
-            mem_.load(id_, issue, addr + offset, dst + offset, chunk);
-        last_done = std::max(last_done, done);
-        issue += 1; // pipelined issue, one chunk per cycle
-        offset += chunk;
-        ++chunks;
-    }
-    // Stats and checker bookkeeping hoisted out of the per-chunk loop;
-    // counts are identical to per-chunk increments.
-    stats_.isa.loads += chunks;
-    stats_.isa.instructions += chunks;
-    engine_.advanceTo(id_, last_done);
+    // The burst splits on LLC lines (MemorySystem::kMaxChunk), issues one
+    // chunk per cycle, and completes at the slowest chunk; stats and
+    // checker bookkeeping stay hoisted out of the per-chunk loop.
+    BurstResult burst = mem_.loadBurst(id_, now(), addr, out, bytes);
+    stats_.isa.loads += burst.chunks;
+    stats_.isa.instructions += burst.chunks;
+    engine_.advanceTo(id_, burst.lastDone);
     if (ConcurrencyChecker *ck = mem_.checker())
         ck->onLoad(id_, addr, bytes, now());
 }
@@ -45,23 +22,14 @@ Core::read(Addr addr, void *out, uint32_t bytes)
 void
 Core::write(Addr addr, const void *in, uint32_t bytes)
 {
-    const auto *src = static_cast<const uint8_t *>(in);
     if (!isLocalSpm(addr))
         engine_.syncPoint(id_);
-    Cycles issue = now();
-    uint32_t offset = 0;
-    uint64_t chunks = 0;
-    while (offset < bytes) {
-        uint32_t line_room = kMaxChunk - ((addr + offset) % kMaxChunk);
-        uint32_t chunk = std::min({bytes - offset, line_room, kMaxChunk});
-        mem_.store(id_, issue, addr + offset, src + offset, chunk);
-        issue += 1;
-        offset += chunk;
-        ++chunks;
-    }
-    stats_.isa.stores += chunks;
-    stats_.isa.instructions += chunks;
-    engine_.advanceTo(id_, issue);
+    // Posted per chunk: the core advances only past the issue slots, not
+    // the stores' arrival (fence() waits on the drain time).
+    BurstResult burst = mem_.storeBurst(id_, now(), addr, in, bytes);
+    stats_.isa.stores += burst.chunks;
+    stats_.isa.instructions += burst.chunks;
+    engine_.advanceTo(id_, burst.lastIssue);
     if (ConcurrencyChecker *ck = mem_.checker())
         ck->onStore(id_, addr, bytes, now());
 }

@@ -31,12 +31,16 @@ defaultReferenceMode()
 Engine::Engine(uint32_t num_cores, size_t host_stack_bytes)
     : stackBytes_(host_stack_bytes), referenceMode_(defaultReferenceMode())
 {
-    slots_.reserve(num_cores);
-    for (uint32_t i = 0; i < num_cores; ++i) {
-        auto slot = std::make_unique<Slot>();
-        slot->id = i;
-        slots_.push_back(std::move(slot));
-    }
+    numCores_ = num_cores;
+    slots_ = std::make_unique<Slot[]>(num_cores);
+    for (uint32_t i = 0; i < num_cores; ++i)
+        slots_[i].id = i;
+    // Reserve enough id bits in the packed heap key for every core id.
+    idShift_ = 1;
+    while ((1u << idShift_) < num_cores)
+        ++idShift_;
+    idMask_ = (HeapKey(1) << idShift_) - 1;
+    maxPackTime_ = ~HeapKey(0) >> idShift_;
     heap_.reserve(num_cores);
     heapPos_.assign(num_cores, kNoHeapPos);
 }
@@ -44,9 +48,9 @@ Engine::Engine(uint32_t num_cores, size_t host_stack_bytes)
 void
 Engine::setBody(CoreId id, std::function<void()> body)
 {
-    SPMRT_ASSERT(id < slots_.size(), "core id %u out of range", id);
-    slots_[id]->body = std::move(body);
-    slots_[id]->hasBody = true;
+    SPMRT_ASSERT(id < numCores_, "core id %u out of range", id);
+    slots_[id].body = std::move(body);
+    slots_[id].hasBody = true;
 }
 
 void
@@ -55,7 +59,7 @@ Engine::entryThunk(void *opaque)
     auto *engine = static_cast<Engine *>(opaque);
     // The first activation happens through a dispatch, so running_ names
     // this coroutine's core — no per-slot back-pointer needed.
-    Slot *slot = engine->slots_[engine->running_].get();
+    Slot *slot = &engine->slots_[engine->running_];
     // Each run() installs a fresh body; the coroutine parks between runs
     // so multi-phase benchmarks can reuse the machine (clocks persist).
     while (true) {
@@ -88,14 +92,15 @@ void
 Engine::run()
 {
     live_ = 0;
-    for (auto &slot : slots_) {
-        if (!slot->hasBody) {
-            slot->finished = true;
+    for (uint32_t i = 0; i < numCores_; ++i) {
+        Slot &slot = slots_[i];
+        if (!slot.hasBody) {
+            slot.finished = true;
             continue;
         }
-        slot->finished = false;
-        if (!slot->ctx.valid())
-            slot->ctx.init(stackBytes_, &Engine::entryThunk, this);
+        slot.finished = false;
+        if (!slot.ctx.valid())
+            slot.ctx.init(stackBytes_, &Engine::entryThunk, this);
         ++live_;
     }
 
@@ -109,9 +114,9 @@ Engine::run()
     // tie-break, so any insertion order yields the same argmin).
     heap_.clear();
     std::fill(heapPos_.begin(), heapPos_.end(), kNoHeapPos);
-    for (auto &slot : slots_) {
-        if (!slot->finished && !slot->blocked)
-            heapInsert(slot->id, slot->time);
+    for (uint32_t i = 0; i < numCores_; ++i) {
+        if (!slots_[i].finished && !slots_[i].blocked)
+            heapInsert(i, slots_[i].time);
     }
 
     // Dispatch chains run guest-to-guest; control only returns here once
@@ -132,11 +137,12 @@ Engine::runReference()
         // Deterministic argmin over unfinished, unblocked cores; ties
         // favor lower id.
         Slot *next = nullptr;
-        for (auto &slot : slots_) {
-            if (slot->finished || slot->blocked)
+        for (uint32_t i = 0; i < numCores_; ++i) {
+            Slot &slot = slots_[i];
+            if (slot.finished || slot.blocked)
                 continue;
-            if (next == nullptr || slot->time < next->time)
-                next = slot.get();
+            if (next == nullptr || slot.time < next->time)
+                next = &slot;
         }
         SPMRT_ASSERT(next != nullptr,
                      "deadlock: all %u live cores are blocked", live_);
@@ -146,17 +152,18 @@ Engine::runReference()
             // (candidate.time <= min + window <= minOther + window), so
             // the pick always makes progress.
             schedCandidates_.clear();
-            for (auto &slot : slots_) {
-                if (slot->finished || slot->blocked)
+            for (uint32_t i = 0; i < numCores_; ++i) {
+                Slot &slot = slots_[i];
+                if (slot.finished || slot.blocked)
                     continue;
-                if (slot->time - next->time <= schedWindow_)
-                    schedCandidates_.push_back(slot.get());
+                if (slot.time - next->time <= schedWindow_)
+                    schedCandidates_.push_back(&slot);
             }
             if (schedCandidates_.size() > 1)
                 next = schedCandidates_[schedRng_.nextBounded(
                     schedCandidates_.size())];
         }
-        if (wdCycles_ != 0 || wdSwitches_ != 0)
+        if (watchdogDue(next->time))
             watchdogCheck(next->time);
         if (obs::Tracer *t = tracer())
             t->instant(obs::kTraceSwitch, next->id, next->time, "switch");
@@ -173,21 +180,21 @@ Engine::pickNext()
 {
     SPMRT_ASSERT(!heap_.empty(), "deadlock: all %u live cores are blocked",
                  live_);
-    CoreId next_id = heap_[0].id;
+    CoreId next_id = keyId(heap_[0]);
     if (schedPerturb_) {
         collectWindowCandidates();
         if (candidateIds_.size() > 1)
             next_id = candidateIds_[schedRng_.nextBounded(
                 candidateIds_.size())];
     }
-    return slots_[next_id].get();
+    return &slots_[next_id];
 }
 
 void
 Engine::dispatchFrom(GuestContext &from)
 {
     Slot *next = pickNext();
-    if (wdCycles_ != 0 || wdSwitches_ != 0)
+    if (watchdogDue(next->time))
         watchdogCheck(next->time);
     cachedOtherMin_ = heapMinTimeExcluding(next->id);
     // Mirrors the reference scheduler: one event per dispatch, so a trace
@@ -205,7 +212,7 @@ void
 Engine::syncPoint(CoreId id)
 {
     ++syncPoints_;
-    Slot &slot = *slots_[id];
+    Slot &slot = slots_[id];
 
     if (!referenceMode_) {
         // Fast path: cachedOtherMin_ is the exact minimum clock among
@@ -242,7 +249,7 @@ Engine::syncPoint(CoreId id)
 void
 Engine::yield(CoreId id)
 {
-    Slot &slot = *slots_[id];
+    Slot &slot = slots_[id];
     if (referenceMode_) {
         GuestContext::switchTo(slot.ctx, schedCtx_);
         return;
@@ -255,7 +262,7 @@ Engine::yield(CoreId id)
 void
 Engine::block(CoreId id)
 {
-    Slot &slot = *slots_[id];
+    Slot &slot = slots_[id];
     SPMRT_ASSERT(running_ == id, "block() from a non-running core");
     slot.blocked = true;
     if (referenceMode_) {
@@ -271,7 +278,7 @@ Engine::block(CoreId id)
 void
 Engine::unblock(CoreId id, Cycles t)
 {
-    Slot &slot = *slots_[id];
+    Slot &slot = slots_[id];
     SPMRT_ASSERT(slot.blocked, "unblock() of a core that is not parked");
     slot.blocked = false;
     if (t > slot.time)
@@ -302,11 +309,12 @@ Cycles
 Engine::minOtherTime(CoreId self) const
 {
     Cycles min_time = std::numeric_limits<Cycles>::max();
-    for (auto &slot : slots_) {
-        if (slot->finished || slot->blocked || slot->id == self)
+    for (uint32_t i = 0; i < numCores_; ++i) {
+        const Slot &slot = slots_[i];
+        if (slot.finished || slot.blocked || slot.id == self)
             continue;
-        if (slot->time < min_time)
-            min_time = slot->time;
+        if (slot.time < min_time)
+            min_time = slot.time;
     }
     return min_time;
 }
@@ -316,23 +324,23 @@ Engine::minOtherTime(CoreId self) const
 void
 Engine::heapSiftUp(uint32_t pos)
 {
-    HeapEntry entry = heap_[pos];
+    HeapKey entry = heap_[pos];
     while (pos > 0) {
         uint32_t parent = (pos - 1) / 4;
-        if (!heapLess(entry, heap_[parent]))
+        if (entry >= heap_[parent])
             break;
         heap_[pos] = heap_[parent];
-        heapPos_[heap_[pos].id] = pos;
+        heapPos_[keyId(heap_[pos])] = pos;
         pos = parent;
     }
     heap_[pos] = entry;
-    heapPos_[entry.id] = pos;
+    heapPos_[keyId(entry)] = pos;
 }
 
 void
 Engine::heapSiftDown(uint32_t pos)
 {
-    HeapEntry entry = heap_[pos];
+    HeapKey entry = heap_[pos];
     const uint32_t size = static_cast<uint32_t>(heap_.size());
     while (true) {
         uint32_t first = pos * 4 + 1;
@@ -340,18 +348,24 @@ Engine::heapSiftDown(uint32_t pos)
             break;
         uint32_t last = std::min(first + 4, size);
         uint32_t best = first;
+        HeapKey best_key = heap_[first];
         for (uint32_t child = first + 1; child < last; ++child) {
-            if (heapLess(heap_[child], heap_[best]))
-                best = child;
+            // Conditional-select form: child order is effectively
+            // random, so a branch here mispredicts ~half the time; the
+            // packed single-word keys make cmov selection cheap.
+            HeapKey key = heap_[child];
+            bool less = key < best_key;
+            best = less ? child : best;
+            best_key = less ? key : best_key;
         }
-        if (!heapLess(heap_[best], entry))
+        if (best_key >= entry)
             break;
-        heap_[pos] = heap_[best];
-        heapPos_[heap_[pos].id] = pos;
+        heap_[pos] = best_key;
+        heapPos_[keyId(best_key)] = pos;
         pos = best;
     }
     heap_[pos] = entry;
-    heapPos_[entry.id] = pos;
+    heapPos_[keyId(entry)] = pos;
 }
 
 void
@@ -359,7 +373,7 @@ Engine::heapInsert(CoreId id, Cycles t)
 {
     SPMRT_ASSERT(heapPos_[id] == kNoHeapPos,
                  "core %u already in the ready heap", id);
-    heap_.push_back({t, id});
+    heap_.push_back(heapKey(id, t));
     heapSiftUp(static_cast<uint32_t>(heap_.size()) - 1);
 }
 
@@ -370,14 +384,14 @@ Engine::heapErase(CoreId id)
     SPMRT_ASSERT(pos != kNoHeapPos, "core %u not in the ready heap", id);
     heapPos_[id] = kNoHeapPos;
     uint32_t last = static_cast<uint32_t>(heap_.size()) - 1;
-    HeapEntry moved = heap_[last];
+    HeapKey moved = heap_[last];
     heap_.pop_back();
     if (pos != last) {
         // The displaced entry may need to move either way.
         heap_[pos] = moved;
-        heapPos_[moved.id] = pos;
+        heapPos_[keyId(moved)] = pos;
         heapSiftDown(pos);
-        if (heapPos_[moved.id] == pos)
+        if (heapPos_[keyId(moved)] == pos)
             heapSiftUp(pos);
     }
 }
@@ -387,7 +401,7 @@ Engine::heapIncreaseKey(CoreId id, Cycles t)
 {
     uint32_t pos = heapPos_[id];
     SPMRT_ASSERT(pos != kNoHeapPos, "core %u not in the ready heap", id);
-    heap_[pos].time = t;
+    heap_[pos] = heapKey(id, t);
     heapSiftDown(pos); // clocks only move forward
 }
 
@@ -396,18 +410,18 @@ Engine::heapMinTimeExcluding(CoreId self) const
 {
     if (heap_.empty())
         return kNoOtherCore;
-    if (heap_[0].id != self)
-        return heap_[0].time;
+    if (keyId(heap_[0]) != self)
+        return keyTime(heap_[0]);
     // The excluded core sits at the root; its replacement minimum is the
     // least of the root's (at most four) children.
-    Cycles min_time = kNoOtherCore;
+    HeapKey min_key = ~HeapKey(0);
     const uint32_t size = static_cast<uint32_t>(heap_.size());
     const uint32_t last = std::min<uint32_t>(5, size);
     for (uint32_t child = 1; child < last; ++child) {
-        if (heap_[child].time < min_time)
-            min_time = heap_[child].time;
+        if (heap_[child] < min_key)
+            min_key = heap_[child];
     }
-    return min_time;
+    return min_key == ~HeapKey(0) ? kNoOtherCore : keyTime(min_key);
 }
 
 void
@@ -420,15 +434,15 @@ Engine::collectWindowCandidates()
     // scheduler's id-ordered scan.
     candidateIds_.clear();
     descentStack_.clear();
-    const Cycles min_time = heap_[0].time;
+    const Cycles min_time = keyTime(heap_[0]);
     descentStack_.push_back(0);
     const uint32_t size = static_cast<uint32_t>(heap_.size());
     while (!descentStack_.empty()) {
         uint32_t pos = descentStack_.back();
         descentStack_.pop_back();
-        if (heap_[pos].time - min_time > schedWindow_)
+        if (keyTime(heap_[pos]) - min_time > schedWindow_)
             continue;
-        candidateIds_.push_back(heap_[pos].id);
+        candidateIds_.push_back(keyId(heap_[pos]));
         uint32_t first = pos * 4 + 1;
         uint32_t last = std::min(first + 4, size);
         for (uint32_t child = first; child < last; ++child)
@@ -460,14 +474,15 @@ Engine::watchdogCheck(Cycles next_time)
         static_cast<unsigned long long>(switches_ - progressSwitches_),
         static_cast<unsigned long long>(progressTime_));
     report += "engine state:\n";
-    for (const auto &slot : slots_) {
-        if (!slot->hasBody)
+    for (uint32_t i = 0; i < numCores_; ++i) {
+        const Slot &slot = slots_[i];
+        if (!slot.hasBody)
             continue;
         report += log::format(
-            "  core %3u: t=%llu %s\n", slot->id,
-            static_cast<unsigned long long>(slot->time),
-            slot->finished ? "finished"
-                           : (slot->blocked ? "BLOCKED" : "runnable"));
+            "  core %3u: t=%llu %s\n", slot.id,
+            static_cast<unsigned long long>(slot.time),
+            slot.finished ? "finished"
+                           : (slot.blocked ? "BLOCKED" : "runnable"));
     }
     if (wdDump_)
         report += wdDump_();

@@ -80,13 +80,13 @@ class Engine
     void run();
 
     /** Local clock of core @p id. */
-    Cycles time(CoreId id) const { return slots_[id]->time; }
+    Cycles time(CoreId id) const { return slots_[id].time; }
 
     /** Advance core @p id's clock by @p dt cycles (local compute). */
     void
     advance(CoreId id, Cycles dt)
     {
-        Slot &slot = *slots_[id];
+        Slot &slot = slots_[id];
         slot.time += dt;
         // Only the running core advances itself on the hot path; any
         // other clock change (phase barriers, tests) must be reflected
@@ -99,7 +99,7 @@ class Engine
     void
     advanceTo(CoreId id, Cycles t)
     {
-        Slot &slot = *slots_[id];
+        Slot &slot = slots_[id];
         if (t > slot.time) {
             slot.time = t;
             if (id != running_)
@@ -128,10 +128,10 @@ class Engine
     void unblock(CoreId id, Cycles t);
 
     /** True while core @p id is parked. */
-    bool blocked(CoreId id) const { return slots_[id]->blocked; }
+    bool blocked(CoreId id) const { return slots_[id].blocked; }
 
     /** True when core @p id's body has returned. */
-    bool finished(CoreId id) const { return slots_[id]->finished; }
+    bool finished(CoreId id) const { return slots_[id].finished; }
 
     /** Core currently executing guest code (or kInvalidCore). */
     CoreId running() const { return running_; }
@@ -173,8 +173,8 @@ class Engine
     maxTime() const
     {
         Cycles t = highWater_;
-        if (running_ != kInvalidCore && slots_[running_]->time > t)
-            t = slots_[running_]->time;
+        if (running_ != kInvalidCore && slots_[running_].time > t)
+            t = slots_[running_].time;
         return t;
     }
 
@@ -239,7 +239,7 @@ class Engine
     noteProgress()
     {
         noteProgressAt(running_ == kInvalidCore ? maxTime()
-                                                : slots_[running_]->time);
+                                                : slots_[running_].time);
     }
     /** @} */
 
@@ -279,24 +279,31 @@ class Engine
   private:
     struct Slot
     {
-        GuestContext ctx;
-        std::function<void()> body;
+        // Hot scheduling fields first: syncPoint/advance touch time and
+        // the flags on every simulated operation, the rest only on
+        // switches and (re)initialization.
         Cycles time = 0;
         CoreId id = kInvalidCore;
         bool finished = false;
         bool blocked = false;
         bool hasBody = false;
+        GuestContext ctx;
+        std::function<void()> body;
         // No back-pointer to the engine: the coroutine entry point
         // receives the Engine* as its argument and identifies its slot
         // via running_ on first activation (see entryThunk).
     };
 
-    /** Heap entry: the key is (time, id), lowest wins. */
-    struct HeapEntry
-    {
-        Cycles time;
-        CoreId id;
-    };
+    /**
+     * Heap entry: (time, id) packed into one word as
+     * (time << idShift_) | id, so the lexicographic (time, id) compare —
+     * lowest wins, ties favor lower id — is a single branch-free integer
+     * compare and four children share a cache line. The packing is exact
+     * while time < 2^(64 - idShift_); with id widths of ≤16 bits that is
+     * ~2.8e14 simulated cycles, far beyond any run, and heapKey asserts
+     * it.
+     */
+    using HeapKey = uint64_t;
 
     static constexpr uint32_t kNoHeapPos = ~uint32_t(0);
     static constexpr Cycles kNoOtherCore =
@@ -309,6 +316,21 @@ class Engine
     {
         progressTime_ = t;
         progressSwitches_ = switches_;
+    }
+
+    /**
+     * Inline armed-watchdog precheck: true when *some* enabled bound has
+     * expired. Conservative superset of watchdogCheck()'s expiry rule
+     * (which additionally requires every enabled bound to expire), so
+     * the out-of-line check — which never fires on a healthy run — only
+     * costs two compares per dispatch until a bound actually trips.
+     */
+    bool
+    watchdogDue(Cycles next_time) const
+    {
+        return (wdCycles_ != 0 && next_time > progressTime_ + wdCycles_) ||
+               (wdSwitches_ != 0 &&
+                switches_ > progressSwitches_ + wdSwitches_);
     }
 
     /** Check the watchdog bounds against @p next; panic on expiry. */
@@ -347,11 +369,21 @@ class Engine
 
     /** @name Indexed 4-ary min-heap over runnable cores
      *  @{ */
-    static bool
-    heapLess(const HeapEntry &a, const HeapEntry &b)
+    HeapKey
+    heapKey(CoreId id, Cycles t) const
     {
-        return a.time < b.time || (a.time == b.time && a.id < b.id);
+        SPMRT_ASSERT(t <= maxPackTime_,
+                     "clock %llu overflows the packed heap key",
+                     static_cast<unsigned long long>(t));
+        return (static_cast<HeapKey>(t) << idShift_) | id;
     }
+
+    CoreId keyId(HeapKey key) const
+    {
+        return static_cast<CoreId>(key & idMask_);
+    }
+
+    Cycles keyTime(HeapKey key) const { return key >> idShift_; }
 
     void heapSiftUp(uint32_t pos);
     void heapSiftDown(uint32_t pos);
@@ -369,7 +401,8 @@ class Engine
     /** @} */
 
     GuestContext schedCtx_;
-    std::vector<std::unique_ptr<Slot>> slots_;
+    std::unique_ptr<Slot[]> slots_; ///< contiguous, one indirection
+    uint32_t numCores_ = 0;
     CoreId running_ = kInvalidCore;
     uint32_t live_ = 0;
     uint64_t switches_ = 0;
@@ -378,8 +411,11 @@ class Engine
     bool referenceMode_;
 
     // Indexed-heap scheduler state.
-    std::vector<HeapEntry> heap_;    ///< runnable cores, keyed (time, id)
+    std::vector<HeapKey> heap_;      ///< runnable cores, packed (time, id)
     std::vector<uint32_t> heapPos_;  ///< core id -> heap index or kNoHeapPos
+    uint32_t idShift_ = 0;           ///< bits reserved for the id field
+    HeapKey idMask_ = 0;             ///< low idShift_ bits
+    Cycles maxPackTime_ = 0;         ///< largest packable clock value
     /**
      * Exact minimum clock among runnable cores other than running_,
      * recomputed at every dispatch and min-folded on unblock. Exactness

@@ -65,6 +65,8 @@ struct Outcome
     Cycles cycles = 0;
     uint64_t switches = 0;
     uint64_t syncPoints = 0;
+    uint64_t compiledTraversals = 0;
+    uint64_t walkedTraversals = 0;
     size_t violations = 0;
     std::string report;
 };
@@ -147,12 +149,19 @@ makeWorkloads()
     return w;
 }
 
-/** Run @p workload once under @p regime on the chosen scheduler. */
+/**
+ * Run @p workload once under @p regime on the chosen scheduler.
+ * @p compiled_routes additionally toggles the NoC's compiled route
+ * tables, so the memory fast paths can be crossed against the uncached
+ * per-hop reference walk.
+ */
 Outcome
-runOnce(const Workload &workload, const Regime &regime, bool reference)
+runOnce(const Workload &workload, const Regime &regime, bool reference,
+        bool compiled_routes = true)
 {
     Machine machine(MachineConfig::tiny());
     machine.engine().setReferenceScheduler(reference);
+    machine.mem().noc().setCompiledRoutes(compiled_routes);
     ConcurrencyChecker *ck = machine.armChecker();
     if (regime.perturb)
         machine.engine().perturbSchedule(regime.schedSeed, kWindow);
@@ -171,6 +180,8 @@ runOnce(const Workload &workload, const Regime &regime, bool reference)
     out.cycles = machine.engine().maxTime() - start;
     out.switches = machine.engine().switchCount() - switches0;
     out.syncPoints = machine.engine().syncPointCount() - syncs0;
+    out.compiledTraversals = machine.mem().noc().compiledTraversals();
+    out.walkedTraversals = machine.mem().noc().walkedTraversals();
     machine.setFaultPlan(nullptr);
     if (ck != nullptr) {
         out.violations = ck->violations().size();
@@ -221,6 +232,72 @@ workloadName(const ::testing::TestParamInfo<size_t> &info)
 
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, SchedulerEquivalence,
                          ::testing::Range<size_t>(0, 4), workloadName);
+
+// ---- Memory fast paths vs. the fully-uncached reference ------------------
+
+/**
+ * Cross the memory hot paths against their reference implementations:
+ * fast scheduler + compiled route tables vs. reference scheduler +
+ * uncached per-hop walk. Every digest, cycle count, and switch/syncPoint
+ * count must match, with the checker armed and silent — proving the
+ * local-SPM fast path, burst accounting, and route tables are pure host
+ * optimizations in combination, not just individually.
+ */
+TEST(SchedulerEquivalence, MemoryFastPathsMatchUncachedReference)
+{
+    const std::vector<Workload> workloads = makeWorkloads();
+    const Regime regimes[] = {
+        {"strict", false, 0, false, 0},
+        {"perturbed", true, 3, false, 0},
+        {"faulted", false, 0, true, 7},
+    };
+    for (const Workload &workload : workloads) {
+        SCOPED_TRACE(workload.name);
+        for (const Regime &regime : regimes) {
+            SCOPED_TRACE(regime.name);
+            Outcome fast = runOnce(workload, regime, false, true);
+            Outcome oracle = runOnce(workload, regime, true, false);
+
+            EXPECT_EQ(fast.digest, workload.reference);
+            EXPECT_EQ(fast.digest, oracle.digest);
+            EXPECT_EQ(fast.cycles, oracle.cycles);
+            EXPECT_EQ(fast.switches, oracle.switches);
+            EXPECT_EQ(fast.syncPoints, oracle.syncPoints);
+            EXPECT_EQ(oracle.compiledTraversals, 0u)
+                << "reference run must not use compiled routes";
+#if SPMRT_CHECKER_ENABLED
+            EXPECT_EQ(fast.violations, 0u) << fast.report;
+            EXPECT_EQ(oracle.violations, 0u) << oracle.report;
+#endif
+        }
+    }
+}
+
+/**
+ * The route-table fallback must provably engage whenever the fault plan
+ * carries link-delay windows, and re-engage the compiled tables when it
+ * does not.
+ */
+TEST(SchedulerEquivalence, RouteFallbackEngagesDuringFaultWindows)
+{
+    const Workload workload = makeWorkloads()[0]; // fib
+
+    FaultPlan probe = FaultPlan::chaos(5, MachineConfig::tiny());
+    ASSERT_TRUE(probe.hasLinkDelays())
+        << "chaos seed 5 must include link-delay windows for this test";
+
+    Outcome faulted = runOnce(workload, {"faulted", false, 0, true, 5},
+                              false, true);
+    EXPECT_EQ(faulted.compiledTraversals, 0u)
+        << "a plan with link windows must force the per-hop walk";
+    EXPECT_GT(faulted.walkedTraversals, 0u);
+
+    Outcome strict = runOnce(workload, {"strict", false, 0, false, 0},
+                             false, true);
+    EXPECT_EQ(strict.walkedTraversals, 0u)
+        << "without link windows every packet takes the compiled tables";
+    EXPECT_GT(strict.compiledTraversals, 0u);
+}
 
 // ---- Engine-level equivalence of the primitive operations ----------------
 

@@ -6,12 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "mem/address_map.hpp"
 #include "mem/alloc.hpp"
 #include "mem/dram.hpp"
 #include "mem/llc.hpp"
+#include "mem/memory_system.hpp"
 #include "mem/noc.hpp"
 #include "sim/machine.hpp"
 
@@ -245,6 +247,218 @@ TEST(MemorySystem, CountsAccessKinds)
     EXPECT_EQ(stats.remoteSpmStores, 1u);
     EXPECT_EQ(stats.dramLoads, 1u);
     EXPECT_EQ(stats.dramStores, 1u);
+}
+
+// ---- Decode fast path and burst accounting -------------------------------
+
+/**
+ * Regression for the retired one-entry decode cache: consecutive
+ * accesses that alternate owners and regions at the *same* window
+ * offset — the pattern a stale cache entry would mis-serve, and exactly
+ * what scheduler interleaving produces — must decode correctly, and none
+ * of them may fall off the computed fast decode.
+ */
+TEST(MemorySystem, DecodeHandlesInterleavedOwnersAndRegions)
+{
+    MachineConfig cfg = MachineConfig::tiny();
+    MemorySystem mem(cfg);
+    const AddressMap &map = mem.map();
+    Addr dram = AddressMap::kDramBase + 64;
+
+    for (CoreId id = 0; id < cfg.numCores(); ++id)
+        mem.pokeAs<uint32_t>(map.spmBase(id) + 16, 0x1000u + id);
+    mem.pokeAs<uint32_t>(dram, 0xdddd0000u);
+
+    ASSERT_EQ(mem.decodeMisses(), 0u) << "pokes decode via the full map";
+    Cycles t = 0;
+    for (int round = 0; round < 3; ++round) {
+        for (CoreId id = 0; id < cfg.numCores(); ++id) {
+            uint32_t value = 0;
+            t = mem.load(0, t, map.spmBase(id) + 16, &value, 4);
+            EXPECT_EQ(value, 0x1000u + id);
+            uint32_t dram_value = 0;
+            t = mem.load(0, t, dram, &dram_value, 4);
+            EXPECT_EQ(dram_value, 0xdddd0000u);
+        }
+    }
+    EXPECT_EQ(mem.decodeMisses(), 0u)
+        << "in-range accesses must never take the slow decode";
+}
+
+/**
+ * invalidateDecodeCache() must be callable at any point without
+ * changing results or timing: it only re-snaps the precomputed decode
+ * constants (see its audit note).
+ */
+TEST(MemorySystem, InvalidateDecodeCacheIsTimingNeutral)
+{
+    MachineConfig cfg = MachineConfig::tiny();
+    MemorySystem plain(cfg);
+    MemorySystem invalidated(cfg);
+    Addr local = plain.map().spmBase(0) + 8;
+    Addr remote = plain.map().spmBase(2) + 8;
+    plain.pokeAs<uint64_t>(local, 42);
+    invalidated.pokeAs<uint64_t>(local, 42);
+
+    Cycles ta = 0, tb = 0;
+    for (int i = 0; i < 10; ++i) {
+        uint64_t a = 0, b = 0;
+        ta = plain.load(0, ta, i % 2 ? local : remote, &a, 8);
+        invalidated.invalidateDecodeCache();
+        tb = invalidated.load(0, tb, i % 2 ? local : remote, &b, 8);
+        EXPECT_EQ(a, b);
+        EXPECT_EQ(ta, tb);
+    }
+    EXPECT_EQ(plain.stats().localSpmLoads,
+              invalidated.stats().localSpmLoads);
+    EXPECT_EQ(plain.stats().remoteSpmLoads,
+              invalidated.stats().remoteSpmLoads);
+}
+
+/** Old-style per-chunk burst, retained as the oracle for loadBurst(). */
+BurstResult
+chunkedLoad(MemorySystem &mem, CoreId core, Cycles issue, Addr addr,
+            void *out, uint32_t bytes)
+{
+    constexpr uint32_t kChunk = MemorySystem::kMaxChunk;
+    auto *dst = static_cast<uint8_t *>(out);
+    BurstResult r;
+    r.lastDone = issue;
+    uint32_t offset = 0;
+    while (offset < bytes) {
+        uint32_t chunk =
+            std::min(bytes - offset, kChunk - ((addr + offset) % kChunk));
+        Cycles done =
+            mem.load(core, issue, addr + offset, dst + offset, chunk);
+        r.lastDone = std::max(r.lastDone, done);
+        issue += 1;
+        offset += chunk;
+        ++r.chunks;
+    }
+    r.lastIssue = issue;
+    return r;
+}
+
+/** Old-style per-chunk posted store, the oracle for storeBurst(). */
+BurstResult
+chunkedStore(MemorySystem &mem, CoreId core, Cycles issue, Addr addr,
+             const void *in, uint32_t bytes)
+{
+    constexpr uint32_t kChunk = MemorySystem::kMaxChunk;
+    const auto *src = static_cast<const uint8_t *>(in);
+    BurstResult r;
+    r.lastDone = issue;
+    uint32_t offset = 0;
+    while (offset < bytes) {
+        uint32_t chunk =
+            std::min(bytes - offset, kChunk - ((addr + offset) % kChunk));
+        Cycles done =
+            mem.store(core, issue, addr + offset, src + offset, chunk);
+        r.lastDone = std::max(r.lastDone, done);
+        issue += 1;
+        offset += chunk;
+        ++r.chunks;
+    }
+    r.lastIssue = issue;
+    return r;
+}
+
+/** Compare loadBurst/storeBurst against per-chunk twins on @p addr. */
+void
+expectBurstMatchesChunked(Addr addr, uint32_t bytes, Cycles issue)
+{
+    MachineConfig cfg = MachineConfig::tiny();
+    MemorySystem burst_mem(cfg);
+    MemorySystem chunk_mem(cfg);
+    std::vector<uint8_t> data(bytes);
+    for (uint32_t i = 0; i < bytes; ++i)
+        data[i] = static_cast<uint8_t>(i * 7 + 3);
+
+    // Loads: poke the pattern, pull it back both ways. Byte-at-a-time:
+    // untimed poke/peek decode their whole range at once, and a range
+    // crossing a window boundary is only legal chunk-wise.
+    for (uint32_t i = 0; i < bytes; ++i) {
+        burst_mem.poke(addr + i, &data[i], 1);
+        chunk_mem.poke(addr + i, &data[i], 1);
+    }
+    std::vector<uint8_t> got_burst(bytes, 0), got_chunk(bytes, 0);
+    BurstResult a =
+        burst_mem.loadBurst(0, issue, addr, got_burst.data(), bytes);
+    BurstResult b =
+        chunkedLoad(chunk_mem, 0, issue, addr, got_chunk.data(), bytes);
+    EXPECT_EQ(got_burst, data);
+    EXPECT_EQ(got_chunk, data);
+    EXPECT_EQ(a.chunks, b.chunks);
+    EXPECT_EQ(a.lastDone, b.lastDone);
+    EXPECT_EQ(a.lastIssue, b.lastIssue);
+
+    // Stores: push a second pattern both ways from the post-load state.
+    for (uint32_t i = 0; i < bytes; ++i)
+        data[i] = static_cast<uint8_t>(i * 13 + 1);
+    Cycles issue2 = a.lastDone + 5;
+    a = burst_mem.storeBurst(0, issue2, addr, data.data(), bytes);
+    b = chunkedStore(chunk_mem, 0, issue2, addr, data.data(), bytes);
+    EXPECT_EQ(a.chunks, b.chunks);
+    EXPECT_EQ(a.lastDone, b.lastDone);
+    EXPECT_EQ(a.lastIssue, b.lastIssue);
+    EXPECT_EQ(burst_mem.storeDrainTime(0), chunk_mem.storeDrainTime(0));
+    std::vector<uint8_t> readback(bytes);
+    for (uint32_t i = 0; i < bytes; ++i)
+        burst_mem.peek(addr + i, &readback[i], 1);
+    EXPECT_EQ(readback, data);
+
+    // Every counter the two systems kept must agree.
+    EXPECT_EQ(burst_mem.stats().localSpmLoads,
+              chunk_mem.stats().localSpmLoads);
+    EXPECT_EQ(burst_mem.stats().localSpmStores,
+              chunk_mem.stats().localSpmStores);
+    EXPECT_EQ(burst_mem.stats().remoteSpmLoads,
+              chunk_mem.stats().remoteSpmLoads);
+    EXPECT_EQ(burst_mem.stats().remoteSpmStores,
+              chunk_mem.stats().remoteSpmStores);
+    EXPECT_EQ(burst_mem.stats().dramLoads, chunk_mem.stats().dramLoads);
+    EXPECT_EQ(burst_mem.stats().dramStores, chunk_mem.stats().dramStores);
+}
+
+TEST(MemorySystem, LocalBurstMatchesPerChunkAccounting)
+{
+    MachineConfig cfg = MachineConfig::tiny();
+    Addr base = AddressMap::kSpmBase; // core 0's window
+    expectBurstMatchesChunked(base, 256, 10);       // aligned, multi-chunk
+    expectBurstMatchesChunked(base + 24, 200, 0);   // unaligned start
+    expectBurstMatchesChunked(base + 60, 8, 3);     // straddles one line
+    expectBurstMatchesChunked(base + 100, 1, 7);    // single byte
+    expectBurstMatchesChunked(base, cfg.spmBytes, 1); // whole window
+}
+
+TEST(MemorySystem, CrossWindowBurstMatchesPerChunkAccounting)
+{
+    // The SPM stride equals the window size, so a burst starting near
+    // the end of core 0's window legally continues into core 1's. The
+    // whole-burst fast path must bail out to the per-chunk path, which
+    // splits the traffic local/remote exactly as chunked accesses would.
+    Addr near_end = AddressMap::kSpmBase + 4096 - 96;
+    expectBurstMatchesChunked(near_end, 192, 4);
+    expectBurstMatchesChunked(near_end + 32, 96, 0);
+}
+
+TEST(MemorySystem, DramBurstMatchesPerChunkAccounting)
+{
+    expectBurstMatchesChunked(AddressMap::kDramBase + 128, 512, 2);
+    expectBurstMatchesChunked(AddressMap::kDramBase + 40, 100, 9);
+}
+
+TEST(MemorySystem, ZeroByteBurstIsFree)
+{
+    MemorySystem mem(MachineConfig::tiny());
+    BurstResult r = mem.loadBurst(0, 5, 0xdeadbeef, nullptr, 0);
+    EXPECT_EQ(r.chunks, 0u);
+    EXPECT_EQ(r.lastDone, 5u);
+    r = mem.storeBurst(0, 6, 0xdeadbeef, nullptr, 0);
+    EXPECT_EQ(r.chunks, 0u);
+    EXPECT_EQ(r.lastIssue, 6u);
+    EXPECT_EQ(mem.decodeMisses(), 0u)
+        << "zero-byte bursts must not decode their (possibly bogus) address";
 }
 
 TEST(MemorySystem, RemoteLatencyGradientMatchesFig5)

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Property tests for the compiled NoC route tables.
+ *
+ * The contract is that compiled traversal is a pure host optimization:
+ * for any (src, dst, time, payload) sequence, a MeshNoc with compiled
+ * routes produces delivery times and link statistics identical to one
+ * forced onto the uncached per-hop walk, because both charge the same
+ * links the same flits in the same order. Whenever a FaultPlan carries
+ * link-delay windows the compiled instance must itself fall back to the
+ * walk, so injected timing is never skipped — including for packets
+ * straddling the edges of the delay windows.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/noc.hpp"
+#include "sim/config.hpp"
+#include "sim/fault.hpp"
+
+namespace spmrt {
+namespace {
+
+/** Deterministic 64-bit mix (splitmix64) — no global RNG state. */
+uint64_t
+mix64(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Every endpoint of @p cfg: all cores plus all LLC banks. */
+std::vector<NocEndpoint>
+allEndpoints(const MachineConfig &cfg, MeshNoc &noc)
+{
+    std::vector<NocEndpoint> points;
+    for (CoreId id = 0; id < cfg.numCores(); ++id)
+        points.push_back(noc.coreEndpoint(id));
+    for (uint32_t bank = 0; bank < cfg.llcBanks; ++bank)
+        points.push_back(noc.bankEndpoint(bank));
+    return points;
+}
+
+/** One random packet drawn from @p state. */
+struct Packet
+{
+    size_t src;
+    size_t dst;
+    Cycles start;
+    uint32_t payload;
+};
+
+std::vector<Packet>
+makeTraffic(uint64_t seed, size_t num_endpoints, size_t count)
+{
+    std::vector<Packet> traffic;
+    uint64_t state = seed;
+    Cycles t = 0;
+    for (size_t i = 0; i < count; ++i) {
+        Packet p;
+        p.src = mix64(state) % num_endpoints;
+        p.dst = mix64(state) % num_endpoints;
+        // Mostly advancing time with occasional same-cycle bursts, so
+        // link backlogs both build and drain.
+        t += mix64(state) % 3;
+        p.start = t;
+        p.payload = 4u << (mix64(state) % 5); // 4..64 bytes
+        traffic.push_back(p);
+    }
+    return traffic;
+}
+
+/**
+ * Drive identical traffic through a compiled and a walk-forced MeshNoc
+ * (same optional fault plan on both) and require identical delivery
+ * times and link statistics.
+ */
+void
+expectEquivalent(const MachineConfig &cfg, uint64_t seed, FaultPlan *plan)
+{
+    MeshNoc compiled(cfg);
+    MeshNoc walked(cfg);
+    walked.setCompiledRoutes(false);
+    // Each instance needs its own plan object: the plan accumulates
+    // injected-delay totals as it is queried.
+    FaultPlan plan_copy;
+    if (plan != nullptr) {
+        plan_copy = *plan;
+        compiled.setFaultPlan(plan);
+        walked.setFaultPlan(&plan_copy);
+    }
+
+    std::vector<NocEndpoint> points = allEndpoints(cfg, compiled);
+    for (const Packet &p : makeTraffic(seed, points.size(), 400)) {
+        Cycles a = compiled.traverse(points[p.src], points[p.dst], p.start,
+                                     p.payload);
+        Cycles b = walked.traverse(points[p.src], points[p.dst], p.start,
+                                   p.payload);
+        ASSERT_EQ(a, b) << "delivery time diverged (seed " << seed << ")";
+    }
+    EXPECT_EQ(compiled.linkCyclesUsed(), walked.linkCyclesUsed());
+    EXPECT_EQ(compiled.packetsRouted(), walked.packetsRouted());
+    EXPECT_EQ(compiled.linkFlits(), walked.linkFlits());
+    EXPECT_EQ(compiled.linkWaitCycles(), walked.linkWaitCycles());
+}
+
+TEST(NocRoutes, CompiledMatchesWalkAcrossSeeds)
+{
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        expectEquivalent(MachineConfig::tiny(), seed, nullptr);
+        expectEquivalent(MachineConfig::small(), seed, nullptr);
+    }
+}
+
+TEST(NocRoutes, CompiledMatchesWalkOnFullMachine)
+{
+    expectEquivalent(MachineConfig{}, 11, nullptr); // 16x8, ruche 3
+}
+
+TEST(NocRoutes, FaultMatrixMatchesWalkCycleForCycle)
+{
+    // Chaos plans include link-delay windows, so the compiled instance
+    // falls back to the walk; both sides must still agree exactly.
+    for (uint64_t plan_seed = 1; plan_seed <= 6; ++plan_seed) {
+        MachineConfig cfg = MachineConfig::small();
+        FaultPlan plan = FaultPlan::chaos(plan_seed, cfg);
+        expectEquivalent(cfg, 100 + plan_seed, &plan);
+    }
+}
+
+TEST(NocRoutes, WindowEdgeStraddlesMatchWalk)
+{
+    // A hand-built window on the links out of (0, 0) — the injection
+    // node, so the first hop is queried exactly at the injection time —
+    // with packets just before the start, on the boundaries, and just
+    // after the end: the off-by-one cases a cached route could get wrong.
+    MachineConfig cfg = MachineConfig::small();
+    const Cycles kStart = 50, kEnd = 90;
+    FaultPlan plan;
+    plan.delayLinks(0, 0, kStart, kEnd, 7);
+
+    MeshNoc compiled(cfg);
+    MeshNoc walked(cfg);
+    walked.setCompiledRoutes(false);
+    FaultPlan plan_copy = plan;
+    compiled.setFaultPlan(&plan);
+    walked.setFaultPlan(&plan_copy);
+
+    NocEndpoint src = compiled.coreEndpoint(0);
+    NocEndpoint dst = compiled.coreEndpoint(3); // X path out of (0, 0)
+    const Cycles probes[] = {kStart - 1, kStart, kStart + 1, kEnd - 1,
+                             kEnd,       kEnd + 1};
+    for (Cycles t : probes) {
+        Cycles a = compiled.traverse(src, dst, t, 4);
+        Cycles b = walked.traverse(src, dst, t, 4);
+        EXPECT_EQ(a, b) << "at t=" << t;
+    }
+    // Both sides must have injected the same (non-zero) total delay.
+    EXPECT_EQ(plan.injected().linkDelayCycles,
+              plan_copy.injected().linkDelayCycles);
+    EXPECT_GT(plan.injected().linkDelayCycles, 0u);
+}
+
+TEST(NocRoutes, FallbackEngagesAndDisengagesWithThePlan)
+{
+    MachineConfig cfg = MachineConfig::tiny();
+    FaultPlan plan;
+    plan.delayLinks(0, 0, 10, 20, 3);
+
+    MeshNoc noc(cfg);
+    NocEndpoint src = noc.coreEndpoint(0);
+    NocEndpoint dst = noc.coreEndpoint(cfg.numCores() - 1);
+
+    noc.traverse(src, dst, 0, 4);
+    EXPECT_EQ(noc.compiledTraversals(), 1u);
+    EXPECT_EQ(noc.walkedTraversals(), 0u);
+
+    // Installing a plan with link windows forces the walk — even for
+    // packets entirely outside the window.
+    noc.setFaultPlan(&plan);
+    noc.traverse(src, dst, 1000, 4);
+    EXPECT_EQ(noc.compiledTraversals(), 1u);
+    EXPECT_EQ(noc.walkedTraversals(), 1u);
+
+    // A plan without link windows does not.
+    FaultPlan no_links;
+    no_links.stallCore(0, 0, 100, 2);
+    noc.setFaultPlan(&no_links);
+    noc.traverse(src, dst, 2000, 4);
+    EXPECT_EQ(noc.compiledTraversals(), 2u);
+    EXPECT_EQ(noc.walkedTraversals(), 1u);
+
+    // Clearing the plan re-engages the compiled tables.
+    noc.setFaultPlan(nullptr);
+    noc.traverse(src, dst, 3000, 4);
+    EXPECT_EQ(noc.compiledTraversals(), 3u);
+    EXPECT_EQ(noc.walkedTraversals(), 1u);
+
+    // Disabling compiled routes outright forces the walk.
+    noc.setCompiledRoutes(false);
+    noc.traverse(src, dst, 4000, 4);
+    EXPECT_EQ(noc.compiledTraversals(), 3u);
+    EXPECT_EQ(noc.walkedTraversals(), 2u);
+}
+
+TEST(NocRoutes, ResetKeepsRoutesAndClearsCounters)
+{
+    MachineConfig cfg = MachineConfig::tiny();
+    MeshNoc compiled(cfg);
+    MeshNoc walked(cfg);
+    walked.setCompiledRoutes(false);
+
+    NocEndpoint src = compiled.coreEndpoint(0);
+    NocEndpoint dst = compiled.coreEndpoint(cfg.numCores() - 1);
+    compiled.traverse(src, dst, 0, 16);
+    walked.traverse(src, dst, 0, 16);
+
+    compiled.reset();
+    walked.reset();
+    EXPECT_EQ(compiled.compiledTraversals(), 0u);
+
+    // Routes compiled before the reset must still match a fresh walk.
+    Cycles a = compiled.traverse(src, dst, 5, 16);
+    Cycles b = walked.traverse(src, dst, 5, 16);
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace spmrt

@@ -1,70 +1,153 @@
 #!/usr/bin/env python3
-"""Gate host-perf regressions against the committed baseline.
+"""Gate host-perf regressions against the committed baseline + trajectory.
 
 Compares a freshly measured BENCH_host_perf.json against
-bench/baseline_host_perf.json row by row (matched on workload + cores).
-The gated quantity is the fast-vs-reference *speedup ratio*, not absolute
-wall-clock: both schedulers run on the same machine in the same process,
-so their ratio is stable across CI runners while raw milliseconds are
-not. A row fails if its measured speedup falls below
-``tolerance * baseline_speedup`` (default tolerance 0.75, i.e. a >25%
-regression), or if the bench itself flagged the row as non-equivalent.
+bench/baseline_host_perf.json row by row (matched on workload + cores),
+and optionally against the *latest point* of the committed perf
+trajectory (repo-root BENCH_host_perf.json, schema
+spmrt-host-perf-trajectory-v1). The gated quantity is the
+fast-vs-reference *speedup ratio*, not absolute wall-clock: both
+schedulers run on the same machine in the same process, so their ratio
+is stable across CI runners while raw milliseconds are not. A row fails
+if its measured speedup falls below ``tolerance * reference_speedup``
+(default tolerance 0.75, i.e. a >25% regression), or if the bench
+itself flagged the row as non-equivalent.
+
+The trajectory file records one point per perf-relevant PR, oldest
+first; each point is a full spmrt-host-perf-v1 row set plus a label.
+``--append <label>`` adds the measured rows as a new trajectory point
+(after the gates pass), creating the file when it does not exist — CI's
+bench-smoke uses this to publish the would-be next point as an
+artifact, and perf PRs use it to commit the point they land.
 
 Usage:
-    check_host_perf.py <measured.json> <baseline.json> [--tolerance 0.75]
+    check_host_perf.py <measured.json> <baseline.json>
+        [--trajectory BENCH_host_perf.json] [--append <label>]
+        [--tolerance 0.75]
 """
 
 import argparse
 import json
 import sys
 
+TRAJECTORY_SCHEMA = "spmrt-host-perf-trajectory-v1"
+POINT_SCHEMA = "spmrt-host-perf-v1"
 
-def load_rows(path):
+
+def key_rows(rows):
+    return {(r["workload"], r["cores"]): r for r in rows}
+
+
+def load_measurement(path):
+    """Load a single spmrt-host-perf-v1 measurement."""
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema") != "spmrt-host-perf-v1":
+    if doc.get("schema") != POINT_SCHEMA:
         sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
-    return {(r["workload"], r["cores"]): r for r in doc["rows"]}
+    return doc
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("measured")
-    parser.add_argument("baseline")
-    parser.add_argument("--tolerance", type=float, default=0.75,
-                        help="minimum fraction of the baseline speedup "
-                             "that must be retained (default 0.75)")
-    args = parser.parse_args()
+def load_trajectory(path):
+    """Load a trajectory document, validating schema and point shape."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != TRAJECTORY_SCHEMA:
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    points = doc.get("points", [])
+    if not points:
+        sys.exit(f"{path}: trajectory has no points")
+    for point in points:
+        if "label" not in point or "rows" not in point:
+            sys.exit(f"{path}: trajectory point missing label/rows")
+    return doc
 
-    measured = load_rows(args.measured)
-    baseline = load_rows(args.baseline)
 
+def check(measured, reference, reference_name, tolerance):
+    """Gate measured rows against one reference row set."""
     failures = []
-    print(f"{'workload':<10} {'cores':>6} {'speedup':>9} {'baseline':>9} "
+    print(f"vs {reference_name}:")
+    print(f"  {'workload':<10} {'cores':>6} {'speedup':>9} {'expected':>9} "
           f"{'floor':>7}  status")
-    for key, base in sorted(baseline.items()):
+    for key, base in sorted(reference.items()):
         row = measured.get(key)
         if row is None:
             failures.append(f"{key}: missing from measured results")
             continue
-        floor = args.tolerance * base["speedup"]
+        floor = tolerance * base["speedup"]
         ok = row["speedup"] >= floor and row.get("equivalent", False)
         status = "ok" if ok else "FAIL"
-        print(f"{key[0]:<10} {key[1]:>6} {row['speedup']:>8.2f}x "
+        print(f"  {key[0]:<10} {key[1]:>6} {row['speedup']:>8.2f}x "
               f"{base['speedup']:>8.2f}x {floor:>6.2f}x  {status}")
         if not row.get("equivalent", False):
             failures.append(f"{key}: schedulers diverged (equivalent=false)")
         elif row["speedup"] < floor:
             failures.append(
                 f"{key}: speedup {row['speedup']:.2f}x below floor "
-                f"{floor:.2f}x (baseline {base['speedup']:.2f}x)")
+                f"{floor:.2f}x ({reference_name} {base['speedup']:.2f}x)")
+    print()
+    return failures
+
+
+def append_point(trajectory_path, measured_doc, label):
+    """Append the measured rows to the trajectory (creating it if new)."""
+    try:
+        doc = load_trajectory(trajectory_path)
+    except FileNotFoundError:
+        doc = {"schema": TRAJECTORY_SCHEMA, "points": []}
+    doc["points"].append({
+        "label": label,
+        "quick": measured_doc.get("quick", False),
+        "rows": measured_doc["rows"],
+    })
+    with open(trajectory_path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"appended point {label!r} to {trajectory_path} "
+          f"({len(doc['points'])} points)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("measured")
+    parser.add_argument("baseline")
+    parser.add_argument("--trajectory",
+                        help="perf-trajectory JSON; gate against its "
+                             "latest point as well as the baseline")
+    parser.add_argument("--append", metavar="LABEL",
+                        help="after the gates pass, append the measured "
+                             "rows to --trajectory under this label")
+    parser.add_argument("--tolerance", type=float, default=0.75,
+                        help="minimum fraction of the reference speedup "
+                             "that must be retained (default 0.75)")
+    args = parser.parse_args()
+    if args.append and not args.trajectory:
+        parser.error("--append requires --trajectory")
+
+    measured_doc = load_measurement(args.measured)
+    measured = key_rows(measured_doc["rows"])
+    baseline = key_rows(load_measurement(args.baseline)["rows"])
+
+    failures = check(measured, baseline, args.baseline, args.tolerance)
+    if args.trajectory:
+        try:
+            trajectory = load_trajectory(args.trajectory)
+        except FileNotFoundError:
+            trajectory = None
+            print(f"{args.trajectory}: not found, skipping trajectory gate")
+        if trajectory is not None:
+            latest = trajectory["points"][-1]
+            failures += check(
+                measured, key_rows(latest["rows"]),
+                f"{args.trajectory}[{latest['label']}]", args.tolerance)
 
     if failures:
-        print("\nhost-perf regression check FAILED:", file=sys.stderr)
+        print("host-perf regression check FAILED:", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print("\nhost-perf regression check passed")
+    print("host-perf regression check passed")
+    if args.append:
+        append_point(args.trajectory, measured_doc, args.append)
     return 0
 
 
