@@ -5,12 +5,19 @@
  * reported as speedup over one active core. (As in the paper, UTS is
  * excluded for simulation-time reasons.)
  *
+ * The whole sweep is submitted as one supervised batch to the
+ * FleetServer: every (workload, core-count) cell is an independent job,
+ * so the sweep parallelizes across host threads, each run is guarded by
+ * the hang watchdog, and a failed cell degrades to a reported failure
+ * instead of killing the bench.
+ *
  * Expected shape (paper): NQueens and CilkSort scale best; MatMul scales
  * well (high arithmetic intensity); the memory-bound graph/sparse
  * kernels flatten as they saturate the single DRAM channel.
  */
 
 #include "bench/rows.hpp"
+#include "serve/server.hpp"
 
 using namespace spmrt;
 using namespace spmrt::bench;
@@ -45,6 +52,36 @@ scalingRows()
     return rows;
 }
 
+/** One scaling cell as a supervised fleet job. */
+serve::JobRequest
+cellRequest(const WorkloadRow &row, const MachineConfig &machine_cfg,
+            uint32_t cores)
+{
+    serve::JobRequest req;
+    req.name = log::format("fig11/%s/x%u", row.workload.c_str(), cores);
+    req.cacheKey = req.name;
+    req.machine = machine_cfg;
+    req.runtime = RuntimeConfig::full();
+    req.runtime.activeCores = cores;
+    req.runtime.userSpmReserve = row.spmReserve;
+    req.armChecker = false;
+    // Verification folds into the digest contract: 1 = verified.
+    req.expectedDigest = 1;
+    req.hasExpectedDigest = true;
+    auto prepare_row = row.prepare;
+    req.prepare = [prepare_row](Machine &machine, serve::AssetCache &) {
+        auto instance =
+            std::make_shared<RowInstance>(prepare_row(machine));
+        serve::PreparedJob prep;
+        prep.root = [instance](TaskContext &tc) { instance->root(tc); };
+        prep.digest = [instance](Machine &m) {
+            return instance->verify(m) ? 1ull : 0ull;
+        };
+        return prep;
+    };
+    return req;
+}
+
 } // namespace
 
 int
@@ -59,35 +96,55 @@ main(int argc, char **argv)
                    "runtime, both in SPM");
     report.comment("ideal speedup at 128 cores: 128x");
 
+    serve::FleetServer server;
+    report.comment("batch of supervised fleet jobs across %u host workers",
+                   server.workerCount());
+
+    // Submit the whole sweep up front, then settle row by row.
     MachineConfig machine_cfg; // full mesh; only N cores participate
+    struct PendingRow
+    {
+        std::string workload;
+        std::vector<serve::FleetServer::JobId> ids;
+    };
+    std::vector<PendingRow> pending;
     for (const WorkloadRow &row : scalingRows()) {
         if (!report.wants(row.workload))
             continue;
-        Report &r = report.row().cell("workload", row.workload);
+        PendingRow p;
+        p.workload = row.workload;
+        for (uint32_t cores : core_counts)
+            p.ids.push_back(
+                server.submit(cellRequest(row, machine_cfg, cores)));
+        pending.push_back(std::move(p));
+    }
+
+    for (const PendingRow &p : pending) {
+        Report &r = report.row().cell("workload", p.workload);
         double serial = 0;
         bool all_ok = true;
-        for (uint32_t cores : core_counts) {
-            Variant variant{false, RuntimeConfig::full(), "ws"};
-            variant.cfg.activeCores = cores;
-            RowInstance instance;
-            RunResult result = runVariant(
-                variant, machine_cfg, row.spmReserve,
-                [&](Machine &machine) {
-                    instance = row.prepare(machine);
-                },
-                [&](TaskContext &tc) { instance.root(tc); },
-                [&](Machine &machine) {
-                    return instance.verify(machine);
-                });
-            if (cores == core_counts.front())
-                serial = static_cast<double>(result.cycles);
-            all_ok = all_ok && result.verified;
-            r.cell(log::format("x%u", cores).c_str(),
-                   serial / static_cast<double>(result.cycles));
+        for (size_t i = 0; i < core_counts.size(); ++i) {
+            serve::JobReport job = server.wait(p.ids[i]);
+            bool ok = job.status == serve::JobStatus::Ok;
+            if (!ok)
+                report.fail("%s x%u: %s (%s)", p.workload.c_str(),
+                            core_counts[i],
+                            serve::jobStatusName(job.status),
+                            job.error.c_str());
+            all_ok = all_ok && ok;
+            if (i == 0)
+                serial = static_cast<double>(job.cycles);
+            r.cell(log::format("x%u", core_counts[i]).c_str(),
+                   ok && job.cycles != 0
+                       ? serial / static_cast<double>(job.cycles)
+                       : 0.0);
         }
-        if (!all_ok)
-            report.fail("%s failed verification", row.workload.c_str());
         r.cell("ok", all_ok);
     }
+
+    serve::FleetServer::Totals totals = server.totals();
+    report.comment("fleet: %llu jobs, %.2f sims/sec",
+                   static_cast<unsigned long long>(totals.jobs),
+                   totals.simsPerSec);
     return report.finish();
 }

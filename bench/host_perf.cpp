@@ -14,6 +14,12 @@
  * The two schedulers must agree on results, cycles, and switches — this
  * bench asserts it (cheaply re-checking test_engine_equiv's contract at
  * bench scale) so the recorded speedup is never a speedup into wrongness.
+ *
+ * A second series ("throughput") measures batch simulation throughput
+ * through the FleetServer: the same job mix on 1 worker vs 4 workers,
+ * recorded as sims/sec with speedup = multi/serial throughput. Every job
+ * carries its host reference digest, so the speedup is only recorded as
+ * equivalent when all results byte-match a standalone run.
  */
 
 #include <chrono>
@@ -24,6 +30,8 @@
 
 #include "bench/support.hpp"
 #include "runtime/ws_runtime.hpp"
+#include "serve/server.hpp"
+#include "serve/workloads.hpp"
 #include "workloads/cilksort.hpp"
 #include "workloads/fib.hpp"
 #include "workloads/nqueens.hpp"
@@ -111,6 +119,54 @@ struct Sample
     Cycles simCycles = 0;
 };
 
+/** One fleet batch at @p workers threads: sims/sec + all-verified. */
+struct FleetSample
+{
+    double simsPerSec = 0;
+    double wallMs = 0;
+    uint64_t jobs = 0;
+    bool allOk = true;
+};
+
+FleetSample
+measureFleet(uint32_t workers)
+{
+    const uint32_t fib_n = bench::scaled(14u, 11u);
+    const uint32_t sort_n = bench::scaled(2000u, 800u);
+    const uint32_t uts_depth = bench::scaled(7u, 6u);
+    const uint32_t queens_n = bench::scaled(7u, 6u);
+
+    serve::FleetConfig cfg;
+    cfg.workers = workers;
+    serve::FleetServer server(cfg);
+    std::vector<serve::FleetServer::JobId> ids;
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+        std::vector<serve::FleetWorkload> mix = {
+            {"fib", fib_n, 0, 0.0},
+            {"cilksort", sort_n, 100 * seed, 0.0},
+            {"uts", uts_depth, seed, 2.2},
+            {"nqueens", queens_n, 0, 0.0},
+        };
+        for (const serve::FleetWorkload &spec : mix) {
+            serve::JobRequest req = serve::makeWorkloadRequest(spec);
+            req.machine = machineFor(16);
+            req.scheduleSeed = seed; // distinct interleavings per seed
+            req.armChecker = false;
+            req.bypassCache = true; // every job must actually simulate
+            ids.push_back(server.submit(std::move(req)));
+        }
+    }
+    FleetSample sample;
+    for (serve::FleetServer::JobId id : ids)
+        sample.allOk = sample.allOk &&
+                       server.wait(id).status == serve::JobStatus::Ok;
+    serve::FleetServer::Totals totals = server.totals();
+    sample.simsPerSec = totals.simsPerSec;
+    sample.wallMs = totals.wallMs;
+    sample.jobs = totals.jobs;
+    return sample;
+}
+
 Sample
 measure(const HostWorkload &workload, uint32_t cores, bool reference)
 {
@@ -189,6 +245,49 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(fast.simCycles),
                 ok ? "true" : "false");
         }
+    }
+    // ---- Fleet batch-throughput series ---------------------------------
+    if (report.wants("fleet")) {
+        FleetSample serial = measureFleet(1);
+        FleetSample multi = measureFleet(4);
+        double scaling = serial.simsPerSec > 0
+                             ? multi.simsPerSec / serial.simsPerSec
+                             : 0;
+        report.row()
+            .cell("workload", "fleet")
+            .cell("cores", 1)
+            .cell("wall_ms", serial.wallMs)
+            .cell("speedup", 1.0)
+            .cell("ok", serial.allOk);
+        report.row()
+            .cell("workload", "fleet")
+            .cell("cores", 4)
+            .cell("wall_ms", multi.wallMs)
+            .cell("speedup", scaling)
+            .cell("ok", multi.allOk);
+        if (!serial.allOk || !multi.allOk)
+            report.fail("fleet batch: some jobs did not verify against "
+                        "their standalone references");
+        std::printf("# fleet: %.2f sims/sec serial, %.2f sims/sec on 4 "
+                    "workers (%.2fx)\n",
+                    serial.simsPerSec, multi.simsPerSec, scaling);
+        json += log::format(
+            "%s\n    {\"workload\": \"fleet\", \"cores\": 1, "
+            "\"series\": \"throughput\", \"wall_ms\": %.3f, "
+            "\"sims_per_sec\": %.3f, \"jobs\": %llu, \"speedup\": 1.0, "
+            "\"equivalent\": %s}",
+            first ? "" : ",", serial.wallMs, serial.simsPerSec,
+            static_cast<unsigned long long>(serial.jobs),
+            serial.allOk ? "true" : "false");
+        first = false;
+        json += log::format(
+            ",\n    {\"workload\": \"fleet\", \"cores\": 4, "
+            "\"series\": \"throughput\", \"wall_ms\": %.3f, "
+            "\"sims_per_sec\": %.3f, \"jobs\": %llu, \"speedup\": %.3f, "
+            "\"equivalent\": %s}",
+            multi.wallMs, multi.simsPerSec,
+            static_cast<unsigned long long>(multi.jobs), scaling,
+            multi.allOk ? "true" : "false");
     }
     json += "\n  ]\n}\n";
 

@@ -141,6 +141,32 @@ class TaskRegistry
         return slots_.size() - 1 - freeIds_.size();
     }
 
+    /**
+     * Abort-path cleanup: delete every still-registered runtime-owned
+     * task and forget all ids. Only valid once the simulation that
+     * enqueued them is dead (a SimAbort unwound the run) — the guest
+     * stacks referencing these tasks never resume. Tasks the runtime
+     * does not own are dropped from the registry but left alive for
+     * their owners. Returns the number of tasks deleted.
+     */
+    size_t
+    reapAbandoned()
+    {
+        size_t deleted = 0;
+        for (size_t id = 1; id < slots_.size(); ++id) {
+            Task *task = slots_[id];
+            if (task == nullptr)
+                continue;
+            if (task->runtimeOwned) {
+                delete task;
+                ++deleted;
+            }
+        }
+        slots_.resize(1);
+        freeIds_.clear();
+        return deleted;
+    }
+
     TaskRegistry() { slots_.push_back(nullptr); /* id 0 is null */ }
 
   private:

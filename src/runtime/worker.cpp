@@ -53,6 +53,12 @@ Worker::executeTask(Task &task, uint32_t trace_id)
 void
 Worker::executeSpawned(Task *task, uint32_t trace_id)
 {
+    // Track owned tasks for the duration of their execution: a dequeued
+    // task is already out of the registry, so if a supervised abort
+    // unwinds the run mid-execution this stack is what lets the runtime
+    // reclaim it (reapOwnedInFlight).
+    if (task->runtimeOwned)
+        ownedInFlight_.push_back(task);
     executeTask(*task, trace_id);
     if (task->parent != nullptr) {
         // Release semantics: the child's writes (e.g. its result into the
@@ -60,8 +66,13 @@ Worker::executeSpawned(Task *task, uint32_t trace_id)
         core_.amoAddRelease(task->parent->home,
                             static_cast<int32_t>(-1));
     }
-    if (task->runtimeOwned)
+    if (task->runtimeOwned) {
+        SPMRT_ASSERT(!ownedInFlight_.empty() &&
+                         ownedInFlight_.back() == task,
+                     "in-flight task stack out of order");
+        ownedInFlight_.pop_back();
         delete task;
+    }
 }
 
 bool

@@ -73,6 +73,33 @@ class Worker
     void executeSpawned(Task *task, uint32_t trace_id = 0);
     /** Reset the steal backoff after useful work. */
     void resetBackoff() { backoff_ = backoffMin_; }
+
+  public:
+    /**
+     * Runtime-owned tasks currently executing on this worker, innermost
+     * last (wait() nests executeSpawned). Dequeued tasks leave the
+     * registry before they run, so on a SimAbort this stack is the only
+     * record of them; WorkStealingRuntime::run's abort cleanup deletes
+     * them from here.
+     */
+    const std::vector<Task *> &ownedInFlight() const
+    {
+        return ownedInFlight_;
+    }
+
+    /** Abort-path cleanup: delete and forget the in-flight owned tasks. */
+    size_t
+    reapOwnedInFlight()
+    {
+        size_t deleted = ownedInFlight_.size();
+        for (auto it = ownedInFlight_.rbegin(); it != ownedInFlight_.rend();
+             ++it)
+            delete *it;
+        ownedInFlight_.clear();
+        return deleted;
+    }
+
+  private:
     /** Exponential-backoff idle wait. */
     void backoffWait();
 
@@ -87,6 +114,7 @@ class Worker
     uint32_t backoff_;
     std::vector<CoreId> nearestOrder_; ///< peers by mesh distance (lazy)
     uint32_t probeCursor_ = 0;         ///< Nearest / RoundRobin state
+    std::vector<Task *> ownedInFlight_; ///< see ownedInFlight()
 };
 
 } // namespace spmrt

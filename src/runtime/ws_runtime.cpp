@@ -124,7 +124,22 @@ WorkStealingRuntime::run(const std::function<void(TaskContext &)> &root_fn,
         machine_.engine().armWatchdog(cfg_.watchdogCycles,
                                       cfg_.watchdogSwitches,
                                       [this] { return watchdogDump(); });
-    Cycles cycles = machine_.runPerCore(bodies);
+    Cycles cycles;
+    try {
+        cycles = machine_.runPerCore(bodies);
+    } catch (...) {
+        // A supervised SimAbort unwound the run with guest stacks frozen
+        // mid-task. Reclaim every heap task the runtime owns — in-flight
+        // on a worker or still queued in the registry — before
+        // rethrowing; the suspended coroutines never resume, so these
+        // pointers have no other owner. (The stack-allocated root task
+        // is deliberately not touched.)
+        machine_.engine().disarmWatchdog();
+        for (auto &worker : workers_)
+            worker->reapOwnedInFlight();
+        registry_.reapAbandoned();
+        throw;
+    }
     machine_.engine().disarmWatchdog();
     SPMRT_ASSERT(registry_.liveCount() == 0,
                  "%zu tasks leaked after run", registry_.liveCount());

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared immutable batch assets, built once and reused by every job.
+ *
+ * Generated inputs — random key arrays, graph topologies, reference
+ * solutions — are pure functions of their parameters, so a batch that
+ * sweeps 16 schedule seeds over one cilksort instance should generate
+ * the keys once, not 16 times. The AssetCache memoizes such blobs under
+ * a caller-chosen canonical key and hands out shared_ptr<const T>
+ * views; jobs then *upload* the shared host copy into their private
+ * simulated memory, so no simulated state is ever shared.
+ *
+ * Thread-safe: prepare() runs concurrently on server worker threads.
+ * Builders run under the lock, which guarantees exactly one build per
+ * key (builders are host-side generators, cheap relative to a sim).
+ *
+ * Key discipline: prefix the key with the asset kind and full parameter
+ * list ("cilksort-keys/4096/900") — the cache cannot detect a type
+ * mismatch behind a reused key.
+ */
+
+#ifndef SPMRT_SERVE_ASSETS_HPP
+#define SPMRT_SERVE_ASSETS_HPP
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace spmrt {
+namespace serve {
+
+/** Memoized immutable per-batch assets (thread-safe). */
+class AssetCache
+{
+  public:
+    AssetCache() = default;
+    AssetCache(const AssetCache &) = delete;
+    AssetCache &operator=(const AssetCache &) = delete;
+
+    /** Return the asset under @p key, building it on first use. */
+    template <typename T>
+    std::shared_ptr<const T>
+    get(const std::string &key, const std::function<T()> &build)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++hits_;
+            return std::static_pointer_cast<const T>(it->second);
+        }
+        auto value = std::make_shared<const T>(build());
+        entries_.emplace(key,
+                         std::static_pointer_cast<const void>(value));
+        ++builds_;
+        return value;
+    }
+
+    /** Number of assets built (first uses). */
+    uint64_t
+    builds() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return builds_;
+    }
+
+    /** Number of lookups served from an existing asset. */
+    uint64_t
+    hits() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return hits_;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_ptr<const void>> entries_;
+    uint64_t builds_ = 0;
+    uint64_t hits_ = 0;
+};
+
+} // namespace serve
+} // namespace spmrt
+
+#endif // SPMRT_SERVE_ASSETS_HPP

@@ -1,0 +1,135 @@
+#include "serve/workloads.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "serve/assets.hpp"
+#include "sim/machine.hpp"
+#include "workloads/cilksort.hpp"
+#include "workloads/fib.hpp"
+#include "workloads/nqueens.hpp"
+#include "workloads/uts.hpp"
+
+namespace spmrt {
+namespace serve {
+
+using namespace spmrt::workloads;
+
+namespace {
+
+UtsParams
+utsParamsOf(const FleetWorkload &w)
+{
+    return UtsParams::geometric(w.n, w.branch, w.dataSeed);
+}
+
+std::string
+keysAssetKey(const FleetWorkload &w)
+{
+    return log::format("cilksort-keys/%u/%llu", w.n,
+                       static_cast<unsigned long long>(w.dataSeed));
+}
+
+} // namespace
+
+std::string
+workloadKey(const FleetWorkload &w)
+{
+    if (w.kind == "fib" || w.kind == "nqueens")
+        return log::format("%s/%u", w.kind.c_str(), w.n);
+    if (w.kind == "cilksort")
+        return log::format("cilksort/%u/%llu", w.n,
+                           static_cast<unsigned long long>(w.dataSeed));
+    if (w.kind == "uts")
+        return log::format("uts/%u/%.3f/%llu", w.n, w.branch,
+                           static_cast<unsigned long long>(w.dataSeed));
+    throw std::runtime_error("unknown fleet workload kind: " + w.kind);
+}
+
+uint64_t
+workloadReference(const FleetWorkload &w)
+{
+    if (w.kind == "fib")
+        return static_cast<uint64_t>(fibReference(static_cast<int>(w.n)));
+    if (w.kind == "cilksort") {
+        std::vector<uint32_t> keys = cilksortKeys(w.n, w.dataSeed);
+        std::sort(keys.begin(), keys.end());
+        return fnvDigest(keys);
+    }
+    if (w.kind == "uts")
+        return utsReference(utsParamsOf(w));
+    if (w.kind == "nqueens")
+        return nqueensReference(w.n);
+    throw std::runtime_error("unknown fleet workload kind: " + w.kind);
+}
+
+JobRequest
+makeWorkloadRequest(const FleetWorkload &w)
+{
+    JobRequest req;
+    req.name = workloadKey(w);
+    req.cacheKey = req.name;
+    req.expectedDigest = workloadReference(w);
+    req.hasExpectedDigest = true;
+
+    if (w.kind == "fib") {
+        const int n = static_cast<int>(w.n);
+        req.prepare = [n](Machine &machine, AssetCache &) {
+            Addr out = machine.dramAlloc(8, 8);
+            PreparedJob prep;
+            prep.root = [n, out](TaskContext &tc) {
+                fibKernel(tc, n, out);
+            };
+            prep.digest = [out](Machine &m) {
+                return static_cast<uint64_t>(m.mem().peekAs<int64_t>(out));
+            };
+            return prep;
+        };
+    } else if (w.kind == "cilksort") {
+        const FleetWorkload spec = w;
+        req.prepare = [spec](Machine &machine, AssetCache &assets) {
+            // The key array is a pure function of (n, seed): build it
+            // once per batch and upload the shared copy per job.
+            auto keys = assets.get<std::vector<uint32_t>>(
+                keysAssetKey(spec),
+                [&spec] { return cilksortKeys(spec.n, spec.dataSeed); });
+            CilkSortData data = cilksortSetupFrom(machine, *keys);
+            PreparedJob prep;
+            prep.root = [data](TaskContext &tc) {
+                cilksortKernel(tc, data);
+            };
+            prep.digest = [data](Machine &m) {
+                return fnvDigest(
+                    downloadArray<uint32_t>(m, data.data, data.n));
+            };
+            return prep;
+        };
+    } else if (w.kind == "uts") {
+        const UtsParams params = utsParamsOf(w);
+        req.prepare = [params](Machine &machine, AssetCache &) {
+            UtsData data = utsSetup(machine, params);
+            PreparedJob prep;
+            prep.root = [data](TaskContext &tc) { utsKernel(tc, data); };
+            prep.digest = [data](Machine &m) { return utsResult(m, data); };
+            return prep;
+        };
+    } else if (w.kind == "nqueens") {
+        const uint32_t n = w.n;
+        req.prepare = [n](Machine &machine, AssetCache &) {
+            NQueensData data = nqueensSetup(machine, n);
+            PreparedJob prep;
+            prep.root = [data](TaskContext &tc) {
+                nqueensKernel(tc, data);
+            };
+            prep.digest = [data](Machine &m) {
+                return nqueensResult(m, data);
+            };
+            return prep;
+        };
+    }
+    return req;
+}
+
+} // namespace serve
+} // namespace spmrt

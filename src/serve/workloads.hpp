@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Named-workload registry for fleet jobs.
+ *
+ * Maps a compact declarative spec — workload name plus its parameters —
+ * to a JobRequest whose prepare() rebuilds the workload on any fresh
+ * Machine, sharing generated inputs through the batch AssetCache. The
+ * digests produced here match the conventions used by the standalone
+ * tests (fib: result value; cilksort: FNV-1a over the sorted array;
+ * uts/nqueens: the count), so fleet results are byte-comparable with
+ * single-process runs.
+ */
+
+#ifndef SPMRT_SERVE_WORKLOADS_HPP
+#define SPMRT_SERVE_WORKLOADS_HPP
+
+#include <string>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace spmrt {
+namespace serve {
+
+/** FNV-1a over a value vector (array outputs digest to one word). */
+template <typename T>
+uint64_t
+fnvDigest(const std::vector<T> &values)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const T &v : values) {
+        h ^= static_cast<uint64_t>(v);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** Declarative spec of one registered workload instance. */
+struct FleetWorkload
+{
+    /** "fib", "cilksort", "uts", or "nqueens". */
+    std::string kind;
+    /** fib n / cilksort element count / uts max depth / nqueens n. */
+    uint32_t n = 0;
+    /** cilksort key seed / uts root seed (unused otherwise). */
+    uint64_t dataSeed = 0;
+    /** uts geometric branching factor (unused otherwise). */
+    double branch = 0.0;
+};
+
+/** Canonical identity string, also the cacheKey ("cilksort/400/900"). */
+std::string workloadKey(const FleetWorkload &w);
+
+/** Host-side reference digest of @p w (what a correct run must produce). */
+uint64_t workloadReference(const FleetWorkload &w);
+
+/**
+ * A JobRequest running @p w: name/cacheKey filled from the spec,
+ * expectedDigest set to the host reference, prepare() wired to the
+ * workload's setup/kernel/result helpers. Machine/runtime/seed fields
+ * keep their defaults — tune them on the returned request.
+ */
+JobRequest makeWorkloadRequest(const FleetWorkload &w);
+
+} // namespace serve
+} // namespace spmrt
+
+#endif // SPMRT_SERVE_WORKLOADS_HPP

@@ -106,6 +106,9 @@ Engine::run()
 
     if (referenceMode_) {
         runReference();
+        running_ = kInvalidCore;
+        if (abortPending_)
+            throwPendingAbort();
         return;
     }
 
@@ -120,10 +123,14 @@ Engine::run()
     }
 
     // Dispatch chains run guest-to-guest; control only returns here once
-    // the last live core finishes (the loop guards against nothing else).
+    // the last live core finishes or a supervised interrupt unwinds a
+    // dispatch back to the scheduler context (the loop guards against
+    // nothing else).
     while (live_ > 0) {
         dispatchFrom(schedCtx_);
         running_ = kInvalidCore;
+        if (abortPending_)
+            throwPendingAbort();
     }
     running_ = kInvalidCore;
 }
@@ -163,8 +170,8 @@ Engine::runReference()
                 next = schedCandidates_[schedRng_.nextBounded(
                     schedCandidates_.size())];
         }
-        if (watchdogDue(next->time))
-            watchdogCheck(next->time);
+        if (interruptDue(next->time) && checkInterrupts(next->time))
+            return; // pending abort: run() throws on this host stack
         if (obs::Tracer *t = tracer())
             t->instant(obs::kTraceSwitch, next->id, next->time, "switch");
         running_ = next->id;
@@ -194,8 +201,15 @@ void
 Engine::dispatchFrom(GuestContext &from)
 {
     Slot *next = pickNext();
-    if (watchdogDue(next->time))
-        watchdogCheck(next->time);
+    if (interruptDue(next->time) && checkInterrupts(next->time)) {
+        // Supervised abort: leave the interrupted guest (if any)
+        // suspended and unwind to the scheduler context, where run()
+        // throws the SimAbort on the host stack. The machine is dead
+        // from here on; nothing below may run.
+        if (&from != &schedCtx_)
+            GuestContext::switchTo(from, schedCtx_);
+        return;
+    }
     cachedOtherMin_ = heapMinTimeExcluding(next->id);
     // Mirrors the reference scheduler: one event per dispatch, so a trace
     // taken under either scheduler shows the same timeline.
@@ -451,29 +465,28 @@ Engine::collectWindowCandidates()
     std::sort(candidateIds_.begin(), candidateIds_.end());
 }
 
-// ---- Watchdog ------------------------------------------------------------
+// ---- Interrupts (watchdog, cycle limit, cancel flag) ---------------------
 
-void
-Engine::watchdogCheck(Cycles next_time)
+const char *
+abortKindName(AbortKind kind)
 {
-    bool cycles_over =
-        wdCycles_ != 0 && next_time > progressTime_ + wdCycles_;
-    bool switches_over =
-        wdSwitches_ != 0 && switches_ > progressSwitches_ + wdSwitches_;
-    // Each enabled bound must independently expire: cycle expiry alone can
-    // be one long memory stall, switch expiry alone can be legitimate
-    // backoff spinning at a nearly frozen clock.
-    if ((wdCycles_ != 0 && !cycles_over) ||
-        (wdSwitches_ != 0 && !switches_over))
-        return;
+    switch (kind) {
+      case AbortKind::Hang:
+        return "hang";
+      case AbortKind::CycleBudget:
+        return "cycle_budget";
+      case AbortKind::Deadline:
+        return "deadline";
+      case AbortKind::Cancelled:
+        return "cancelled";
+    }
+    return "unknown";
+}
 
-    std::string report = log::format(
-        "watchdog: no progress for %llu cycles / %llu switches "
-        "(last progress at cycle %llu)\n",
-        static_cast<unsigned long long>(next_time - progressTime_),
-        static_cast<unsigned long long>(switches_ - progressSwitches_),
-        static_cast<unsigned long long>(progressTime_));
-    report += "engine state:\n";
+std::string
+Engine::stateDump() const
+{
+    std::string report = "engine state:\n";
     for (uint32_t i = 0; i < numCores_; ++i) {
         const Slot &slot = slots_[i];
         if (!slot.hasBody)
@@ -486,11 +499,90 @@ Engine::watchdogCheck(Cycles next_time)
     }
     if (wdDump_)
         report += wdDump_();
-    std::fputs(report.c_str(), stderr);
+    return report;
+}
+
+bool
+Engine::raiseOrPanic(AbortKind kind, std::string summary)
+{
+    std::string dump = stateDump();
+    if (supervised_) {
+        abortPending_ = true;
+        abortKind_ = kind;
+        abortSummary_ = std::move(summary);
+        abortDump_ = std::move(dump);
+        return true;
+    }
+    std::fputs(summary.c_str(), stderr);
+    std::fputs("\n", stderr);
+    std::fputs(dump.c_str(), stderr);
     std::fflush(stderr);
-    SPMRT_PANIC("watchdog expired: global quiescence failure "
-                "(%u live cores, see dump above)",
-                live_);
+    SPMRT_PANIC("%s: unrecoverable abort (%u live cores, see dump above)",
+                abortKindName(kind), live_);
+}
+
+void
+Engine::throwPendingAbort()
+{
+    abortPending_ = false;
+    throw SimAbort(abortKind_, std::move(abortSummary_),
+                   std::move(abortDump_));
+}
+
+bool
+Engine::checkInterrupts(Cycles next_time)
+{
+    if (cancelFlag_ != nullptr) {
+        uint32_t request = cancelFlag_->load(std::memory_order_acquire);
+        if (request != kCancelNone) {
+            AbortKind kind = request == kCancelShutdown
+                                 ? AbortKind::Cancelled
+                                 : AbortKind::Deadline;
+            return raiseOrPanic(
+                kind,
+                log::format(
+                    "%s: supervisor cancelled the run at cycle %llu",
+                    abortKindName(kind),
+                    static_cast<unsigned long long>(next_time)));
+        }
+    }
+    if (cycleLimit_ != 0 && next_time > cycleLimit_) {
+        return raiseOrPanic(
+            AbortKind::CycleBudget,
+            log::format("cycle budget exceeded: next dispatch at cycle "
+                        "%llu is past the armed limit %llu",
+                        static_cast<unsigned long long>(next_time),
+                        static_cast<unsigned long long>(cycleLimit_)));
+    }
+    if (watchdogDue(next_time))
+        return watchdogCheck(next_time);
+    return false;
+}
+
+bool
+Engine::watchdogCheck(Cycles next_time)
+{
+    bool cycles_over =
+        wdCycles_ != 0 && next_time > progressTime_ + wdCycles_;
+    bool switches_over =
+        wdSwitches_ != 0 && switches_ > progressSwitches_ + wdSwitches_;
+    // Each enabled bound must independently expire: cycle expiry alone can
+    // be one long memory stall, switch expiry alone can be legitimate
+    // backoff spinning at a nearly frozen clock.
+    if ((wdCycles_ != 0 && !cycles_over) ||
+        (wdSwitches_ != 0 && !switches_over))
+        return false;
+
+    return raiseOrPanic(
+        AbortKind::Hang,
+        log::format("watchdog expired: no progress for %llu cycles / "
+                    "%llu switches (last progress at cycle %llu), "
+                    "global quiescence failure",
+                    static_cast<unsigned long long>(next_time -
+                                                    progressTime_),
+                    static_cast<unsigned long long>(switches_ -
+                                                    progressSwitches_),
+                    static_cast<unsigned long long>(progressTime_)));
 }
 
 } // namespace spmrt

@@ -45,6 +45,7 @@
 #ifndef SPMRT_SIM_ENGINE_HPP
 #define SPMRT_SIM_ENGINE_HPP
 
+#include <atomic>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -54,6 +55,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "obs/trace.hpp"
+#include "sim/abort.hpp"
 #include "sim/context.hpp"
 
 namespace spmrt {
@@ -234,6 +236,46 @@ class Engine
         wdDump_ = nullptr;
     }
 
+    /**
+     * @name Supervised aborts
+     *
+     * With supervise(true), every interrupt source — the hang watchdog,
+     * the simulated-cycle limit, and the host-side cancel flag — raises
+     * a catchable SimAbort out of run() (thrown on the host stack, with
+     * the structured dump attached) instead of printing and panicking.
+     * The default stays unsupervised: standalone runs keep the
+     * print-and-abort behaviour. An aborted engine is dead — interrupted
+     * guest stacks stay suspended — so catch the SimAbort, harvest the
+     * report, and destroy the Machine; retries need a fresh one.
+     * @{
+     */
+    void supervise(bool on) { supervised_ = on; }
+
+    /** True when interrupts raise SimAbort instead of panicking. */
+    bool supervised() const { return supervised_; }
+
+    /**
+     * Arm (nonzero) or disarm (0) a simulated-cycle ceiling: the run is
+     * interrupted as soon as the next core to dispatch sits past
+     * @p limit on the global clock. The limit is absolute, so budgets
+     * on a reused machine are maxTime() + budget.
+     */
+    void armCycleLimit(Cycles limit) { cycleLimit_ = limit; }
+
+    /**
+     * Install (or clear, with nullptr) a host-shared cancel flag polled
+     * at every dispatch. Store kCancelDeadline or kCancelShutdown from
+     * any host thread to interrupt the run; the flag must outlive the
+     * run. This is the only engine input that may be written from
+     * another thread.
+     */
+    void
+    setCancelFlag(const std::atomic<uint32_t> *flag)
+    {
+        cancelFlag_ = flag;
+    }
+    /** @} */
+
     /** Record forward progress (called by the runtime per task retired). */
     void
     noteProgress()
@@ -333,8 +375,43 @@ class Engine
                 switches_ > progressSwitches_ + wdSwitches_);
     }
 
-    /** Check the watchdog bounds against @p next; panic on expiry. */
-    void watchdogCheck(Cycles next_time);
+    /**
+     * Inline per-dispatch interrupt precheck: watchdog bounds, cycle
+     * limit, cancel flag. Disarmed sources cost one compare each; only
+     * when something is (possibly) due does the out-of-line
+     * checkInterrupts() run.
+     */
+    bool
+    interruptDue(Cycles next_time) const
+    {
+        if (watchdogDue(next_time))
+            return true;
+        if (cycleLimit_ != 0 && next_time > cycleLimit_)
+            return true;
+        return cancelFlag_ != nullptr &&
+               cancelFlag_->load(std::memory_order_relaxed) != 0;
+    }
+
+    /**
+     * Re-verify every due interrupt source; on expiry either record a
+     * pending SimAbort (supervised: returns true, caller unwinds to
+     * run()) or print the dump and panic (unsupervised: no return).
+     * Returns false when nothing actually fired (the watchdog precheck
+     * is a conservative superset of its expiry rule).
+     */
+    bool checkInterrupts(Cycles next_time);
+
+    /** Check the watchdog bounds against @p next_time; raise on expiry. */
+    bool watchdogCheck(Cycles next_time);
+
+    /** Per-core engine state table + the armed runtime dump, if any. */
+    std::string stateDump() const;
+
+    /** Record @p kind as pending (supervised) or print + panic. */
+    bool raiseOrPanic(AbortKind kind, std::string summary);
+
+    /** Throw the recorded pending abort (clears it first). */
+    [[noreturn]] void throwPendingAbort();
 
     /** Minimal clock among unfinished cores other than @p self (O(N);
      *  reference scheduler only). */
@@ -433,6 +510,16 @@ class Engine
     std::function<std::string()> wdDump_;
     Cycles progressTime_ = 0;
     uint64_t progressSwitches_ = 0;
+
+    // Supervised-abort state. The cancel flag is the one engine input
+    // another host thread may write; everything else is single-threaded.
+    bool supervised_ = false;
+    Cycles cycleLimit_ = 0; ///< 0 = no simulated-cycle ceiling
+    const std::atomic<uint32_t> *cancelFlag_ = nullptr;
+    bool abortPending_ = false;
+    AbortKind abortKind_ = AbortKind::Hang;
+    std::string abortSummary_;
+    std::string abortDump_;
 
     obs::Tracer *tracer_ = nullptr;
 

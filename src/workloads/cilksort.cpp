@@ -128,17 +128,29 @@ msort(TaskContext &tc, const CilkSortData &data, uint32_t lo, uint32_t hi,
 
 } // namespace
 
-CilkSortData
-cilksortSetup(Machine &machine, uint32_t n, uint64_t seed)
+std::vector<uint32_t>
+cilksortKeys(uint32_t n, uint64_t seed)
 {
-    CilkSortData data;
-    data.n = n;
     Xoshiro256StarStar rng(seed);
     std::vector<uint32_t> keys(n);
     for (uint32_t &key : keys)
         key = static_cast<uint32_t>(rng.next());
+    return keys;
+}
+
+CilkSortData
+cilksortSetup(Machine &machine, uint32_t n, uint64_t seed)
+{
+    return cilksortSetupFrom(machine, cilksortKeys(n, seed));
+}
+
+CilkSortData
+cilksortSetupFrom(Machine &machine, const std::vector<uint32_t> &keys)
+{
+    CilkSortData data;
+    data.n = static_cast<uint32_t>(keys.size());
     data.data = uploadArray(machine, keys);
-    data.tmp = allocZeroArray<uint32_t>(machine, n);
+    data.tmp = allocZeroArray<uint32_t>(machine, data.n);
     return data;
 }
 

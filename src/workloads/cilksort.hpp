@@ -26,8 +26,19 @@ struct CilkSortData
     uint32_t n = 0;
 };
 
+/** Generate the deterministic key array cilksortSetup would upload. */
+std::vector<uint32_t> cilksortKeys(uint32_t n, uint64_t seed);
+
 /** Upload @p n random keys. */
 CilkSortData cilksortSetup(Machine &machine, uint32_t n, uint64_t seed);
+
+/**
+ * Upload a pre-generated key array (e.g. a batch-shared asset built
+ * once via cilksortKeys). Equivalent to cilksortSetup for keys from the
+ * same (n, seed), so digests match the classic path bit for bit.
+ */
+CilkSortData cilksortSetupFrom(Machine &machine,
+                               const std::vector<uint32_t> &keys);
 
 /** Sort data.data ascending (dynamic contexts only). */
 void cilksortKernel(TaskContext &tc, const CilkSortData &data);

@@ -10,6 +10,13 @@
  * of (b) is nondeterminism in the simulator. The suite also exercises
  * the engine watchdog, which must fire on a genuine quiescence failure
  * and stay quiet on healthy runs.
+ *
+ * The fault matrix itself is routed through the FleetServer: each
+ * (workload, chaos seed) cell is one supervised job with the standalone
+ * digest as its expected reference, and the bit-identical-replay leg
+ * rides on the server's cache validation — a bypassCache recompute whose
+ * digest or cycle count disagrees with the stored entry comes back as
+ * digest_mismatch, so an Ok status *is* the determinism assertion.
  */
 
 #include <gtest/gtest.h>
@@ -17,6 +24,8 @@
 #include <algorithm>
 
 #include "runtime/ws_runtime.hpp"
+#include "serve/server.hpp"
+#include "serve/workloads.hpp"
 #include "sim/checker.hpp"
 #include "sim/fault.hpp"
 #include "workloads/cilksort.hpp"
@@ -129,6 +138,41 @@ injectedTotal(const FaultPlan &plan)
            s.lockHolderCycles;
 }
 
+/**
+ * Run the chaos matrix for @p spec through the fleet server: one
+ * supervised job per seed (expected digest = host reference, checker
+ * armed) plus a bypassCache replay that the server validates to the
+ * cycle against the cached first run.
+ */
+void
+runFleetFaultMatrix(const serve::FleetWorkload &spec, Cycles horizon)
+{
+    serve::FleetConfig fcfg;
+    fcfg.workers = 2;
+    serve::FleetServer server(fcfg);
+    for (uint64_t seed : kChaosSeeds) {
+        serve::JobRequest req = serve::makeWorkloadRequest(spec);
+        req.faultSeed = seed;
+        req.faultHorizon = horizon;
+        serve::JobReport a = server.wait(server.submit(std::move(req)));
+        // Ok subsumes the old per-run assertions: a wrong result
+        // reports digest_mismatch, a race reports checker_violation.
+        EXPECT_EQ(a.status, serve::JobStatus::Ok)
+            << spec.kind << " chaos seed " << seed << ": " << a.error;
+
+        serve::JobRequest again = serve::makeWorkloadRequest(spec);
+        again.faultSeed = seed;
+        again.faultHorizon = horizon;
+        again.bypassCache = true;
+        serve::JobReport b = server.wait(server.submit(std::move(again)));
+        EXPECT_EQ(b.status, serve::JobStatus::Ok)
+            << spec.kind << " nondeterministic under chaos seed " << seed
+            << ": " << b.error;
+        EXPECT_EQ(b.cycles, a.cycles);
+    }
+    EXPECT_EQ(server.totals().failures, 0u);
+}
+
 TEST(Chaos, FibBitIdenticalUnderFaultMatrix)
 {
     MachineConfig mcfg = MachineConfig::tiny();
@@ -141,86 +185,52 @@ TEST(Chaos, FibBitIdenticalUnderFaultMatrix)
         return machine.mem().peekAs<int64_t>(out);
     };
 
+    // Standalone base run: sets the horizon and anchors the reference.
     Cycles base_cycles = 0;
     int64_t base = run(nullptr, &base_cycles);
     EXPECT_EQ(base, fibReference(13));
-
     Cycles horizon = std::max<Cycles>(base_cycles, 4096);
-    uint64_t injected = 0;
-    for (uint64_t seed : kChaosSeeds) {
-        FaultPlan plan = FaultPlan::chaos(seed, mcfg, horizon);
-        Cycles cycles_a = 0;
-        EXPECT_EQ(run(&plan, &cycles_a), base) << plan.describe();
-        injected += injectedTotal(plan);
-        // Same seed, fresh machine and plan: identical cycle count.
-        FaultPlan again = FaultPlan::chaos(seed, mcfg, horizon);
-        Cycles cycles_b = 0;
-        EXPECT_EQ(run(&again, &cycles_b), base);
-        EXPECT_EQ(cycles_a, cycles_b)
-            << "nondeterministic under chaos seed " << seed;
-    }
-    EXPECT_GT(injected, 0u) << "no plan perturbed anything; the matrix "
-                               "is not testing what it claims";
+
+    // One standalone perturbed run proves the plans inject something —
+    // otherwise the matrix is not testing what it claims.
+    FaultPlan probe = FaultPlan::chaos(kChaosSeeds[0], mcfg, horizon);
+    Cycles probe_cycles = 0;
+    EXPECT_EQ(run(&probe, &probe_cycles), base) << probe.describe();
+    EXPECT_GT(injectedTotal(probe), 0u)
+        << "no plan perturbed anything; the matrix "
+           "is not testing what it claims";
+
+    runFleetFaultMatrix({"fib", 13, 0, 0.0}, horizon);
 }
 
 TEST(Chaos, CilksortBitIdenticalUnderFaultMatrix)
 {
-    MachineConfig mcfg = MachineConfig::tiny();
     constexpr uint32_t kN = 600;
-    auto run = [&](FaultPlan *plan, Cycles *cycles) {
-        Machine machine(mcfg);
-        CilkSortData data = cilksortSetup(machine, kN, 900);
-        *cycles = runPerturbed(machine, plan, [&](TaskContext &tc) {
-            cilksortKernel(tc, data);
-        });
-        return downloadArray<uint32_t>(machine, data.data, kN);
-    };
-
-    Cycles base_cycles = 0;
-    std::vector<uint32_t> base = run(nullptr, &base_cycles);
+    Machine machine(MachineConfig::tiny());
+    CilkSortData data = cilksortSetup(machine, kN, 900);
+    Cycles base_cycles = runPerturbed(machine, nullptr, [&](TaskContext &tc) {
+        cilksortKernel(tc, data);
+    });
+    std::vector<uint32_t> base =
+        downloadArray<uint32_t>(machine, data.data, kN);
     EXPECT_TRUE(std::is_sorted(base.begin(), base.end()));
 
-    Cycles horizon = std::max<Cycles>(base_cycles, 4096);
-    for (uint64_t seed : kChaosSeeds) {
-        FaultPlan plan = FaultPlan::chaos(seed, mcfg, horizon);
-        Cycles cycles_a = 0;
-        EXPECT_EQ(run(&plan, &cycles_a), base) << plan.describe();
-        FaultPlan again = FaultPlan::chaos(seed, mcfg, horizon);
-        Cycles cycles_b = 0;
-        EXPECT_EQ(run(&again, &cycles_b), base);
-        EXPECT_EQ(cycles_a, cycles_b)
-            << "nondeterministic under chaos seed " << seed;
-    }
+    runFleetFaultMatrix({"cilksort", kN, 900, 0.0},
+                        std::max<Cycles>(base_cycles, 4096));
 }
 
 TEST(Chaos, UtsBitIdenticalUnderFaultMatrix)
 {
-    MachineConfig mcfg = MachineConfig::tiny();
     UtsParams params = UtsParams::geometric(8, 2.5, 42);
-    uint64_t expected = utsReference(params);
-    auto run = [&](FaultPlan *plan, Cycles *cycles) {
-        Machine machine(mcfg);
-        UtsData data = utsSetup(machine, params);
-        *cycles = runPerturbed(machine, plan, [&](TaskContext &tc) {
-            utsKernel(tc, data);
-        });
-        return utsResult(machine, data);
-    };
+    Machine machine(MachineConfig::tiny());
+    UtsData data = utsSetup(machine, params);
+    Cycles base_cycles = runPerturbed(machine, nullptr, [&](TaskContext &tc) {
+        utsKernel(tc, data);
+    });
+    EXPECT_EQ(utsResult(machine, data), utsReference(params));
 
-    Cycles base_cycles = 0;
-    EXPECT_EQ(run(nullptr, &base_cycles), expected);
-
-    Cycles horizon = std::max<Cycles>(base_cycles, 4096);
-    for (uint64_t seed : kChaosSeeds) {
-        FaultPlan plan = FaultPlan::chaos(seed, mcfg, horizon);
-        Cycles cycles_a = 0;
-        EXPECT_EQ(run(&plan, &cycles_a), expected) << plan.describe();
-        FaultPlan again = FaultPlan::chaos(seed, mcfg, horizon);
-        Cycles cycles_b = 0;
-        EXPECT_EQ(run(&again, &cycles_b), expected);
-        EXPECT_EQ(cycles_a, cycles_b)
-            << "nondeterministic under chaos seed " << seed;
-    }
+    runFleetFaultMatrix({"uts", 8, 42, 2.5},
+                        std::max<Cycles>(base_cycles, 4096));
 }
 
 TEST(Chaos, WholeRunStragglerSlowsRunNotResult)
@@ -265,6 +275,48 @@ TEST(ChaosDeathTest, WatchdogFiresOnQuiescenceFailure)
         tc.waitChildren();
     }),
                  "watchdog");
+}
+
+TEST(Chaos, SupervisedWatchdogThrowsCatchableSimAbort)
+{
+    // With a supervisor installed, the same quiescence failure that
+    // panics above must instead surface as a typed, catchable SimAbort
+    // carrying a structured runtime dump — thrown on the host stack,
+    // never across a guest coroutine.
+    Machine machine(MachineConfig::tiny());
+    machine.engine().supervise(true);
+    RuntimeConfig cfg = RuntimeConfig::full();
+    cfg.watchdogCycles = 100'000;
+    WorkStealingRuntime rt(machine, cfg);
+    try {
+        rt.run([](TaskContext &tc) {
+            tc.setReadyCount(1);
+            tc.waitChildren();
+        });
+        FAIL() << "supervised hang did not abort";
+    } catch (const SimAbort &abort) {
+        EXPECT_EQ(abort.kind(), AbortKind::Hang);
+        EXPECT_NE(abort.summary().find("watchdog"), std::string::npos)
+            << abort.summary();
+        EXPECT_FALSE(abort.dump().empty())
+            << "hang aborts must carry a runtime state dump";
+    }
+}
+
+TEST(Chaos, SupervisedCycleLimitThrowsBudgetAbort)
+{
+    Machine machine(MachineConfig::tiny());
+    machine.engine().supervise(true);
+    machine.engine().armCycleLimit(machine.engine().maxTime() + 1000);
+    Addr out = machine.dramAlloc(8, 8);
+    WorkStealingRuntime rt(machine, RuntimeConfig::full());
+    try {
+        rt.run([&](TaskContext &tc) { fibKernel(tc, 13, out); });
+        FAIL() << "cycle budget did not abort";
+    } catch (const SimAbort &abort) {
+        EXPECT_EQ(abort.kind(), AbortKind::CycleBudget);
+        EXPECT_NE(abort.summary().find("cycle budget"), std::string::npos);
+    }
 }
 
 TEST(Chaos, WatchdogStaysQuietOnHealthyRun)

@@ -15,6 +15,12 @@
  *  - different seeds genuinely produce different interleavings
  *    (otherwise the sweep tests nothing);
  *  - arming the checker changes no cycle count (it is an observer).
+ *
+ * The per-seed sweep runs through the FleetServer: each seed is one
+ * supervised job (checker armed, expected digest = host reference), and
+ * the replay leg is the server's cache validation — a bypassCache
+ * recompute that disagrees on digest or cycles reports digest_mismatch,
+ * so an Ok status certifies deterministic replay.
  */
 
 #include <gtest/gtest.h>
@@ -26,6 +32,8 @@
 #include <vector>
 
 #include "runtime/ws_runtime.hpp"
+#include "serve/server.hpp"
+#include "serve/workloads.hpp"
 #include "sim/checker.hpp"
 #include "workloads/cilksort.hpp"
 #include "workloads/fib.hpp"
@@ -159,23 +167,41 @@ TEST_P(ScheduleSweep, SeededPerturbationIsCleanAndDeterministic)
 #if !SPMRT_CHECKER_ENABLED
     GTEST_SKIP() << "checker compiled out (SPMRT_CHECKER=OFF)";
 #endif
-    const Workload workload = makeWorkloads()[GetParam()];
-    SCOPED_TRACE(workload.name);
+    static const serve::FleetWorkload kSpecs[] = {
+        {"fib", 12, 0, 0.0},
+        {"cilksort", 400, 900, 0.0},
+        {"uts", 7, 42, 2.2},
+        {"nqueens", 6, 0, 0.0},
+    };
+    const serve::FleetWorkload spec = kSpecs[GetParam()];
+    SCOPED_TRACE(spec.kind);
 
+    serve::FleetConfig fcfg;
+    fcfg.workers = 2;
+    serve::FleetServer server(fcfg);
     std::set<Cycles> distinct_cycles;
     for (uint64_t seed = 1; seed <= kNumSeeds; ++seed) {
-        Outcome a = runOnce(workload, true, seed, true);
-        EXPECT_EQ(a.violations, 0u)
-            << workload.name << " seed " << seed << ":\n" << a.report;
-        EXPECT_EQ(a.digest, workload.reference)
-            << workload.name << " wrong result under schedule seed "
-            << seed;
+        serve::JobRequest req = serve::makeWorkloadRequest(spec);
+        req.scheduleSeed = seed;
+        req.scheduleWindow = kWindow;
+        serve::JobReport a = server.wait(server.submit(std::move(req)));
+        // Ok subsumes the old assertions: a race would come back as
+        // checker_violation, a wrong result as digest_mismatch.
+        EXPECT_EQ(a.status, serve::JobStatus::Ok)
+            << spec.kind << " seed " << seed << ": " << a.error << "\n"
+            << a.dump;
 
-        // The same seed must replay bit-identically, to the cycle.
-        Outcome b = runOnce(workload, true, seed, true);
-        EXPECT_EQ(b.digest, a.digest) << "seed " << seed;
-        EXPECT_EQ(b.cycles, a.cycles)
-            << workload.name << " is nondeterministic under seed " << seed;
+        // The same seed must replay bit-identically, to the cycle: the
+        // bypassCache recompute is validated against the cached run.
+        serve::JobRequest again = serve::makeWorkloadRequest(spec);
+        again.scheduleSeed = seed;
+        again.scheduleWindow = kWindow;
+        again.bypassCache = true;
+        serve::JobReport b = server.wait(server.submit(std::move(again)));
+        EXPECT_EQ(b.status, serve::JobStatus::Ok)
+            << spec.kind << " is nondeterministic under seed " << seed
+            << ": " << b.error;
+        EXPECT_EQ(b.cycles, a.cycles);
         distinct_cycles.insert(a.cycles);
     }
 
@@ -183,7 +209,7 @@ TEST_P(ScheduleSweep, SeededPerturbationIsCleanAndDeterministic)
     // cycle count, the perturbation is a no-op and the 16 "schedules"
     // were one schedule.
     EXPECT_GE(distinct_cycles.size(), 2u)
-        << workload.name
+        << spec.kind
         << ": all schedule seeds collapsed to one interleaving";
 }
 

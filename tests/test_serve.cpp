@@ -1,0 +1,568 @@
+/**
+ * @file
+ * Fleet-server tests: retry/backoff determinism, supervision, caching,
+ * degradation, and batch-level acceptance.
+ *
+ * Everything here must be deterministic on any host: backoff schedules
+ * are pure functions of (policy, seed, attempt); hangs are provoked by
+ * construction (a waitChildren() with no child, or a straggler fault
+ * plan with no watchdog margin) rather than by timing luck; and tests
+ * that need a worker pinned mid-job gate it on a promise instead of
+ * sleeping. Retry sleeps are disabled via RetryPolicy::sleepScale = 0.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <set>
+
+#include "runtime/ws_runtime.hpp"
+#include "serve/server.hpp"
+#include "serve/workloads.hpp"
+#include "sim/fault.hpp"
+#include "workloads/cilksort.hpp"
+#include "workloads/fib.hpp"
+
+namespace spmrt {
+namespace serve {
+namespace {
+
+using namespace spmrt::workloads;
+
+/** Retry policy for tests: deterministic, and never actually sleeps. */
+RetryPolicy
+instantRetry(uint32_t max_attempts)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = max_attempts;
+    policy.sleepScale = 0.0;
+    return policy;
+}
+
+/** A root body that hangs by construction: a wait with no child. */
+JobRequest
+denialHangRequest(uint64_t watchdog_cycles)
+{
+    JobRequest req;
+    req.name = "hang/denial";
+    req.cacheKey = "hang/denial";
+    req.runtime.watchdogCycles = watchdog_cycles;
+    req.armChecker = false;
+    req.prepare = [](Machine &, AssetCache &) {
+        PreparedJob prep;
+        prep.root = [](TaskContext &tc) {
+            tc.setReadyCount(1);
+            tc.waitChildren();
+        };
+        return prep;
+    };
+    return req;
+}
+
+/**
+ * The acceptance hang: a straggler fault plan with no watchdog margin.
+ * Core 0 is stalled 1M extra cycles per operation while the watchdog
+ * allows only 60k cycles without a task retire, so the very first task
+ * never completes in time — a deterministic quiescence failure.
+ */
+JobRequest
+stragglerHangRequest()
+{
+    JobRequest req;
+    req.name = "hang/straggler";
+    req.cacheKey = "hang/straggler";
+    req.runtime.watchdogCycles = 60'000;
+    req.armChecker = false;
+    req.prepare = [](Machine &machine, AssetCache &) {
+        auto plan = std::make_shared<FaultPlan>();
+        plan->stallCore(0, 0, ~0ull, 1'000'000);
+        machine.setFaultPlan(plan.get());
+        Addr out = machine.dramAlloc(8, 8);
+        PreparedJob prep;
+        prep.root = [plan, out](TaskContext &tc) {
+            fibKernel(tc, 10, out);
+        };
+        return prep;
+    };
+    return req;
+}
+
+/**
+ * A job whose prepare() blocks on @p gate after flagging @p started —
+ * pins one worker deterministically so queue-level behaviour (shedding,
+ * cancellation) can be exercised without racing the worker.
+ */
+JobRequest
+gatedRequest(const std::string &name,
+             std::shared_ptr<std::atomic<bool>> started,
+             std::shared_future<void> gate)
+{
+    JobRequest req;
+    req.name = name;
+    req.armChecker = false;
+    req.prepare = [started, gate](Machine &machine, AssetCache &) {
+        started->store(true, std::memory_order_release);
+        gate.wait();
+        Addr out = machine.dramAlloc(8, 8);
+        PreparedJob prep;
+        prep.root = [out](TaskContext &tc) { fibKernel(tc, 5, out); };
+        prep.digest = [out](Machine &m) {
+            return static_cast<uint64_t>(m.mem().peekAs<int64_t>(out));
+        };
+        return prep;
+    };
+    return req;
+}
+
+void
+spinUntil(const std::atomic<bool> &flag)
+{
+    while (!flag.load(std::memory_order_acquire))
+        std::this_thread::yield();
+}
+
+// ---- Retry/backoff determinism ------------------------------------------
+
+TEST(Backoff, DeterministicPerSeedAndAttempt)
+{
+    RetryPolicy policy;
+    policy.backoffBaseMs = 10;
+    policy.backoffMaxMs = 2000;
+    policy.jitterMs = 10;
+    for (uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+        for (uint32_t attempt = 1; attempt <= 8; ++attempt) {
+            uint32_t a = backoffDelayMs(policy, seed, attempt);
+            uint32_t b = backoffDelayMs(policy, seed, attempt);
+            EXPECT_EQ(a, b) << "seed " << seed << " attempt " << attempt;
+        }
+    }
+    // Different seeds must produce different schedules somewhere —
+    // otherwise the jitter is not doing its decorrelation job.
+    bool differs = false;
+    for (uint32_t attempt = 1; attempt <= 8 && !differs; ++attempt)
+        differs = backoffDelayMs(policy, 1, attempt) !=
+                  backoffDelayMs(policy, 2, attempt);
+    EXPECT_TRUE(differs);
+}
+
+TEST(Backoff, ExponentialBaseWithBoundedJitter)
+{
+    RetryPolicy policy;
+    policy.backoffBaseMs = 10;
+    policy.backoffMaxMs = 100;
+    policy.jitterMs = 5;
+    for (uint64_t seed = 0; seed < 20; ++seed) {
+        uint32_t expected_base = 10;
+        for (uint32_t attempt = 1; attempt <= 6; ++attempt) {
+            uint32_t delay = backoffDelayMs(policy, seed, attempt);
+            EXPECT_GE(delay, expected_base);
+            EXPECT_LE(delay, expected_base + policy.jitterMs)
+                << "seed " << seed << " attempt " << attempt;
+            expected_base = std::min(expected_base * 2, 100u);
+        }
+    }
+}
+
+TEST(Backoff, JitterActuallyVaries)
+{
+    RetryPolicy policy;
+    policy.backoffBaseMs = 10;
+    policy.jitterMs = 10;
+    std::set<uint32_t> delays;
+    for (uint64_t seed = 0; seed < 32; ++seed)
+        delays.insert(backoffDelayMs(policy, seed, 1));
+    EXPECT_GT(delays.size(), 1u);
+}
+
+// ---- Error taxonomy ------------------------------------------------------
+
+TEST(JobStatusTaxonomy, NamesAndClasses)
+{
+    EXPECT_STREQ(jobStatusName(JobStatus::Ok), "ok");
+    EXPECT_STREQ(jobStatusName(JobStatus::CacheHit), "cache_hit");
+    EXPECT_STREQ(jobStatusName(JobStatus::Hang), "hang");
+    EXPECT_STREQ(jobStatusName(JobStatus::CheckerViolation),
+                 "checker_violation");
+    EXPECT_STREQ(jobStatusName(JobStatus::DigestMismatch),
+                 "digest_mismatch");
+    EXPECT_STREQ(jobStatusName(JobStatus::BudgetExceeded),
+                 "budget_exceeded");
+    EXPECT_STREQ(jobStatusName(JobStatus::DeadlineExceeded),
+                 "deadline_exceeded");
+    EXPECT_STREQ(jobStatusName(JobStatus::SetupFailure), "setup_failure");
+    EXPECT_STREQ(jobStatusName(JobStatus::Shed), "shed");
+    EXPECT_STREQ(jobStatusName(JobStatus::Quarantined), "quarantined");
+
+    // Transient failures retry; deterministic ones must fail fast.
+    EXPECT_TRUE(jobStatusRetryable(JobStatus::Hang));
+    EXPECT_TRUE(jobStatusRetryable(JobStatus::BudgetExceeded));
+    EXPECT_TRUE(jobStatusRetryable(JobStatus::DeadlineExceeded));
+    EXPECT_FALSE(jobStatusRetryable(JobStatus::SetupFailure));
+    EXPECT_FALSE(jobStatusRetryable(JobStatus::CheckerViolation));
+    EXPECT_FALSE(jobStatusRetryable(JobStatus::DigestMismatch));
+
+    for (JobStatus s : {JobStatus::Hang, JobStatus::CheckerViolation,
+                        JobStatus::DigestMismatch,
+                        JobStatus::BudgetExceeded,
+                        JobStatus::DeadlineExceeded,
+                        JobStatus::SetupFailure})
+        EXPECT_TRUE(jobStatusIsFailure(s)) << jobStatusName(s);
+    for (JobStatus s : {JobStatus::Ok, JobStatus::CacheHit, JobStatus::Shed,
+                        JobStatus::Cancelled, JobStatus::Quarantined})
+        EXPECT_FALSE(jobStatusIsFailure(s)) << jobStatusName(s);
+}
+
+// ---- Happy path and caching ---------------------------------------------
+
+TEST(Fleet, SingleJobMatchesHostReference)
+{
+    FleetConfig cfg;
+    cfg.workers = 2;
+    FleetServer server(cfg);
+    JobReport report = server.wait(
+        server.submit(makeWorkloadRequest({"fib", 13, 0, 0.0})));
+    EXPECT_EQ(report.status, JobStatus::Ok) << report.error;
+    EXPECT_EQ(report.digest, static_cast<uint64_t>(fibReference(13)));
+    EXPECT_EQ(report.attempts, 1u);
+    EXPECT_FALSE(report.fromCache);
+    EXPECT_FALSE(report.quarantined);
+    EXPECT_GT(report.cycles, 0u);
+}
+
+TEST(Fleet, DuplicatesServedFromCacheByteIdentical)
+{
+    FleetConfig cfg;
+    cfg.workers = 1;
+    FleetServer server(cfg);
+    JobReport first = server.wait(
+        server.submit(makeWorkloadRequest({"cilksort", 300, 77, 0.0})));
+    ASSERT_EQ(first.status, JobStatus::Ok) << first.error;
+
+    JobReport dup = server.wait(
+        server.submit(makeWorkloadRequest({"cilksort", 300, 77, 0.0})));
+    EXPECT_EQ(dup.status, JobStatus::CacheHit);
+    EXPECT_TRUE(dup.fromCache);
+    EXPECT_EQ(dup.digest, first.digest);
+    EXPECT_EQ(dup.cycles, first.cycles);
+    EXPECT_EQ(dup.attempts, 0u) << "cache hits must not simulate";
+
+    // bypassCache recomputes and validates against the stored entry: an
+    // Ok status here *is* the determinism assertion.
+    JobRequest again = makeWorkloadRequest({"cilksort", 300, 77, 0.0});
+    again.bypassCache = true;
+    JobReport fresh = server.wait(server.submit(std::move(again)));
+    EXPECT_EQ(fresh.status, JobStatus::Ok) << fresh.error;
+    EXPECT_EQ(fresh.digest, first.digest);
+    EXPECT_EQ(fresh.cycles, first.cycles);
+}
+
+TEST(Fleet, DigestsAndCyclesMatchStandaloneRun)
+{
+    // Standalone run, exactly as the pre-fleet tests do it.
+    Machine machine(MachineConfig::tiny());
+    CilkSortData data = cilksortSetup(machine, 400, 900);
+    WorkStealingRuntime rt(machine, RuntimeConfig::full());
+    Cycles standalone_cycles =
+        rt.run([&](TaskContext &tc) { cilksortKernel(tc, data); });
+    uint64_t standalone_digest =
+        fnvDigest(downloadArray<uint32_t>(machine, data.data, data.n));
+
+    FleetConfig cfg;
+    cfg.workers = 2;
+    FleetServer server(cfg);
+    JobRequest req = makeWorkloadRequest({"cilksort", 400, 900, 0.0});
+    req.armChecker = false; // match the standalone run above
+    JobReport report = server.wait(server.submit(std::move(req)));
+    ASSERT_EQ(report.status, JobStatus::Ok) << report.error;
+    EXPECT_EQ(report.digest, standalone_digest);
+    EXPECT_EQ(report.cycles, standalone_cycles)
+        << "fleet execution must not disturb simulated time";
+}
+
+TEST(Fleet, AssetCacheBuildsSharedInputsOnce)
+{
+    FleetConfig cfg;
+    cfg.workers = 1;
+    FleetServer server(cfg);
+    // Same workload, different runtime configs: different spec keys, so
+    // both actually simulate — but the input keys build only once.
+    JobRequest a = makeWorkloadRequest({"cilksort", 300, 5, 0.0});
+    JobRequest b = makeWorkloadRequest({"cilksort", 300, 5, 0.0});
+    b.runtime = RuntimeConfig::queueOnly();
+    FleetServer::JobId ia = server.submit(std::move(a));
+    FleetServer::JobId ib = server.submit(std::move(b));
+    EXPECT_EQ(server.wait(ia).status, JobStatus::Ok);
+    EXPECT_EQ(server.wait(ib).status, JobStatus::Ok);
+    EXPECT_EQ(server.assets().builds(), 1u);
+    EXPECT_GE(server.assets().hits(), 1u);
+}
+
+// ---- Supervision: hang, budget, deadline --------------------------------
+
+TEST(Fleet, HangRetriedThenQuarantined)
+{
+    FleetConfig cfg;
+    cfg.workers = 1;
+    cfg.retry = instantRetry(3);
+    FleetServer server(cfg);
+    JobReport report = server.wait(server.submit(denialHangRequest(60'000)));
+    EXPECT_EQ(report.status, JobStatus::Hang);
+    EXPECT_EQ(report.attempts, 3u) << "hangs must exhaust the retry budget";
+    EXPECT_EQ(report.backoffMs.size(), 2u)
+        << "one backoff recorded between each pair of attempts";
+    EXPECT_TRUE(report.quarantined);
+    EXPECT_NE(report.error.find("watchdog"), std::string::npos)
+        << report.error;
+    EXPECT_FALSE(report.dump.empty()) << "hang reports carry a state dump";
+
+    // The same spec is now refused outright.
+    JobReport refused = server.wait(server.submit(denialHangRequest(60'000)));
+    EXPECT_EQ(refused.status, JobStatus::Quarantined);
+    EXPECT_EQ(refused.attempts, 0u);
+}
+
+TEST(Fleet, RetryBackoffScheduleIsSeedDeterministic)
+{
+    // Two servers, same spec: the recorded backoff schedules must be
+    // identical, because they derive from the spec key alone.
+    auto run_once = [] {
+        FleetConfig cfg;
+        cfg.workers = 1;
+        cfg.retry = instantRetry(4);
+        FleetServer server(cfg);
+        return server.wait(server.submit(denialHangRequest(60'000)));
+    };
+    JobReport a = run_once();
+    JobReport b = run_once();
+    ASSERT_EQ(a.backoffMs.size(), 3u);
+    EXPECT_EQ(a.backoffMs, b.backoffMs);
+}
+
+TEST(Fleet, CycleBudgetExceededRetriedThenQuarantined)
+{
+    FleetConfig cfg;
+    cfg.workers = 1;
+    cfg.retry = instantRetry(2);
+    FleetServer server(cfg);
+    JobRequest req = makeWorkloadRequest({"fib", 13, 0, 0.0});
+    req.limits.cycleBudget = 1000; // far below what fib(13) needs
+    JobReport report = server.wait(server.submit(std::move(req)));
+    EXPECT_EQ(report.status, JobStatus::BudgetExceeded);
+    EXPECT_EQ(report.attempts, 2u);
+    EXPECT_TRUE(report.quarantined);
+}
+
+TEST(Fleet, WallDeadlineKillsWatchdoglessHang)
+{
+    // Watchdog fully disabled: only the wall-clock supervisor can save
+    // this run. The monitor thread must flip the cancel flag and the
+    // engine must unwind as deadline_exceeded.
+    FleetConfig cfg;
+    cfg.workers = 1;
+    cfg.retry = instantRetry(2);
+    FleetServer server(cfg);
+    JobRequest req = denialHangRequest(0);
+    req.runtime.watchdogSwitches = 0;
+    req.limits.wallDeadlineMs = 50;
+    JobReport report = server.wait(server.submit(std::move(req)));
+    EXPECT_EQ(report.status, JobStatus::DeadlineExceeded);
+    EXPECT_EQ(report.attempts, 2u);
+    EXPECT_TRUE(report.quarantined);
+}
+
+// ---- Fail-fast failures --------------------------------------------------
+
+TEST(Fleet, SetupFailureFailsFastWithMessage)
+{
+    FleetConfig cfg;
+    cfg.workers = 1;
+    cfg.retry = instantRetry(3);
+    FleetServer server(cfg);
+    JobRequest req;
+    req.name = "broken-setup";
+    req.cacheKey = "broken-setup";
+    req.prepare = [](Machine &, AssetCache &) -> PreparedJob {
+        throw std::runtime_error("input matrix file not found");
+    };
+    JobReport report = server.wait(server.submit(std::move(req)));
+    EXPECT_EQ(report.status, JobStatus::SetupFailure);
+    EXPECT_EQ(report.attempts, 1u) << "deterministic failures never retry";
+    EXPECT_NE(report.error.find("input matrix file not found"),
+              std::string::npos);
+    EXPECT_TRUE(report.quarantined);
+}
+
+TEST(Fleet, DigestMismatchFailsFast)
+{
+    FleetConfig cfg;
+    cfg.workers = 1;
+    cfg.retry = instantRetry(3);
+    FleetServer server(cfg);
+    JobRequest req = makeWorkloadRequest({"fib", 11, 0, 0.0});
+    req.expectedDigest ^= 1; // sabotage the reference
+    JobReport report = server.wait(server.submit(std::move(req)));
+    EXPECT_EQ(report.status, JobStatus::DigestMismatch);
+    EXPECT_EQ(report.attempts, 1u);
+    EXPECT_TRUE(report.quarantined);
+}
+
+// ---- Graceful degradation ------------------------------------------------
+
+TEST(Fleet, OverflowShedsLowestPriority)
+{
+    auto started = std::make_shared<std::atomic<bool>>(false);
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+
+    FleetConfig cfg;
+    cfg.workers = 1;
+    cfg.maxQueueDepth = 2;
+    FleetServer server(cfg);
+    FleetServer::JobId pin =
+        server.submit(gatedRequest("pin", started, opened));
+    spinUntil(*started); // the only worker is now stuck inside `pin`
+
+    JobRequest hi = makeWorkloadRequest({"fib", 8, 0, 0.0});
+    hi.priority = 5;
+    JobRequest lo = makeWorkloadRequest({"fib", 9, 0, 0.0});
+    lo.priority = 1;
+    JobRequest mid = makeWorkloadRequest({"fib", 10, 0, 0.0});
+    mid.priority = 3;
+    FleetServer::JobId hi_id = server.submit(std::move(hi));
+    FleetServer::JobId lo_id = server.submit(std::move(lo));
+    FleetServer::JobId mid_id = server.submit(std::move(mid)); // overflow
+
+    gate.set_value();
+    EXPECT_EQ(server.wait(pin).status, JobStatus::Ok);
+    EXPECT_EQ(server.wait(hi_id).status, JobStatus::Ok);
+    EXPECT_EQ(server.wait(mid_id).status, JobStatus::Ok);
+    JobReport shed = server.wait(lo_id);
+    EXPECT_EQ(shed.status, JobStatus::Shed);
+    EXPECT_NE(shed.error.find("shed"), std::string::npos);
+    EXPECT_EQ(server.totals().shed, 1u);
+}
+
+TEST(Fleet, NonDrainShutdownCancelsQueuedAndRunning)
+{
+    auto started = std::make_shared<std::atomic<bool>>(false);
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+
+    FleetConfig cfg;
+    cfg.workers = 1;
+    FleetServer server(cfg);
+    // The pinned job simulates forever once released (a denial hang with
+    // the watchdog disarmed), so the shutdown cancel is the only way it
+    // can terminate — no ordering of gate-release vs shutdown lets it
+    // slip through as Ok.
+    JobRequest pin = gatedRequest("pin", started, opened);
+    pin.runtime.watchdogCycles = 0;
+    pin.runtime.watchdogSwitches = 0;
+    pin.prepare = [started, opened](Machine &, AssetCache &) {
+        started->store(true, std::memory_order_release);
+        opened.wait();
+        PreparedJob prep;
+        prep.root = [](TaskContext &tc) {
+            tc.setReadyCount(1);
+            tc.waitChildren(); // never satisfied: spins until cancelled
+        };
+        return prep;
+    };
+    FleetServer::JobId running = server.submit(std::move(pin));
+    spinUntil(*started);
+    FleetServer::JobId queued =
+        server.submit(makeWorkloadRequest({"fib", 10, 0, 0.0}));
+
+    // shutdown(false) blocks joining the pinned worker, so it runs on a
+    // helper thread; releasing the gate lets the cancel flag take effect
+    // at the first engine dispatch.
+    std::thread stopper([&] { server.shutdown(false); });
+    gate.set_value();
+    stopper.join();
+
+    EXPECT_EQ(server.wait(queued).status, JobStatus::Cancelled);
+    EXPECT_EQ(server.wait(running).status, JobStatus::Cancelled);
+    EXPECT_THROW(server.submit(makeWorkloadRequest({"fib", 8, 0, 0.0})),
+                 std::runtime_error);
+}
+
+TEST(Fleet, DrainShutdownFinishesQueuedWork)
+{
+    FleetConfig cfg;
+    cfg.workers = 2;
+    FleetServer server(cfg);
+    std::vector<FleetServer::JobId> ids;
+    for (uint32_t n = 8; n <= 12; ++n)
+        ids.push_back(server.submit(makeWorkloadRequest({"fib", n, 0, 0.0})));
+    server.shutdown(true);
+    for (FleetServer::JobId id : ids)
+        EXPECT_EQ(server.wait(id).status, JobStatus::Ok);
+}
+
+// ---- Acceptance batch ----------------------------------------------------
+
+TEST(Fleet, AcceptanceBatchDegradesGracefully)
+{
+    // The ISSUE's acceptance scenario in one batch: a deliberately hung
+    // job (straggler fault plan with no watchdog margin), a crashing
+    // setup, and duplicate requests — the batch must complete with the
+    // hang deadline-killed/retried/quarantined, the duplicates served
+    // from cache for free, and every successful digest byte-identical
+    // to the host reference.
+    FleetConfig cfg;
+    cfg.workers = 2;
+    cfg.retry = instantRetry(2);
+    FleetServer server(cfg);
+
+    JobRequest broken;
+    broken.name = "broken-setup";
+    broken.cacheKey = "broken-setup";
+    broken.prepare = [](Machine &, AssetCache &) -> PreparedJob {
+        throw std::runtime_error("synthetic setup crash");
+    };
+
+    FleetServer::JobId fib_id =
+        server.submit(makeWorkloadRequest({"fib", 13, 0, 0.0}));
+    FleetServer::JobId hang_id = server.submit(stragglerHangRequest());
+    FleetServer::JobId broken_id = server.submit(std::move(broken));
+    FleetServer::JobId sort_id =
+        server.submit(makeWorkloadRequest({"cilksort", 400, 900, 0.0}));
+    JobReport fib_report = server.wait(fib_id);
+    // Duplicates of both kinds, submitted after their primaries settled.
+    FleetServer::JobId fib_dup =
+        server.submit(makeWorkloadRequest({"fib", 13, 0, 0.0}));
+    JobReport hang_report = server.wait(hang_id);
+    FleetServer::JobId hang_dup = server.submit(stragglerHangRequest());
+
+    EXPECT_EQ(fib_report.status, JobStatus::Ok) << fib_report.error;
+    EXPECT_EQ(fib_report.digest, static_cast<uint64_t>(fibReference(13)));
+    EXPECT_EQ(hang_report.status, JobStatus::Hang);
+    EXPECT_EQ(hang_report.attempts, 2u);
+    EXPECT_TRUE(hang_report.quarantined);
+    EXPECT_EQ(server.wait(broken_id).status, JobStatus::SetupFailure);
+    EXPECT_EQ(server.wait(sort_id).status, JobStatus::Ok);
+    EXPECT_EQ(server.wait(fib_dup).status, JobStatus::CacheHit);
+    EXPECT_EQ(server.wait(fib_dup).digest, fib_report.digest);
+    EXPECT_EQ(server.wait(hang_dup).status, JobStatus::Quarantined);
+
+    FleetServer::Totals totals = server.totals();
+    EXPECT_EQ(totals.jobs, 6u);
+    EXPECT_EQ(totals.ok, 2u);
+    EXPECT_EQ(totals.cacheHits, 1u);
+    EXPECT_EQ(totals.failures, 2u);
+    EXPECT_EQ(totals.quarantinedRefusals, 1u);
+    EXPECT_EQ(totals.retries, 1u) << "the hang retried exactly once";
+    EXPECT_GT(totals.simsPerSec, 0.0);
+
+    std::string json = server.reportJson();
+    EXPECT_NE(json.find("\"schema\":\"spmrt-fleet-report-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"status\":\"hang\""), std::string::npos);
+    EXPECT_NE(json.find("\"status\":\"setup_failure\""), std::string::npos);
+    EXPECT_NE(json.find("\"status\":\"cache_hit\""), std::string::npos);
+}
+
+} // namespace
+} // namespace serve
+} // namespace spmrt

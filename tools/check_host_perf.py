@@ -20,14 +20,23 @@ first; each point is a full spmrt-host-perf-v1 row set plus a label.
 bench-smoke uses this to publish the would-be next point as an
 artifact, and perf PRs use it to commit the point they land.
 
+Rows may carry a ``series`` tag; rows tagged ``"throughput"`` (the fleet
+batch-simulation series, whose ``speedup`` is multi-worker/serial
+sims-per-sec scaling and varies with host core count) are gated with the
+separate, laxer ``--throughput-tolerance``. ``--require-series NAME``
+fails when the measured file carries no row of that series — CI uses it
+to ensure the fleet bench did not silently drop out of the measurement.
+
 Usage:
     check_host_perf.py <measured.json> <baseline.json>
         [--trajectory BENCH_host_perf.json] [--append <label>]
-        [--tolerance 0.75]
+        [--tolerance 0.75] [--throughput-tolerance 0.5]
+        [--require-series NAME]
 """
 
 import argparse
 import json
+import os
 import sys
 
 TRAJECTORY_SCHEMA = "spmrt-host-perf-trajectory-v1"
@@ -38,31 +47,68 @@ def key_rows(rows):
     return {(r["workload"], r["cores"]): r for r in rows}
 
 
+def load_json(path, what):
+    """Load a JSON document with actionable errors, never a traceback."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        sys.exit(f"{path}: {what} file not found — run the host_perf "
+                 "bench first (build/bench/host_perf) or pass the right "
+                 "path")
+    except IsADirectoryError:
+        sys.exit(f"{path}: is a directory, expected a {what} JSON file")
+    except json.JSONDecodeError as err:
+        sys.exit(f"{path}: not valid JSON ({err}) — the {what} file is "
+                 "truncated or was not written by the host_perf bench")
+
+
 def load_measurement(path):
     """Load a single spmrt-host-perf-v1 measurement."""
-    with open(path) as f:
-        doc = json.load(f)
+    doc = load_json(path, "measurement")
     if doc.get("schema") != POINT_SCHEMA:
-        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r} "
+                 f"(expected {POINT_SCHEMA!r})")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        sys.exit(f"{path}: measurement has no rows — the bench produced "
+                 "an empty result (check its own output for failures)")
+    for row in rows:
+        if "workload" not in row or "cores" not in row:
+            sys.exit(f"{path}: row missing workload/cores: {row!r}")
+        if "speedup" not in row:
+            sys.exit(f"{path}: row {row['workload']}/{row['cores']} has "
+                     "no 'speedup' field")
     return doc
 
 
 def load_trajectory(path):
     """Load a trajectory document, validating schema and point shape."""
-    with open(path) as f:
-        doc = json.load(f)
+    doc = load_json(path, "trajectory")
     if doc.get("schema") != TRAJECTORY_SCHEMA:
-        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r} "
+                 f"(expected {TRAJECTORY_SCHEMA!r})")
     points = doc.get("points", [])
     if not points:
-        sys.exit(f"{path}: trajectory has no points")
+        sys.exit(f"{path}: trajectory has no points — either restore the "
+                 "committed file or append a first point with --append")
     for point in points:
         if "label" not in point or "rows" not in point:
             sys.exit(f"{path}: trajectory point missing label/rows")
+        if not point["rows"]:
+            sys.exit(f"{path}: trajectory point {point['label']!r} has "
+                     "no rows")
     return doc
 
 
-def check(measured, reference, reference_name, tolerance):
+def row_tolerance(base, tolerance, throughput_tolerance):
+    if base.get("series") == "throughput":
+        return throughput_tolerance
+    return tolerance
+
+
+def check(measured, reference, reference_name, tolerance,
+          throughput_tolerance):
     """Gate measured rows against one reference row set."""
     failures = []
     print(f"vs {reference_name}:")
@@ -73,13 +119,14 @@ def check(measured, reference, reference_name, tolerance):
         if row is None:
             failures.append(f"{key}: missing from measured results")
             continue
-        floor = tolerance * base["speedup"]
+        floor = row_tolerance(base, tolerance,
+                              throughput_tolerance) * base["speedup"]
         ok = row["speedup"] >= floor and row.get("equivalent", False)
         status = "ok" if ok else "FAIL"
         print(f"  {key[0]:<10} {key[1]:>6} {row['speedup']:>8.2f}x "
               f"{base['speedup']:>8.2f}x {floor:>6.2f}x  {status}")
         if not row.get("equivalent", False):
-            failures.append(f"{key}: schedulers diverged (equivalent=false)")
+            failures.append(f"{key}: results diverged (equivalent=false)")
         elif row["speedup"] < floor:
             failures.append(
                 f"{key}: speedup {row['speedup']:.2f}x below floor "
@@ -90,9 +137,9 @@ def check(measured, reference, reference_name, tolerance):
 
 def append_point(trajectory_path, measured_doc, label):
     """Append the measured rows to the trajectory (creating it if new)."""
-    try:
+    if os.path.exists(trajectory_path):
         doc = load_trajectory(trajectory_path)
-    except FileNotFoundError:
+    else:
         doc = {"schema": TRAJECTORY_SCHEMA, "points": []}
     doc["points"].append({
         "label": label,
@@ -119,6 +166,13 @@ def main():
     parser.add_argument("--tolerance", type=float, default=0.75,
                         help="minimum fraction of the reference speedup "
                              "that must be retained (default 0.75)")
+    parser.add_argument("--throughput-tolerance", type=float, default=0.5,
+                        help="tolerance applied to rows tagged "
+                             "series=throughput, whose scaling depends on "
+                             "host core count (default 0.5)")
+    parser.add_argument("--require-series", metavar="NAME",
+                        help="fail unless the measured file contains at "
+                             "least one row with this series tag")
     args = parser.parse_args()
     if args.append and not args.trajectory:
         parser.error("--append requires --trajectory")
@@ -127,18 +181,28 @@ def main():
     measured = key_rows(measured_doc["rows"])
     baseline = key_rows(load_measurement(args.baseline)["rows"])
 
-    failures = check(measured, baseline, args.baseline, args.tolerance)
+    failures = []
+    if args.require_series:
+        tagged = [r for r in measured_doc["rows"]
+                  if r.get("series") == args.require_series]
+        if not tagged:
+            failures.append(
+                f"{args.measured}: no row tagged series="
+                f"{args.require_series!r} — the bench that produces that "
+                "series did not run (was it filtered out?)")
+
+    failures += check(measured, baseline, args.baseline, args.tolerance,
+                      args.throughput_tolerance)
     if args.trajectory:
-        try:
-            trajectory = load_trajectory(args.trajectory)
-        except FileNotFoundError:
-            trajectory = None
+        if not os.path.exists(args.trajectory):
             print(f"{args.trajectory}: not found, skipping trajectory gate")
-        if trajectory is not None:
+        else:
+            trajectory = load_trajectory(args.trajectory)
             latest = trajectory["points"][-1]
             failures += check(
                 measured, key_rows(latest["rows"]),
-                f"{args.trajectory}[{latest['label']}]", args.tolerance)
+                f"{args.trajectory}[{latest['label']}]", args.tolerance,
+                args.throughput_tolerance)
 
     if failures:
         print("host-perf regression check FAILED:", file=sys.stderr)
