@@ -4,6 +4,14 @@
  * static runtime with stack in SPM, for the workloads that have a static
  * baseline.
  *
+ * Every (workload, variant) cell is one supervised FleetServer job —
+ * static cells run the static runtime via JobRequest::staticRuntime —
+ * so the whole figure is a single batch submitted up front: cells
+ * parallelize across host workers, each run sits behind the hang
+ * watchdog, verification folds into the digest contract, and the batch
+ * totals are asserted per status at the end (as fleet_batch does), so a
+ * shed or quarantined cell cannot silently vanish from the figure.
+ *
  * Expected shape (paper): 1.2x-28.5x speedups for irregular inputs
  * (PageRank/BFS/SpMV/SpMT on skewed inputs, NQueens, UTS), minimal
  * overhead or slight gains on balanced ones (MatMul, uniform graphs);
@@ -11,9 +19,45 @@
  */
 
 #include "bench/rows.hpp"
+#include "serve/server.hpp"
 
 using namespace spmrt;
 using namespace spmrt::bench;
+
+namespace {
+
+/** One Fig. 9 cell (workload x runtime variant) as a fleet job. */
+serve::JobRequest
+cellRequest(const WorkloadRow &row, const Variant &variant,
+            const MachineConfig &machine_cfg)
+{
+    serve::JobRequest req;
+    req.name = log::format("fig09/%s/%s/%s", row.workload.c_str(),
+                           row.input.c_str(), variant.label);
+    req.cacheKey = req.name;
+    req.machine = machine_cfg;
+    req.runtime = variant.cfg;
+    req.runtime.userSpmReserve = row.spmReserve;
+    req.staticRuntime = variant.isStatic;
+    req.armChecker = false;
+    // Verification folds into the digest contract: 1 = verified.
+    req.expectedDigest = 1;
+    req.hasExpectedDigest = true;
+    auto prepare_row = row.prepare;
+    req.prepare = [prepare_row](Machine &machine, serve::AssetCache &) {
+        auto instance =
+            std::make_shared<RowInstance>(prepare_row(machine));
+        serve::PreparedJob prep;
+        prep.root = [instance](TaskContext &tc) { instance->root(tc); };
+        prep.digest = [instance](Machine &m) {
+            return instance->verify(m) ? 1ull : 0ull;
+        };
+        return prep;
+    };
+    return req;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -24,7 +68,21 @@ main(int argc, char **argv)
     if (quickMode())
         report.comment("QUICK MODE: shrunken inputs");
 
+    serve::FleetServer server;
+    report.comment("batch of supervised fleet jobs across %u host workers",
+                   server.workerCount());
+
+    // Submit the whole figure up front, then settle row by row.
     MachineConfig machine_cfg;
+    const std::vector<Variant> variants = table1Variants();
+    struct PendingRow
+    {
+        std::string workload;
+        std::string input;
+        std::vector<serve::FleetServer::JobId> ids;
+    };
+    std::vector<PendingRow> pending;
+    uint64_t submitted = 0;
     for (const WorkloadRow &row : table1Rows()) {
         if (!row.hasStatic)
             continue; // Fig. 10 covers the spawn-sync workloads
@@ -41,36 +99,67 @@ main(int argc, char **argv)
             continue;
         if (!report.wants(row.workload + "/" + row.input))
             continue;
+        PendingRow p;
+        p.workload = row.workload;
+        p.input = row.input;
+        for (const Variant &variant : variants)
+            p.ids.push_back(
+                server.submit(cellRequest(row, variant, machine_cfg)));
+        submitted += p.ids.size();
+        pending.push_back(std::move(p));
+    }
+
+    for (const PendingRow &p : pending) {
         double baseline = 0;
-        std::vector<std::pair<const char *, double>> cycles;
+        std::vector<double> cycles(variants.size(), 0);
         bool all_ok = true;
-        for (const Variant &variant : table1Variants()) {
-            RowInstance instance;
-            RunResult result = runVariant(
-                variant, machine_cfg, row.spmReserve,
-                [&](Machine &machine) {
-                    instance = row.prepare(machine);
-                },
-                [&](TaskContext &tc) { instance.root(tc); },
-                [&](Machine &machine) {
-                    return instance.verify(machine);
-                });
-            all_ok = all_ok && result.verified;
-            cycles.emplace_back(variant.label,
-                                static_cast<double>(result.cycles));
-            if (std::string(variant.label) == "static spm-stack")
-                baseline = static_cast<double>(result.cycles);
+        for (size_t i = 0; i < variants.size(); ++i) {
+            serve::JobReport job = server.wait(p.ids[i]);
+            bool ok = job.status == serve::JobStatus::Ok ||
+                      job.status == serve::JobStatus::CacheHit;
+            if (!ok)
+                report.fail("%s/%s %s: %s (%s)", p.workload.c_str(),
+                            p.input.c_str(), variants[i].label,
+                            serve::jobStatusName(job.status),
+                            job.error.c_str());
+            all_ok = all_ok && ok;
+            cycles[i] = static_cast<double>(job.cycles);
+            if (std::string(variants[i].label) == "static spm-stack")
+                baseline = static_cast<double>(job.cycles);
         }
-        if (!all_ok)
-            report.fail("%s/%s failed verification",
-                        row.workload.c_str(), row.input.c_str());
         Report &r = report.row()
-                         .cell("workload", row.workload)
-                         .cell("input", row.input);
-        for (const auto &[label, value] : cycles)
-            r.cell(label, baseline / value);
+                         .cell("workload", p.workload)
+                         .cell("input", p.input);
+        for (size_t i = 0; i < variants.size(); ++i)
+            r.cell(variants[i].label,
+                   cycles[i] != 0 ? baseline / cycles[i] : 0.0);
         r.cell("ok", all_ok);
     }
+
+    // Per-status batch accounting: every submitted cell must settle Ok
+    // (or as a cache hit on a resubmitted figure); anything shed,
+    // cancelled, quarantined, or failed is a bench defect even if the
+    // per-cell waits above already flagged it.
+    serve::FleetServer::Totals totals = server.totals();
+    if (totals.jobs != submitted)
+        report.fail("fleet ran %llu jobs, expected %llu",
+                    static_cast<unsigned long long>(totals.jobs),
+                    static_cast<unsigned long long>(submitted));
+    if (totals.ok + totals.cacheHits != totals.jobs)
+        report.fail("fleet: %llu of %llu cells did not settle Ok "
+                    "(%llu failures, %llu shed, %llu cancelled, "
+                    "%llu quarantined)",
+                    static_cast<unsigned long long>(
+                        totals.jobs - totals.ok - totals.cacheHits),
+                    static_cast<unsigned long long>(totals.jobs),
+                    static_cast<unsigned long long>(totals.failures),
+                    static_cast<unsigned long long>(totals.shed),
+                    static_cast<unsigned long long>(totals.cancelled),
+                    static_cast<unsigned long long>(
+                        totals.quarantinedRefusals));
+    report.comment("fleet: %llu jobs, %.2f sims/sec",
+                   static_cast<unsigned long long>(totals.jobs),
+                   totals.simsPerSec);
     report.comment("paper: up to 3.94x for statically schedulable "
                    "workloads, up to 28.5x for dynamic ones");
     return report.finish();

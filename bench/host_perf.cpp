@@ -168,10 +168,12 @@ measureFleet(uint32_t workers)
 }
 
 Sample
-measure(const HostWorkload &workload, uint32_t cores, bool reference)
+measureOnce(const HostWorkload &workload, uint32_t cores, bool reference,
+            uint32_t shards)
 {
     Machine machine(machineFor(cores));
     machine.engine().setReferenceScheduler(reference);
+    machine.engine().setShards(shards);
     Sample sample;
     uint64_t switches0 = machine.engine().switchCount();
     uint64_t syncs0 = machine.engine().syncPointCount();
@@ -185,6 +187,33 @@ measure(const HostWorkload &workload, uint32_t cores, bool reference)
     sample.switches = machine.engine().switchCount() - switches0;
     sample.syncPoints = machine.engine().syncPointCount() - syncs0;
     return sample;
+}
+
+// Best-of-3: the gated quantity is the fast-vs-reference wall ratio, and
+// a single timing on a shared CI runner can swing 30%+ from background
+// load. The min across reps is the standard noise-robust estimator (load
+// only ever adds time). Every rep must reproduce the same digest, cycle
+// count, and switch/syncPoint counts — a rep that diverges is a
+// determinism bug, not noise, and fataling here beats gating on it.
+Sample
+measure(const HostWorkload &workload, uint32_t cores, bool reference,
+        uint32_t shards = 1)
+{
+    constexpr int kReps = 3;
+    Sample best = measureOnce(workload, cores, reference, shards);
+    for (int rep = 1; rep < kReps; ++rep) {
+        Sample s = measureOnce(workload, cores, reference, shards);
+        if (s.digest != best.digest || s.simCycles != best.simCycles ||
+            s.switches != best.switches || s.syncPoints != best.syncPoints)
+            SPMRT_FATAL("host_perf: %s/%u rep %d diverged from rep 0 "
+                        "(digest %llx vs %llx)",
+                        workload.name, cores, rep,
+                        (unsigned long long)s.digest,
+                        (unsigned long long)best.digest);
+        if (s.wallMs < best.wallMs)
+            best.wallMs = s.wallMs;
+    }
+    return best;
 }
 
 } // namespace
@@ -246,6 +275,59 @@ main(int argc, char **argv)
                 ok ? "true" : "false");
         }
     }
+    // ---- Host-parallel engine series ------------------------------------
+    // The sharded engine at 1/2/4/8 host threads on the 128-core paper
+    // machine, against the sequential fast engine. Equivalence is the
+    // hard part of the contract — digests, simulated cycles, switch and
+    // syncPoint counts must byte-match — and is recorded per leg; the
+    // wall-clock ratio is reported honestly (token passing serializes
+    // every globally visible op, so speedup depends entirely on how much
+    // dispatch stays in-shard and on real host cores being available).
+    if (report.wants("parallel")) {
+        const uint32_t shard_counts[] = {1, 2, 4, 8};
+        for (const auto &workload : workloads) {
+            Sample seq = measure(workload, 128, false);
+            for (uint32_t shards : shard_counts) {
+                Sample par = shards == 1
+                                 ? seq
+                                 : measure(workload, 128, false, shards);
+                bool ok = par.digest == seq.digest &&
+                          par.simCycles == seq.simCycles &&
+                          par.switches == seq.switches &&
+                          par.syncPoints == seq.syncPoints;
+                if (!ok)
+                    report.fail("%s at %u shards: parallel engine "
+                                "diverged from sequential",
+                                workload.name, shards);
+                double speedup =
+                    par.wallMs > 0 ? seq.wallMs / par.wallMs : 0;
+                std::string name =
+                    log::format("%s-par%u", workload.name, shards);
+                report.row()
+                    .cell("workload", name)
+                    .cell("cores", 128)
+                    .cell("wall_ms", par.wallMs)
+                    .cell("speedup", speedup)
+                    .cell("switches", par.switches)
+                    .cell("syncpoints", par.syncPoints)
+                    .cell("ok", ok);
+                json += log::format(
+                    "%s\n    {\"workload\": \"%s\", \"cores\": 128, "
+                    "\"series\": \"parallel\", \"shards\": %u, "
+                    "\"wall_ms\": %.3f, \"speedup\": %.3f, "
+                    "\"switches\": %llu, \"syncpoints\": %llu, "
+                    "\"sim_cycles\": %llu, \"equivalent\": %s}",
+                    first ? "" : ",", name.c_str(), shards, par.wallMs,
+                    speedup,
+                    static_cast<unsigned long long>(par.switches),
+                    static_cast<unsigned long long>(par.syncPoints),
+                    static_cast<unsigned long long>(par.simCycles),
+                    ok ? "true" : "false");
+                first = false;
+            }
+        }
+    }
+
     // ---- Fleet batch-throughput series ---------------------------------
     if (report.wants("fleet")) {
         FleetSample serial = measureFleet(1);

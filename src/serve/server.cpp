@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "runtime/static_runtime.hpp"
 #include "runtime/ws_runtime.hpp"
 #include "sim/abort.hpp"
 #include "sim/checker.hpp"
@@ -100,9 +101,12 @@ FleetServer::specKeyFor(const JobRequest &req) const
 {
     if (req.cacheKey.empty())
         return "";
+    // engineShards is deliberately absent: sharding is a host execution
+    // detail with a byte-identical contract (see JobRequest::engineShards),
+    // so cache entries revalidate runs across shard counts.
     return log::format(
         "%s|m%ux%u/spm%u/llc%u|rt:%s/a%u/wd%llu:%llu/s%llu|"
-        "sched:%llu/%llu|fault:%llu/%llu|ck:%d",
+        "sched:%llu/%llu|fault:%llu/%llu|ck:%d|st:%d",
         req.cacheKey.c_str(), req.machine.meshCols, req.machine.meshRows,
         req.machine.spmBytes, req.machine.llcBanks,
         req.runtime.name().c_str(), req.runtime.activeCores,
@@ -113,7 +117,7 @@ FleetServer::specKeyFor(const JobRequest &req) const
         static_cast<unsigned long long>(req.scheduleWindow),
         static_cast<unsigned long long>(req.faultSeed),
         static_cast<unsigned long long>(req.faultHorizon),
-        req.armChecker ? 1 : 0);
+        req.armChecker ? 1 : 0, req.staticRuntime ? 1 : 0);
 }
 
 FleetServer::JobId
@@ -427,10 +431,21 @@ FleetServer::runAttempt(Job &job, uint32_t attempt)
             machine.setFaultPlan(&plan);
         }
 
-        WorkStealingRuntime rt(machine, req.runtime);
-        arm_deadline();
-        Cycles cycles = rt.run(prep.root, prep.rootFrameBytes);
-        disarm_deadline();
+        if (req.engineShards != 0)
+            machine.engine().setShards(req.engineShards);
+
+        Cycles cycles;
+        if (req.staticRuntime) {
+            StaticRuntime rt(machine, req.runtime);
+            arm_deadline();
+            cycles = rt.run(prep.root, prep.rootFrameBytes);
+            disarm_deadline();
+        } else {
+            WorkStealingRuntime rt(machine, req.runtime);
+            arm_deadline();
+            cycles = rt.run(prep.root, prep.rootFrameBytes);
+            disarm_deadline();
+        }
         machine.setFaultPlan(nullptr);
 
         out.cycles = cycles;

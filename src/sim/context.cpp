@@ -19,6 +19,10 @@
 #define SPMRT_ASAN 1
 #endif
 
+#if defined(SPMRT_TSAN)
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace spmrt {
 
 namespace {
@@ -50,6 +54,12 @@ GuestContext::GuestContext() = default;
 
 GuestContext::~GuestContext()
 {
+#if defined(SPMRT_TSAN)
+    // Only init()'d contexts own their fiber; a root context's handle
+    // is the host thread's implicit fiber, which TSan owns.
+    if (stackBase_ != nullptr && tsanFiber_ != nullptr)
+        __tsan_destroy_fiber(tsanFiber_);
+#endif
     if (stackBase_ != nullptr)
         ::munmap(stackBase_, mapBytes_);
 }
@@ -58,6 +68,9 @@ void
 GuestContext::init(size_t stack_bytes, void (*entry)(void *), void *arg)
 {
     SPMRT_ASSERT(stackBase_ == nullptr, "context initialized twice");
+#if defined(SPMRT_TSAN)
+    tsanFiber_ = __tsan_create_fiber(0);
+#endif
 
     const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
     stack_bytes = scaledStackBytes(stack_bytes);
@@ -94,6 +107,17 @@ GuestContext::init(size_t stack_bytes, void (*entry)(void *), void *arg)
 void
 GuestContext::switchTo(GuestContext &from, GuestContext &to)
 {
+#if defined(SPMRT_TSAN)
+    // The suspending side remembers the fiber it ran on (lazily
+    // capturing the thread's implicit fiber for root contexts) and
+    // announces the target before the raw stack swap. Flag 0 makes the
+    // switch a synchronization point, so cross-thread coroutine
+    // handoffs in the parallel engine carry happens-before.
+    from.tsanFiber_ = __tsan_get_current_fiber();
+    SPMRT_ASSERT(to.tsanFiber_ != nullptr,
+                 "switch into a context TSan has never seen");
+    __tsan_switch_to_fiber(to.tsanFiber_, 0);
+#endif
     spmrt_ctx_swap(&from.sp_, to.sp_);
 }
 
@@ -130,6 +154,10 @@ GuestContext::GuestContext() = default;
 
 GuestContext::~GuestContext()
 {
+#if defined(SPMRT_TSAN)
+    if (stackBase_ != nullptr && tsanFiber_ != nullptr)
+        __tsan_destroy_fiber(tsanFiber_);
+#endif
     delete static_cast<ucontext_t *>(ucontextStorage_);
     if (stackBase_ != nullptr)
         ::munmap(stackBase_, mapBytes_);
@@ -138,6 +166,9 @@ GuestContext::~GuestContext()
 void
 GuestContext::init(size_t stack_bytes, void (*entry)(void *), void *arg)
 {
+#if defined(SPMRT_TSAN)
+    tsanFiber_ = __tsan_create_fiber(0);
+#endif
     const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
     stack_bytes = scaledStackBytes(stack_bytes);
     mapBytes_ = ((stack_bytes + page - 1) / page) * page + page;
@@ -167,6 +198,12 @@ GuestContext::init(size_t stack_bytes, void (*entry)(void *), void *arg)
 void
 GuestContext::switchTo(GuestContext &from, GuestContext &to)
 {
+#if defined(SPMRT_TSAN)
+    from.tsanFiber_ = __tsan_get_current_fiber();
+    SPMRT_ASSERT(to.tsanFiber_ != nullptr,
+                 "switch into a context TSan has never seen");
+    __tsan_switch_to_fiber(to.tsanFiber_, 0);
+#endif
     ::swapcontext(asUcontext(from.ucontextStorage_),
                   asUcontext(to.ucontextStorage_));
 }

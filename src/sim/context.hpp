@@ -14,6 +14,18 @@
 #include <cstddef>
 #include <cstdint>
 
+// ThreadSanitizer cannot follow a hand-rolled stack switch; every
+// context carries a TSan fiber handle and switchTo() announces the
+// switch (see __tsan_switch_to_fiber). Without this, the parallel
+// engine's cross-thread coroutine handoffs would be torn shadow stacks.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SPMRT_TSAN 1
+#endif
+#elif defined(__SANITIZE_THREAD__)
+#define SPMRT_TSAN 1
+#endif
+
 namespace spmrt {
 
 /**
@@ -55,6 +67,17 @@ class GuestContext
     void *sp_ = nullptr;       ///< saved stack pointer while suspended
     void *stackBase_ = nullptr; ///< mmap base (guard page at this end)
     size_t mapBytes_ = 0;       ///< total mapped bytes including guard
+
+#if defined(SPMRT_TSAN)
+    /**
+     * TSan fiber handle: created by init() for coroutine contexts, or
+     * captured lazily (the host thread's implicit fiber) the first time
+     * a root context — one that merely names a thread's native stack,
+     * like the engine's scheduler and shard-loop contexts — switches
+     * away. Owned (and destroyed) only when init() created it.
+     */
+    void *tsanFiber_ = nullptr;
+#endif
 
 #if !defined(__x86_64__)
     void *ucontextStorage_ = nullptr; ///< ucontext_t when on the fallback

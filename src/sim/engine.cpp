@@ -26,10 +26,48 @@ defaultReferenceMode()
     return env::boolValue("SPMRT_ENGINE_REFERENCE", compiled_default);
 }
 
+/**
+ * Default shard count, mirroring the reference-scheduler knob: the
+ * SPMRT_ENGINE_SHARDS CMake option sets the compiled default (1 =
+ * sequential) and the same-named environment variable overrides it at
+ * startup. The environment value is validated — a typo'd or oversized
+ * count is a hard error, not a silent clamp (tests/test_errors.cpp).
+ */
+uint32_t
+defaultShardCount()
+{
+#ifdef SPMRT_ENGINE_SHARDS_DEFAULT
+    uint32_t shards = SPMRT_ENGINE_SHARDS_DEFAULT;
+#else
+    uint32_t shards = 1;
+#endif
+    const std::string text = env::stringValue("SPMRT_ENGINE_SHARDS");
+    if (!text.empty()) {
+        std::string error;
+        if (!parseShardCount(text.c_str(),
+                             std::thread::hardware_concurrency(), shards,
+                             error))
+            SPMRT_FATAL("SPMRT_ENGINE_SHARDS: %s", error.c_str());
+    }
+    return shards;
+}
+
+/** One idle iteration of a host spin-wait. */
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#endif
+}
+
 } // namespace
 
 Engine::Engine(uint32_t num_cores, size_t host_stack_bytes)
-    : stackBytes_(host_stack_bytes), referenceMode_(defaultReferenceMode())
+    : stackBytes_(host_stack_bytes), referenceMode_(defaultReferenceMode()),
+      shards_(defaultShardCount())
 {
     numCores_ = num_cores;
     slots_ = std::make_unique<Slot[]>(num_cores);
@@ -80,6 +118,16 @@ Engine::finishCurrent(Slot &slot)
     }
     heapErase(slot.id);
     if (live_ == 0) {
+        if (parallelActive_) {
+            // Last core out: stop every shard loop (including this
+            // thread's own, which exits on runDone_ once we switch back
+            // to it) and let run() — parked in thread joins — return.
+            runDone_.store(true, std::memory_order_relaxed);
+            stopAllShards();
+            GuestContext::switchTo(slot.ctx,
+                                   exec_[plan_->shardOf(slot.id)].loopCtx);
+            return; // resumed by a later run()
+        }
         // Last core out ends the run: hand control back to run().
         GuestContext::switchTo(slot.ctx, schedCtx_);
         return; // resumed by a later run()
@@ -122,6 +170,14 @@ Engine::run()
             heapInsert(i, slots_[i].time);
     }
 
+    if (live_ > 0 && shards_ > 1) {
+        plan_ = std::make_unique<ShardPlan>(numCores_, shards_);
+        if (plan_->numShards() > 1) {
+            runParallel();
+            return;
+        }
+    }
+
     // Dispatch chains run guest-to-guest; control only returns here once
     // the last live core finishes or a supervised interrupt unwinds a
     // dispatch back to the scheduler context (the loop guards against
@@ -133,6 +189,132 @@ Engine::run()
             throwPendingAbort();
     }
     running_ = kInvalidCore;
+}
+
+void
+Engine::runParallel()
+{
+    // The shard plan is rebuilt per run (setShards may change between
+    // runs); coroutine stacks carry no thread affinity of their own, so
+    // a stack parked under one plan resumes correctly under another.
+    const uint32_t num_shards = plan_->numShards();
+    exec_ = std::make_unique<ShardExec[]>(num_shards);
+
+    // The cross-shard lookahead sizes the host wait policy: on this
+    // mesh an event crosses shards within a few simulated cycles, so
+    // the matching host handoff is expected almost immediately and a
+    // parked-thread wakeup (micro-seconds) would dominate it. Spin
+    // long when the lookahead is short, park quickly when shards are
+    // genuinely far apart. Standalone engines (no machine attached)
+    // have no NoC to derive a lookahead from and take the long spin.
+    Cycles lookahead = machineCfg_ != nullptr
+                           ? plan_->lookahead(*machineCfg_)
+                           : ShardPlan::kNoLookahead;
+    spinBudget_ = lookahead > 4 ? 512 : 4096;
+    // Oversubscribed host: all waiters spin while only the token holder
+    // makes progress, so spinning steals the very cycles the handoff is
+    // waiting for. Park immediately instead.
+    const uint32_t host_cores = std::thread::hardware_concurrency();
+    if (host_cores != 0 && host_cores <= num_shards)
+        spinBudget_ = 1;
+
+    parallelActive_ = true;
+    runDone_.store(false, std::memory_order_relaxed);
+
+    shardThreads_.reserve(num_shards);
+    for (uint32_t s = 0; s < num_shards; ++s)
+        shardThreads_.emplace_back([this, s] { shardLoop(s); });
+
+    // The initial dispatch decision is made on this thread while it
+    // still holds the token; dispatchFrom posts the first grant (or
+    // stops everything on an immediate supervised interrupt) and
+    // returns without switching — schedCtx_ is never entered in
+    // parallel mode.
+    dispatchFrom(schedCtx_);
+
+    for (std::thread &thread : shardThreads_)
+        thread.join();
+    shardThreads_.clear();
+
+    parallelActive_ = false;
+    running_ = kInvalidCore;
+    if (abortPending_)
+        throwPendingAbort();
+}
+
+void
+Engine::shardLoop(uint32_t shard)
+{
+    ShardExec &ex = exec_[shard];
+    while (true) {
+        uint32_t grant = takeGrant(ex);
+        if (grant == kGrantStop || runDone_.load(std::memory_order_relaxed))
+            break;
+        // The acquire in takeGrant orders this read of running_ (and all
+        // simulation state) after the poster's release: the token holder
+        // wrote running_ before posting the grant.
+        Slot &slot = slots_[running_];
+        GuestContext::switchTo(ex.loopCtx, slot.ctx);
+        // Control returns here when a guest on this shard either posted
+        // the token elsewhere (wait for the next grant) or ended the run
+        // on this very thread (runDone_ was set under the token we still
+        // logically held when it switched back).
+        // Relaxed: a stale false just parks us in takeGrant until the
+        // stop grant (the authoritative signal) lands.
+        if (runDone_.load(std::memory_order_relaxed))
+            break;
+    }
+}
+
+uint32_t
+Engine::takeGrant(ShardExec &ex)
+{
+    // Spin first: on this mesh a cross-shard handoff lands within a few
+    // simulated cycles, so the grant is usually visible long before a
+    // futex sleep/wake round-trip would finish. Only after the budget is
+    // exhausted does the thread park in atomic::wait.
+    uint32_t grant;
+    for (uint32_t spin = 0; spin < spinBudget_; ++spin) {
+        grant = ex.grant.load(std::memory_order_acquire);
+        if (grant != kGrantNone) {
+            // Relaxed is enough: this store is ordered before the same
+            // thread's next release-post, so the next poster (whoever
+            // receives the token from us) cannot observe a stale value.
+            ex.grant.store(kGrantNone, std::memory_order_relaxed);
+            return grant;
+        }
+        cpuRelax();
+    }
+    // Dekker handshake with postGrant: seq_cst on parked here and on the
+    // poster's read means at least one side sees the other — either the
+    // poster sees parked and notifies, or we see the grant on the wait()
+    // re-check (wait returns immediately when the value already moved).
+    ex.parked.store(true, std::memory_order_seq_cst);
+    while ((grant = ex.grant.load(std::memory_order_acquire)) == kGrantNone)
+        ex.grant.wait(kGrantNone, std::memory_order_acquire);
+    ex.parked.store(false, std::memory_order_relaxed);
+    ex.grant.store(kGrantNone, std::memory_order_relaxed);
+    return grant;
+}
+
+void
+Engine::postGrant(uint32_t shard, uint32_t grant)
+{
+    // Single-poster protocol: only the token holder posts, so no store
+    // here can race another post to the same shard. kGrantStop may
+    // overwrite an unconsumed kGrantRun during shutdown — stop wins by
+    // design, and exec_ is reallocated per run so nothing latches over.
+    ShardExec &ex = exec_[shard];
+    ex.grant.store(grant, std::memory_order_release);
+    if (ex.parked.load(std::memory_order_seq_cst))
+        ex.grant.notify_one();
+}
+
+void
+Engine::stopAllShards()
+{
+    for (uint32_t s = 0; s < plan_->numShards(); ++s)
+        postGrant(s, kGrantStop);
 }
 
 void
@@ -203,9 +385,19 @@ Engine::dispatchFrom(GuestContext &from)
     Slot *next = pickNext();
     if (interruptDue(next->time) && checkInterrupts(next->time)) {
         // Supervised abort: leave the interrupted guest (if any)
-        // suspended and unwind to the scheduler context, where run()
-        // throws the SimAbort on the host stack. The machine is dead
-        // from here on; nothing below may run.
+        // suspended and unwind this thread, where run() throws the
+        // SimAbort on the host stack. The machine is dead from here on;
+        // nothing below may run. In parallel mode the unwind target is
+        // this shard's loop (schedCtx_ is never entered there) and
+        // every other shard loop is stopped first.
+        if (parallelActive_) {
+            runDone_.store(true, std::memory_order_relaxed);
+            stopAllShards();
+            if (&from != &schedCtx_)
+                GuestContext::switchTo(
+                    from, exec_[plan_->shardOf(running_)].loopCtx);
+            return;
+        }
         if (&from != &schedCtx_)
             GuestContext::switchTo(from, schedCtx_);
         return;
@@ -218,8 +410,32 @@ Engine::dispatchFrom(GuestContext &from)
     ++switches_;
     if (next->id == running_)
         return; // re-picked the yielding core: no host switch needed
+    CoreId prev = running_;
     running_ = next->id;
-    GuestContext::switchTo(from, next->ctx);
+    if (!parallelActive_) {
+        GuestContext::switchTo(from, next->ctx);
+        return;
+    }
+
+    // Parallel dispatch. In-shard: direct guest-to-guest switch, same
+    // cost as the sequential engine. Cross-shard: publish the decision
+    // by handing the token to the target shard (the release store on
+    // its grant makes running_ and all simulation state visible), then
+    // retire this thread to its own shard loop to await the next grant.
+    const uint32_t target = plan_->shardOf(next->id);
+    if (&from == &schedCtx_) {
+        // Initial dispatch from run(): post the first grant; the caller
+        // parks in thread joins rather than a context.
+        postGrant(target, kGrantRun);
+        return;
+    }
+    const uint32_t mine = plan_->shardOf(prev);
+    if (target == mine) {
+        GuestContext::switchTo(from, next->ctx);
+        return;
+    }
+    postGrant(target, kGrantRun);
+    GuestContext::switchTo(from, exec_[mine].loopCtx);
 }
 
 void

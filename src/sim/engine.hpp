@@ -40,6 +40,19 @@
  * reproducible — interleaving of the same program: lock races resolve
  * differently, steals hit different victims. Sweeping seeds with the
  * ConcurrencyChecker armed turns the simulator into a protocol fuzzer.
+ *
+ * Host-parallel mode (setShards / SPMRT_ENGINE_SHARDS) partitions the
+ * simulated cores into per-host-thread shards (ShardPlan) and makes every
+ * core's coroutine affine to its shard's thread. Scheduling stays exact:
+ * a single grant token serializes all engine and simulation state, and a
+ * dispatch either switches guest-to-guest inside the current shard (as
+ * cheap as the sequential engine) or hands the token to the target shard
+ * with a release/acquire grant. Because every decision runs the same code
+ * over token-serialized state, digests, cycles, switch counts, and
+ * syncPoint counts are byte-identical to the sequential engine by
+ * construction — see DESIGN.md Sec. 14 for the full protocol and why the
+ * mesh's one-cycle cross-shard lookahead rules out free-running
+ * conservative windows.
  */
 
 #ifndef SPMRT_SIM_ENGINE_HPP
@@ -49,6 +62,7 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/log.hpp"
@@ -57,6 +71,7 @@
 #include "obs/trace.hpp"
 #include "sim/abort.hpp"
 #include "sim/context.hpp"
+#include "sim/shard.hpp"
 
 namespace spmrt {
 
@@ -202,6 +217,44 @@ class Engine
 
     /** True while the linear-scan oracle scheduler is selected. */
     bool referenceScheduler() const { return referenceMode_; }
+    /** @} */
+
+    /**
+     * @name Host-parallel sharding
+     *
+     * With more than one shard, run() partitions the simulated cores
+     * into contiguous balanced shards (ShardPlan) and executes each
+     * shard's coroutines on a dedicated host thread, passing a single
+     * grant token between threads so every scheduling decision and
+     * simulated operation still runs serialized over the same state in
+     * the same order: results, cycle counts, and switch/syncPoint
+     * counts are byte-identical to the sequential engine. One shard is
+     * exactly the sequential engine. The default comes from the
+     * SPMRT_ENGINE_SHARDS environment variable (validated: a positive
+     * integer no larger than the host's core count) or the same-named
+     * CMake option. The reference oracle scheduler is always
+     * sequential and ignores the shard count.
+     * @{
+     */
+    void
+    setShards(uint32_t shards)
+    {
+        SPMRT_ASSERT(running_ == kInvalidCore,
+                     "cannot reshard while guest code runs");
+        SPMRT_ASSERT(shards >= 1, "shard count must be at least 1");
+        shards_ = shards;
+    }
+
+    /** Configured shard count (clamped to the core count at run()). */
+    uint32_t shards() const { return shards_; }
+
+    /**
+     * Attach the owning machine's configuration (must outlive the
+     * engine) so parallel runs can derive the shard plan's cross-shard
+     * lookahead, which sizes the spin-before-park grant wait. Optional:
+     * a standalone engine runs parallel with the default wait policy.
+     */
+    void setMachineConfig(const MachineConfig *cfg) { machineCfg_ = cfg; }
     /** @} */
 
     /**
@@ -431,6 +484,45 @@ class Engine
     /** The original O(N) linear-scan scheduling loop (oracle). */
     void runReference();
 
+    /**
+     * @name Token-passing parallel execution
+     *
+     * One ShardExec per shard: a loop context (the shard thread's native
+     * stack, switched to whenever the shard is between grants) and the
+     * grant mailbox. The token invariant: at any instant at most one
+     * thread is past takeGrant() and before its matching postGrant();
+     * only that thread touches engine or simulation state. Handoff
+     * ordering is release (post) / acquire (take), and every guest
+     * coroutine only ever runs on its shard's thread.
+     * @{
+     */
+    static constexpr uint32_t kGrantNone = 0;
+    static constexpr uint32_t kGrantRun = 1;  ///< resume slot running_
+    static constexpr uint32_t kGrantStop = 2; ///< run over: exit the loop
+
+    struct alignas(64) ShardExec
+    {
+        std::atomic<uint32_t> grant{kGrantNone};
+        std::atomic<bool> parked{false}; ///< waiter is in a futex wait
+        GuestContext loopCtx;            ///< root ctx of the shard thread
+    };
+
+    /** Thread-pool body: wait for grants, resume this shard's guests. */
+    void shardLoop(uint32_t shard);
+
+    /** Hand the token (or a stop) to @p shard. */
+    void postGrant(uint32_t shard, uint32_t grant);
+
+    /** Wait for (and consume) this shard's next grant. */
+    uint32_t takeGrant(ShardExec &ex);
+
+    /** Stop every shard loop (run completion or supervised abort). */
+    void stopAllShards();
+
+    /** The sharded scheduling loop (called by run() when shards > 1). */
+    void runParallel();
+    /** @} */
+
     /** Body-return bookkeeping for the current core. */
     void finishCurrent(Slot &slot);
 
@@ -486,6 +578,23 @@ class Engine
     uint64_t syncPoints_ = 0;
     size_t stackBytes_;
     bool referenceMode_;
+
+    // Host-parallel state. Written only between runs (shards_) or under
+    // the grant token (runDone_); the grant/parked atomics are the sole
+    // authoritative cross-thread channel during a parallel run. runDone_
+    // is atomic because a shard loop peeks at it right after posting the
+    // token away (an early exit untethered from the grant handshake) —
+    // a stale false there is harmless (the stop grant still arrives),
+    // but the load must not race formally. Relaxed ordering suffices:
+    // every decision that *matters* rides the release/acquire grant.
+    uint32_t shards_ = 1;
+    bool parallelActive_ = false; ///< inside runParallel()
+    std::atomic<bool> runDone_{false}; ///< set under the token
+    uint32_t spinBudget_ = 0;     ///< takeGrant() spins before parking
+    const MachineConfig *machineCfg_ = nullptr; ///< for the lookahead
+    std::unique_ptr<ShardPlan> plan_;
+    std::unique_ptr<ShardExec[]> exec_;
+    std::vector<std::thread> shardThreads_;
 
     // Indexed-heap scheduler state.
     std::vector<HeapKey> heap_;      ///< runnable cores, packed (time, id)

@@ -37,6 +37,7 @@ class Machine
           dramHeap_(AddressMap::kDramBase,
                     cfg.dramBytes)
     {
+        engine_.setMachineConfig(&cfg_);
         cores_.reserve(cfg.numCores());
         for (CoreId i = 0; i < cfg.numCores(); ++i)
             cores_.push_back(std::make_unique<Core>(engine_, mem_, i, cfg_));

@@ -1,0 +1,148 @@
+#include "sim/shard.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+
+#include "common/log.hpp"
+
+namespace spmrt {
+
+bool
+parseShardCount(const char *text, uint32_t host_cores, uint32_t &out,
+                std::string &error)
+{
+    SPMRT_ASSERT(text != nullptr, "parseShardCount: null input");
+    const char *p = text;
+    while (std::isspace(static_cast<unsigned char>(*p)))
+        ++p;
+    if (*p == '\0') {
+        error = "shard count is empty; expected a positive integer";
+        return false;
+    }
+    if (*p == '-') {
+        error = log::format("shard count '%s' is negative; "
+                            "expected a positive integer",
+                            text);
+        return false;
+    }
+    char *end = nullptr;
+    unsigned long long value = std::strtoull(p, &end, 10);
+    if (end == p) {
+        error = log::format("shard count '%s' is not a number; "
+                            "expected a positive integer",
+                            text);
+        return false;
+    }
+    while (std::isspace(static_cast<unsigned char>(*end)))
+        ++end;
+    if (*end != '\0') {
+        error = log::format("shard count '%s' has trailing garbage; "
+                            "expected a positive integer",
+                            text);
+        return false;
+    }
+    if (value == 0) {
+        error = log::format("shard count '%s' is zero; the engine needs "
+                            "at least one shard",
+                            text);
+        return false;
+    }
+    if (host_cores != 0 && value > host_cores) {
+        error = log::format("shard count '%s' exceeds the %u host cores; "
+                            "a shard is a dedicated host thread",
+                            text, host_cores);
+        return false;
+    }
+    if (value > std::numeric_limits<uint32_t>::max()) {
+        error = log::format("shard count '%s' is out of range", text);
+        return false;
+    }
+    out = static_cast<uint32_t>(value);
+    return true;
+}
+
+ShardPlan::ShardPlan(uint32_t num_cores, uint32_t num_shards)
+    : numCores_(num_cores)
+{
+    SPMRT_ASSERT(num_cores > 0, "ShardPlan over zero cores");
+    SPMRT_ASSERT(num_shards > 0, "ShardPlan with zero shards");
+    numShards_ = num_shards < num_cores ? num_shards : num_cores;
+
+    shardOf_.resize(num_cores);
+    begin_.resize(numShards_ + 1);
+    const uint32_t base = num_cores / numShards_;
+    const uint32_t extra = num_cores % numShards_;
+    CoreId next = 0;
+    for (uint32_t s = 0; s < numShards_; ++s) {
+        begin_[s] = next;
+        uint32_t size = base + (s < extra ? 1 : 0);
+        for (uint32_t i = 0; i < size; ++i)
+            shardOf_[next++] = s;
+    }
+    begin_[numShards_] = next;
+    SPMRT_ASSERT(next == num_cores, "ShardPlan partition does not cover "
+                                    "all cores");
+}
+
+Cycles
+ShardPlan::routeLatency(const MachineConfig &cfg, uint32_t src_x,
+                        int32_t src_y, uint32_t dst_x, int32_t dst_y)
+{
+    // Closed form of the router's dimension-ordered walk (noc.cpp): the
+    // X distance is covered greedily by ruche express hops of length
+    // rucheX while the remaining distance allows, then single links;
+    // the Y distance is always single links (LLC rows included).
+    uint32_t dx = src_x < dst_x ? dst_x - src_x : src_x - dst_x;
+    uint32_t x_hops;
+    if (cfg.rucheX > 1)
+        x_hops = dx / cfg.rucheX + dx % cfg.rucheX;
+    else
+        x_hops = dx;
+    uint32_t y_hops = static_cast<uint32_t>(
+        src_y < dst_y ? dst_y - src_y : src_y - dst_y);
+    return static_cast<Cycles>(x_hops + y_hops) * cfg.linkLatency;
+}
+
+Cycles
+ShardPlan::lookahead(const MachineConfig &cfg) const
+{
+    SPMRT_ASSERT(cfg.numCores() == numCores_,
+                 "lookahead: config has %u cores but the plan covers %u",
+                 cfg.numCores(), numCores_);
+    if (numShards_ <= 1)
+        return kNoLookahead;
+
+    Cycles best = std::numeric_limits<Cycles>::max();
+    for (CoreId src = 0; src < numCores_; ++src) {
+        uint32_t sx = cfg.coreX(src);
+        int32_t sy = static_cast<int32_t>(cfg.coreY(src));
+        uint32_t src_shard = shardOf_[src];
+        // Remote-SPM routes into every other shard's cores.
+        for (CoreId dst = 0; dst < numCores_; ++dst) {
+            if (shardOf_[dst] == src_shard)
+                continue;
+            Cycles lat = routeLatency(cfg, sx, sy, cfg.coreX(dst),
+                                      static_cast<int32_t>(cfg.coreY(dst)));
+            if (lat < best)
+                best = lat;
+        }
+        // Shared LLC banks: traffic into a bank perturbs queueing state
+        // every shard observes, so a bank is cross-shard-visible ground
+        // regardless of which shard the packet came from.
+        uint32_t half = cfg.llcBanks / 2;
+        for (uint32_t bank = 0; bank < cfg.llcBanks; ++bank) {
+            bool top = bank < half;
+            uint32_t index = top ? bank : bank - half;
+            uint32_t bx = index % cfg.meshCols;
+            int32_t by =
+                top ? -1 : static_cast<int32_t>(cfg.meshRows);
+            Cycles lat = routeLatency(cfg, sx, sy, bx, by);
+            if (lat < best)
+                best = lat;
+        }
+    }
+    return best;
+}
+
+} // namespace spmrt

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Shard partitioning for the host-parallel engine.
+ *
+ * A ShardPlan assigns every simulated core to exactly one of N host
+ * shards (one host thread each). The partition is contiguous in core-id
+ * order — which, with the row-major mesh numbering, keeps each shard a
+ * band of adjacent mesh rows — and balanced to within one core.
+ *
+ * The plan also computes the classic conservative-PDES *lookahead* of
+ * the partition: the minimum simulated latency at which an event
+ * produced inside one shard can first become observable outside it. An
+ * event leaves a shard either as a remote-SPM packet addressed to a
+ * core of another shard or as traffic into a shared LLC bank (whose
+ * queueing state every shard observes), so the lookahead is the minimum
+ * unloaded header-arrival latency over all such routes under the NoC's
+ * dimension-ordered X-Y routing with ruche express channels. Queueing
+ * and payload serialization only ever add delay, so the unloaded header
+ * latency is the conservative bound; tests/test_shard.cpp cross-checks
+ * the closed form against a literal re-walk of the router's hop loop
+ * and exercises the windowed-execution model built on it.
+ *
+ * On the paper's mesh the lookahead degenerates to a single link
+ * latency (adjacent cores straddle every shard boundary, and the edge
+ * rows sit one hop from the LLC rows), which is precisely why the
+ * parallel engine serializes globally visible operations with a grant
+ * token instead of running shards freely inside time windows — see
+ * DESIGN.md Sec. 14. The lookahead still sizes the engine's
+ * spin-before-park wait policy: a handoff expected within a few
+ * simulated cycles is worth spinning for on the host.
+ */
+
+#ifndef SPMRT_SIM_SHARD_HPP
+#define SPMRT_SIM_SHARD_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/config.hpp"
+
+namespace spmrt {
+
+/**
+ * Parse and validate a shard-count string (the SPMRT_ENGINE_SHARDS
+ * environment value). Accepts exactly a positive decimal integer no
+ * larger than @p host_cores; rejects empty strings, non-numeric or
+ * trailing-junk input, zero, negative values, and counts beyond the
+ * host (a shard is a dedicated host thread — oversubscription would
+ * only serialize the token behind the OS scheduler). @p host_cores of 0
+ * (unknown host) skips the upper-bound check.
+ *
+ * @param text the string to parse (must not be nullptr).
+ * @param host_cores number of host CPUs, or 0 when unknown.
+ * @param out receives the parsed count on success.
+ * @param error receives a one-line diagnostic on failure.
+ * @return true on success.
+ */
+bool parseShardCount(const char *text, uint32_t host_cores, uint32_t &out,
+                     std::string &error);
+
+/**
+ * Contiguous balanced assignment of simulated cores to host shards.
+ */
+class ShardPlan
+{
+  public:
+    /** Lookahead value when no cross-shard route exists (single shard). */
+    static constexpr Cycles kNoLookahead = 0;
+
+    /**
+     * Partition @p num_cores cores into @p num_shards contiguous
+     * shards, sizes balanced to within one core (the first
+     * `num_cores % num_shards` shards take the extra core). A shard
+     * count above the core count is clamped to one shard per core.
+     */
+    ShardPlan(uint32_t num_cores, uint32_t num_shards);
+
+    /** Number of shards. */
+    uint32_t numShards() const { return numShards_; }
+
+    /** Number of cores covered by the plan. */
+    uint32_t numCores() const { return numCores_; }
+
+    /** Shard owning core @p id (O(1)). */
+    uint32_t shardOf(CoreId id) const { return shardOf_[id]; }
+
+    /** First core id of shard @p shard. */
+    CoreId shardBegin(uint32_t shard) const { return begin_[shard]; }
+
+    /** One past the last core id of shard @p shard. */
+    CoreId shardEnd(uint32_t shard) const { return begin_[shard + 1]; }
+
+    /** Number of cores in shard @p shard. */
+    uint32_t
+    shardSize(uint32_t shard) const
+    {
+        return begin_[shard + 1] - begin_[shard];
+    }
+
+    /**
+     * Unloaded X-Y route latency (cycles) from core-array node
+     * (@p src_x, @p src_y) to endpoint (@p dst_x, @p dst_y), where y of
+     * -1 / meshRows addresses the top / bottom LLC rows: the hop count
+     * of the router's dimension-ordered walk (greedy ruche express in
+     * X) times the per-link latency. Closed form; the router's loop is
+     * the oracle it is tested against.
+     */
+    static Cycles routeLatency(const MachineConfig &cfg, uint32_t src_x,
+                               int32_t src_y, uint32_t dst_x,
+                               int32_t dst_y);
+
+    /**
+     * Conservative-PDES lookahead of this partition on machine @p cfg:
+     * the minimum routeLatency() from any core to any core of a
+     * *different* shard or to any LLC bank (shared by all shards).
+     * Returns kNoLookahead when the plan has a single shard (no
+     * cross-shard route exists). @p cfg must describe numCores() cores.
+     */
+    Cycles lookahead(const MachineConfig &cfg) const;
+
+  private:
+    uint32_t numCores_;
+    uint32_t numShards_;
+    std::vector<uint32_t> shardOf_; ///< core id -> shard
+    std::vector<CoreId> begin_;     ///< shard -> first core (+ sentinel)
+};
+
+} // namespace spmrt
+
+#endif // SPMRT_SIM_SHARD_HPP

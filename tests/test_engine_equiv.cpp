@@ -157,10 +157,11 @@ makeWorkloads()
  */
 Outcome
 runOnce(const Workload &workload, const Regime &regime, bool reference,
-        bool compiled_routes = true)
+        bool compiled_routes = true, uint32_t shards = 1)
 {
     Machine machine(MachineConfig::tiny());
     machine.engine().setReferenceScheduler(reference);
+    machine.engine().setShards(shards);
     machine.mem().noc().setCompiledRoutes(compiled_routes);
     ConcurrencyChecker *ck = machine.armChecker();
     if (regime.perturb)
@@ -231,6 +232,64 @@ workloadName(const ::testing::TestParamInfo<size_t> &info)
 }
 
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, SchedulerEquivalence,
+                         ::testing::Range<size_t>(0, 4), workloadName);
+
+// ---- Host-parallel engine vs. the sequential fast engine -----------------
+
+/**
+ * The sharded engine's contract is the same as the fast scheduler's:
+ * host cost may change, simulation must not. For every workload, shard
+ * count, and scheduling regime — strict, four perturbation seeds, and
+ * fault-injected — a parallel run must produce byte-identical digests,
+ * cycle counts, and switch/syncPoint counts against the sequential fast
+ * engine, with the concurrency checker armed and silent on both sides.
+ * One shard must take the sequential path exactly (it *is* the baseline
+ * by construction, but the run is kept in the matrix so a regression
+ * that accidentally engages the token machinery at one shard fails
+ * loudly).
+ */
+class ParallelEngineEquivalence : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(ParallelEngineEquivalence, ShardedMatchesSequentialBitForBit)
+{
+    const Workload workload = makeWorkloads()[GetParam()];
+    SCOPED_TRACE(workload.name);
+
+    std::vector<Regime> regimes;
+    regimes.push_back({"strict", false, 0, false, 0});
+    for (uint64_t seed = 1; seed <= 4; ++seed)
+        regimes.push_back({"perturbed", true, seed, false, 0});
+    regimes.push_back({"faulted", false, 0, true, 5});
+
+    for (const Regime &regime : regimes) {
+        SCOPED_TRACE(regime.name);
+        Outcome sequential = runOnce(workload, regime, false);
+        EXPECT_EQ(sequential.digest, workload.reference);
+
+        for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+            SCOPED_TRACE(std::to_string(shards) + " shards");
+            Outcome sharded =
+                runOnce(workload, regime, false, true, shards);
+            EXPECT_EQ(sharded.digest, sequential.digest)
+                << "result diverged under " << shards << " shards";
+            EXPECT_EQ(sharded.cycles, sequential.cycles)
+                << "cycle counts diverged under " << shards << " shards";
+            EXPECT_EQ(sharded.switches, sequential.switches)
+                << "switch counts diverged under " << shards << " shards";
+            EXPECT_EQ(sharded.syncPoints, sequential.syncPoints)
+                << "syncPoint counts diverged under " << shards
+                << " shards";
+#if SPMRT_CHECKER_ENABLED
+            EXPECT_EQ(sharded.violations, 0u)
+                << shards << " shards:\n" << sharded.report;
+#endif
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, ParallelEngineEquivalence,
                          ::testing::Range<size_t>(0, 4), workloadName);
 
 // ---- Memory fast paths vs. the fully-uncached reference ------------------

@@ -1,0 +1,473 @@
+/**
+ * @file
+ * Property tests for the host-parallel engine's shard layer.
+ *
+ * Three strata:
+ *  - ShardPlan partition invariants (coverage, contiguity, balance,
+ *    clamping) over a sweep of core/shard combinations;
+ *  - the closed-form routeLatency and the brute-force lookahead, each
+ *    cross-checked against an independent oracle that literally re-walks
+ *    the router's dimension-ordered hop loop (noc.cpp), plus a seeded
+ *    two-shard windowed-execution model showing no cross-shard event can
+ *    become visible earlier than the lookahead bound;
+ *  - the engine itself under shards: identical interleavings, switch and
+ *    syncPoint counts, block/unblock, and mixed sequential/parallel runs
+ *    on a reused engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/config.hpp"
+#include "sim/engine.hpp"
+#include "sim/shard.hpp"
+
+namespace spmrt {
+namespace {
+
+// ---------------------------------------------------------------------
+// Partition invariants.
+
+TEST(ShardPlan, EveryCoreInExactlyOneShard)
+{
+    for (uint32_t cores : {1u, 2u, 7u, 8u, 32u, 128u, 129u}) {
+        for (uint32_t shards : {1u, 2u, 3u, 4u, 8u, 16u}) {
+            ShardPlan plan(cores, shards);
+            std::vector<uint32_t> owners(cores, 0);
+            for (uint32_t s = 0; s < plan.numShards(); ++s)
+                for (CoreId id = plan.shardBegin(s); id < plan.shardEnd(s);
+                     ++id)
+                    ++owners[id];
+            for (CoreId id = 0; id < cores; ++id) {
+                EXPECT_EQ(owners[id], 1u)
+                    << "core " << id << " covered " << owners[id]
+                    << " times under " << cores << "/" << shards;
+                EXPECT_GE(id, plan.shardBegin(plan.shardOf(id)));
+                EXPECT_LT(id, plan.shardEnd(plan.shardOf(id)));
+            }
+        }
+    }
+}
+
+TEST(ShardPlan, ContiguousAndBalanced)
+{
+    for (uint32_t cores : {4u, 31u, 32u, 33u, 128u}) {
+        for (uint32_t shards : {2u, 3u, 4u, 5u, 8u}) {
+            ShardPlan plan(cores, shards);
+            uint32_t min_size = cores, max_size = 0;
+            CoreId expect_begin = 0;
+            for (uint32_t s = 0; s < plan.numShards(); ++s) {
+                EXPECT_EQ(plan.shardBegin(s), expect_begin)
+                    << "shard " << s << " not contiguous";
+                expect_begin = plan.shardEnd(s);
+                min_size = std::min(min_size, plan.shardSize(s));
+                max_size = std::max(max_size, plan.shardSize(s));
+            }
+            EXPECT_EQ(expect_begin, cores);
+            EXPECT_LE(max_size - min_size, 1u)
+                << "unbalanced partition under " << cores << "/" << shards;
+        }
+    }
+}
+
+TEST(ShardPlan, ClampsShardsToCores)
+{
+    ShardPlan plan(3, 8);
+    EXPECT_EQ(plan.numShards(), 3u);
+    for (uint32_t s = 0; s < 3; ++s)
+        EXPECT_EQ(plan.shardSize(s), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Route-latency oracle: literally re-walk the router's hop loops
+// (MeshNoc::buildRoute in noc.cpp) and charge linkLatency per hop
+// chosen. Deliberately written as the router writes it — greedy ruche
+// express while the remaining X distance allows — so a change to either
+// side of the equivalence breaks this test.
+
+Cycles
+walkLatencyOracle(const MachineConfig &cfg, uint32_t x, int32_t y,
+                  uint32_t dst_x, int32_t dst_y)
+{
+    Cycles t = 0;
+    while (x != dst_x) {
+        uint32_t dist = x < dst_x ? dst_x - x : x - dst_x;
+        bool east = x < dst_x;
+        if (cfg.rucheX > 1 && dist >= cfg.rucheX)
+            x = east ? x + cfg.rucheX : x - cfg.rucheX;
+        else
+            x = east ? x + 1 : x - 1;
+        t += cfg.linkLatency;
+    }
+    while (y != dst_y) {
+        y += y > dst_y ? -1 : 1;
+        t += cfg.linkLatency;
+    }
+    return t;
+}
+
+std::vector<MachineConfig>
+meshSweep()
+{
+    std::vector<MachineConfig> sweep;
+    for (uint32_t ruche : {1u, 2u, 3u, 5u}) {
+        for (Cycles link : {Cycles(1), Cycles(2)}) {
+            MachineConfig tiny = MachineConfig::tiny();
+            tiny.rucheX = ruche;
+            tiny.linkLatency = link;
+            sweep.push_back(tiny);
+            MachineConfig small = MachineConfig::small();
+            small.rucheX = ruche;
+            small.linkLatency = link;
+            sweep.push_back(small);
+        }
+    }
+    MachineConfig paper; // the default 16x8 mesh with ruche 3
+    sweep.push_back(paper);
+    return sweep;
+}
+
+TEST(ShardRoute, ClosedFormMatchesRouterWalk)
+{
+    for (const MachineConfig &cfg : meshSweep()) {
+        // All core-to-core pairs plus both LLC rows (y = -1, meshRows).
+        std::vector<int32_t> rows;
+        rows.push_back(-1);
+        for (uint32_t y = 0; y < cfg.meshRows; ++y)
+            rows.push_back(static_cast<int32_t>(y));
+        rows.push_back(static_cast<int32_t>(cfg.meshRows));
+        for (uint32_t sx = 0; sx < cfg.meshCols; ++sx)
+            for (uint32_t sy = 0; sy < cfg.meshRows; ++sy)
+                for (uint32_t dx = 0; dx < cfg.meshCols; ++dx)
+                    for (int32_t dy : rows)
+                        EXPECT_EQ(
+                            ShardPlan::routeLatency(
+                                cfg, sx, static_cast<int32_t>(sy), dx, dy),
+                            walkLatencyOracle(
+                                cfg, sx, static_cast<int32_t>(sy), dx, dy))
+                            << "ruche " << cfg.rucheX << " link "
+                            << cfg.linkLatency << " (" << sx << "," << sy
+                            << ") -> (" << dx << "," << dy << ")";
+    }
+}
+
+// Independent lookahead oracle: min walk-latency over every cross-shard
+// core pair and every core-to-LLC-bank route, using the re-walk oracle
+// rather than the closed form.
+Cycles
+lookaheadOracle(const MachineConfig &cfg, const ShardPlan &plan)
+{
+    Cycles best = ~Cycles(0);
+    for (CoreId src = 0; src < cfg.numCores(); ++src) {
+        for (CoreId dst = 0; dst < cfg.numCores(); ++dst) {
+            if (plan.shardOf(src) == plan.shardOf(dst))
+                continue;
+            best = std::min(
+                best, walkLatencyOracle(
+                          cfg, cfg.coreX(src),
+                          static_cast<int32_t>(cfg.coreY(src)),
+                          cfg.coreX(dst),
+                          static_cast<int32_t>(cfg.coreY(dst))));
+        }
+        uint32_t half = cfg.llcBanks / 2;
+        for (uint32_t bank = 0; bank < cfg.llcBanks; ++bank) {
+            bool top = bank < half;
+            uint32_t index = top ? bank : bank - half;
+            best = std::min(
+                best,
+                walkLatencyOracle(cfg, cfg.coreX(src),
+                                  static_cast<int32_t>(cfg.coreY(src)),
+                                  index % cfg.meshCols,
+                                  top ? -1
+                                      : static_cast<int32_t>(cfg.meshRows)));
+        }
+    }
+    return best;
+}
+
+TEST(ShardLookahead, MatchesBruteForceOracleAcrossMeshes)
+{
+    for (const MachineConfig &cfg : meshSweep()) {
+        for (uint32_t shards : {2u, 3u, 4u, 8u}) {
+            ShardPlan plan(cfg.numCores(), shards);
+            if (plan.numShards() < 2)
+                continue;
+            EXPECT_EQ(plan.lookahead(cfg), lookaheadOracle(cfg, plan))
+                << cfg.meshCols << "x" << cfg.meshRows << " ruche "
+                << cfg.rucheX << " shards " << shards;
+        }
+    }
+}
+
+TEST(ShardLookahead, SingleShardHasNoCrossRoute)
+{
+    MachineConfig cfg = MachineConfig::tiny();
+    ShardPlan plan(cfg.numCores(), 1);
+    EXPECT_EQ(plan.lookahead(cfg), ShardPlan::kNoLookahead);
+}
+
+TEST(ShardLookahead, PaperMeshDegeneratesToOneLink)
+{
+    // Row-banded shards on the 16x8 / ruche-3 mesh put vertically
+    // adjacent cores in different shards, so the lookahead collapses to
+    // a single link latency — the documented reason the engine passes a
+    // token instead of free-running windows (DESIGN.md Sec. 14).
+    MachineConfig cfg;
+    ShardPlan plan(cfg.numCores(), 4);
+    EXPECT_EQ(plan.lookahead(cfg), cfg.linkLatency);
+}
+
+// ---------------------------------------------------------------------
+// Seeded two-shard windowed-execution model. A conservative-PDES
+// executive may only advance a shard to local time T when every event
+// the other shard could still send it is stamped >= T; with lookahead L
+// and the peer's clock at P, the window bound is P + L. The model runs
+// two shard clocks through seeded random event exchanges and asserts
+// that no delivery lands inside the receiver's supposedly-safe window —
+// i.e. every cross-shard event arrives no earlier than send + L, so a
+// window that only admits times < peer + L can never miss an event.
+
+TEST(ShardWindowModel, NoEventBeatsTheLookaheadBound)
+{
+    for (uint64_t seed = 0; seed < 16; ++seed) {
+        MachineConfig cfg = MachineConfig::small();
+        ShardPlan plan(cfg.numCores(), 2);
+        const Cycles lookahead = plan.lookahead(cfg);
+        ASSERT_GT(lookahead, 0u);
+
+        Xoshiro256StarStar rng(hash64(seed ^ 0x5a4dull));
+        Cycles clock[2] = {0, 0};
+        for (int step = 0; step < 2000; ++step) {
+            // Advance a random shard's clock, then send an event from a
+            // random core of that shard to a random core of the other.
+            uint32_t src_shard = static_cast<uint32_t>(rng.next() & 1);
+            uint32_t dst_shard = 1 - src_shard;
+            clock[src_shard] += rng.next() % 7;
+
+            auto pick = [&](uint32_t shard) {
+                uint32_t size = plan.shardSize(shard);
+                return static_cast<CoreId>(plan.shardBegin(shard) +
+                                           rng.next() % size);
+            };
+            CoreId src = pick(src_shard);
+            CoreId dst = pick(dst_shard);
+            Cycles sent = clock[src_shard];
+            Cycles arrives =
+                sent + ShardPlan::routeLatency(
+                           cfg, cfg.coreX(src),
+                           static_cast<int32_t>(cfg.coreY(src)),
+                           cfg.coreX(dst),
+                           static_cast<int32_t>(cfg.coreY(dst)));
+
+            // The receiver may have executed up to (but not including)
+            // sender_clock + lookahead; the event must not land in that
+            // already-executed region.
+            Cycles safe_window_end = sent + lookahead;
+            EXPECT_GE(arrives, safe_window_end)
+                << "seed " << seed << " step " << step << ": event from "
+                << src << " to " << dst << " sent at " << sent
+                << " arrives at " << arrives
+                << ", inside the executed window ending at "
+                << safe_window_end;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine under shards: the sharded scheduler must replay the sequential
+// engine's decisions exactly.
+
+struct EngineRun
+{
+    std::vector<std::pair<CoreId, Cycles>> order;
+    std::vector<Cycles> clocks;
+    uint64_t switches = 0;
+    uint64_t syncPoints = 0;
+};
+
+// Interleaved counters with uneven strides: every syncPoint admission
+// is order-sensitive, so any scheduling divergence shows up in `order`.
+EngineRun
+runCounters(uint32_t cores, uint32_t shards, int steps)
+{
+    Engine engine(cores, 64 * 1024);
+    engine.setShards(shards);
+    EngineRun out;
+    for (CoreId i = 0; i < cores; ++i) {
+        engine.setBody(i, [&engine, &out, i, steps] {
+            for (int step = 0; step < steps; ++step) {
+                engine.advance(i, 3 + (i * 7 + step) % 11);
+                engine.syncPoint(i);
+                out.order.emplace_back(i, engine.time(i));
+            }
+        });
+    }
+    engine.run();
+    for (CoreId i = 0; i < cores; ++i)
+        out.clocks.push_back(engine.time(i));
+    out.switches = engine.switchCount();
+    out.syncPoints = engine.syncPointCount();
+    return out;
+}
+
+TEST(ShardEngine, InterleavingIdenticalAcrossShardCounts)
+{
+    EngineRun sequential = runCounters(8, 1, 200);
+    for (uint32_t shards : {2u, 4u, 8u}) {
+        EngineRun sharded = runCounters(8, shards, 200);
+        EXPECT_EQ(sharded.order, sequential.order) << shards << " shards";
+        EXPECT_EQ(sharded.clocks, sequential.clocks) << shards << " shards";
+        EXPECT_EQ(sharded.switches, sequential.switches)
+            << shards << " shards";
+        EXPECT_EQ(sharded.syncPoints, sequential.syncPoints)
+            << shards << " shards";
+    }
+}
+
+TEST(ShardEngine, PerturbedScheduleReplaysUnderShards)
+{
+    // Perturbation consumes the scheduler RNG at each decision; byte
+    // identity under shards requires the sharded engine to make the
+    // decisions in the same order, consuming the same draws.
+    for (uint64_t seed : {1ull, 42ull}) {
+        auto run = [&](uint32_t shards) {
+            Engine engine(6, 64 * 1024);
+            engine.setShards(shards);
+            engine.perturbSchedule(seed, 4);
+            EngineRun out;
+            for (CoreId i = 0; i < 6; ++i) {
+                engine.setBody(i, [&engine, &out, i] {
+                    for (int step = 0; step < 120; ++step) {
+                        engine.advance(i, 2 + (i + step) % 5);
+                        engine.syncPoint(i);
+                        out.order.emplace_back(i, engine.time(i));
+                    }
+                });
+            }
+            engine.run();
+            out.switches = engine.switchCount();
+            out.syncPoints = engine.syncPointCount();
+            return out;
+        };
+        EngineRun sequential = run(1);
+        EngineRun sharded = run(4);
+        EXPECT_EQ(sharded.order, sequential.order) << "seed " << seed;
+        EXPECT_EQ(sharded.switches, sequential.switches) << "seed " << seed;
+        EXPECT_EQ(sharded.syncPoints, sequential.syncPoints)
+            << "seed " << seed;
+    }
+}
+
+TEST(ShardEngine, BlockUnblockCrossesShards)
+{
+    // Core 0 (shard 0) parks; core N-1 (last shard) wakes it after
+    // advancing. The wake executes under the token on the last shard's
+    // thread, so the unblock path must be shard-agnostic.
+    auto run = [&](uint32_t shards) {
+        constexpr uint32_t kCores = 4;
+        Engine engine(kCores, 64 * 1024);
+        engine.setShards(shards);
+        Cycles woken_at = 0;
+        engine.setBody(0, [&engine, &woken_at] {
+            engine.advance(0, 1);
+            engine.syncPoint(0);
+            engine.block(0);
+            woken_at = engine.time(0);
+        });
+        for (CoreId i = 1; i < kCores; ++i) {
+            engine.setBody(i, [&engine, i] {
+                engine.advance(i, 10 * i);
+                engine.syncPoint(i);
+                if (i == kCores - 1)
+                    engine.unblock(0, engine.time(i) + 5);
+            });
+        }
+        engine.run();
+        return woken_at;
+    };
+    Cycles sequential = run(1);
+    EXPECT_EQ(sequential, 35u); // 10 * 3 + 5
+    EXPECT_EQ(run(2), sequential);
+    EXPECT_EQ(run(4), sequential);
+}
+
+TEST(ShardEngine, ReusableAcrossModeChanges)
+{
+    // One engine, alternating sequential and parallel runs: coroutine
+    // stacks parked under one mode must resume correctly under another,
+    // and clocks persist across runs in both modes.
+    Engine engine(4, 64 * 1024);
+    int counter = 0;
+    auto arm = [&] {
+        for (CoreId i = 0; i < 4; ++i)
+            engine.setBody(i, [&engine, &counter, i] {
+                engine.advance(i, 10);
+                engine.syncPoint(i);
+                ++counter;
+            });
+    };
+    for (uint32_t shards : {1u, 4u, 2u, 1u, 4u}) {
+        engine.setShards(shards);
+        arm();
+        engine.run();
+    }
+    EXPECT_EQ(counter, 20);
+    for (CoreId i = 0; i < 4; ++i)
+        EXPECT_EQ(engine.time(i), 50u);
+}
+
+TEST(ShardEngine, MoreShardsThanCoresRunsSequential)
+{
+    Engine engine(2, 64 * 1024);
+    engine.setShards(8); // plan clamps to 2; still a valid parallel run
+    int ran = 0;
+    for (CoreId i = 0; i < 2; ++i)
+        engine.setBody(i, [&ran] { ++ran; });
+    engine.run();
+    EXPECT_EQ(ran, 2);
+}
+
+// ---------------------------------------------------------------------
+// parseShardCount contract (the SPMRT_ENGINE_SHARDS validator). The
+// process-death behaviour of an invalid environment value is covered in
+// test_errors.cpp; here the parser itself.
+
+TEST(ParseShardCount, AcceptsPositiveIntegersWithinHost)
+{
+    uint32_t out = 0;
+    std::string error;
+    EXPECT_TRUE(parseShardCount("1", 8, out, error));
+    EXPECT_EQ(out, 1u);
+    EXPECT_TRUE(parseShardCount("8", 8, out, error));
+    EXPECT_EQ(out, 8u);
+    EXPECT_TRUE(parseShardCount(" 4 ", 8, out, error));
+    EXPECT_EQ(out, 4u);
+    // Unknown host (0) skips the upper bound.
+    EXPECT_TRUE(parseShardCount("64", 0, out, error));
+    EXPECT_EQ(out, 64u);
+}
+
+TEST(ParseShardCount, RejectsMalformedInput)
+{
+    uint32_t out = 0;
+    std::string error;
+    EXPECT_FALSE(parseShardCount("", 8, out, error));
+    EXPECT_NE(error.find("empty"), std::string::npos);
+    EXPECT_FALSE(parseShardCount("banana", 8, out, error));
+    EXPECT_NE(error.find("not a number"), std::string::npos);
+    EXPECT_FALSE(parseShardCount("4cores", 8, out, error));
+    EXPECT_NE(error.find("trailing"), std::string::npos);
+    EXPECT_FALSE(parseShardCount("0", 8, out, error));
+    EXPECT_NE(error.find("zero"), std::string::npos);
+    EXPECT_FALSE(parseShardCount("-2", 8, out, error));
+    EXPECT_NE(error.find("negative"), std::string::npos);
+    EXPECT_FALSE(parseShardCount("9", 8, out, error));
+    EXPECT_NE(error.find("exceeds"), std::string::npos);
+}
+
+} // namespace
+} // namespace spmrt

@@ -23,9 +23,14 @@ artifact, and perf PRs use it to commit the point they land.
 Rows may carry a ``series`` tag; rows tagged ``"throughput"`` (the fleet
 batch-simulation series, whose ``speedup`` is multi-worker/serial
 sims-per-sec scaling and varies with host core count) are gated with the
-separate, laxer ``--throughput-tolerance``. ``--require-series NAME``
-fails when the measured file carries no row of that series — CI uses it
-to ensure the fleet bench did not silently drop out of the measurement.
+separate, laxer ``--throughput-tolerance``, and rows tagged
+``"parallel"`` (the sharded-engine series, whose ``speedup`` is
+sequential/parallel wall-clock and depends entirely on free host cores)
+with ``--parallel-tolerance``. For both, the ``equivalent`` flag — the
+byte-identity contract — remains gated strictly regardless of tolerance.
+``--require-series NAME`` (repeatable) fails when the measured file
+carries no row of that series — CI uses it to ensure neither the fleet
+bench nor the parallel-engine legs silently drop out of the measurement.
 
 Usage:
     check_host_perf.py <measured.json> <baseline.json>
@@ -101,14 +106,17 @@ def load_trajectory(path):
     return doc
 
 
-def row_tolerance(base, tolerance, throughput_tolerance):
+def row_tolerance(base, tolerance, throughput_tolerance,
+                  parallel_tolerance):
     if base.get("series") == "throughput":
         return throughput_tolerance
+    if base.get("series") == "parallel":
+        return parallel_tolerance
     return tolerance
 
 
 def check(measured, reference, reference_name, tolerance,
-          throughput_tolerance):
+          throughput_tolerance, parallel_tolerance):
     """Gate measured rows against one reference row set."""
     failures = []
     print(f"vs {reference_name}:")
@@ -119,8 +127,8 @@ def check(measured, reference, reference_name, tolerance,
         if row is None:
             failures.append(f"{key}: missing from measured results")
             continue
-        floor = row_tolerance(base, tolerance,
-                              throughput_tolerance) * base["speedup"]
+        floor = row_tolerance(base, tolerance, throughput_tolerance,
+                              parallel_tolerance) * base["speedup"]
         ok = row["speedup"] >= floor and row.get("equivalent", False)
         status = "ok" if ok else "FAIL"
         print(f"  {key[0]:<10} {key[1]:>6} {row['speedup']:>8.2f}x "
@@ -170,9 +178,16 @@ def main():
                         help="tolerance applied to rows tagged "
                              "series=throughput, whose scaling depends on "
                              "host core count (default 0.5)")
+    parser.add_argument("--parallel-tolerance", type=float, default=0.25,
+                        help="tolerance applied to rows tagged "
+                             "series=parallel, whose wall ratio depends "
+                             "on free host cores; equivalence is still "
+                             "gated strictly (default 0.25)")
     parser.add_argument("--require-series", metavar="NAME",
+                        action="append", default=[],
                         help="fail unless the measured file contains at "
-                             "least one row with this series tag")
+                             "least one row with this series tag "
+                             "(repeatable)")
     args = parser.parse_args()
     if args.append and not args.trajectory:
         parser.error("--append requires --trajectory")
@@ -182,17 +197,17 @@ def main():
     baseline = key_rows(load_measurement(args.baseline)["rows"])
 
     failures = []
-    if args.require_series:
+    for series in args.require_series:
         tagged = [r for r in measured_doc["rows"]
-                  if r.get("series") == args.require_series]
+                  if r.get("series") == series]
         if not tagged:
             failures.append(
                 f"{args.measured}: no row tagged series="
-                f"{args.require_series!r} — the bench that produces that "
+                f"{series!r} — the bench that produces that "
                 "series did not run (was it filtered out?)")
 
     failures += check(measured, baseline, args.baseline, args.tolerance,
-                      args.throughput_tolerance)
+                      args.throughput_tolerance, args.parallel_tolerance)
     if args.trajectory:
         if not os.path.exists(args.trajectory):
             print(f"{args.trajectory}: not found, skipping trajectory gate")
@@ -202,7 +217,7 @@ def main():
             failures += check(
                 measured, key_rows(latest["rows"]),
                 f"{args.trajectory}[{latest['label']}]", args.tolerance,
-                args.throughput_tolerance)
+                args.throughput_tolerance, args.parallel_tolerance)
 
     if failures:
         print("host-perf regression check FAILED:", file=sys.stderr)
