@@ -8,9 +8,15 @@
  * spawn (UTS subtrees, skewed rows) the imbalance it bakes in persists,
  * while stealing corrects it reactively. This ablation measures both
  * schedulers on a balanced loop, a skewed loop, and UTS.
+ *
+ * Every (workload, scheduler) cell is one supervised FleetServer job;
+ * the whole sweep is submitted up front and the batch totals are
+ * asserted per status at the end.
  */
 
-#include "bench/support.hpp"
+#include <memory>
+
+#include "bench/fleet_util.hpp"
 #include "workloads/uts.hpp"
 
 using namespace spmrt;
@@ -19,26 +25,81 @@ using namespace spmrt::workloads;
 
 namespace {
 
-Cycles
-runLoop(bool dealing, int64_t n, const std::function<Cycles(int64_t)> &cost)
+/** One parallel-for cell (cost shape x stealing/dealing). */
+serve::JobRequest
+loopRequest(const char *shape, bool dealing, int64_t n,
+            Cycles (*cost)(int64_t))
 {
-    Machine machine{MachineConfig{}};
-    maybeArmTrace(machine);
-    RuntimeConfig cfg = RuntimeConfig::full();
-    cfg.workDealing = dealing;
-    WorkStealingRuntime rt(machine, cfg);
-    Cycles cycles = rt.run([&](TaskContext &tc) {
-        ForOptions opts;
-        opts.grain = 4;
-        parallelFor(
-            tc, 0, n,
-            [&cost](TaskContext &btc, int64_t i) {
-                btc.core().tick(cost(i));
-            },
-            opts);
-    });
-    maybeWriteTrace(machine);
-    return cycles;
+    serve::JobRequest req;
+    req.name = log::format("abl_dealing/%s/%s", shape,
+                           dealing ? "dealing" : "stealing");
+    req.cacheKey = req.name;
+    req.machine = MachineConfig{};
+    req.runtime = RuntimeConfig::full();
+    req.runtime.workDealing = dealing;
+    req.armChecker = false;
+    req.prepare = [n, cost](Machine &machine, serve::AssetCache &) {
+        maybeArmTrace(machine);
+        serve::PreparedJob prep;
+        prep.root = [n, cost](TaskContext &tc) {
+            ForOptions opts;
+            opts.grain = 4;
+            parallelFor(
+                tc, 0, n,
+                [cost](TaskContext &btc, int64_t i) {
+                    btc.core().tick(cost(i));
+                },
+                opts);
+        };
+        prep.digest = [](Machine &m) {
+            maybeWriteTrace(m);
+            return 0ull;
+        };
+        return prep;
+    };
+    return req;
+}
+
+/** One UTS cell, verification folded into the digest contract. */
+serve::JobRequest
+utsRequest(bool dealing, const UtsParams &tree)
+{
+    serve::JobRequest req;
+    req.name = log::format("abl_dealing/uts/%s",
+                           dealing ? "dealing" : "stealing");
+    req.cacheKey = req.name;
+    req.machine = MachineConfig{};
+    req.runtime = RuntimeConfig::full();
+    req.runtime.workDealing = dealing;
+    req.armChecker = false;
+    req.expectedDigest = 1;
+    req.hasExpectedDigest = true;
+    req.prepare = [tree](Machine &machine, serve::AssetCache &) {
+        maybeArmTrace(machine);
+        auto data = std::make_shared<UtsData>(utsSetup(machine, tree));
+        serve::PreparedJob prep;
+        prep.root = [data](TaskContext &tc) { utsKernel(tc, *data); };
+        prep.digest = [tree, data](Machine &m) {
+            maybeWriteTrace(m);
+            return utsResult(m, *data) == utsReference(tree) ? 1ull
+                                                             : 0ull;
+        };
+        return prep;
+    };
+    return req;
+}
+
+Cycles
+uniformCost(int64_t)
+{
+    return 30;
+}
+
+Cycles
+skewedCost(int64_t i)
+{
+    // Zipf-ish skew: cost unknown at spawn time.
+    return 5 + 4000 / (1 + static_cast<Cycles>(i));
 }
 
 } // namespace
@@ -51,59 +112,51 @@ main(int argc, char **argv)
     report.comment("Ablation: work stealing vs. work dealing "
                    "(Zakkak-style)");
 
-    if (report.wants("uniform-loop")) {
-        auto uniform = [](int64_t) -> Cycles { return 30; };
-        Cycles steal = runLoop(false, n, uniform);
-        Cycles deal = runLoop(true, n, uniform);
+    UtsParams tree = UtsParams::binomial(scaled<uint32_t>(128, 32), 4,
+                                         scaled<double>(0.24, 0.2), 7);
+
+    serve::FleetServer server(benchFleetConfig());
+    struct PendingPair
+    {
+        const char *workload;
+        serve::FleetServer::JobId stealing;
+        serve::FleetServer::JobId dealing;
+    };
+    std::vector<PendingPair> pending;
+    if (report.wants("uniform-loop"))
+        pending.push_back(
+            {"uniform loop",
+             server.submit(loopRequest("uniform", false, n, uniformCost)),
+             server.submit(loopRequest("uniform", true, n, uniformCost))});
+    if (report.wants("skewed-loop"))
+        pending.push_back(
+            {"skewed loop",
+             server.submit(loopRequest("skewed", false, n, skewedCost)),
+             server.submit(loopRequest("skewed", true, n, skewedCost))});
+    if (report.wants("uts"))
+        pending.push_back({"UTS", server.submit(utsRequest(false, tree)),
+                           server.submit(utsRequest(true, tree))});
+
+    for (const PendingPair &p : pending) {
+        serve::JobReport steal = server.wait(p.stealing);
+        serve::JobReport deal = server.wait(p.dealing);
+        for (const serve::JobReport *job : {&steal, &deal})
+            if (job->status != serve::JobStatus::Ok)
+                report.fail("%s: %s (%s)", job->name.c_str(),
+                            serve::jobStatusName(job->status),
+                            job->error.c_str());
         report.row()
-            .cell("workload", "uniform loop")
-            .cell("stealing_cycles", steal)
-            .cell("dealing_cycles", deal)
-            .cell("ratio", static_cast<double>(deal) / steal);
-    }
-    if (report.wants("skewed-loop")) {
-        // Zipf-ish skew: cost unknown at spawn time.
-        auto skewed = [](int64_t i) -> Cycles {
-            return 5 + 4000 / (1 + static_cast<Cycles>(i));
-        };
-        Cycles steal = runLoop(false, n, skewed);
-        Cycles deal = runLoop(true, n, skewed);
-        report.row()
-            .cell("workload", "skewed loop")
-            .cell("stealing_cycles", steal)
-            .cell("dealing_cycles", deal)
-            .cell("ratio", static_cast<double>(deal) / steal);
-    }
-    if (report.wants("uts")) {
-        UtsParams tree = UtsParams::binomial(scaled<uint32_t>(128, 32), 4,
-                                             scaled<double>(0.24, 0.2),
-                                             7);
-        auto run_uts = [&](bool dealing) {
-            Machine machine{MachineConfig{}};
-            maybeArmTrace(machine);
-            UtsData data = utsSetup(machine, tree);
-            RuntimeConfig cfg = RuntimeConfig::full();
-            cfg.workDealing = dealing;
-            WorkStealingRuntime rt(machine, cfg);
-            Cycles cycles =
-                rt.run([&](TaskContext &tc) { utsKernel(tc, data); });
-            if (utsResult(machine, data) != utsReference(tree))
-                report.fail("UTS result mismatch (dealing=%d)", dealing);
-            maybeWriteTrace(machine);
-            return cycles;
-        };
-        Cycles steal = run_uts(false);
-        Cycles deal = run_uts(true);
-        report.row()
-            .cell("workload", "UTS")
-            .cell("stealing_cycles", steal)
-            .cell("dealing_cycles", deal)
-            .cell("ratio", static_cast<double>(deal) / steal);
+            .cell("workload", p.workload)
+            .cell("stealing_cycles", steal.cycles)
+            .cell("dealing_cycles", deal.cycles)
+            .cell("ratio", static_cast<double>(deal.cycles) /
+                               static_cast<double>(steal.cycles));
     }
     report.comment("expected: dealing loses across the board — every "
                    "spawn pays a remote enqueue round trip, and "
                    "imbalance baked in at spawn time is never corrected "
                    "— experimentally supporting the paper's choice of "
                    "stealing");
+    assertFleetTotals(report, server, pending.size() * 2);
     return report.finish();
 }

@@ -9,15 +9,94 @@
  * from DRAM". This bench isolates that choice: SPM queues with computed
  * addressing vs. SPM queues behind a DRAM pointer table, on steal-heavy
  * workloads.
+ *
+ * Every (workload, addressing) cell is one supervised FleetServer job;
+ * the batch totals are asserted per status at the end. Instruction and
+ * steal counters flow back through a side-channel filled by each job's
+ * digest stage (the last point where the worker's machine is alive).
  */
 
-#include "bench/support.hpp"
+#include <memory>
+
+#include "bench/fleet_util.hpp"
 #include "workloads/fib.hpp"
 #include "workloads/uts.hpp"
 
 using namespace spmrt;
 using namespace spmrt::bench;
 using namespace spmrt::workloads;
+
+namespace {
+
+/** Machine counters a cell reports beyond its cycle count. */
+struct CellStats
+{
+    uint64_t instructions = 0;
+    uint64_t steals = 0;
+};
+
+struct Mode
+{
+    const char *label;
+    bool pointer_table;
+};
+
+/** Shared request scaffolding for both workloads. */
+serve::JobRequest
+baseRequest(const char *workload, const Mode &mode)
+{
+    serve::JobRequest req;
+    req.name = log::format("abl_queue/%s/%s", workload, mode.label);
+    req.cacheKey = req.name;
+    req.machine = MachineConfig{};
+    req.runtime = RuntimeConfig::full();
+    req.runtime.queuePointerTable = mode.pointer_table;
+    req.armChecker = false;
+    return req;
+}
+
+serve::JobRequest
+fibRequest(const Mode &mode, int n, std::shared_ptr<CellStats> stats)
+{
+    serve::JobRequest req = baseRequest("Fib", mode);
+    req.prepare = [n, stats](Machine &machine, serve::AssetCache &) {
+        maybeArmTrace(machine);
+        Addr out = machine.dramAlloc(8, 8);
+        serve::PreparedJob prep;
+        prep.root = [n, out](TaskContext &tc) { fibKernel(tc, n, out); };
+        prep.digest = [stats](Machine &m) {
+            stats->instructions = m.totalInstructions();
+            stats->steals = m.totalStat(&RuntimeStats::stealHits);
+            maybeWriteTrace(m);
+            return 0ull;
+        };
+        return prep;
+    };
+    return req;
+}
+
+serve::JobRequest
+utsRequest(const Mode &mode, const UtsParams &tree,
+           std::shared_ptr<CellStats> stats)
+{
+    serve::JobRequest req = baseRequest("UTS", mode);
+    req.prepare = [tree, stats](Machine &machine, serve::AssetCache &) {
+        maybeArmTrace(machine);
+        auto data = std::make_shared<UtsData>(utsSetup(machine, tree));
+        serve::PreparedJob prep;
+        prep.root = [data](TaskContext &tc) { utsKernel(tc, *data); };
+        prep.digest = [stats](Machine &m) {
+            stats->instructions = m.totalInstructions();
+            stats->steals = m.totalStat(&RuntimeStats::stealHits);
+            maybeWriteTrace(m);
+            return 0ull;
+        };
+        return prep;
+    };
+    return req;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -27,58 +106,54 @@ main(int argc, char **argv)
     report.comment("Ablation: victim queue addressing (both configs "
                    "keep the queue itself in SPM)");
 
-    struct Mode
-    {
-        const char *label;
-        bool pointer_table;
-    };
     const Mode modes[] = {
         {"fixed SPM offset (paper)", false},
         {"DRAM pointer table", true},
     };
+    UtsParams tree = UtsParams::geometric(scaled<uint32_t>(9, 7),
+                                          scaled<double>(2.7, 2.0), 42);
 
+    serve::FleetServer server(benchFleetConfig());
+    struct PendingCell
+    {
+        const char *workload;
+        const char *addressing;
+        serve::FleetServer::JobId id;
+        std::shared_ptr<CellStats> stats;
+    };
+    std::vector<PendingCell> pending;
     for (const Mode &mode : modes) {
         if (!report.wants(std::string("Fib/") + mode.label))
             continue;
-        Machine machine{MachineConfig{}};
-        maybeArmTrace(machine);
-        Addr out = machine.dramAlloc(8, 8);
-        RuntimeConfig cfg = RuntimeConfig::full();
-        cfg.queuePointerTable = mode.pointer_table;
-        WorkStealingRuntime rt(machine, cfg);
-        Cycles cycles = rt.run(
-            [&](TaskContext &tc) { fibKernel(tc, fib_n, out); });
-        maybeWriteTrace(machine);
-        report.row()
-            .cell("workload", "Fib")
-            .cell("addressing", mode.label)
-            .cell("cycles", cycles)
-            .cell("ops", machine.totalInstructions())
-            .cell("steals", machine.totalStat(&RuntimeStats::stealHits));
+        auto stats = std::make_shared<CellStats>();
+        pending.push_back({"Fib", mode.label,
+                           server.submit(fibRequest(mode, fib_n, stats)),
+                           stats});
     }
-
-    UtsParams tree = UtsParams::geometric(scaled<uint32_t>(9, 7),
-                                          scaled<double>(2.7, 2.0), 42);
     for (const Mode &mode : modes) {
         if (!report.wants(std::string("UTS/") + mode.label))
             continue;
-        Machine machine{MachineConfig{}};
-        maybeArmTrace(machine);
-        UtsData data = utsSetup(machine, tree);
-        RuntimeConfig cfg = RuntimeConfig::full();
-        cfg.queuePointerTable = mode.pointer_table;
-        WorkStealingRuntime rt(machine, cfg);
-        Cycles cycles =
-            rt.run([&](TaskContext &tc) { utsKernel(tc, data); });
-        maybeWriteTrace(machine);
+        auto stats = std::make_shared<CellStats>();
+        pending.push_back({"UTS", mode.label,
+                           server.submit(utsRequest(mode, tree, stats)),
+                           stats});
+    }
+
+    for (const PendingCell &cell : pending) {
+        serve::JobReport job = server.wait(cell.id);
+        if (job.status != serve::JobStatus::Ok)
+            report.fail("%s/%s: %s (%s)", cell.workload, cell.addressing,
+                        serve::jobStatusName(job.status),
+                        job.error.c_str());
         report.row()
-            .cell("workload", "UTS")
-            .cell("addressing", mode.label)
-            .cell("cycles", cycles)
-            .cell("ops", machine.totalInstructions())
-            .cell("steals", machine.totalStat(&RuntimeStats::stealHits));
+            .cell("workload", cell.workload)
+            .cell("addressing", cell.addressing)
+            .cell("cycles", job.cycles)
+            .cell("ops", cell.stats->instructions)
+            .cell("steals", cell.stats->steals);
     }
     report.comment("expected: the pointer table adds a DRAM load per "
                    "steal attempt, slowing steal-heavy workloads");
+    assertFleetTotals(report, server, pending.size());
     return report.finish();
 }

@@ -8,9 +8,16 @@
  * cheap steals, slow work diffusion) and RoundRobin (deterministic
  * sweep). This ablation measures all three on a steal-heavy dynamic
  * workload (UTS) and a skewed loop workload (PageRank, email-like).
+ *
+ * Every (workload, policy) cell is one supervised FleetServer job with
+ * verification folded into the digest contract; steal counters flow
+ * back through a side-channel filled by each job's digest stage, and
+ * the batch totals are asserted per status at the end.
  */
 
-#include "bench/support.hpp"
+#include <memory>
+
+#include "bench/fleet_util.hpp"
 #include "workloads/pagerank.hpp"
 #include "workloads/uts.hpp"
 
@@ -18,15 +25,93 @@ using namespace spmrt;
 using namespace spmrt::bench;
 using namespace spmrt::workloads;
 
+namespace {
+
+/** Steal counters a cell reports beyond its cycle count. */
+struct CellStats
+{
+    uint64_t steals = 0;
+    uint64_t stealAttempts = 0;
+};
+
+struct Policy
+{
+    const char *label;
+    VictimPolicy policy;
+};
+
+/** Shared request scaffolding for both workloads. */
+serve::JobRequest
+baseRequest(const char *workload, const Policy &policy)
+{
+    serve::JobRequest req;
+    req.name = log::format("abl_victim/%s/%s", workload, policy.label);
+    req.cacheKey = req.name;
+    req.machine = MachineConfig{};
+    req.runtime = RuntimeConfig::full();
+    req.runtime.victimPolicy = policy.policy;
+    req.armChecker = false;
+    // Verification folds into the digest contract: 1 = verified.
+    req.expectedDigest = 1;
+    req.hasExpectedDigest = true;
+    return req;
+}
+
+serve::JobRequest
+utsRequest(const Policy &policy, const UtsParams &tree,
+           std::shared_ptr<CellStats> stats)
+{
+    serve::JobRequest req = baseRequest("UTS", policy);
+    req.prepare = [tree, stats](Machine &machine, serve::AssetCache &) {
+        maybeArmTrace(machine);
+        auto data = std::make_shared<UtsData>(utsSetup(machine, tree));
+        serve::PreparedJob prep;
+        prep.root = [data](TaskContext &tc) { utsKernel(tc, *data); };
+        prep.digest = [tree, data, stats](Machine &m) {
+            stats->steals = m.totalStat(&RuntimeStats::stealHits);
+            stats->stealAttempts =
+                m.totalStat(&RuntimeStats::stealAttempts);
+            maybeWriteTrace(m);
+            return utsResult(m, *data) == utsReference(tree) ? 1ull
+                                                             : 0ull;
+        };
+        return prep;
+    };
+    return req;
+}
+
+serve::JobRequest
+pagerankRequest(const Policy &policy,
+                std::shared_ptr<const HostGraph> graph,
+                std::shared_ptr<CellStats> stats)
+{
+    serve::JobRequest req = baseRequest("PageRank", policy);
+    req.prepare = [graph, stats](Machine &machine, serve::AssetCache &) {
+        maybeArmTrace(machine);
+        auto data = std::make_shared<PageRankData>(
+            pagerankSetup(machine, *graph));
+        serve::PreparedJob prep;
+        prep.root = [data](TaskContext &tc) {
+            pagerankKernel(tc, *data, 1);
+        };
+        prep.digest = [graph, data, stats](Machine &m) {
+            stats->steals = m.totalStat(&RuntimeStats::stealHits);
+            stats->stealAttempts =
+                m.totalStat(&RuntimeStats::stealAttempts);
+            maybeWriteTrace(m);
+            return pagerankVerify(m, *data, *graph, 1) ? 1ull : 0ull;
+        };
+        return prep;
+    };
+    return req;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     Report report("abl_victim_policy", argc, argv);
-    struct Policy
-    {
-        const char *label;
-        VictimPolicy policy;
-    };
     const Policy policies[] = {
         {"random (paper)", VictimPolicy::Random},
         {"nearest-first", VictimPolicy::Nearest},
@@ -38,59 +123,54 @@ main(int argc, char **argv)
 
     UtsParams tree = UtsParams::binomial(scaled<uint32_t>(128, 32), 4,
                                          scaled<double>(0.24, 0.2), 7);
+    auto graph = std::make_shared<const HostGraph>(
+        genPowerLaw(scaled<uint32_t>(8192, 1024), 16, 0.7, 77));
+
+    serve::FleetServer server(benchFleetConfig());
+    struct PendingCell
+    {
+        const char *workload;
+        const char *policy;
+        serve::FleetServer::JobId id;
+        std::shared_ptr<CellStats> stats;
+    };
+    std::vector<PendingCell> pending;
     for (const Policy &policy : policies) {
         if (!report.wants(std::string("UTS/") + policy.label))
             continue;
-        Machine machine{MachineConfig{}};
-        maybeArmTrace(machine);
-        UtsData data = utsSetup(machine, tree);
-        RuntimeConfig cfg = RuntimeConfig::full();
-        cfg.victimPolicy = policy.policy;
-        WorkStealingRuntime rt(machine, cfg);
-        Cycles cycles =
-            rt.run([&](TaskContext &tc) { utsKernel(tc, data); });
-        bool ok = utsResult(machine, data) == utsReference(tree);
-        if (!ok)
-            report.fail("UTS wrong result under %s", policy.label);
-        maybeWriteTrace(machine);
-        report.row()
-            .cell("workload", "UTS")
-            .cell("policy", policy.label)
-            .cell("cycles", cycles)
-            .cell("steals", machine.totalStat(&RuntimeStats::stealHits))
-            .cell("steal_tries",
-                  machine.totalStat(&RuntimeStats::stealAttempts))
-            .cell("ok", ok);
+        auto stats = std::make_shared<CellStats>();
+        pending.push_back({"UTS", policy.label,
+                           server.submit(utsRequest(policy, tree, stats)),
+                           stats});
     }
-
-    HostGraph graph = genPowerLaw(scaled<uint32_t>(8192, 1024), 16, 0.7,
-                                  77);
     for (const Policy &policy : policies) {
         if (!report.wants(std::string("PageRank/") + policy.label))
             continue;
-        Machine machine{MachineConfig{}};
-        maybeArmTrace(machine);
-        PageRankData data = pagerankSetup(machine, graph);
-        RuntimeConfig cfg = RuntimeConfig::full();
-        cfg.victimPolicy = policy.policy;
-        WorkStealingRuntime rt(machine, cfg);
-        Cycles cycles = rt.run(
-            [&](TaskContext &tc) { pagerankKernel(tc, data, 1); });
-        bool ok = pagerankVerify(machine, data, graph, 1);
+        auto stats = std::make_shared<CellStats>();
+        pending.push_back(
+            {"PageRank", policy.label,
+             server.submit(pagerankRequest(policy, graph, stats)),
+             stats});
+    }
+
+    for (const PendingCell &cell : pending) {
+        serve::JobReport job = server.wait(cell.id);
+        bool ok = job.status == serve::JobStatus::Ok;
         if (!ok)
-            report.fail("PageRank wrong result under %s", policy.label);
-        maybeWriteTrace(machine);
+            report.fail("%s/%s: %s (%s)", cell.workload, cell.policy,
+                        serve::jobStatusName(job.status),
+                        job.error.c_str());
         report.row()
-            .cell("workload", "PageRank")
-            .cell("policy", policy.label)
-            .cell("cycles", cycles)
-            .cell("steals", machine.totalStat(&RuntimeStats::stealHits))
-            .cell("steal_tries",
-                  machine.totalStat(&RuntimeStats::stealAttempts))
+            .cell("workload", cell.workload)
+            .cell("policy", cell.policy)
+            .cell("cycles", job.cycles)
+            .cell("steals", cell.stats->steals)
+            .cell("steal_tries", cell.stats->stealAttempts)
             .cell("ok", ok);
     }
     report.comment("expected: random and round-robin diffuse work "
                    "fastest; nearest-first trades cheaper steals for "
                    "slower diffusion");
+    assertFleetTotals(report, server, pending.size());
     return report.finish();
 }

@@ -4,6 +4,11 @@
  * of the work-stealing runtime, plus the Fib-S estimate of the software
  * 2-instruction stack-overflow checking scheme.
  *
+ * Every (series, variant) cell is one supervised FleetServer job: the
+ * whole figure is submitted up front, cells parallelize across host
+ * workers behind the hang watchdog, verification folds into the digest
+ * contract, and the batch totals are asserted per status at the end.
+ *
  * Expected shape (paper): both-in-DRAM slowest; SPM stack matters more
  * than SPM queue; both-in-SPM fastest; Fib-S slightly below Fib for the
  * SPM-stack variants and identical when the stack is in DRAM... (the
@@ -11,12 +16,45 @@
  * overflow check never runs a stack in SPM).
  */
 
-#include "bench/support.hpp"
+#include "bench/fleet_util.hpp"
 #include "workloads/fib.hpp"
 
 using namespace spmrt;
 using namespace spmrt::bench;
 using namespace spmrt::workloads;
+
+namespace {
+
+/** One Fig. 7 cell (series x placement variant) as a fleet job. */
+serve::JobRequest
+cellRequest(const char *series, const Variant &variant, int n)
+{
+    serve::JobRequest req;
+    req.name = log::format("fig07/%s/%s", series, variant.label);
+    req.cacheKey = req.name;
+    req.machine = MachineConfig{};
+    req.runtime = variant.cfg;
+    req.runtime.swOverflowCheck = std::string(series) == "Fib-S";
+    req.armChecker = false;
+    // Verification folds into the digest contract: 1 = verified.
+    req.expectedDigest = 1;
+    req.hasExpectedDigest = true;
+    req.prepare = [n](Machine &machine, serve::AssetCache &) {
+        maybeArmTrace(machine);
+        Addr out = machine.dramAlloc(8, 8);
+        serve::PreparedJob prep;
+        prep.root = [n, out](TaskContext &tc) { fibKernel(tc, n, out); };
+        prep.digest = [n, out](Machine &m) {
+            bool ok = m.mem().peekAs<int64_t>(out) == fibReference(n);
+            maybeWriteTrace(m);
+            return ok ? 1ull : 0ull;
+        };
+        return prep;
+    };
+    return req;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -28,36 +66,48 @@ main(int argc, char **argv)
                    "both-in-DRAM runtime",
                    n);
 
-    auto run_fib = [&](RuntimeConfig cfg) {
-        Machine machine{MachineConfig{}};
-        maybeArmTrace(machine);
-        Addr out = machine.dramAlloc(8, 8);
-        WorkStealingRuntime rt(machine, cfg);
-        Cycles cycles = rt.run(
-            [&](TaskContext &tc) { fibKernel(tc, n, out); });
-        if (machine.mem().peekAs<int64_t>(out) != fibReference(n))
-            report.fail("fib result mismatch");
-        maybeWriteTrace(machine);
-        return cycles;
-    };
+    serve::FleetServer server(benchFleetConfig());
+    report.comment("batch of supervised fleet jobs across %u host workers",
+                   server.workerCount());
 
-    Cycles baseline = 0;
+    // Submit the whole figure up front, then settle cells in order.
+    struct PendingCell
+    {
+        const char *series;
+        const char *variant;
+        serve::FleetServer::JobId id;
+    };
+    std::vector<PendingCell> pending;
     for (const char *series : {"Fib", "Fib-S"}) {
         for (const Variant &variant : wsVariants()) {
             if (!report.wants(std::string(series) + "/" + variant.label))
                 continue;
-            RuntimeConfig cfg = variant.cfg;
-            cfg.swOverflowCheck = std::string(series) == "Fib-S";
-            Cycles cycles = run_fib(cfg);
-            if (baseline == 0)
-                baseline = cycles;
-            report.row()
-                .cell("series", series)
-                .cell("variant", variant.label)
-                .cell("cycles", cycles)
-                .cell("speedup", static_cast<double>(baseline) / cycles);
+            pending.push_back(
+                {series, variant.label,
+                 server.submit(cellRequest(series, variant, n))});
         }
     }
+
+    Cycles baseline = 0;
+    for (const PendingCell &cell : pending) {
+        serve::JobReport job = server.wait(cell.id);
+        if (job.status != serve::JobStatus::Ok &&
+            job.status != serve::JobStatus::CacheHit)
+            report.fail("%s/%s: %s (%s)", cell.series, cell.variant,
+                        serve::jobStatusName(job.status),
+                        job.error.c_str());
+        if (baseline == 0)
+            baseline = job.cycles;
+        report.row()
+            .cell("series", cell.series)
+            .cell("variant", cell.variant)
+            .cell("cycles", job.cycles)
+            .cell("speedup",
+                  static_cast<double>(baseline) /
+                      static_cast<double>(job.cycles));
+    }
+
+    assertFleetTotals(report, server, pending.size());
     report.comment("paper: best variant ~2x the naive one; Fib-S "
                    "slightly below Fib");
     return report.finish();

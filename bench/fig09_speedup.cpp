@@ -18,6 +18,7 @@
  * the SPM placement variants add up to ~25% over the naive runtime.
  */
 
+#include "bench/fleet_util.hpp"
 #include "bench/rows.hpp"
 #include "serve/server.hpp"
 
@@ -68,7 +69,7 @@ main(int argc, char **argv)
     if (quickMode())
         report.comment("QUICK MODE: shrunken inputs");
 
-    serve::FleetServer server;
+    serve::FleetServer server(benchFleetConfig());
     report.comment("batch of supervised fleet jobs across %u host workers",
                    server.workerCount());
 
@@ -136,30 +137,7 @@ main(int argc, char **argv)
         r.cell("ok", all_ok);
     }
 
-    // Per-status batch accounting: every submitted cell must settle Ok
-    // (or as a cache hit on a resubmitted figure); anything shed,
-    // cancelled, quarantined, or failed is a bench defect even if the
-    // per-cell waits above already flagged it.
-    serve::FleetServer::Totals totals = server.totals();
-    if (totals.jobs != submitted)
-        report.fail("fleet ran %llu jobs, expected %llu",
-                    static_cast<unsigned long long>(totals.jobs),
-                    static_cast<unsigned long long>(submitted));
-    if (totals.ok + totals.cacheHits != totals.jobs)
-        report.fail("fleet: %llu of %llu cells did not settle Ok "
-                    "(%llu failures, %llu shed, %llu cancelled, "
-                    "%llu quarantined)",
-                    static_cast<unsigned long long>(
-                        totals.jobs - totals.ok - totals.cacheHits),
-                    static_cast<unsigned long long>(totals.jobs),
-                    static_cast<unsigned long long>(totals.failures),
-                    static_cast<unsigned long long>(totals.shed),
-                    static_cast<unsigned long long>(totals.cancelled),
-                    static_cast<unsigned long long>(
-                        totals.quarantinedRefusals));
-    report.comment("fleet: %llu jobs, %.2f sims/sec",
-                   static_cast<unsigned long long>(totals.jobs),
-                   totals.simsPerSec);
+    assertFleetTotals(report, server, submitted);
     report.comment("paper: up to 3.94x for statically schedulable "
                    "workloads, up to 28.5x for dynamic ones");
     return report.finish();

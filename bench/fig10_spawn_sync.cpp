@@ -5,15 +5,58 @@
  * placement variants, normalized to having both stack and task queue in
  * SPM.
  *
+ * Every (workload, variant) cell is one supervised FleetServer job: the
+ * whole figure is submitted up front, cells parallelize across host
+ * workers behind the hang watchdog, verification folds into the digest
+ * contract, and the batch totals are asserted per status at the end.
+ *
  * Expected shape (paper): both workloads benefit from the SPM stack;
  * normalized performance of the other variants falls between ~0.6 and
  * 1.0.
  */
 
+#include "bench/fleet_util.hpp"
 #include "bench/rows.hpp"
 
 using namespace spmrt;
 using namespace spmrt::bench;
+
+namespace {
+
+/** One Fig. 10 cell (workload x placement variant) as a fleet job. */
+serve::JobRequest
+cellRequest(const WorkloadRow &row, const Variant &variant,
+            const MachineConfig &machine_cfg)
+{
+    serve::JobRequest req;
+    req.name = log::format("fig10/%s/%s/%s", row.workload.c_str(),
+                           row.input.c_str(), variant.label);
+    req.cacheKey = req.name;
+    req.machine = machine_cfg;
+    req.runtime = variant.cfg;
+    req.runtime.userSpmReserve = row.spmReserve;
+    req.armChecker = false;
+    // Verification folds into the digest contract: 1 = verified.
+    req.expectedDigest = 1;
+    req.hasExpectedDigest = true;
+    auto prepare_row = row.prepare;
+    req.prepare = [prepare_row](Machine &machine, serve::AssetCache &) {
+        maybeArmTrace(machine);
+        auto instance =
+            std::make_shared<RowInstance>(prepare_row(machine));
+        serve::PreparedJob prep;
+        prep.root = [instance](TaskContext &tc) { instance->root(tc); };
+        prep.digest = [instance](Machine &m) {
+            bool ok = instance->verify(m);
+            maybeWriteTrace(m);
+            return ok ? 1ull : 0ull;
+        };
+        return prep;
+    };
+    return req;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -22,42 +65,62 @@ main(int argc, char **argv)
     report.comment("Fig. 10: spawn-sync workloads, normalized to "
                    "both-in-SPM");
 
+    serve::FleetServer server(benchFleetConfig());
+    report.comment("batch of supervised fleet jobs across %u host workers",
+                   server.workerCount());
+
+    // Submit the whole figure up front, then settle row by row.
     MachineConfig machine_cfg;
+    const std::vector<Variant> variants = wsVariants();
+    struct PendingRow
+    {
+        std::string workload;
+        std::string input;
+        std::vector<serve::FleetServer::JobId> ids;
+    };
+    std::vector<PendingRow> pending;
+    uint64_t submitted = 0;
     for (const WorkloadRow &row : table1Rows()) {
         if (row.hasStatic)
             continue; // only MatrixTranspose and CilkSort
         if (!report.wants(row.workload + "/" + row.input))
             continue;
-        // Run all four variants; the last one (both SPM) normalizes.
-        std::vector<std::pair<Variant, RunResult>> results;
-        for (const Variant &variant : wsVariants()) {
-            RowInstance instance;
-            RunResult result = runVariant(
-                variant, machine_cfg, row.spmReserve,
-                [&](Machine &machine) {
-                    instance = row.prepare(machine);
-                },
-                [&](TaskContext &tc) { instance.root(tc); },
-                [&](Machine &machine) {
-                    return instance.verify(machine);
-                });
-            results.emplace_back(variant, result);
-        }
-        double best = static_cast<double>(results.back().second.cycles);
-        for (auto &[variant, result] : results) {
-            if (!result.verified)
-                report.fail("%s/%s under '%s' failed verification",
-                            row.workload.c_str(), row.input.c_str(),
-                            variant.label);
+        PendingRow p;
+        p.workload = row.workload;
+        p.input = row.input;
+        for (const Variant &variant : variants)
+            p.ids.push_back(
+                server.submit(cellRequest(row, variant, machine_cfg)));
+        submitted += p.ids.size();
+        pending.push_back(std::move(p));
+    }
+
+    for (const PendingRow &p : pending) {
+        // All four variants settle first; the last one (both SPM)
+        // normalizes the row.
+        std::vector<serve::JobReport> jobs;
+        for (serve::FleetServer::JobId id : p.ids)
+            jobs.push_back(server.wait(id));
+        double best = static_cast<double>(jobs.back().cycles);
+        for (size_t i = 0; i < variants.size(); ++i) {
+            bool ok = jobs[i].status == serve::JobStatus::Ok ||
+                      jobs[i].status == serve::JobStatus::CacheHit;
+            if (!ok)
+                report.fail("%s/%s %s: %s (%s)", p.workload.c_str(),
+                            p.input.c_str(), variants[i].label,
+                            serve::jobStatusName(jobs[i].status),
+                            jobs[i].error.c_str());
             report.row()
-                .cell("workload", row.workload)
-                .cell("input", row.input)
-                .cell("variant", variant.label)
-                .cell("cycles", result.cycles)
+                .cell("workload", p.workload)
+                .cell("input", p.input)
+                .cell("variant", variants[i].label)
+                .cell("cycles", jobs[i].cycles)
                 .cell("normalized",
-                      best / static_cast<double>(result.cycles))
-                .cell("ok", result.verified);
+                      best / static_cast<double>(jobs[i].cycles))
+                .cell("ok", ok);
         }
     }
+
+    assertFleetTotals(report, server, submitted);
     return report.finish();
 }

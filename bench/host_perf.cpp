@@ -26,6 +26,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/support.hpp"
@@ -169,10 +170,12 @@ measureFleet(uint32_t workers)
 
 Sample
 measureOnce(const HostWorkload &workload, uint32_t cores, bool reference,
-            uint32_t shards)
+            uint32_t shards, bool windowed)
 {
     Machine machine(machineFor(cores));
     machine.engine().setReferenceScheduler(reference);
+    if (windowed)
+        machine.engine().setScheduler(SchedMode::Windowed);
     machine.engine().setShards(shards);
     Sample sample;
     uint64_t switches0 = machine.engine().switchCount();
@@ -197,12 +200,12 @@ measureOnce(const HostWorkload &workload, uint32_t cores, bool reference,
 // determinism bug, not noise, and fataling here beats gating on it.
 Sample
 measure(const HostWorkload &workload, uint32_t cores, bool reference,
-        uint32_t shards = 1)
+        uint32_t shards = 1, bool windowed = false)
 {
     constexpr int kReps = 3;
-    Sample best = measureOnce(workload, cores, reference, shards);
+    Sample best = measureOnce(workload, cores, reference, shards, windowed);
     for (int rep = 1; rep < kReps; ++rep) {
-        Sample s = measureOnce(workload, cores, reference, shards);
+        Sample s = measureOnce(workload, cores, reference, shards, windowed);
         if (s.digest != best.digest || s.simCycles != best.simCycles ||
             s.switches != best.switches || s.syncPoints != best.syncPoints)
             SPMRT_FATAL("host_perf: %s/%u rep %d diverged from rep 0 "
@@ -226,6 +229,11 @@ main(int argc, char **argv)
     bench::Report report("host_perf", argc, argv);
     auto workloads = makeWorkloads();
     const uint32_t core_counts[] = {16, 128};
+    // Recorded in every row: a wall-clock ratio only means anything
+    // relative to how many host cores the measuring machine had —
+    // check_host_perf.py requires parallel speedup only when
+    // host_cores > shards (a shard thread per free core).
+    const uint32_t host_cores = std::thread::hardware_concurrency();
 
     // The trajectory file keeps its own schema (spmrt-host-perf-v1):
     // CI's bench-smoke gate and the committed baseline both parse it.
@@ -264,11 +272,13 @@ main(int argc, char **argv)
             first = false;
             json += log::format(
                 "    {\"workload\": \"%s\", \"cores\": %u, "
+                "\"host_cores\": %u, "
                 "\"wall_ms\": %.3f, \"wall_ms_reference\": %.3f, "
                 "\"speedup\": %.3f, \"switches\": %llu, "
                 "\"syncpoints\": %llu, \"sim_cycles\": %llu, "
                 "\"equivalent\": %s}",
-                workload.name, cores, fast.wallMs, ref.wallMs, speedup,
+                workload.name, cores, host_cores, fast.wallMs, ref.wallMs,
+                speedup,
                 static_cast<unsigned long long>(fast.switches),
                 static_cast<unsigned long long>(fast.syncPoints),
                 static_cast<unsigned long long>(fast.simCycles),
@@ -276,13 +286,15 @@ main(int argc, char **argv)
         }
     }
     // ---- Host-parallel engine series ------------------------------------
-    // The sharded engine at 1/2/4/8 host threads on the 128-core paper
-    // machine, against the sequential fast engine. Equivalence is the
-    // hard part of the contract — digests, simulated cycles, switch and
-    // syncPoint counts must byte-match — and is recorded per leg; the
-    // wall-clock ratio is reported honestly (token passing serializes
-    // every globally visible op, so speedup depends entirely on how much
-    // dispatch stays in-shard and on real host cores being available).
+    // The windowed concurrent engine at 1/2/4/8 host threads on the
+    // 128-core paper machine, against the sequential fast engine.
+    // Equivalence is the hard part of the contract — digests, simulated
+    // cycles, switch and syncPoint counts must byte-match — and is
+    // recorded per leg; the wall-clock ratio is reported honestly: shard
+    // threads free-run below the dynamic horizon, so the ratio clears
+    // 1.0 only when real host cores back the shard threads (host_cores >
+    // shards), which is exactly the condition check_host_perf.py gates
+    // on.
     if (report.wants("parallel")) {
         const uint32_t shard_counts[] = {1, 2, 4, 8};
         for (const auto &workload : workloads) {
@@ -290,7 +302,8 @@ main(int argc, char **argv)
             for (uint32_t shards : shard_counts) {
                 Sample par = shards == 1
                                  ? seq
-                                 : measure(workload, 128, false, shards);
+                                 : measure(workload, 128, false, shards,
+                                           true);
                 bool ok = par.digest == seq.digest &&
                           par.simCycles == seq.simCycles &&
                           par.switches == seq.switches &&
@@ -314,11 +327,12 @@ main(int argc, char **argv)
                 json += log::format(
                     "%s\n    {\"workload\": \"%s\", \"cores\": 128, "
                     "\"series\": \"parallel\", \"shards\": %u, "
+                    "\"host_cores\": %u, "
                     "\"wall_ms\": %.3f, \"speedup\": %.3f, "
                     "\"switches\": %llu, \"syncpoints\": %llu, "
                     "\"sim_cycles\": %llu, \"equivalent\": %s}",
-                    first ? "" : ",", name.c_str(), shards, par.wallMs,
-                    speedup,
+                    first ? "" : ",", name.c_str(), shards, host_cores,
+                    par.wallMs, speedup,
                     static_cast<unsigned long long>(par.switches),
                     static_cast<unsigned long long>(par.syncPoints),
                     static_cast<unsigned long long>(par.simCycles),
@@ -355,19 +369,21 @@ main(int argc, char **argv)
                     serial.simsPerSec, multi.simsPerSec, scaling);
         json += log::format(
             "%s\n    {\"workload\": \"fleet\", \"cores\": 1, "
-            "\"series\": \"throughput\", \"wall_ms\": %.3f, "
+            "\"series\": \"throughput\", \"host_cores\": %u, "
+            "\"wall_ms\": %.3f, "
             "\"sims_per_sec\": %.3f, \"jobs\": %llu, \"speedup\": 1.0, "
             "\"equivalent\": %s}",
-            first ? "" : ",", serial.wallMs, serial.simsPerSec,
+            first ? "" : ",", host_cores, serial.wallMs, serial.simsPerSec,
             static_cast<unsigned long long>(serial.jobs),
             serial.allOk ? "true" : "false");
         first = false;
         json += log::format(
             ",\n    {\"workload\": \"fleet\", \"cores\": 4, "
-            "\"series\": \"throughput\", \"wall_ms\": %.3f, "
+            "\"series\": \"throughput\", \"host_cores\": %u, "
+            "\"wall_ms\": %.3f, "
             "\"sims_per_sec\": %.3f, \"jobs\": %llu, \"speedup\": %.3f, "
             "\"equivalent\": %s}",
-            multi.wallMs, multi.simsPerSec,
+            host_cores, multi.wallMs, multi.simsPerSec,
             static_cast<unsigned long long>(multi.jobs), scaling,
             multi.allOk ? "true" : "false");
     }

@@ -20,6 +20,7 @@ MemorySystem::MemorySystem(const MachineConfig &cfg)
     spmData_.assign(static_cast<size_t>(cfg.numCores()) * cfg.spmBytes, 0);
     spmPorts_.assign(cfg.numCores(), FluidServer(1));
     storeDrain_.assign(cfg.numCores(), 0);
+    memCells_ = std::make_unique<CoreMemCell[]>(cfg.numCores());
     invalidateDecodeCache(); // snap the precomputed decode constants
 }
 
@@ -44,7 +45,7 @@ MemorySystem::backing(const DecodedAddr &decoded, uint32_t size) const
 uint8_t *
 MemorySystem::resolveSlow(Addr addr, uint32_t size, DecodedAddr &decoded)
 {
-    ++decodeMisses_;
+    decodeMisses_.fetch_add(1, std::memory_order_relaxed);
     decoded = map_.decode(addr, size); // asserts bounds, panics unmapped
     return backing(decoded, size);
 }
@@ -127,7 +128,7 @@ MemorySystem::loadBurst(CoreId core, Cycles issue, Addr addr, void *out,
             offset += chunk;
             ++result.chunks;
         }
-        stats_.localSpmLoads += result.chunks;
+        memCells_[core].localSpmLoads += result.chunks;
         result.lastIssue = issue;
         return result;
     }
@@ -182,7 +183,7 @@ MemorySystem::storeBurst(CoreId core, Cycles issue, Addr addr,
             ++result.chunks;
         }
         storeDrain_[core] = drain;
-        stats_.localSpmStores += result.chunks;
+        memCells_[core].localSpmStores += result.chunks;
         result.lastIssue = issue;
         return result;
     }
@@ -247,7 +248,10 @@ MemorySystem::amo(CoreId core, Cycles start, Addr addr, AmoOp op,
     SPMRT_ASSERT(addr % 4 == 0, "unaligned AMO at 0x%x", addr);
     DecodedAddr decoded;
     uint8_t *cell = resolve(addr, sizeof(uint32_t), decoded);
-    ++stats_.amos;
+    // Per-core cell: an own-scratchpad AMO runs inside the windowed
+    // engine's concurrent phase, where cores on other shard threads AMO
+    // at the same host time.
+    ++memCells_[core].amos;
 
     old_value = applyAmo(cell, op, operand);
 

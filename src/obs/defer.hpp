@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Shard-local deferral of order-sensitive observer and scheduler events.
+ *
+ * During a windowed parallel run (Engine SchedMode::Windowed) guest code
+ * executes concurrently on shard threads, but the concurrency checker's
+ * happens-before graph and the tracer's event stream are order-sensitive:
+ * they must observe hooks in exactly the order the sequential engine
+ * would have produced. Each simulated core therefore appends its
+ * scheduler events (gates, captures, blocks, wakes) and its observer
+ * hooks (checker callbacks, trace events) to one per-core record log,
+ * through a thread-local sink the engine swaps at every shard-local
+ * dispatch. At each window barrier the coordinator replays the logs
+ * through a model of the sequential scheduler and applies the observer
+ * records in canonical order — byte-identical to a sequential run.
+ *
+ * The sink lives here (not in the engine) so the checker and tracer can
+ * test it inline in their hook bodies with no engine dependency and no
+ * call-site changes anywhere in the runtime.
+ */
+
+#ifndef SPMRT_OBS_DEFER_HPP
+#define SPMRT_OBS_DEFER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/trace.hpp"
+
+namespace spmrt {
+namespace obs {
+
+/**
+ * One deferred record. Scheduler records are written by the engine and
+ * consumed by its barrier replay; hook records are written by the
+ * checker/tracer hook bodies and applied verbatim during replay. The
+ * payload fields a/b/c are type-specific (documented per enumerator).
+ */
+struct WinRecord
+{
+    enum Type : uint8_t
+    {
+        kGate,         ///< syncPoint: a = gate time
+        kCapture,      ///< remote-op capture: a = commit, b = done
+                       ///< (patched at commit for blocking ops),
+                       ///< c = kCaptureBlocking flag
+        kBlock,        ///< engine.block(): a = clock at park, c = the
+                       ///< ParkKind (0 barrier, 1 fence drain, 2 commit
+                       ///< wait — the last always paired with a
+                       ///< preceding kCapture)
+        kUnblock,      ///< guest wake: a = target core, b = wake time
+        kYield,        ///< engine.yield(): a = clock at yield
+        kFinish,       ///< body returned
+        kHookLoad,     ///< checker onLoad: a = addr, b = size, c = cycle
+        kHookStore,    ///< checker onStore: a = addr, b = size, c = cycle
+        kHookAmo,      ///< checker onAmo: a = addr, c = cycle
+        kHookLoadSync, ///< checker onLoadSync: a = addr, b = size
+        kHookStoreRel, ///< checker onStoreRelease: a = addr
+        kHookLockAcq,  ///< checker onLockAcquired: a = lock addr
+        kHookLockRel,  ///< checker onLockReleased: a = lock addr
+        kHookFramePush,///< checker onFramePush: a = base, b = bytes
+        kHookFramePop, ///< checker onFramePop: a = base, b = bytes
+        kHookTaskBegin,///< checker onTaskBegin: a = task id
+        kHookTaskEnd,  ///< checker onTaskEnd
+        kHookProtect,  ///< checker protectRange: a = base, b = bytes,
+                       ///< c = (owner << 8) | region kind
+        kTrace,        ///< tracer event: next entry of WinLog::traces
+    };
+
+    static constexpr uint64_t kCaptureBlocking = 1;
+
+    uint64_t a = 0;
+    uint64_t b = 0;
+    uint64_t c = 0;
+    Type type;
+};
+
+/**
+ * Per-core deferred record log. Trace events ride in a side array (they
+ * are wide); a kTrace record marks their position in the stream.
+ */
+struct WinLog
+{
+    std::vector<WinRecord> records;
+    std::vector<TraceEvent> traces;
+
+    void
+    push(WinRecord::Type type, uint64_t a = 0, uint64_t b = 0,
+         uint64_t c = 0)
+    {
+        WinRecord r;
+        r.a = a;
+        r.b = b;
+        r.c = c;
+        r.type = type;
+        records.push_back(r);
+    }
+
+    void
+    pushTrace(const TraceEvent &event)
+    {
+        traces.push_back(event);
+        push(WinRecord::kTrace);
+    }
+
+    void
+    clear()
+    {
+        records.clear();
+        traces.clear();
+    }
+};
+
+/**
+ * The active deferral sink for this host thread: the log of the core
+ * currently executing guest code on this shard thread, or nullptr when
+ * no windowed run is in its concurrent phase (sequential engines, token
+ * mode, and the coordinator's serial barrier phase all leave it null,
+ * so hooks apply immediately). Only the engine writes this.
+ */
+extern thread_local WinLog *tlWinLog;
+
+} // namespace obs
+} // namespace spmrt
+
+#endif // SPMRT_OBS_DEFER_HPP

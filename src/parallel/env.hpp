@@ -67,7 +67,11 @@ setupLoopEnv(TaskContext &tc, const EnvSpec &spec)
     std::vector<uint8_t> init(env.bytes, 0);
     tc.core().write(env.home, init.data(), env.bytes);
     // From here until the owning frame pops, the environment is
-    // read-only: any further timed write is a protocol violation.
+    // read-only: any further timed write is a protocol violation. The
+    // populating stores above may still be in flight (posted), so drain
+    // them before declaring the range immutable — otherwise their
+    // commits would land inside the protected window.
+    tc.core().fence();
     if (ConcurrencyChecker *ck = tc.core().mem().checker())
         ck->protectRange(RegionKind::RoDup, env.home, env.bytes,
                          env.homeCore);
@@ -98,7 +102,9 @@ class EnvReader
         core_.read(env.home, buffer.data(), env.bytes);
         core_.write(base_, buffer.data(), env.bytes);
         // The duplicate is read-only for the activation's lifetime; the
-        // frame pop releases the protection.
+        // frame pop releases the protection. Drain the copy's posted
+        // stores first so their commits precede the protection.
+        core_.fence();
         if (ConcurrencyChecker *ck = core_.mem().checker())
             ck->protectRange(RegionKind::RoDup, base_, env.bytes,
                              core_.id());

@@ -50,7 +50,6 @@ class SimBarrier
     {
         uint32_t before = core.amoAddRelease(countAddr_, 1);
         if (before + 1 < participants_) {
-            waiting_.push_back(core.id());
             core.engine().block(core.id());
             // The wake-up notification is an acquire of the last
             // arrival's release below — without this edge every
@@ -66,9 +65,15 @@ class SimBarrier
             ck->onStoreRelease(core.id(), countAddr_);
         Cycles release = core.now() + broadcastLatency_;
         core.engine().advanceTo(core.id(), release);
-        for (CoreId id : waiting_)
-            core.engine().unblock(id, release);
-        waiting_.clear();
+        // Wake every participant but ourselves. The participant set is
+        // cores [0, participants) by construction (all users barrier over
+        // the whole machine), so no arrival list is needed — which also
+        // keeps windowed parallel runs free of a host-shared list that
+        // concurrent arrivals would have to synchronize on.
+        for (CoreId id = 0; id < participants_; ++id) {
+            if (id != core.id())
+                core.engine().unblock(id, release);
+        }
         ++episodes_;
     }
 
@@ -80,7 +85,6 @@ class SimBarrier
     uint32_t participants_;
     Cycles broadcastLatency_;
     Addr countAddr_;
-    std::vector<CoreId> waiting_;
     uint64_t episodes_ = 0;
 };
 

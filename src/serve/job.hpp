@@ -110,10 +110,18 @@ struct JobLimits
 /**
  * What prepare() hands back: the root task plus an untimed digest
  * reader evaluated after a successful run.
+ *
+ * Machine-level benches that bypass the task runtimes entirely set
+ * `rawBody` instead of `root`: the server then runs every core's body
+ * directly via Machine::run (no StaticRuntime/WorkStealingRuntime is
+ * constructed, and req.staticRuntime/rootFrameBytes are ignored) and
+ * reports the engine's final time as the cycle count. Exactly one of
+ * `root`/`rawBody` must be set.
  */
 struct PreparedJob
 {
     std::function<void(TaskContext &)> root;
+    std::function<void(Core &)> rawBody;
     std::function<uint64_t(Machine &)> digest;
     uint32_t rootFrameBytes = 128;
 };

@@ -414,8 +414,12 @@ FleetServer::runAttempt(Job &job, uint32_t attempt)
         if (!req.prepare)
             throw std::runtime_error("job has no prepare() factory");
         PreparedJob prep = req.prepare(machine, assets_);
-        if (!prep.root)
-            throw std::runtime_error("prepare() returned no root task");
+        if (!prep.root && !prep.rawBody)
+            throw std::runtime_error(
+                "prepare() returned neither a root task nor a raw body");
+        if (prep.root && prep.rawBody)
+            throw std::runtime_error(
+                "prepare() returned both a root task and a raw body");
 
         bool traced = false;
 #if SPMRT_TELEMETRY_ENABLED
@@ -435,7 +439,12 @@ FleetServer::runAttempt(Job &job, uint32_t attempt)
             machine.engine().setShards(req.engineShards);
 
         Cycles cycles;
-        if (req.staticRuntime) {
+        if (prep.rawBody) {
+            arm_deadline();
+            machine.run(prep.rawBody);
+            disarm_deadline();
+            cycles = machine.engine().maxTime();
+        } else if (req.staticRuntime) {
             StaticRuntime rt(machine, req.runtime);
             arm_deadline();
             cycles = rt.run(prep.root, prep.rootFrameBytes);

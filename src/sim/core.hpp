@@ -13,6 +13,8 @@
 #define SPMRT_SIM_CORE_HPP
 
 #include <cstring>
+#include <deque>
+#include <vector>
 
 #include "common/log.hpp"
 #include "common/types.hpp"
@@ -67,15 +69,35 @@ struct CoreStats
 
 /**
  * Handle through which guest code interacts with the simulated machine.
+ *
+ * Memory-model note: every globally visible operation — anything not
+ * targeting this core's own scratchpad — commits a uniform delta
+ * (max(1, linkLatency) cycles) after its issue gate, in (commit time,
+ * core id) order. Because the delta is uniform, that commit order is
+ * exactly the issue-gate order, so the memory system observes the same
+ * call sequence with the same timestamps regardless of how guest
+ * execution is interleaved across host threads; this is what makes the
+ * windowed parallel scheduler byte-identical to the sequential one
+ * (DESIGN.md Sec. 14). On the sequential fast path an op whose commit
+ * key is already globally next executes inline at the issue site
+ * (Engine::remoteInlineOk) with no capture and no context switch, so a
+ * run with spread-out core clocks behaves exactly like the historical
+ * commit-at-issue engine. Otherwise the op is captured into this core's
+ * FIFO and the engine commits it — via executeHeadOp() — when its key
+ * is globally next: blocking ops park the core until the commit
+ * computes their completion time, posted stores charge the issue cost
+ * and continue (fence() waits for stragglers).
  */
-class Core
+class Core : public CoreOpSink
 {
   public:
     Core(Engine &engine, MemorySystem &mem, CoreId id,
          const MachineConfig &cfg)
         : engine_(engine), mem_(mem), id_(id), cfg_(cfg),
-          localSpmBase_(mem.map().spmBase(id))
+          localSpmBase_(mem.map().spmBase(id)),
+          commitDelta_(cfg.linkLatency > 1 ? cfg.linkLatency : 1)
     {
+        engine.setOpSink(id, this);
     }
 
     Core(const Core &) = delete;
@@ -109,12 +131,33 @@ class Core
         static_assert(std::is_trivially_copyable_v<T>);
         engine_.syncPoint(id_);
         T value;
-        Cycles done = mem_.load(id_, now(), addr, &value, sizeof(T));
-        engine_.advanceTo(id_, done);
+        // Checker hooks ride the memory-system call: the checker's
+        // happens-before graph must observe accesses in exactly the
+        // order their effects land, which is the mem_ call order — the
+        // guest site for local and inline ops, the commit
+        // (executeHeadOp) for captured ones. Hooking captured ops at
+        // the issue or wake site instead reorders them against other
+        // cores' effects within the commit-delta window and the checker
+        // reports phantom races (or misses real ones).
+        const bool local = isLocalSpm(addr);
+        if (local || engine_.remoteInlineOk(id_, now() + commitDelta_)) {
+            Cycles done = mem_.load(id_, now(), addr, &value, sizeof(T));
+            engine_.advanceTo(id_, done);
+            if (ConcurrencyChecker *ck = mem_.checker())
+                ck->onLoad(id_, addr, sizeof(T), now());
+            // Completion gate (remote only): the clock jumped to the
+            // response time while other cores may still sit below it, so
+            // re-enter admission before running on. The capture path
+            // gates identically after its wake, which keeps every
+            // engine's segment boundaries — and therefore the host order
+            // of stateful memory-model charges — the same.
+            if (!local)
+                engine_.syncPoint(id_);
+        } else {
+            captureBlocking(CapturedOp::Load, addr, &value, sizeof(T));
+        }
         ++stats_.isa.loads;
         ++stats_.isa.instructions;
-        if (ConcurrencyChecker *ck = mem_.checker())
-            ck->onLoad(id_, addr, sizeof(T), now());
         return value;
     }
 
@@ -132,12 +175,22 @@ class Core
         static_assert(std::is_trivially_copyable_v<T>);
         engine_.syncPoint(id_);
         T value;
-        Cycles done = mem_.load(id_, now(), addr, &value, sizeof(T));
-        engine_.advanceTo(id_, done);
+        // Acquire edge at the memory-system call (see load() for why);
+        // the LoadSync capture kind carries the hook to the commit.
+        const bool local = isLocalSpm(addr);
+        if (local || engine_.remoteInlineOk(id_, now() + commitDelta_)) {
+            Cycles done = mem_.load(id_, now(), addr, &value, sizeof(T));
+            engine_.advanceTo(id_, done);
+            if (ConcurrencyChecker *ck = mem_.checker())
+                ck->onLoadSync(id_, addr, sizeof(T));
+            if (!local) // completion gate, see load()
+                engine_.syncPoint(id_);
+        } else {
+            captureBlocking(CapturedOp::LoadSync, addr, &value,
+                            sizeof(T));
+        }
         ++stats_.isa.loads;
         ++stats_.isa.instructions;
-        if (ConcurrencyChecker *ck = mem_.checker())
-            ck->onLoadSync(id_, addr, sizeof(T));
         return value;
     }
 
@@ -147,15 +200,32 @@ class Core
     store(Addr addr, T value)
     {
         static_assert(std::is_trivially_copyable_v<T>);
-        // Remote and DRAM stores are globally visible traffic; order them.
-        if (!isLocalSpm(addr))
+        // Checker hooks ride the memory-system call (see load()):
+        // captured posted stores hook at the commit instead.
+        if (isLocalSpm(addr)) {
+            Cycles done = mem_.store(id_, now(), addr, &value, sizeof(T));
+            engine_.advanceTo(id_, done);
+            if (ConcurrencyChecker *ck = mem_.checker())
+                ck->onStore(id_, addr, sizeof(T), now());
+        } else {
+            // Remote and DRAM stores are globally visible traffic; order
+            // them. The posted issue cost is one cycle either way
+            // (MemorySystem::storeRemote returns start + 1), so the
+            // capture path charges it directly and moves on.
             engine_.syncPoint(id_);
-        Cycles done = mem_.store(id_, now(), addr, &value, sizeof(T));
-        engine_.advanceTo(id_, done);
+            if (engine_.remoteInlineOk(id_, now() + commitDelta_)) {
+                Cycles done =
+                    mem_.store(id_, now(), addr, &value, sizeof(T));
+                engine_.advanceTo(id_, done);
+                if (ConcurrencyChecker *ck = mem_.checker())
+                    ck->onStore(id_, addr, sizeof(T), now());
+            } else {
+                capturePostedStore(CapturedOp::Store, addr, &value,
+                                   sizeof(T));
+            }
+        }
         ++stats_.isa.stores;
         ++stats_.isa.instructions;
-        if (ConcurrencyChecker *ck = mem_.checker())
-            ck->onStore(id_, addr, sizeof(T), now());
     }
 
     /**
@@ -170,14 +240,28 @@ class Core
     {
         static_assert(std::is_trivially_copyable_v<T>);
         fence();
-        if (!isLocalSpm(addr))
+        // Release edge at the memory-system call (see load()); the
+        // StoreRelease capture kind carries the hook to the commit.
+        if (isLocalSpm(addr)) {
+            Cycles done = mem_.store(id_, now(), addr, &value, sizeof(T));
+            engine_.advanceTo(id_, done);
+            if (ConcurrencyChecker *ck = mem_.checker())
+                ck->onStoreRelease(id_, addr);
+        } else {
             engine_.syncPoint(id_);
-        Cycles done = mem_.store(id_, now(), addr, &value, sizeof(T));
-        engine_.advanceTo(id_, done);
+            if (engine_.remoteInlineOk(id_, now() + commitDelta_)) {
+                Cycles done =
+                    mem_.store(id_, now(), addr, &value, sizeof(T));
+                engine_.advanceTo(id_, done);
+                if (ConcurrencyChecker *ck = mem_.checker())
+                    ck->onStoreRelease(id_, addr);
+            } else {
+                capturePostedStore(CapturedOp::StoreRelease, addr,
+                                   &value, sizeof(T));
+            }
+        }
         ++stats_.isa.stores;
         ++stats_.isa.instructions;
-        if (ConcurrencyChecker *ck = mem_.checker())
-            ck->onStoreRelease(id_, addr);
     }
 
     /**
@@ -195,12 +279,22 @@ class Core
     {
         engine_.syncPoint(id_);
         uint32_t old_value = 0;
-        Cycles done = mem_.amo(id_, now(), addr, op, operand, old_value);
-        engine_.advanceTo(id_, done);
+        // Acquire+release edges at the memory-system call (see load()
+        // for why); captured AMOs hook at the commit.
+        const bool local = isLocalSpm(addr);
+        if (local || engine_.remoteInlineOk(id_, now() + commitDelta_)) {
+            Cycles done =
+                mem_.amo(id_, now(), addr, op, operand, old_value);
+            engine_.advanceTo(id_, done);
+            if (ConcurrencyChecker *ck = mem_.checker())
+                ck->onAmo(id_, addr, now());
+            if (!local) // completion gate, see load()
+                engine_.syncPoint(id_);
+        } else {
+            captureAmo(addr, op, operand, &old_value);
+        }
         ++stats_.isa.amos;
         ++stats_.isa.instructions;
-        if (ConcurrencyChecker *ck = mem_.checker())
-            ck->onAmo(id_, addr, now());
         return old_value;
     }
 
@@ -223,7 +317,20 @@ class Core
     void
     fence()
     {
+        if (pendingPosted_ != 0) {
+            // Captured posted stores have not reached the memory system
+            // yet, so the drain time is not final: park until the last
+            // one commits (executeHeadOp wakes us), then drain as usual.
+            fenceWaiting_ = true;
+            engine_.block(id_, Engine::ParkKind::Drain);
+            fenceWaiting_ = false;
+        }
         engine_.advanceTo(id_, mem_.storeDrainTime(id_));
+        // Completion gate: the drain time can jump far past other cores'
+        // clocks (remote store arrivals), so re-enter admission before
+        // running on — see load() for why every engine must split its
+        // segments at the same points.
+        engine_.syncPoint(id_);
         ++stats_.isa.fences;
         ++stats_.isa.instructions;
     }
@@ -283,15 +390,69 @@ class Core
     /** Register this core's counters under core/NNN/{isa,rt}/. */
     void registerStats(obs::StatRegistry &registry) const;
 
+    /** Engine callback: commit this core's oldest captured op. */
+    Cycles executeHeadOp() override;
+
   private:
+    /**
+     * A globally visible operation captured at its issue gate, waiting
+     * for the engine to commit it in global (commit time, core id)
+     * order. Blocking kinds keep the issuing core parked, so their
+     * guest-owned destination buffer (dst) stays alive; posted-store
+     * payloads are copied because the issuing core runs on.
+     */
+    struct CapturedOp
+    {
+        enum Kind : uint8_t
+        {
+            Load,         ///< blocking scalar load (dst, bytes)
+            LoadSync,     ///< as Load; commits an acquire checker edge
+            LoadBurst,    ///< blocking bulk read (dst, bytes)
+            Store,        ///< posted scalar store (value, bytes)
+            StoreRelease, ///< as Store; commits a release checker edge
+            StoreBurst,   ///< posted bulk write (payload)
+            Amo,          ///< blocking read-modify-write (dst = old)
+        };
+        Kind kind = Load;
+        AmoOp amoOp = AmoOp::Add;
+        Cycles issue = 0;
+        Addr addr = 0;
+        uint32_t bytes = 0;
+        uint32_t amoOperand = 0;
+        void *dst = nullptr;
+        uint64_t value = 0;
+        std::vector<uint8_t> payload;
+    };
+
+    /** Append @p op to the FIFO; announce the head when it is new. */
+    void enqueueOp(CapturedOp &&op);
+
+    /** Capture a blocking op and park until the commit completes it. */
+    void captureBlocking(CapturedOp::Kind kind, Addr addr, void *dst,
+                         uint32_t bytes);
+
+    /** Capture a blocking AMO (old value lands in *dst at commit). */
+    void captureAmo(Addr addr, AmoOp op, uint32_t operand, void *dst);
+
+    /** Capture a posted scalar store; charges the one issue cycle. */
+    void capturePostedStore(CapturedOp::Kind kind, Addr addr,
+                            const void *src, uint32_t bytes);
+
+    /** Capture a posted burst; charges the per-chunk issue slots. */
+    void capturePostedBurst(Addr addr, const void *src, uint32_t bytes);
+
     Engine &engine_;
     MemorySystem &mem_;
     CoreId id_;
     const MachineConfig &cfg_;
     Addr localSpmBase_; ///< cached: consulted on every store
+    Cycles commitDelta_; ///< uniform issue-to-commit delay, max(1, link)
     CoreStats stats_;
     FaultPlan *fault_ = nullptr;
     obs::Tracer *tracer_ = nullptr;
+    std::deque<CapturedOp> capturedOps_; ///< issue-order commit FIFO
+    uint32_t pendingPosted_ = 0; ///< captured stores not yet committed
+    bool fenceWaiting_ = false;  ///< fence() parked on pendingPosted_
 };
 
 } // namespace spmrt

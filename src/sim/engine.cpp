@@ -65,10 +65,54 @@ cpuRelax()
 
 } // namespace
 
+bool
+parseSchedMode(const char *text, SchedMode &out, std::string &error)
+{
+    const std::string name(text);
+    if (name == "reference")
+        out = SchedMode::Reference;
+    else if (name == "fast")
+        out = SchedMode::Fast;
+    else if (name == "token")
+        out = SchedMode::Token;
+    else if (name == "windowed")
+        out = SchedMode::Windowed;
+    else {
+        error = "unknown scheduler \"" + name +
+                "\" (expected reference, fast, token, or windowed)";
+        return false;
+    }
+    return true;
+}
+
+namespace {
+
+/**
+ * Default scheduling mode: SPMRT_ENGINE_REFERENCE (environment or CMake
+ * option) selects the linear-scan oracle, and the SPMRT_ENGINE_SCHED
+ * environment variable overrides either with an explicit mode name.
+ */
+SchedMode
+defaultSchedMode()
+{
+    SchedMode mode = defaultReferenceMode() ? SchedMode::Reference
+                                            : SchedMode::Token;
+    const std::string text = env::stringValue("SPMRT_ENGINE_SCHED");
+    if (!text.empty()) {
+        std::string error;
+        if (!parseSchedMode(text.c_str(), mode, error))
+            SPMRT_FATAL("SPMRT_ENGINE_SCHED: %s", error.c_str());
+    }
+    return mode;
+}
+
+} // namespace
+
 Engine::Engine(uint32_t num_cores, size_t host_stack_bytes)
-    : stackBytes_(host_stack_bytes), referenceMode_(defaultReferenceMode()),
+    : stackBytes_(host_stack_bytes), referenceMode_(false),
       shards_(defaultShardCount())
 {
+    setScheduler(defaultSchedMode());
     numCores_ = num_cores;
     slots_ = std::make_unique<Slot[]>(num_cores);
     for (uint32_t i = 0; i < num_cores; ++i)
@@ -96,8 +140,12 @@ Engine::entryThunk(void *opaque)
 {
     auto *engine = static_cast<Engine *>(opaque);
     // The first activation happens through a dispatch, so running_ names
-    // this coroutine's core — no per-slot back-pointer needed.
-    Slot *slot = &engine->slots_[engine->running_];
+    // this coroutine's core — no per-slot back-pointer needed. During a
+    // window phase running_ is stale (shards dispatch concurrently); the
+    // dispatching shard's running field names the core instead.
+    Slot *slot = &engine->slots_[engine->windowedActive_
+                                     ? engine->windowedRunningCore()
+                                     : engine->running_];
     // Each run() installs a fresh body; the coroutine parks between runs
     // so multi-phase benchmarks can reuse the machine (clocks persist).
     while (true) {
@@ -109,6 +157,10 @@ Engine::entryThunk(void *opaque)
 void
 Engine::finishCurrent(Slot &slot)
 {
+    if (windowedActive_) {
+        windowedFinish(slot);
+        return; // resumed by a later run()
+    }
     slot.finished = true;
     --live_;
     foldHighWater(slot.time);
@@ -147,6 +199,8 @@ Engine::run()
             continue;
         }
         slot.finished = false;
+        slot.wakePending = false;
+        slot.wakeTime = 0;
         if (!slot.ctx.valid())
             slot.ctx.init(stackBytes_, &Engine::entryThunk, this);
         ++live_;
@@ -170,10 +224,18 @@ Engine::run()
             heapInsert(i, slots_[i].time);
     }
 
-    if (live_ > 0 && shards_ > 1) {
+    // SchedMode::Fast pins the run to the sequential heap scheduler even
+    // when a shard count is configured; Windowed falls back to the token
+    // protocol under schedule perturbation, whose single seeded RNG
+    // stream has no deterministic decomposition across free-running
+    // shard threads.
+    if (live_ > 0 && shards_ > 1 && mode_ != SchedMode::Fast) {
         plan_ = std::make_unique<ShardPlan>(numCores_, shards_);
         if (plan_->numShards() > 1) {
-            runParallel();
+            if (mode_ == SchedMode::Windowed && !schedPerturb_)
+                runWindowed();
+            else
+                runParallel();
             return;
         }
     }
@@ -189,6 +251,9 @@ Engine::run()
             throwPendingAbort();
     }
     running_ = kInvalidCore;
+    // Posted stores captured near the end of the run commit here, so the
+    // memory image is final when run() returns.
+    drainAllEvents();
 }
 
 void
@@ -197,8 +262,16 @@ Engine::runParallel()
     // The shard plan is rebuilt per run (setShards may change between
     // runs); coroutine stacks carry no thread affinity of their own, so
     // a stack parked under one plan resumes correctly under another.
+    // The exec array, by contrast, is reused run to run: a new
+    // generation makes any grant latched by the previous shutdown
+    // detectably stale (see kGrantCmdBits), and all shard threads are
+    // joined between runs, so growing or bumping here is race-free.
     const uint32_t num_shards = plan_->numShards();
-    exec_ = std::make_unique<ShardExec[]>(num_shards);
+    if (num_shards > execShards_) {
+        exec_ = std::make_unique<ShardExec[]>(num_shards);
+        execShards_ = num_shards;
+    }
+    ++grantGen_;
 
     // The cross-shard lookahead sizes the host wait policy: on this
     // mesh an event crosses shards within a few simulated cycles, so
@@ -240,6 +313,7 @@ Engine::runParallel()
     running_ = kInvalidCore;
     if (abortPending_)
         throwPendingAbort();
+    drainAllEvents();
 }
 
 void
@@ -269,32 +343,52 @@ Engine::shardLoop(uint32_t shard)
 uint32_t
 Engine::takeGrant(ShardExec &ex)
 {
+    // Consume one grant if present: 1 = fresh (decoded into cmd),
+    // -1 = stale leftover from a previous run's generation (discarded),
+    // 0 = nothing there. The CAS matters only for the stale case: a
+    // fresh grant can be posted concurrently with the discard (the
+    // token holder owes this shard nothing until it consumes one), so
+    // only the exact observed value may be removed.
+    const uint32_t gen = grantGen_;
+    uint32_t cmd = kGrantNone;
+    auto consume = [&]() -> int {
+        uint32_t grant = ex.grant.load(std::memory_order_acquire);
+        if (grant == kGrantNone)
+            return 0;
+        if (!ex.grant.compare_exchange_strong(grant, kGrantNone,
+                                              std::memory_order_acquire,
+                                              std::memory_order_acquire))
+            return 0;
+        if ((grant >> kGrantCmdBits) != gen)
+            return -1;
+        cmd = grant & kGrantCmdMask;
+        return 1;
+    };
     // Spin first: on this mesh a cross-shard handoff lands within a few
     // simulated cycles, so the grant is usually visible long before a
     // futex sleep/wake round-trip would finish. Only after the budget is
     // exhausted does the thread park in atomic::wait.
-    uint32_t grant;
     for (uint32_t spin = 0; spin < spinBudget_; ++spin) {
-        grant = ex.grant.load(std::memory_order_acquire);
-        if (grant != kGrantNone) {
-            // Relaxed is enough: this store is ordered before the same
-            // thread's next release-post, so the next poster (whoever
-            // receives the token from us) cannot observe a stale value.
-            ex.grant.store(kGrantNone, std::memory_order_relaxed);
-            return grant;
-        }
-        cpuRelax();
+        int got = consume();
+        if (got > 0)
+            return cmd;
+        if (got == 0)
+            cpuRelax();
     }
     // Dekker handshake with postGrant: seq_cst on parked here and on the
     // poster's read means at least one side sees the other — either the
     // poster sees parked and notifies, or we see the grant on the wait()
     // re-check (wait returns immediately when the value already moved).
     ex.parked.store(true, std::memory_order_seq_cst);
-    while ((grant = ex.grant.load(std::memory_order_acquire)) == kGrantNone)
-        ex.grant.wait(kGrantNone, std::memory_order_acquire);
+    while (true) {
+        int got = consume();
+        if (got > 0)
+            break;
+        if (got == 0)
+            ex.grant.wait(kGrantNone, std::memory_order_acquire);
+    }
     ex.parked.store(false, std::memory_order_relaxed);
-    ex.grant.store(kGrantNone, std::memory_order_relaxed);
-    return grant;
+    return cmd;
 }
 
 void
@@ -303,9 +397,12 @@ Engine::postGrant(uint32_t shard, uint32_t grant)
     // Single-poster protocol: only the token holder posts, so no store
     // here can race another post to the same shard. kGrantStop may
     // overwrite an unconsumed kGrantRun during shutdown — stop wins by
-    // design, and exec_ is reallocated per run so nothing latches over.
+    // design — and a stop that itself goes unconsumed (its shard loop
+    // exited on the runDone_ fast path) latches in the reused mailbox
+    // until the next run's generation marks it stale.
     ShardExec &ex = exec_[shard];
-    ex.grant.store(grant, std::memory_order_release);
+    ex.grant.store((grantGen_ << kGrantCmdBits) | grant,
+                   std::memory_order_release);
     if (ex.parked.load(std::memory_order_seq_cst))
         ex.grant.notify_one();
 }
@@ -320,8 +417,9 @@ Engine::stopAllShards()
 void
 Engine::runReference()
 {
-    // The original linear-scan scheduler, kept verbatim as the
-    // equivalence oracle for the indexed-heap fast path.
+    // The original linear-scan scheduler, kept as the equivalence oracle
+    // for the indexed-heap fast path (now including the remote-op commit
+    // queue: ops commit exactly when their key is globally next).
     while (live_ > 0) {
         // Deterministic argmin over unfinished, unblocked cores; ties
         // favor lower id.
@@ -332,6 +430,15 @@ Engine::runReference()
                 continue;
             if (next == nullptr || slot.time < next->time)
                 next = &slot;
+        }
+        // A pending remote op whose commit time is at or before the
+        // earliest gate is globally next (ops precede gates at equal
+        // times); executing it may wake a blocked core, so re-scan.
+        if (next == nullptr || cachedEventMin_ <= next->time) {
+            if (!events_.empty()) {
+                executeOneEvent();
+                continue;
+            }
         }
         SPMRT_ASSERT(next != nullptr,
                      "deadlock: all %u live cores are blocked", live_);
@@ -382,6 +489,13 @@ Engine::pickNext()
 void
 Engine::dispatchFrom(GuestContext &from)
 {
+    // Commit every remote op whose key precedes the earliest gate (ops
+    // precede gates at equal times). Executions can wake blocked cores,
+    // which reshapes the heap, so re-check the root each round; when all
+    // live cores are blocked the queue is the only way forward.
+    while (!events_.empty() &&
+           (heap_.empty() || cachedEventMin_ <= keyTime(heap_[0])))
+        executeOneEvent();
     Slot *next = pickNext();
     if (interruptDue(next->time) && checkInterrupts(next->time)) {
         // Supervised abort: leave the interrupted guest (if any)
@@ -441,7 +555,17 @@ Engine::dispatchFrom(GuestContext &from)
 void
 Engine::syncPoint(CoreId id)
 {
+    if (windowedActive_) {
+        windowedSyncPoint(id);
+        return;
+    }
     ++syncPoints_;
+    syncPointWait(id);
+}
+
+void
+Engine::syncPointWait(CoreId id)
+{
     Slot &slot = slots_[id];
 
     if (!referenceMode_) {
@@ -453,8 +577,17 @@ Engine::syncPoint(CoreId id)
             Cycles limit = cachedOtherMin_;
             if (schedPerturb_ && limit != kNoOtherCore)
                 limit += schedWindow_;
-            if (slot.time <= limit)
+            if (slot.time <= limit) {
+                // Remote ops committing at or before this core's clock
+                // precede its upcoming operation; commit them first
+                // (inline — no switch), then re-check: a commit can wake
+                // an earlier core this one must now yield to.
+                if (cachedEventMin_ <= slot.time) {
+                    drainDueEvents(slot.time);
+                    continue;
+                }
                 return;
+            }
             foldHighWater(slot.time);
             heapIncreaseKey(id, slot.time);
             dispatchFrom(slot.ctx);
@@ -470,8 +603,13 @@ Engine::syncPoint(CoreId id)
         Cycles limit = minOtherTime(id);
         if (schedPerturb_ && limit != std::numeric_limits<Cycles>::max())
             limit += schedWindow_;
-        if (slot.time <= limit)
+        if (slot.time <= limit) {
+            if (cachedEventMin_ <= slot.time) {
+                drainDueEvents(slot.time);
+                continue;
+            }
             return;
+        }
         yield(id);
     }
 }
@@ -479,6 +617,10 @@ Engine::syncPoint(CoreId id)
 void
 Engine::yield(CoreId id)
 {
+    if (windowedActive_) {
+        windowedYield(id);
+        return;
+    }
     Slot &slot = slots_[id];
     if (referenceMode_) {
         GuestContext::switchTo(slot.ctx, schedCtx_);
@@ -490,11 +632,25 @@ Engine::yield(CoreId id)
 }
 
 void
-Engine::block(CoreId id)
+Engine::block(CoreId id, ParkKind kind)
 {
+    if (windowedActive_) {
+        windowedBlock(id, kind);
+        return;
+    }
     Slot &slot = slots_[id];
     SPMRT_ASSERT(running_ == id, "block() from a non-running core");
+    if (kind == ParkKind::Barrier && slot.wakePending) {
+        // The guest wake raced ahead of the park (the waker's release
+        // committed before this core was dispatched to its park): the
+        // wake is already here, so consume it and keep running.
+        slot.wakePending = false;
+        if (slot.wakeTime > slot.time)
+            slot.time = slot.wakeTime;
+        return;
+    }
     slot.blocked = true;
+    slot.park = kind;
     if (referenceMode_) {
         GuestContext::switchTo(slot.ctx, schedCtx_);
     } else {
@@ -508,8 +664,21 @@ Engine::block(CoreId id)
 void
 Engine::unblock(CoreId id, Cycles t)
 {
+    if (win_ != nullptr) {
+        windowedUnblock(id, t);
+        return;
+    }
     Slot &slot = slots_[id];
-    SPMRT_ASSERT(slot.blocked, "unblock() of a core that is not parked");
+    if (!slot.blocked || slot.park != ParkKind::Barrier) {
+        // The target has not reached its park yet (its own commit
+        // completes after the waker's), or it is still waiting on its
+        // own commit/drain and will only park at the barrier afterwards.
+        // Hold the wake; the target's Barrier block() consumes it.
+        slot.wakePending = true;
+        if (t > slot.wakeTime)
+            slot.wakeTime = t;
+        return;
+    }
     slot.blocked = false;
     if (t > slot.time)
         slot.time = t;
@@ -518,6 +687,31 @@ Engine::unblock(CoreId id, Cycles t)
         heapInsert(id, slot.time);
         // The woken core joins the running core's "others"; min-fold
         // keeps the syncPoint cache exact.
+        if (running_ != kInvalidCore && slot.time < cachedOtherMin_)
+            cachedOtherMin_ = slot.time;
+    }
+}
+
+void
+Engine::commitWake(CoreId id, Cycles t)
+{
+    // Routed for the whole windowed run (win_ != nullptr), not just the
+    // window phase: serial-phase commit wakes must rejoin shard state
+    // and feed the replay's done-time stream.
+    if (win_ != nullptr) {
+        windowedCommitWake(id, t);
+        return;
+    }
+    Slot &slot = slots_[id];
+    SPMRT_ASSERT(slot.blocked, "commitWake() of a core that is not parked");
+    SPMRT_ASSERT(slot.park == (t > 0 ? ParkKind::Commit : ParkKind::Drain),
+                 "commitWake() kind mismatch for core %u", id);
+    slot.blocked = false;
+    if (t > slot.time)
+        slot.time = t;
+    foldHighWater(slot.time);
+    if (!referenceMode_) {
+        heapInsert(id, slot.time);
         if (running_ != kInvalidCore && slot.time < cachedOtherMin_)
             cachedOtherMin_ = slot.time;
     }
@@ -533,6 +727,60 @@ Engine::foreignClockChange(Slot &slot)
         heapIncreaseKey(slot.id, slot.time);
     if (running_ != kInvalidCore)
         cachedOtherMin_ = heapMinTimeExcluding(running_);
+}
+
+// ---- Remote-op commit queue ----------------------------------------------
+
+void
+Engine::scheduleRemoteOp(CoreId issuer, Cycles commit)
+{
+    if (windowedActive_) {
+        // In-window head captures go to the shard's outbox, merged into
+        // the global queue at the barrier. The caller's empty->non-empty
+        // gating is exactly the one-entry-per-issuer queue invariant, so
+        // the merge preserves it.
+        windowedScheduleRemoteOp(issuer, commit);
+        return;
+    }
+    events_.push_back(heapKey(issuer, commit));
+    std::push_heap(events_.begin(), events_.end(),
+                   std::greater<HeapKey>());
+    cachedEventMin_ = keyTime(events_[0]);
+}
+
+void
+Engine::executeOneEvent()
+{
+    SPMRT_ASSERT(!events_.empty(), "no pending remote op to execute");
+    std::pop_heap(events_.begin(), events_.end(), std::greater<HeapKey>());
+    const HeapKey key = events_.back();
+    events_.pop_back();
+    const CoreId issuer = keyId(key);
+    SPMRT_ASSERT(issuer < opSinks_.size() && opSinks_[issuer] != nullptr,
+                 "remote op scheduled by core %u without a sink", issuer);
+    // The sink performs the memory-system call (with the captured issue
+    // time) and wakes the issuer if the op was blocking; no context
+    // switch happens here, so events drain inline on whichever path
+    // noticed them. During a windowed run the commit's checker hooks
+    // are captured for the barrier replay instead of applying here.
+    if (win_ != nullptr)
+        windowedCommitBegin(issuer);
+    const Cycles next = opSinks_[issuer]->executeHeadOp();
+    if (win_ != nullptr)
+        windowedCommitEnd(issuer);
+    if (next != kNoPendingOp) {
+        events_.push_back(heapKey(issuer, next));
+        std::push_heap(events_.begin(), events_.end(),
+                       std::greater<HeapKey>());
+    }
+    cachedEventMin_ = events_.empty() ? kNoOtherCore : keyTime(events_[0]);
+}
+
+void
+Engine::drainAllEvents()
+{
+    while (!events_.empty())
+        executeOneEvent();
 }
 
 Cycles

@@ -43,16 +43,32 @@
  *
  * Host-parallel mode (setShards / SPMRT_ENGINE_SHARDS) partitions the
  * simulated cores into per-host-thread shards (ShardPlan) and makes every
- * core's coroutine affine to its shard's thread. Scheduling stays exact:
- * a single grant token serializes all engine and simulation state, and a
- * dispatch either switches guest-to-guest inside the current shard (as
- * cheap as the sequential engine) or hands the token to the target shard
- * with a release/acquire grant. Because every decision runs the same code
- * over token-serialized state, digests, cycles, switch counts, and
- * syncPoint counts are byte-identical to the sequential engine by
- * construction — see DESIGN.md Sec. 14 for the full protocol and why the
- * mesh's one-cycle cross-shard lookahead rules out free-running
- * conservative windows.
+ * core's coroutine affine to its shard's thread. Two parallel schedulers
+ * share that substrate, runtime-selectable via setScheduler:
+ *
+ *  - SchedMode::Token is the correctness scaffold: a single grant token
+ *    serializes all engine and simulation state, and a dispatch either
+ *    switches guest-to-guest inside the current shard or hands the token
+ *    to the target shard with a release/acquire grant. Every decision
+ *    runs the same code over token-serialized state, so equivalence to
+ *    the sequential engine is immediate — but so is the lack of speedup.
+ *
+ *  - SchedMode::Windowed is the performance scheduler: each shard owns a
+ *    private gate heap and clock and advances *concurrently* below a
+ *    dynamic horizon — the minimum over other shards' published promises
+ *    of their earliest possible cross-shard effect (a null-message-free
+ *    conservative scheme; the mesh's one-cycle static lookahead is far
+ *    too small to window on, so the promises are computed live from each
+ *    shard's heap and pending captures). Cross-shard operations are
+ *    captured into per-shard timestamped mailboxes and drained in global
+ *    (commit time, core id) key order at window barriers, while checker
+ *    and telemetry hooks buffer into per-core record logs that a replay
+ *    of the sequential scheduler re-emits in canonical order.
+ *
+ * Both produce digests, cycles, switch counts, and syncPoint counts
+ * byte-identical to the sequential engine — enforced over the full
+ * workload × shard-count × regime matrix by tests/test_engine_equiv.cpp —
+ * see DESIGN.md Sec. 14 for the window protocol and its cost model.
  */
 
 #ifndef SPMRT_SIM_ENGINE_HPP
@@ -75,12 +91,81 @@
 
 namespace spmrt {
 
+class ConcurrencyChecker;
+
+/**
+ * Runtime-selectable scheduling policy.
+ *
+ *  - Reference: the original O(N) linear-scan argmin, always sequential
+ *    (ignores the shard count). Kept as the equivalence oracle.
+ *  - Fast: the indexed-heap argmin, forced sequential even when a shard
+ *    count is configured (useful to benchmark the engine alone).
+ *  - Token: the indexed-heap argmin; with more than one shard the run is
+ *    executed by per-shard host threads serialized by a single grant
+ *    token (PR 7's scheme). With one shard this is exactly Fast.
+ *  - Windowed: per-shard event heaps advance concurrently to a
+ *    conservative dynamic horizon and synchronize at window barriers;
+ *    cross-shard effects are captured into per-shard mailboxes and
+ *    drained in global key order, so results stay byte-identical to the
+ *    sequential engine. Falls back to Token under schedule perturbation
+ *    (the perturbation RNG is a single global stream) and with one shard.
+ */
+enum class SchedMode : uint8_t
+{
+    Reference,
+    Fast,
+    Token,
+    Windowed,
+};
+
+/** Parse a scheduler name ("reference"/"fast"/"token"/"windowed"). */
+bool parseSchedMode(const char *text, SchedMode &out, std::string &error);
+
+/**
+ * Per-core executor for captured remote operations (implemented by Core).
+ *
+ * Every globally visible memory operation that does not target the
+ * issuing core's own scratchpad commits a uniform delta after its issue
+ * gate (see DESIGN.md Sec. 14). The issuing core captures the operation
+ * into its per-core FIFO and tells the engine the head's commit time;
+ * the engine calls executeHeadOp() when that commit key is globally next.
+ */
+class CoreOpSink
+{
+  public:
+    /**
+     * Execute this core's oldest captured operation against the memory
+     * system (waking the core if the op was blocking). Returns the
+     * commit time of the next captured op, or Engine::kNoPendingOp when
+     * the FIFO is drained.
+     */
+    virtual Cycles executeHeadOp() = 0;
+
+  protected:
+    ~CoreOpSink() = default;
+};
+
 /**
  * Coroutine scheduler with per-core virtual clocks.
  */
 class Engine
 {
   public:
+    /** Sentinel commit time: the op FIFO is empty. */
+    static constexpr Cycles kNoPendingOp =
+        std::numeric_limits<Cycles>::max();
+
+    /**
+     * Why a core is parked. Guest wakes (unblock) only release Barrier
+     * parks; Commit parks wait for the core's own captured op to commit
+     * and Drain parks wait for its posted stores to land — both are
+     * released by the commit path (commitWake), never by guests. The
+     * distinction matters because a guest wake can race a target that is
+     * still waiting on its own commit: the wake must then be held
+     * pending, not applied to the wrong park.
+     */
+    enum class ParkKind : uint8_t { Barrier = 0, Drain = 1, Commit = 2 };
+
     /**
      * @param num_cores number of simulated cores.
      * @param host_stack_bytes host stack size for each core's coroutine.
@@ -107,8 +192,10 @@ class Engine
         slot.time += dt;
         // Only the running core advances itself on the hot path; any
         // other clock change (phase barriers, tests) must be reflected
-        // in the heap and the high-water mark immediately.
-        if (id != running_)
+        // in the heap and the high-water mark immediately. In a window
+        // phase running_ is stale (many cores run concurrently) and each
+        // shard folds its own clocks at the barrier.
+        if (id != running_ && !windowedActive_)
             foreignClockChange(slot);
     }
 
@@ -119,7 +206,7 @@ class Engine
         Slot &slot = slots_[id];
         if (t > slot.time) {
             slot.time = t;
-            if (id != running_)
+            if (id != running_ && !windowedActive_)
                 foreignClockChange(slot);
         }
     }
@@ -135,14 +222,33 @@ class Engine
     void yield(CoreId id);
 
     /**
-     * Park core @p id: it is removed from scheduling until another core
-     * calls unblock(). Used by barriers to model cores sleeping rather
-     * than burning spin cycles. Panics if every live core ends up blocked.
+     * Park core @p id: it is removed from scheduling until a wake
+     * arrives. Used by barriers to model cores sleeping rather than
+     * burning spin cycles, and by the capture path for cores waiting on
+     * their own remote-op commit (ParkKind::Commit) or posted-store
+     * drain (ParkKind::Drain). A Barrier park with a pending guest wake
+     * consumes the wake and returns immediately without parking.
      */
-    void block(CoreId id);
+    void block(CoreId id, ParkKind kind = ParkKind::Barrier);
 
-    /** Wake a parked core at time @p t (or its own clock if later). */
+    /**
+     * Guest wake: release core @p id from a Barrier park at time @p t
+     * (or its own clock if later). If the target is not Barrier-parked —
+     * it is runnable but has not reached its park yet, or it is still
+     * waiting on its own commit/drain — the wake is recorded as pending
+     * and consumed by the target's next Barrier block(). Each target
+     * must consume a pending wake before the waker can post another
+     * (true for barrier episodes, the only guest-wake user).
+     */
     void unblock(CoreId id, Cycles t);
+
+    /**
+     * Commit-path wake: @p t > 0 releases a Commit park (blocking
+     * capture done at @p t); @p t == 0 releases a Drain park (the
+     * core's last posted store landed). Panics if the target is parked
+     * for any other reason.
+     */
+    void commitWake(CoreId id, Cycles t);
 
     /** True while core @p id is parked. */
     bool blocked(CoreId id) const { return slots_[id].blocked; }
@@ -165,6 +271,14 @@ class Engine
 
     /** Attach (or detach, with nullptr) the timeline tracer. */
     void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
+
+    /**
+     * Attach (or detach, with nullptr) the concurrency checker so the
+     * windowed barrier replay can apply deferred hook records in exact
+     * sequential order. Sequential/token runs never consult this — their
+     * hooks run inline at the call sites.
+     */
+    void setChecker(ConcurrencyChecker *checker) { checker_ = checker; }
 
     /**
      * The attached tracer, or nullptr — a compile-time nullptr when
@@ -210,13 +324,90 @@ class Engine
     void
     setReferenceScheduler(bool reference)
     {
-        SPMRT_ASSERT(running_ == kInvalidCore,
-                     "cannot switch scheduler while guest code runs");
-        referenceMode_ = reference;
+        setScheduler(reference ? SchedMode::Reference : SchedMode::Token);
     }
 
     /** True while the linear-scan oracle scheduler is selected. */
     bool referenceScheduler() const { return referenceMode_; }
+
+    /** Select the scheduling policy (see SchedMode). */
+    void
+    setScheduler(SchedMode mode)
+    {
+        SPMRT_ASSERT(running_ == kInvalidCore,
+                     "cannot switch scheduler while guest code runs");
+        mode_ = mode;
+        referenceMode_ = mode == SchedMode::Reference;
+    }
+
+    /** The selected scheduling policy. */
+    SchedMode scheduler() const { return mode_; }
+    /** @} */
+
+    /**
+     * @name Remote-operation commit queue
+     *
+     * Cores capture globally visible memory operations (anything not
+     * targeting their own scratchpad) into per-core FIFOs and schedule
+     * the head's commit key here; the engine executes each op — in all
+     * scheduling modes — exactly when its (commit time, issuer id) key
+     * is globally next, so the commit order is identical no matter how
+     * guest execution is interleaved across host threads. An op whose
+     * commit key is already globally next may instead run inline at the
+     * issue site (remoteInlineOk), which keeps the sequential fast path
+     * free of context switches.
+     * @{
+     */
+
+    /** Register @p sink as the executor for ops issued by core @p id. */
+    void
+    setOpSink(CoreId id, CoreOpSink *sink)
+    {
+        if (opSinks_.size() < numCores_)
+            opSinks_.resize(numCores_, nullptr);
+        opSinks_[id] = sink;
+    }
+
+    /**
+     * Announce that core @p issuer's op FIFO just became non-empty with
+     * a head committing at @p commit. At most one pending entry per
+     * issuer exists at any time (the FIFO head).
+     */
+    void scheduleRemoteOp(CoreId issuer, Cycles commit);
+
+    /**
+     * Notify the engine of *every* capture (head or not): the windowed
+     * scheduler needs each one for its barrier replay and its published
+     * promise; sequential and token modes ignore the call (one
+     * predictable branch — captures are rare there thanks to the inline
+     * fast path).
+     */
+    void
+    noteCapture(CoreId issuer, Cycles commit, bool blocking)
+    {
+        if (windowedActive_)
+            windowedNoteCapture(issuer, commit, blocking);
+    }
+
+    /**
+     * True when an op issued now by core @p id committing at @p commit
+     * is already globally next — no other runnable gate strictly before
+     * @p commit and no pending op with a smaller commit key — so the
+     * issue site may execute it inline with no capture and no switch.
+     * Always false in windowed mode (in-window shards have no global
+     * view; the mailbox drain is the only commit path).
+     */
+    bool
+    remoteInlineOk(CoreId id, Cycles commit)
+    {
+        if (windowedActive_)
+            return false;
+        if (!events_.empty() && events_[0] < heapKey(id, commit))
+            return false;
+        Cycles other =
+            referenceMode_ ? minOtherTime(id) : cachedOtherMin_;
+        return other >= commit;
+    }
     /** @} */
 
     /**
@@ -333,6 +524,10 @@ class Engine
     void
     noteProgress()
     {
+        if (windowedActive_) {
+            windowedNoteProgress();
+            return;
+        }
         noteProgressAt(running_ == kInvalidCore ? maxTime()
                                                 : slots_[running_].time);
     }
@@ -382,6 +577,12 @@ class Engine
         bool finished = false;
         bool blocked = false;
         bool hasBody = false;
+        ParkKind park = ParkKind::Barrier;
+        // A guest wake that arrived while the core was not Barrier-parked
+        // (still runnable, or waiting on its own commit/drain): the next
+        // Barrier block() consumes it instead of parking.
+        bool wakePending = false;
+        Cycles wakeTime = 0;
         GuestContext ctx;
         std::function<void()> body;
         // No back-pointer to the engine: the coroutine entry point
@@ -470,6 +671,35 @@ class Engine
      *  reference scheduler only). */
     Cycles minOtherTime(CoreId self) const;
 
+    /** @name Remote-op commit queue internals
+     *
+     * events_ is a binary min-heap of packed (commit time, issuer id)
+     * keys with at most one entry per issuer (its FIFO head), so no
+     * positional index is needed: the only operations are push, pop-min,
+     * and push-next-head. cachedEventMin_ mirrors the root's time
+     * (kNoOtherCore when empty) for the syncPoint fast-path compare.
+     * @{
+     */
+
+    /** Commit time of the earliest pending op (kNoOtherCore when none). */
+    Cycles eventMinTime() const { return cachedEventMin_; }
+
+    /** Pop and execute the earliest pending op; reschedules the issuer's
+     *  next head, if any. */
+    void executeOneEvent();
+
+    /** Execute every pending op with commit time <= @p limit. */
+    void
+    drainDueEvents(Cycles limit)
+    {
+        while (cachedEventMin_ <= limit)
+            executeOneEvent();
+    }
+
+    /** Execute every pending op unconditionally (end of run). */
+    void drainAllEvents();
+    /** @} */
+
     /** Fold a suspended core's clock into the high-water mark. */
     void
     foldHighWater(Cycles t)
@@ -499,6 +729,17 @@ class Engine
     static constexpr uint32_t kGrantNone = 0;
     static constexpr uint32_t kGrantRun = 1;  ///< resume slot running_
     static constexpr uint32_t kGrantStop = 2; ///< run over: exit the loop
+    /**
+     * Posted grants carry the run generation in their upper bits
+     * (`(grantGen_ << kGrantCmdBits) | cmd`). The exec_ array is reused
+     * across runs, and a shutdown can latch an unconsumed kGrantStop in
+     * a mailbox (a shard loop that exits on the relaxed runDone_ check
+     * never consumes the stop posted to it); the generation tag makes
+     * such leftovers detectably stale, so takeGrant discards them
+     * instead of killing the next run's shard loop.
+     */
+    static constexpr uint32_t kGrantCmdBits = 2;
+    static constexpr uint32_t kGrantCmdMask = (1u << kGrantCmdBits) - 1;
 
     struct alignas(64) ShardExec
     {
@@ -523,8 +764,61 @@ class Engine
     void runParallel();
     /** @} */
 
+    /**
+     * @name Windowed concurrent execution
+     *
+     * The windowed scheduling loop (selected by run() when shards > 1,
+     * SchedMode::Windowed, and no schedule perturbation): shard threads
+     * advance their local gate heaps concurrently up to a conservative
+     * dynamic horizon — the min over the other shards' published
+     * promises of their earliest possible cross-shard effect — while
+     * capturing remote ops into per-shard mailboxes and deferring
+     * observer hooks to per-core record logs; the coordinator merges
+     * the mailboxes into the global commit queue, drains it in key
+     * order, and replays the record logs through a model of the
+     * sequential scheduler at each window barrier. All defined in
+     * engine_windowed.cpp; the hot-path entry points in this file
+     * branch here on windowedActive_.
+     * @{
+     */
+    struct WindowedState; // shard contexts, record logs, replay state
+    struct WindowedStateDeleter
+    {
+        // Out of line: WindowedState is complete only in
+        // engine_windowed.cpp, and every translation unit that destroys
+        // an Engine needs this deleter instantiable.
+        void operator()(WindowedState *state) const;
+    };
+
+    void runWindowed();
+    CoreId windowedRunningCore() const;
+    void windowedSyncPoint(CoreId id);
+    void windowedYield(CoreId id);
+    void windowedBlock(CoreId id, ParkKind kind);
+    void windowedUnblock(CoreId id, Cycles t);
+    void windowedCommitWake(CoreId id, Cycles t);
+    // Bracket one serial-phase executeHeadOp: hooks the commit fires
+    // (checker edges ride the memory call) are captured per issuer and
+    // applied by the replay at the modeled commit, keeping the
+    // happens-before graph in canonical sequential order.
+    void windowedCommitBegin(CoreId issuer);
+    void windowedCommitEnd(CoreId issuer);
+    void windowedFinish(Slot &slot);
+    void windowedNoteCapture(CoreId issuer, Cycles commit, bool blocking);
+    void windowedScheduleRemoteOp(CoreId issuer, Cycles commit);
+    void windowedNoteProgress();
+    /** @} */
+
     /** Body-return bookkeeping for the current core. */
     void finishCurrent(Slot &slot);
+
+    /**
+     * The admission wait of syncPoint(), minus the call counting: parks
+     * core @p id until it holds the minimal clock. Split out so a core
+     * resuming from a windowed run that ended mid-wait can re-enter the
+     * sequential wait without double-counting the sync point.
+     */
+    void syncPointWait(CoreId id);
 
     /**
      * Pick the next core to run (heap root, or a seeded within-window
@@ -578,6 +872,13 @@ class Engine
     uint64_t syncPoints_ = 0;
     size_t stackBytes_;
     bool referenceMode_;
+    SchedMode mode_ = SchedMode::Token;
+    bool windowedActive_ = false; ///< inside a windowed run's window phase
+
+    // Remote-op commit queue (see the public @name block).
+    std::vector<HeapKey> events_;     ///< min-heap, one entry per issuer
+    std::vector<CoreOpSink *> opSinks_;
+    Cycles cachedEventMin_ = kNoOtherCore;
 
     // Host-parallel state. Written only between runs (shards_) or under
     // the grant token (runDone_); the grant/parked atomics are the sole
@@ -593,8 +894,12 @@ class Engine
     uint32_t spinBudget_ = 0;     ///< takeGrant() spins before parking
     const MachineConfig *machineCfg_ = nullptr; ///< for the lookahead
     std::unique_ptr<ShardPlan> plan_;
-    std::unique_ptr<ShardExec[]> exec_;
+    std::unique_ptr<ShardExec[]> exec_; ///< reused; grown when shards grow
+    uint32_t execShards_ = 0; ///< capacity of exec_
+    uint32_t grantGen_ = 0;   ///< bumped per runParallel (stale detection)
     std::vector<std::thread> shardThreads_;
+    std::unique_ptr<WindowedState, WindowedStateDeleter>
+        win_; ///< live across one runWindowed()
 
     // Indexed-heap scheduler state.
     std::vector<HeapKey> heap_;      ///< runnable cores, packed (time, id)
@@ -631,6 +936,7 @@ class Engine
     std::string abortDump_;
 
     obs::Tracer *tracer_ = nullptr;
+    ConcurrencyChecker *checker_ = nullptr; ///< for windowed replay only
 
     // Schedule-exploration state.
     bool schedPerturb_ = false;

@@ -1,0 +1,1256 @@
+/**
+ * @file
+ * Windowed concurrent shard execution (SchedMode::Windowed).
+ *
+ * PR 7's token protocol made the host-parallel engine *correct* but not
+ * *parallel*: exactly one shard thread held the grant token at any
+ * instant. This file replaces serialization with a null-message-free
+ * conservative scheme:
+ *
+ *  - every shard publishes a @e promise — a lower bound on the timestamp
+ *    of its earliest possible future cross-shard effect: the minimum of
+ *    its pending captured-op commits (ownEventMin) and its earliest
+ *    runnable gate plus the uniform commit delta;
+ *  - every shard advances its own cores concurrently and admits a gate u
+ *    iff u is the shard-local minimum and u is strictly below the
+ *    shard's @e ceiling — the min over the other shards' promises and
+ *    its own pending commits — so nothing that could still be affected
+ *    by a not-yet-committed operation ever executes;
+ *  - cross-shard effects (remote-op captures, wakes) are appended to
+ *    shard-local mailboxes, and every order-sensitive observer event
+ *    (checker hooks, trace events) plus every scheduling event is
+ *    appended to a per-core record log (obs::WinLog);
+ *  - when no shard can admit anything the window closes: the coordinator
+ *    merges the mailboxes into the global commit queue, drains it in
+ *    (commit, issuer) key order against the real memory system, and
+ *    replays the record logs through an exact model of the sequential
+ *    scheduler, emitting switch instants, checker hooks and trace events
+ *    in byte-identical sequential order.
+ *
+ * Equivalence argument (DESIGN.md Sec. 14): between two admitted gates a
+ * core only mutates its own state (clock, own-SPM ports, its capture
+ * FIFO), so per-core segments are atomic; admission at u guarantees every
+ * operation with commit <= u already drained, so the global drain order
+ * interleaves segments exactly as the sequential engine does; and the
+ * replay reconstructs the sequential dispatch sequence from the logs, so
+ * every observer sees the sequential event order. Digests, cycle counts,
+ * switch counts and syncPoint counts all match the sequential fast
+ * engine byte for byte — tests/test_engine_equiv.cpp enforces it.
+ */
+
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "obs/defer.hpp"
+#include "sim/checker.hpp"
+
+namespace spmrt {
+
+namespace {
+
+/** Shard index of the current host thread (kNoShard on the coordinator). */
+constexpr uint32_t kNoShard = ~uint32_t(0);
+thread_local uint32_t tlShard = kNoShard;
+
+/** One idle iteration of a host spin-wait. */
+inline void
+winCpuRelax()
+{
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#endif
+}
+
+/** Saturating add on the Cycles sentinel lattice. */
+inline Cycles
+satAdd(Cycles a, Cycles b)
+{
+    const Cycles max = std::numeric_limits<Cycles>::max();
+    return a > max - b ? max : a + b;
+}
+
+} // namespace
+
+/**
+ * Everything a windowed run owns: per-shard execution state, the
+ * window-barrier protocol, the per-core record logs, and the sequential
+ * replay model. Allocated by runWindowed() and destroyed when the run
+ * returns (normally or via a supervised abort).
+ */
+struct Engine::WindowedState
+{
+    static constexpr uint32_t kWinNone = 0;
+    static constexpr uint32_t kWinRun = 1;
+    static constexpr uint32_t kWinStop = 2;
+
+    struct DeferredWake
+    {
+        CoreId target;
+        Cycles t;
+    };
+
+    struct alignas(64) Shard
+    {
+        // In-window state: owned by the shard's thread between barriers,
+        // by the coordinator inside one (the ack/cmd handshake carries
+        // the happens-before edges both ways).
+        CoreId running = kInvalidCore;
+        Cycles ownEventMin = kNoOtherCore; ///< min pending commit, this shard
+        uint64_t syncPoints = 0;
+        uint32_t finishedCount = 0;
+        Cycles progressTime = 0;
+        bool progressed = false;
+        GuestContext loopCtx; ///< the shard thread's native stack
+        std::vector<HeapKey> outbox; ///< head captures (commit, issuer)
+        std::vector<DeferredWake> deferredWakes;
+        /**
+         * The conservative horizon bound other shards read while this
+         * shard runs. Monotone non-decreasing within a window (gates only
+         * rise, erases only raise the min, in-window captures commit at
+         * or above it), so relaxed loads observe a stale-but-safe value.
+         */
+        std::atomic<Cycles> promise{0};
+        std::atomic<uint32_t> cmd{kWinNone};
+    };
+
+    explicit WindowedState(Engine &engine)
+        : eng(engine), plan(*engine.plan_),
+          numShards(engine.plan_->numShards()),
+          delta(engine.machineCfg_ != nullptr &&
+                        engine.machineCfg_->linkLatency > 1
+                    ? engine.machineCfg_->linkLatency
+                    : 1)
+    {
+        const uint32_t host = std::thread::hardware_concurrency();
+        spinPark = host != 0 && host <= numShards;
+        shards = std::make_unique<Shard[]>(numShards);
+        winKey.resize(eng.numCores_);
+        logs.resize(eng.numCores_);
+        doneTimes.resize(eng.numCores_);
+        commitLogs.resize(eng.numCores_);
+        commitCounts.resize(eng.numCores_);
+        rCommitCursor.assign(eng.numCores_, 0);
+        rCursor.assign(eng.numCores_, 0);
+        rTraceCursor.assign(eng.numCores_, 0);
+        rTime.resize(eng.numCores_);
+        rParked.assign(eng.numCores_, kRunnable);
+        rPendingPosted.assign(eng.numCores_, 0);
+        rWakePending.assign(eng.numCores_, 0);
+        rWakeTime.assign(eng.numCores_, 0);
+        rCaps.resize(eng.numCores_);
+        rLive = eng.live_;
+        for (uint32_t i = 0; i < eng.numCores_; ++i) {
+            winKey[i] = eng.slots_[i].time;
+            rTime[i] = eng.slots_[i].time;
+            if (!eng.slots_[i].finished && !eng.slots_[i].blocked)
+                readyInsert(i);
+        }
+    }
+
+    Engine &eng;
+    const ShardPlan &plan;
+    uint32_t numShards;
+    Cycles delta;       ///< uniform capture commit delta (issue + delta)
+    bool spinPark;      ///< oversubscribed host: skip the unstick spin
+    bool muzzleWatchdog = false; ///< watchdog precheck already cleared
+
+    std::unique_ptr<Shard[]> shards;
+    std::vector<Cycles> winKey; ///< per-core pending-gate / resume key
+    std::vector<obs::WinLog> logs;
+    /**
+     * Per-core FIFO of blocking-op completion times, pushed by the serial
+     * drain's commit wakes and popped by the replay in the same per-core
+     * order (the capture FIFO is the order both sides follow).
+     */
+    std::vector<std::deque<Cycles>> doneTimes;
+    /**
+     * Per-issuer checker-hook records fired by serial-drain commits
+     * (windowedCommitBegin/End capture them), plus a FIFO of per-commit
+     * record counts. The replay applies each commit's records at its
+     * modeled position — the inline site or the modeled event commit —
+     * in the same per-core capture order both sides follow.
+     */
+    std::vector<obs::WinLog> commitLogs;
+    std::vector<std::deque<uint8_t>> commitCounts;
+    std::vector<uint32_t> rCommitCursor;
+    size_t commitMark = 0; ///< records size at windowedCommitBegin
+
+    // Window-barrier protocol (see runWindow / runWindowed).
+    std::atomic<uint32_t> stuckCount{0};
+    std::atomic<uint32_t> ackCount{0};
+    std::atomic<bool> windowClosed{false};
+
+    std::vector<std::thread> threads;
+
+    // ---- Sequential replay model -------------------------------------
+    // A faithful miniature of the fast sequential scheduler: a ready heap
+    // of (time, id) keys excluding the running core, a pending-op heap
+    // with one entry per issuer, per-core capture queues mirroring the
+    // core FIFOs, and the park reason per core. It advances as far as
+    // the logs allow and stalls (resumed next barrier) when a record or
+    // a completion time is not yet available.
+    enum Park : uint8_t
+    {
+        kRunnable,
+        kBarrier, ///< engine.block() park, woken by a logged kUnblock
+        kEvent,   ///< blocking capture, woken by its modeled commit
+        kFence    ///< fence drain-park, woken when posted count hits 0
+    };
+
+    struct PendingCap
+    {
+        Cycles commit;
+        bool blocking;
+    };
+
+    std::vector<uint32_t> rCursor;      ///< next record per core
+    std::vector<uint32_t> rTraceCursor; ///< next deferred trace per core
+    std::vector<Cycles> rTime;          ///< modeled clock per core
+    std::vector<Park> rParked;
+    std::vector<uint32_t> rPendingPosted;
+    // Modeled pending guest wakes: a kUnblock whose target is not
+    // Barrier-parked in the model holds here and is consumed by the
+    // target's next kBlock(Barrier) without parking — mirroring the
+    // engine's Slot::wakePending.
+    std::vector<uint8_t> rWakePending;
+    std::vector<Cycles> rWakeTime;
+    std::vector<std::deque<PendingCap>> rCaps;
+    std::vector<HeapKey> rReady;  ///< min-heap, running core excluded
+    std::vector<HeapKey> rEvents; ///< min-heap, one entry per issuer
+    CoreId rRunning = kInvalidCore;
+    uint32_t rLive = 0;
+
+    // ---- Small helpers ------------------------------------------------
+
+    /** Shard-local minimum gate key over runnable cores (scan: shards are
+     *  a handful of cores wide, and keys live in one dense array). */
+    Cycles
+    shardLocalMin(uint32_t s) const
+    {
+        Cycles min_t = kNoOtherCore;
+        const uint32_t end = plan.shardEnd(s);
+        for (uint32_t i = plan.shardBegin(s); i < end; ++i) {
+            const Slot &slot = eng.slots_[i];
+            if (slot.finished || slot.blocked)
+                continue;
+            if (winKey[i] < min_t)
+                min_t = winKey[i];
+        }
+        return min_t;
+    }
+
+    /** Same, excluding @p self (the admission check's "other" bound). */
+    Cycles
+    shardMinExcluding(uint32_t s, CoreId self) const
+    {
+        Cycles min_t = kNoOtherCore;
+        const uint32_t end = plan.shardEnd(s);
+        for (uint32_t i = plan.shardBegin(s); i < end; ++i) {
+            if (i == self)
+                continue;
+            const Slot &slot = eng.slots_[i];
+            if (slot.finished || slot.blocked)
+                continue;
+            if (winKey[i] < min_t)
+                min_t = winKey[i];
+        }
+        return min_t;
+    }
+
+    /** Shard-local root: lowest (key, id) among runnable cores. Returns
+     *  kInvalidCore when the shard has nothing runnable. */
+    CoreId
+    scanRoot(uint32_t s, Cycles &root_time) const
+    {
+        CoreId root = kInvalidCore;
+        Cycles best = kNoOtherCore;
+        const uint32_t end = plan.shardEnd(s);
+        for (uint32_t i = plan.shardBegin(s); i < end; ++i) {
+            const Slot &slot = eng.slots_[i];
+            if (slot.finished || slot.blocked)
+                continue;
+            if (winKey[i] < best) {
+                best = winKey[i];
+                root = i;
+            }
+        }
+        root_time = best;
+        return root;
+    }
+
+    /**
+     * The shard's admission ceiling: min over the other shards' promises
+     * and its own pending commits. Strict: a gate at the ceiling could
+     * tie an undrained commit, and ops precede gates at equal times.
+     */
+    Cycles
+    ceiling(uint32_t s) const
+    {
+        Cycles h = shards[s].ownEventMin;
+        for (uint32_t o = 0; o < numShards; ++o) {
+            if (o == s)
+                continue;
+            Cycles p = shards[o].promise.load(std::memory_order_relaxed);
+            if (p < h)
+                h = p;
+        }
+        return h;
+    }
+
+    /** Publish this shard's promise from its current local state. */
+    void
+    publishPromise(uint32_t s)
+    {
+        Shard &sh = shards[s];
+        Cycles p = satAdd(shardLocalMin(s), delta);
+        if (sh.ownEventMin < p)
+            p = sh.ownEventMin;
+        sh.promise.store(p, std::memory_order_relaxed);
+    }
+
+    /**
+     * In-window interrupt precheck at a shard dispatch point: when an
+     * interrupt source is (possibly) due the shard sticks, the window
+     * closes, and the coordinator runs the authoritative check on merged
+     * state. The watchdog precheck is muzzled after a barrier already
+     * re-verified it as not-yet-expired, else every window would close
+     * instantly forever.
+     */
+    bool
+    interruptStick(Cycles next_time) const
+    {
+        if (eng.cancelFlag_ != nullptr &&
+            eng.cancelFlag_->load(std::memory_order_relaxed) != 0)
+            return true;
+        if (eng.cycleLimit_ != 0 && next_time > eng.cycleLimit_)
+            return true;
+        return !muzzleWatchdog && eng.watchdogDue(next_time);
+    }
+
+    // Defined below (file scope, after the struct).
+    void leaveGuest(uint32_t s, GuestContext &from);
+    void shardThreadMain(uint32_t s);
+    void runWindow(uint32_t s);
+    void runCoordinator();
+    void mergeShardState();
+    void applyPendingWakes();
+    void serialDrain();
+    Cycles globalRootMin() const;
+    void seedWindow();
+    void launchWindow();
+    void stopThreads();
+
+    void runReplay();
+    bool replayDispatch();
+    bool replayGate(CoreId c, Cycles u);
+    bool replayCapture(CoreId c, const obs::WinRecord &r);
+    bool applyCommitHooks(CoreId c);
+    bool commitReplayEvent();
+    void readyInsert(CoreId id);
+    Cycles readyRootTime() const;
+    void compactLogs();
+};
+
+void
+Engine::WindowedStateDeleter::operator()(WindowedState *state) const
+{
+    delete state;
+}
+
+// ---- In-window guest-side scheduling --------------------------------------
+
+/** Slot of the core running guest code on this shard thread (used by
+ *  entryThunk, where running_ is stale during a window phase). */
+CoreId
+Engine::windowedRunningCore() const
+{
+    SPMRT_ASSERT(tlShard != kNoShard,
+                 "windowed guest activation outside a shard thread");
+    return win_->shards[tlShard].running;
+}
+
+/**
+ * Switch away from the current guest: to the shard-local root when it is
+ * admissible (guest-to-guest, as cheap as the sequential engine), else to
+ * the shard thread's native stack, which runs the stick protocol. Returns
+ * when the calling core is dispatched again.
+ */
+void
+Engine::WindowedState::leaveGuest(uint32_t s, GuestContext &from)
+{
+    Shard &sh = shards[s];
+    Cycles root_time;
+    const CoreId root = scanRoot(s, root_time);
+    if (root != kInvalidCore && root != sh.running &&
+        root_time < ceiling(s) && !interruptStick(root_time)) {
+        sh.running = root;
+        obs::tlWinLog = &logs[root];
+        GuestContext::switchTo(from, eng.slots_[root].ctx);
+        // Re-dispatched: whoever switched to us already restored
+        // sh.running and tlWinLog to this core.
+        return;
+    }
+    // Nothing else admissible here: let the shard loop spin on the
+    // horizon or close the window.
+    GuestContext::switchTo(from, sh.loopCtx);
+}
+
+void
+Engine::windowedSyncPoint(CoreId id)
+{
+    WindowedState &w = *win_;
+    const uint32_t s = tlShard;
+    SPMRT_ASSERT(s != kNoShard && w.plan.shardOf(id) == s,
+                 "windowed syncPoint off its shard thread");
+    WindowedState::Shard &sh = w.shards[s];
+    Slot &slot = slots_[id];
+    ++sh.syncPoints;
+    const Cycles u = slot.time;
+    w.logs[id].push(obs::WinRecord::kGate, u);
+    w.winKey[id] = u;
+    w.publishPromise(s);
+    while (true) {
+        if (!windowedActive_) {
+            // The windowed run ended while this core waited; a later
+            // sequential run resumed it. Re-enter the sequential wait
+            // (the gate was already counted above).
+            syncPointWait(id);
+            return;
+        }
+        const Cycles other = w.shardMinExcluding(s, id);
+        if (u <= other && u < w.ceiling(s) && !w.interruptStick(u))
+            return; // admitted: run free to the next gate
+        w.leaveGuest(s, slot.ctx);
+    }
+}
+
+void
+Engine::windowedYield(CoreId id)
+{
+    WindowedState &w = *win_;
+    const uint32_t s = tlShard;
+    Slot &slot = slots_[id];
+    const Cycles u = slot.time;
+    w.logs[id].push(obs::WinRecord::kYield, u);
+    w.winKey[id] = u;
+    w.publishPromise(s);
+    while (true) {
+        if (!windowedActive_)
+            return;
+        Cycles root_time;
+        const CoreId root = w.scanRoot(s, root_time);
+        if (root == id && u < w.ceiling(s) && !w.interruptStick(u))
+            return; // re-picked
+        w.leaveGuest(s, slot.ctx);
+    }
+}
+
+void
+Engine::windowedBlock(CoreId id, ParkKind kind)
+{
+    WindowedState &w = *win_;
+    const uint32_t s = tlShard;
+    SPMRT_ASSERT(s != kNoShard && w.shards[s].running == id,
+                 "windowed block() from a non-running core");
+    Slot &slot = slots_[id];
+    w.logs[id].push(obs::WinRecord::kBlock, slot.time, 0,
+                    static_cast<uint32_t>(kind));
+    if (kind == ParkKind::Barrier && slot.wakePending) {
+        // The guest wake already arrived (same-shard raced ahead, or a
+        // deferred wake applied at an earlier barrier): consume it and
+        // keep running. The replay models the same consume from its own
+        // pending-wake state at this record.
+        slot.wakePending = false;
+        if (slot.wakeTime > slot.time)
+            slot.time = slot.wakeTime;
+        w.winKey[id] = slot.time;
+        return;
+    }
+    slot.blocked = true;
+    slot.park = kind;
+    w.publishPromise(s);
+    w.leaveGuest(s, slot.ctx);
+    SPMRT_ASSERT(!slot.blocked, "blocked core %u resumed while parked", id);
+}
+
+void
+Engine::windowedUnblock(CoreId id, Cycles t)
+{
+    WindowedState &w = *win_;
+    Slot &slot = slots_[id];
+    SPMRT_ASSERT(tlShard != kNoShard,
+                 "serial-phase guest wake outside a window");
+    // In-window guest wake. Same-shard targets are owned by this thread:
+    // Barrier parks wake immediately, anything else (not parked yet, or
+    // waiting on its own commit/drain) holds the wake pending for the
+    // target's next Barrier block(). Cross-shard targets defer to the
+    // barrier, where the coordinator applies the same rule.
+    WindowedState::Shard &sh = w.shards[tlShard];
+    w.logs[sh.running].push(obs::WinRecord::kUnblock, id, t);
+    if (w.plan.shardOf(id) != tlShard) {
+        sh.deferredWakes.push_back({id, t});
+        return;
+    }
+    if (slot.blocked && slot.park == ParkKind::Barrier) {
+        slot.blocked = false;
+        if (t > slot.time)
+            slot.time = t;
+        w.winKey[id] = slot.time;
+        return;
+    }
+    slot.wakePending = true;
+    if (t > slot.wakeTime)
+        slot.wakeTime = t;
+}
+
+void
+Engine::windowedCommitWake(CoreId id, Cycles t)
+{
+    // Coordinator serial phase only: the barrier drain commits captured
+    // ops; windows never execute them. Blocking completions (t > 0)
+    // also feed the replay's per-core completion queue; fence wakes
+    // (t == 0) are modeled from the posted-store count instead.
+    WindowedState &w = *win_;
+    Slot &slot = slots_[id];
+    SPMRT_ASSERT(tlShard == kNoShard, "commit wake inside a window");
+    if (t > 0)
+        w.doneTimes[id].push_back(t);
+    SPMRT_ASSERT(slot.blocked,
+                 "drain woke core %u, which is not parked", id);
+    SPMRT_ASSERT(slot.park == (t > 0 ? ParkKind::Commit : ParkKind::Drain),
+                 "drain wake kind mismatch for core %u", id);
+    slot.blocked = false;
+    if (t > slot.time)
+        slot.time = t;
+    w.winKey[id] = slot.time;
+}
+
+void
+Engine::windowedCommitBegin(CoreId issuer)
+{
+    WindowedState &w = *win_;
+    SPMRT_ASSERT(tlShard == kNoShard && obs::tlWinLog == nullptr,
+                 "commit bracket inside a window");
+    w.commitMark = w.commitLogs[issuer].records.size();
+    obs::tlWinLog = &w.commitLogs[issuer];
+}
+
+void
+Engine::windowedCommitEnd(CoreId issuer)
+{
+    WindowedState &w = *win_;
+    obs::tlWinLog = nullptr;
+    const size_t n = w.commitLogs[issuer].records.size() - w.commitMark;
+    SPMRT_ASSERT(n <= 255, "commit fired %zu hook records", n);
+    w.commitCounts[issuer].push_back(static_cast<uint8_t>(n));
+}
+
+void
+Engine::windowedFinish(Slot &slot)
+{
+    WindowedState &w = *win_;
+    const uint32_t s = tlShard;
+    WindowedState::Shard &sh = w.shards[s];
+    w.logs[slot.id].push(obs::WinRecord::kFinish);
+    slot.finished = true;
+    ++sh.finishedCount;
+    w.publishPromise(s);
+    w.leaveGuest(s, slot.ctx);
+    // Resumed by a later run(): fall through into the entryThunk loop.
+}
+
+void
+Engine::windowedNoteCapture(CoreId issuer, Cycles commit, bool blocking)
+{
+    WindowedState &w = *win_;
+    WindowedState::Shard &sh = w.shards[tlShard];
+    w.logs[issuer].push(obs::WinRecord::kCapture, commit, 0,
+                        blocking ? obs::WinRecord::kCaptureBlocking : 0);
+    // The new commit caps this shard's own ceiling immediately. The
+    // published promise is unchanged: commit = gate + delta is at or
+    // above the promise already on offer.
+    if (commit < sh.ownEventMin)
+        sh.ownEventMin = commit;
+}
+
+void
+Engine::windowedScheduleRemoteOp(CoreId issuer, Cycles commit)
+{
+    WindowedState &w = *win_;
+    w.shards[tlShard].outbox.push_back(heapKey(issuer, commit));
+}
+
+// ---- Shard threads and the window barrier ---------------------------------
+
+void
+Engine::WindowedState::shardThreadMain(uint32_t s)
+{
+    tlShard = s;
+    Shard &sh = shards[s];
+    while (true) {
+        uint32_t c;
+        while ((c = sh.cmd.load(std::memory_order_acquire)) == kWinNone)
+            sh.cmd.wait(kWinNone, std::memory_order_acquire);
+        sh.cmd.store(kWinNone, std::memory_order_relaxed);
+        if (c == kWinStop) {
+            obs::tlWinLog = nullptr;
+            return;
+        }
+        runWindow(s);
+    }
+}
+
+/**
+ * One window on shard @p s: dispatch admissible local roots until none
+ * remains, then stick — publish the final promise, spin briefly on the
+ * horizon (another shard's promise may rise and free us), and finally
+ * join the window barrier. Returns with the barrier acked; the caller
+ * waits for the next command.
+ */
+void
+Engine::WindowedState::runWindow(uint32_t s)
+{
+    Shard &sh = shards[s];
+    while (true) {
+        Cycles root_time;
+        CoreId root = scanRoot(s, root_time);
+        const bool admissible = root != kInvalidCore &&
+                                root_time < ceiling(s) &&
+                                !interruptStick(root_time);
+        if (admissible) {
+            sh.running = root;
+            obs::tlWinLog = &logs[root];
+            GuestContext::switchTo(sh.loopCtx, eng.slots_[root].ctx);
+            // A guest on this shard stuck with nothing admissible (its
+            // momentary horizon read may already be stale): fall through
+            // and re-evaluate on fresh promises.
+            obs::tlWinLog = nullptr;
+            sh.running = kInvalidCore;
+            continue;
+        }
+        // Stick: final promise, then try to catch a rising horizon
+        // before joining the barrier. With the host oversubscribed the
+        // spin only steals cycles from whoever would raise it.
+        publishPromise(s);
+        bool freed = false;
+        const uint32_t budget = spinPark ? 1 : 4096;
+        for (uint32_t spin = 0; spin < budget; ++spin) {
+            if (windowClosed.load(std::memory_order_acquire))
+                break;
+            root = scanRoot(s, root_time);
+            if (root != kInvalidCore && root_time < ceiling(s) &&
+                !interruptStick(root_time)) {
+                freed = true;
+                break;
+            }
+            winCpuRelax();
+        }
+        if (freed)
+            continue;
+        stuckCount.fetch_add(1, std::memory_order_seq_cst);
+        stuckCount.notify_one();
+        // Last admissibility recheck: a promise published between our
+        // spin and our increment could have freed us; if so, withdraw
+        // (the coordinator's stuck count is a hint, the acks below are
+        // the real barrier).
+        if (!windowClosed.load(std::memory_order_seq_cst)) {
+            root = scanRoot(s, root_time);
+            if (root != kInvalidCore && root_time < ceiling(s) &&
+                !interruptStick(root_time)) {
+                stuckCount.fetch_sub(1, std::memory_order_seq_cst);
+                continue;
+            }
+        }
+        windowClosed.wait(false, std::memory_order_acquire);
+        // Release everything this shard wrote this window to the
+        // coordinator's matching acquire on the ack count.
+        ackCount.fetch_add(1, std::memory_order_release);
+        ackCount.notify_one();
+        return;
+    }
+}
+
+void
+Engine::WindowedState::launchWindow()
+{
+    stuckCount.store(0, std::memory_order_relaxed);
+    ackCount.store(0, std::memory_order_relaxed);
+    windowClosed.store(false, std::memory_order_relaxed);
+    for (uint32_t s = 0; s < numShards; ++s) {
+        shards[s].cmd.store(kWinRun, std::memory_order_release);
+        shards[s].cmd.notify_one();
+    }
+}
+
+void
+Engine::WindowedState::stopThreads()
+{
+    for (uint32_t s = 0; s < numShards; ++s) {
+        shards[s].cmd.store(kWinStop, std::memory_order_release);
+        shards[s].cmd.notify_one();
+    }
+    for (std::thread &t : threads)
+        t.join();
+    threads.clear();
+}
+
+// ---- Coordinator: the serial barrier phase --------------------------------
+
+/** Fold every shard's window-local counters into the engine's. */
+void
+Engine::WindowedState::mergeShardState()
+{
+    Cycles prog = 0;
+    bool progressed = false;
+    for (uint32_t s = 0; s < numShards; ++s) {
+        Shard &sh = shards[s];
+        eng.syncPoints_ += sh.syncPoints;
+        sh.syncPoints = 0;
+        eng.live_ -= sh.finishedCount;
+        sh.finishedCount = 0;
+        if (sh.progressed) {
+            progressed = true;
+            if (sh.progressTime > prog)
+                prog = sh.progressTime;
+            sh.progressed = false;
+        }
+    }
+    if (progressed)
+        eng.noteProgressAt(prog);
+    for (uint32_t i = 0; i < eng.numCores_; ++i)
+        eng.foldHighWater(eng.slots_[i].time);
+}
+
+/** Apply deferred cross-shard wakes with the guest-wake rule: Barrier
+ *  parks wake now, anything else (not parked yet, or waiting on its own
+ *  commit/drain) holds the wake pending for the target's next Barrier
+ *  block(). */
+void
+Engine::WindowedState::applyPendingWakes()
+{
+    for (uint32_t s = 0; s < numShards; ++s) {
+        Shard &sh = shards[s];
+        for (const DeferredWake &wake : sh.deferredWakes) {
+            Slot &slot = eng.slots_[wake.target];
+            if (slot.blocked && slot.park == ParkKind::Barrier) {
+                slot.blocked = false;
+                if (wake.t > slot.time)
+                    slot.time = wake.t;
+                winKey[wake.target] = slot.time;
+                continue;
+            }
+            slot.wakePending = true;
+            if (wake.t > slot.wakeTime)
+                slot.wakeTime = wake.t;
+        }
+        sh.deferredWakes.clear();
+    }
+}
+
+/** Earliest runnable gate key anywhere (kNoOtherCore when none). */
+Cycles
+Engine::WindowedState::globalRootMin() const
+{
+    Cycles min_t = kNoOtherCore;
+    for (uint32_t i = 0; i < eng.numCores_; ++i) {
+        const Slot &slot = eng.slots_[i];
+        if (slot.finished || slot.blocked)
+            continue;
+        if (winKey[i] < min_t)
+            min_t = winKey[i];
+    }
+    return min_t;
+}
+
+/**
+ * Merge the shard outboxes into the global commit queue and drain every
+ * op whose key is at or below the earliest runnable gate — exactly the
+ * set the sequential engine would have committed before its next
+ * dispatch. Commit wakes re-shape the runnable set, so the bound is
+ * recomputed every iteration; with nothing runnable the queue is the
+ * only way forward and drains unconditionally.
+ */
+void
+Engine::WindowedState::serialDrain()
+{
+    for (uint32_t s = 0; s < numShards; ++s) {
+        Shard &sh = shards[s];
+        for (HeapKey key : sh.outbox) {
+            eng.events_.push_back(key);
+            std::push_heap(eng.events_.begin(), eng.events_.end(),
+                           std::greater<HeapKey>());
+        }
+        sh.outbox.clear();
+    }
+    eng.cachedEventMin_ = eng.events_.empty()
+                              ? kNoOtherCore
+                              : eng.keyTime(eng.events_[0]);
+    while (!eng.events_.empty() &&
+           eng.cachedEventMin_ <= globalRootMin())
+        eng.executeOneEvent();
+}
+
+/** Seed every shard's horizon state for the next window. */
+void
+Engine::WindowedState::seedWindow()
+{
+    for (uint32_t s = 0; s < numShards; ++s) {
+        // This shard's residual pending commits: the carried-over heads
+        // still in the global queue. (In-window captures re-tighten the
+        // bound as they happen.)
+        Cycles own = kNoOtherCore;
+        for (HeapKey key : eng.events_) {
+            if (plan.shardOf(eng.keyId(key)) != s)
+                continue;
+            const Cycles t = eng.keyTime(key);
+            if (t < own)
+                own = t;
+        }
+        Shard &sh = shards[s];
+        sh.ownEventMin = own;
+        Cycles p = satAdd(shardLocalMin(s), delta);
+        if (own < p)
+            p = own;
+        sh.promise.store(p, std::memory_order_relaxed);
+    }
+}
+
+void
+Engine::WindowedState::runCoordinator()
+{
+    threads.reserve(numShards);
+    for (uint32_t s = 0; s < numShards; ++s)
+        threads.emplace_back([this, s] { shardThreadMain(s); });
+
+    seedWindow();
+    while (true) {
+        launchWindow();
+        uint32_t v;
+        while ((v = stuckCount.load(std::memory_order_acquire)) !=
+               numShards)
+            stuckCount.wait(v, std::memory_order_acquire);
+        windowClosed.store(true, std::memory_order_seq_cst);
+        windowClosed.notify_all();
+        while ((v = ackCount.load(std::memory_order_acquire)) != numShards)
+            ackCount.wait(v, std::memory_order_acquire);
+
+        // Serial phase: every shard is parked past its ack; this thread
+        // owns all state until the next launchWindow().
+        mergeShardState();
+        applyPendingWakes();
+        serialDrain();
+        runReplay();
+        compactLogs();
+
+        if (eng.live_ == 0) {
+            stopThreads();
+            SPMRT_ASSERT(rLive == 0, "windowed replay incomplete at end "
+                                     "of run (%u cores still live)",
+                         rLive);
+            return;
+        }
+
+        // A pending guest wake cannot mask a deadlock: pendings only
+        // attach to cores that are runnable (counted by grm) or parked
+        // on their own commit/drain (whose events are in the queue).
+        const Cycles grm = globalRootMin();
+        if (grm == kNoOtherCore && eng.events_.empty())
+            SPMRT_PANIC("deadlock: all %u live cores are blocked",
+                        eng.live_);
+        const Cycles next_t = grm == kNoOtherCore ? eng.maxTime() : grm;
+        if (eng.interruptDue(next_t) && eng.checkInterrupts(next_t)) {
+            // Supervised abort: the machine is dead; runWindowed()
+            // throws once the threads are down.
+            stopThreads();
+            return;
+        }
+        // A watchdog precheck that did not expire keeps tripping until
+        // progress advances; muzzle it so shards stop closing windows
+        // on it (cancel and cycle-limit prechecks stay live).
+        muzzleWatchdog = eng.watchdogDue(next_t);
+        seedWindow();
+    }
+}
+
+void
+Engine::runWindowed()
+{
+    win_.reset(new WindowedState(*this));
+    windowedActive_ = true;
+    win_->runCoordinator();
+    windowedActive_ = false;
+    running_ = kInvalidCore;
+    win_.reset();
+    if (abortPending_)
+        throwPendingAbort();
+    // Any posted stores still queued at termination commit here, so the
+    // memory image is final when run() returns.
+    drainAllEvents();
+}
+
+void
+Engine::windowedNoteProgress()
+{
+    WindowedState &w = *win_;
+    if (tlShard == kNoShard)
+        return; // no guest runs on the coordinator during a window
+    WindowedState::Shard &sh = w.shards[tlShard];
+    const Cycles t = slots_[sh.running].time;
+    sh.progressed = true;
+    if (t > sh.progressTime)
+        sh.progressTime = t;
+}
+
+// ---- Sequential replay ----------------------------------------------------
+//
+// The replay consumes the per-core record logs through a model of the
+// fast sequential scheduler, reproducing its dispatch order exactly:
+// switch instants and counts come from the model's dispatches, checker
+// hooks and trace events apply at their logged stream positions. The
+// model stalls — and resumes at the next barrier — whenever it needs a
+// record or a blocking-op completion time the run has not produced yet.
+
+void
+Engine::WindowedState::readyInsert(CoreId id)
+{
+    rReady.push_back(eng.heapKey(id, rTime[id]));
+    std::push_heap(rReady.begin(), rReady.end(), std::greater<HeapKey>());
+}
+
+Cycles
+Engine::WindowedState::readyRootTime() const
+{
+    return rReady.empty() ? kNoOtherCore : eng.keyTime(rReady[0]);
+}
+
+/**
+ * Apply the checker-hook records one real commit of core @p c fired, at
+ * this point of the modeled schedule. False (a stall, nothing consumed)
+ * when the real commit has not happened yet.
+ */
+bool
+Engine::WindowedState::applyCommitHooks(CoreId c)
+{
+    if (commitCounts[c].empty())
+        return false;
+    uint32_t n = commitCounts[c].front();
+    commitCounts[c].pop_front();
+    while (n-- > 0) {
+        SPMRT_ASSERT(rCommitCursor[c] < commitLogs[c].records.size(),
+                     "commit hook records exhausted for core %u", c);
+        SPMRT_ASSERT(eng.checker_ != nullptr,
+                     "commit hook record with no checker attached");
+        eng.checker_->applyDeferred(c,
+                                    commitLogs[c]
+                                        .records[rCommitCursor[c]++]);
+    }
+    return true;
+}
+
+/**
+ * Commit the earliest modeled pending op. Returns false (a stall, with
+ * nothing consumed) when the op is blocking and its completion time has
+ * not been recorded by the real drain yet, or the real commit itself
+ * has not happened.
+ */
+bool
+Engine::WindowedState::commitReplayEvent()
+{
+    const HeapKey key = rEvents[0];
+    const CoreId c = eng.keyId(key);
+    SPMRT_ASSERT(!rCaps[c].empty(), "replay event with no pending capture");
+    const PendingCap cap = rCaps[c].front();
+    SPMRT_ASSERT(eng.heapKey(c, cap.commit) == key,
+                 "replay event / capture queue mismatch on core %u", c);
+    if (cap.blocking && doneTimes[c].empty())
+        return false;
+    if (!applyCommitHooks(c))
+        return false;
+    std::pop_heap(rEvents.begin(), rEvents.end(), std::greater<HeapKey>());
+    rEvents.pop_back();
+    rCaps[c].pop_front();
+    if (cap.blocking) {
+        const Cycles done = doneTimes[c].front();
+        doneTimes[c].pop_front();
+        SPMRT_ASSERT(rParked[c] == kEvent,
+                     "replay commit wake of core %u, which is not "
+                     "event-parked", c);
+        rParked[c] = kRunnable;
+        if (done > rTime[c])
+            rTime[c] = done;
+        readyInsert(c);
+    } else {
+        SPMRT_ASSERT(rPendingPosted[c] > 0,
+                     "replay posted commit with no posted stores");
+        if (--rPendingPosted[c] == 0 && rParked[c] == kFence) {
+            rParked[c] = kRunnable; // unblock(c, 0): clock unchanged
+            readyInsert(c);
+        }
+    }
+    if (!rCaps[c].empty()) {
+        rEvents.push_back(eng.heapKey(c, rCaps[c].front().commit));
+        std::push_heap(rEvents.begin(), rEvents.end(),
+                       std::greater<HeapKey>());
+    }
+    return true;
+}
+
+/**
+ * The modeled dispatchFrom: commit every pending op whose key precedes
+ * the earliest ready gate, then pick the ready root, emit the switch
+ * instant, and count the switch. False on a stall.
+ */
+bool
+Engine::WindowedState::replayDispatch()
+{
+    while (!rEvents.empty() &&
+           (rReady.empty() ||
+            eng.keyTime(rEvents[0]) <= readyRootTime())) {
+        if (!commitReplayEvent())
+            return false;
+    }
+    SPMRT_ASSERT(!rReady.empty(), "deadlock: all %u live cores are blocked",
+                 eng.live_);
+    const HeapKey key = rReady[0];
+    const CoreId id = eng.keyId(key);
+    if (obs::Tracer *t = eng.tracer())
+        t->instant(obs::kTraceSwitch, id, eng.keyTime(key), "switch");
+    ++eng.switches_;
+    std::pop_heap(rReady.begin(), rReady.end(), std::greater<HeapKey>());
+    rReady.pop_back();
+    rRunning = id;
+    return true;
+}
+
+/**
+ * The modeled syncPoint admission for core @p c at gate @p u: drain due
+ * ops while admitted, yield to an earlier ready core otherwise. Consumes
+ * the kGate record only on admission; a gate that loses the dispatch is
+ * re-examined when the core is next picked.
+ */
+bool
+Engine::WindowedState::replayGate(CoreId c, Cycles u)
+{
+    while (true) {
+        if (u <= readyRootTime()) {
+            if (!rEvents.empty() && eng.keyTime(rEvents[0]) <= u) {
+                if (!commitReplayEvent())
+                    return false;
+                continue; // a commit wake may change the bound
+            }
+            rCursor[c] += 1;
+            rTime[c] = u;
+            return true; // admitted
+        }
+        rTime[c] = u;
+        readyInsert(c);
+        rRunning = kInvalidCore;
+        if (!replayDispatch())
+            return false;
+        if (rRunning != c)
+            return true; // switched away; this kGate replays later
+        // Re-picked: re-run the admission check (a drain above may have
+        // woken an earlier core).
+    }
+}
+
+/**
+ * The modeled capture site: decide — with exactly the sequential
+ * engine's remoteInlineOk rule — whether this op would have executed
+ * inline or been captured, and model the consequences. False on a
+ * stall.
+ */
+bool
+Engine::WindowedState::replayCapture(CoreId c, const obs::WinRecord &r)
+{
+    const Cycles commit = r.a;
+    const bool blocking =
+        (r.c & obs::WinRecord::kCaptureBlocking) != 0;
+    if (blocking) {
+        // The windowed run always parks a blocking capture; the paired
+        // block record is adjacent by construction.
+        const auto &recs = logs[c].records;
+        SPMRT_ASSERT(rCursor[c] + 1 < recs.size() &&
+                         recs[rCursor[c] + 1].type ==
+                             obs::WinRecord::kBlock,
+                     "blocking capture without its paired block record");
+    }
+    const bool inline_ok =
+        !(!rEvents.empty() && rEvents[0] < eng.heapKey(c, commit)) &&
+        readyRootTime() >= commit;
+    if (inline_ok) {
+        // The sequential engine runs this op at the issue site: no
+        // capture, no event, no park — and its checker hooks fire right
+        // here, so the real commit's captured hook records apply now.
+        if (blocking && doneTimes[c].empty())
+            return false; // the real commit has not drained yet
+        if (!applyCommitHooks(c))
+            return false;
+        if (blocking) {
+            const Cycles done = doneTimes[c].front();
+            doneTimes[c].pop_front();
+            if (done > rTime[c])
+                rTime[c] = done;
+            rCursor[c] += 2; // capture + paired block
+        } else {
+            // Posted inline: the issue-cost clock advance is identical
+            // on both paths, so only the hooks needed modeling.
+            rCursor[c] += 1;
+        }
+        return true;
+    }
+    // Captured in the sequential model too.
+    const bool was_empty = rCaps[c].empty();
+    rCaps[c].push_back({commit, blocking});
+    if (was_empty) {
+        rEvents.push_back(eng.heapKey(c, commit));
+        std::push_heap(rEvents.begin(), rEvents.end(),
+                       std::greater<HeapKey>());
+    }
+    if (blocking) {
+        rCursor[c] += 2;
+        rParked[c] = kEvent;
+        rRunning = kInvalidCore;
+        return replayDispatch();
+    }
+    rPendingPosted[c] += 1;
+    rCursor[c] += 1;
+    return true;
+}
+
+void
+Engine::WindowedState::runReplay()
+{
+    while (true) {
+        if (rLive == 0)
+            return; // run fully replayed
+        if (rRunning == kInvalidCore) {
+            if (!replayDispatch())
+                return; // stall: resume next barrier
+            continue;
+        }
+        const CoreId c = rRunning;
+        obs::WinLog &lg = logs[c];
+        if (rCursor[c] >= lg.records.size())
+            return; // stall: the core is mid-window in real time
+        const obs::WinRecord &r = lg.records[rCursor[c]];
+        switch (r.type) {
+          case obs::WinRecord::kGate:
+            if (!replayGate(c, r.a))
+                return;
+            break;
+          case obs::WinRecord::kCapture:
+            if (!replayCapture(c, r))
+                return;
+            break;
+          case obs::WinRecord::kBlock:
+            // c encodes the ParkKind: 0 Barrier, 1 Drain, 2 Commit.
+            // Commit parks are always consumed with their paired
+            // capture record and never reach the main loop.
+            SPMRT_ASSERT(r.c != 2, "stray commit-park block record");
+            rCursor[c] += 1;
+            if (r.c == 1 && rPendingPosted[c] == 0) {
+                // Fence drain-park the sequential engine never takes:
+                // every posted store already committed in the model.
+                break;
+            }
+            if (r.c == 0 && rWakePending[c] != 0) {
+                // The modeled guest wake already arrived: consume it
+                // and keep running, exactly like Engine::block().
+                rWakePending[c] = 0;
+                rTime[c] = r.a;
+                if (rWakeTime[c] > rTime[c])
+                    rTime[c] = rWakeTime[c];
+                break;
+            }
+            rParked[c] = r.c == 1 ? kFence : kBarrier;
+            rTime[c] = r.a;
+            rRunning = kInvalidCore;
+            if (!replayDispatch())
+                return;
+            break;
+          case obs::WinRecord::kUnblock: {
+            rCursor[c] += 1;
+            const CoreId target = static_cast<CoreId>(r.a);
+            if (rParked[target] != kBarrier) {
+                // Not Barrier-parked in the model (still runnable, or
+                // waiting on its own commit/drain): hold the wake for
+                // the target's next barrier park, like
+                // Engine::unblock().
+                rWakePending[target] = 1;
+                if (r.b > rWakeTime[target])
+                    rWakeTime[target] = r.b;
+                break;
+            }
+            rParked[target] = kRunnable;
+            if (r.b > rTime[target])
+                rTime[target] = r.b;
+            readyInsert(target);
+            break;
+          }
+          case obs::WinRecord::kYield:
+            rCursor[c] += 1;
+            rTime[c] = r.a;
+            readyInsert(c);
+            rRunning = kInvalidCore;
+            if (!replayDispatch())
+                return;
+            break;
+          case obs::WinRecord::kFinish:
+            rCursor[c] += 1;
+            --rLive;
+            rRunning = kInvalidCore;
+            if (rLive == 0)
+                return;
+            if (!replayDispatch())
+                return;
+            break;
+          case obs::WinRecord::kTrace: {
+            rCursor[c] += 1;
+            const obs::TraceEvent &ev = lg.traces[rTraceCursor[c]++];
+            if (obs::Tracer *t = eng.tracer())
+                t->replay(ev);
+            break;
+          }
+          default:
+            rCursor[c] += 1;
+            SPMRT_ASSERT(eng.checker_ != nullptr,
+                         "deferred checker record with no checker "
+                         "attached to the engine");
+            eng.checker_->applyDeferred(c, r);
+            break;
+        }
+    }
+}
+
+/** Drop fully consumed log prefixes (the logs otherwise grow with the
+ *  whole run; the replay's lag behind real time is small). */
+void
+Engine::WindowedState::compactLogs()
+{
+    for (uint32_t i = 0; i < eng.numCores_; ++i) {
+        obs::WinLog &lg = logs[i];
+        if (rCursor[i] > 0) {
+            lg.records.erase(lg.records.begin(),
+                             lg.records.begin() + rCursor[i]);
+            rCursor[i] = 0;
+        }
+        if (rTraceCursor[i] > 0) {
+            lg.traces.erase(lg.traces.begin(),
+                            lg.traces.begin() + rTraceCursor[i]);
+            rTraceCursor[i] = 0;
+        }
+        if (rCommitCursor[i] > 0) {
+            obs::WinLog &cl = commitLogs[i];
+            cl.records.erase(cl.records.begin(),
+                             cl.records.begin() + rCommitCursor[i]);
+            rCommitCursor[i] = 0;
+        }
+    }
+}
+
+} // namespace spmrt

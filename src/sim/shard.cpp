@@ -17,8 +17,29 @@ parseShardCount(const char *text, uint32_t host_cores, uint32_t &out,
     while (std::isspace(static_cast<unsigned char>(*p)))
         ++p;
     if (*p == '\0') {
-        error = "shard count is empty; expected a positive integer";
+        error = "shard count is empty; expected a positive integer or "
+                "'auto'";
         return false;
+    }
+    if (std::isalpha(static_cast<unsigned char>(*p))) {
+        // The only keyword: 'auto' resolves to the host's concurrency
+        // (clamped to the simulated core count later, when the engine
+        // builds its ShardPlan). Unknown hosts report 0 concurrency;
+        // fall back to sequential rather than guessing.
+        const char *q = p;
+        while (std::isalpha(static_cast<unsigned char>(*q)))
+            ++q;
+        std::string word(p, q);
+        while (std::isspace(static_cast<unsigned char>(*q)))
+            ++q;
+        if (word != "auto" || *q != '\0') {
+            error = log::format("shard count '%s' is not a number; "
+                                "expected a positive integer or 'auto'",
+                                text);
+            return false;
+        }
+        out = host_cores != 0 ? host_cores : 1;
+        return true;
     }
     if (*p == '-') {
         error = log::format("shard count '%s' is negative; "

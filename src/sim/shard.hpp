@@ -20,12 +20,19 @@
  * the closed form against a literal re-walk of the router's hop loop
  * and exercises the windowed-execution model built on it.
  *
- * On the paper's mesh the lookahead degenerates to a single link
- * latency (adjacent cores straddle every shard boundary, and the edge
- * rows sit one hop from the LLC rows), which is precisely why the
- * parallel engine serializes globally visible operations with a grant
- * token instead of running shards freely inside time windows — see
- * DESIGN.md Sec. 14. The lookahead still sizes the engine's
+ * On the paper's mesh the *static* lookahead degenerates to a single
+ * link latency (adjacent cores straddle every shard boundary, and the
+ * edge rows sit one hop from the LLC rows). That rules out classic
+ * free-running time windows sized by this bound alone, and is why the
+ * engine offers two parallel schedulers on top of the same plan: the
+ * token scheduler (SchedMode::Token) serializes every globally visible
+ * operation with a grant token, and the windowed scheduler
+ * (SchedMode::Windowed) replaces the static bound with a *dynamic*
+ * horizon — each shard publishes the timestamp of its earliest possible
+ * cross-shard effect and everyone runs freely below the minimum of the
+ * others' promises — capturing cross-shard operations into per-shard
+ * mailboxes drained in global key order at window barriers; see
+ * DESIGN.md Sec. 14. The static lookahead still sizes the engines'
  * spin-before-park wait policy: a handoff expected within a few
  * simulated cycles is worth spinning for on the host.
  */
@@ -43,12 +50,15 @@ namespace spmrt {
 
 /**
  * Parse and validate a shard-count string (the SPMRT_ENGINE_SHARDS
- * environment value). Accepts exactly a positive decimal integer no
- * larger than @p host_cores; rejects empty strings, non-numeric or
- * trailing-junk input, zero, negative values, and counts beyond the
- * host (a shard is a dedicated host thread — oversubscription would
- * only serialize the token behind the OS scheduler). @p host_cores of 0
- * (unknown host) skips the upper-bound check.
+ * environment value). Accepts a positive decimal integer no larger
+ * than @p host_cores, or the keyword 'auto' (resolving to
+ * @p host_cores, or 1 when the host is unknown; the engine's ShardPlan
+ * further clamps to the simulated core count). Rejects empty strings,
+ * non-numeric or trailing-junk input, zero, negative values, and
+ * counts beyond the host (a shard is a dedicated host thread —
+ * oversubscription would only serialize shard handoffs behind the OS
+ * scheduler). @p host_cores of 0 (unknown host) skips the upper-bound
+ * check for explicit integers.
  *
  * @param text the string to parse (must not be nullptr).
  * @param host_cores number of host CPUs, or 0 when unknown.

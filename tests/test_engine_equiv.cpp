@@ -157,10 +157,11 @@ makeWorkloads()
  */
 Outcome
 runOnce(const Workload &workload, const Regime &regime, bool reference,
-        bool compiled_routes = true, uint32_t shards = 1)
+        bool compiled_routes = true, uint32_t shards = 1,
+        SchedMode mode = SchedMode::Token)
 {
     Machine machine(MachineConfig::tiny());
-    machine.engine().setReferenceScheduler(reference);
+    machine.engine().setScheduler(reference ? SchedMode::Reference : mode);
     machine.engine().setShards(shards);
     machine.mem().noc().setCompiledRoutes(compiled_routes);
     ConcurrencyChecker *ck = machine.armChecker();
@@ -290,6 +291,63 @@ TEST_P(ParallelEngineEquivalence, ShardedMatchesSequentialBitForBit)
 }
 
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, ParallelEngineEquivalence,
+                         ::testing::Range<size_t>(0, 4), workloadName);
+
+// ---- Windowed concurrent engine vs. the sequential fast engine -----------
+
+/**
+ * The windowed engine removes the grant token: shard threads run
+ * concurrently below a conservative horizon and synchronize at window
+ * barriers, where the coordinator replays per-shard record logs through
+ * a model of the sequential scheduler. The contract is unchanged: for
+ * every workload, shard count, and regime the digests, cycle counts, and
+ * switch/syncPoint counts must be byte-identical to the sequential fast
+ * engine with the checker armed and silent. Under schedule perturbation
+ * the windowed mode falls back to token passing (the perturbation RNG is
+ * one global stream), which must *also* match — the fallback is part of
+ * the contract, so the perturbed regime stays in this matrix.
+ */
+class WindowedEngineEquivalence : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(WindowedEngineEquivalence, WindowedMatchesSequentialBitForBit)
+{
+    const Workload workload = makeWorkloads()[GetParam()];
+    SCOPED_TRACE(workload.name);
+
+    std::vector<Regime> regimes;
+    regimes.push_back({"strict", false, 0, false, 0});
+    regimes.push_back({"perturbed", true, 2, false, 0});
+    regimes.push_back({"faulted", false, 0, true, 5});
+
+    for (const Regime &regime : regimes) {
+        SCOPED_TRACE(regime.name);
+        Outcome sequential = runOnce(workload, regime, false);
+        EXPECT_EQ(sequential.digest, workload.reference);
+
+        for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+            SCOPED_TRACE(std::to_string(shards) + " shards");
+            Outcome windowed = runOnce(workload, regime, false, true,
+                                       shards, SchedMode::Windowed);
+            EXPECT_EQ(windowed.digest, sequential.digest)
+                << "result diverged under " << shards << " shards";
+            EXPECT_EQ(windowed.cycles, sequential.cycles)
+                << "cycle counts diverged under " << shards << " shards";
+            EXPECT_EQ(windowed.switches, sequential.switches)
+                << "switch counts diverged under " << shards << " shards";
+            EXPECT_EQ(windowed.syncPoints, sequential.syncPoints)
+                << "syncPoint counts diverged under " << shards
+                << " shards";
+#if SPMRT_CHECKER_ENABLED
+            EXPECT_EQ(windowed.violations, 0u)
+                << shards << " shards:\n" << windowed.report;
+#endif
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WindowedEngineEquivalence,
                          ::testing::Range<size_t>(0, 4), workloadName);
 
 // ---- Memory fast paths vs. the fully-uncached reference ------------------

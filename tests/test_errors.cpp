@@ -213,6 +213,32 @@ TEST(ErrorsDeathTest, ShardEnvTrailingGarbagePanics)
         "SPMRT_ENGINE_SHARDS.*'4x' has trailing garbage");
 }
 
+TEST(ErrorsDeathTest, ShardEnvAutoIsAccepted)
+{
+    // 'auto' resolves to the host's concurrency (or sequential on an
+    // unknown host) — never a panic. The child exits 0 on success;
+    // EXPECT_EXIT keeps the setenv quarantined like the death tests.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(
+        {
+            ::setenv("SPMRT_ENGINE_SHARDS", "auto", 1);
+            Engine engine(2, 64 * 1024);
+            std::exit(0);
+        },
+        ::testing::ExitedWithCode(0), "");
+}
+
+TEST(ErrorsDeathTest, ShardEnvMisspelledAutoPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            ::setenv("SPMRT_ENGINE_SHARDS", "automatic", 1);
+            Engine engine(2, 64 * 1024);
+        },
+        "SPMRT_ENGINE_SHARDS.*'automatic' is not a number");
+}
+
 TEST(ErrorsDeathTest, ShardEnvBeyondHostCoresPanics)
 {
     ::testing::FLAGS_gtest_death_test_style = "threadsafe";

@@ -407,6 +407,78 @@ TEST(Fleet, DigestMismatchFailsFast)
     EXPECT_TRUE(report.quarantined);
 }
 
+// A raw-body job (PreparedJob::rawBody) bypasses the task runtimes:
+// every core's body runs directly under Machine::run, cycles come from
+// the engine clock, and the digest contract still applies. This is the
+// mode the machine-level benches (fig05) use.
+TEST(Fleet, RawBodyJobRunsWithoutRuntime)
+{
+    FleetConfig cfg;
+    cfg.workers = 2;
+    FleetServer server(cfg);
+    JobRequest req;
+    req.name = "raw/counter";
+    req.cacheKey = "raw/counter";
+    req.machine = MachineConfig::tiny();
+    req.armChecker = false;
+    const uint64_t cores = req.machine.numCores();
+    req.expectedDigest = cores * (cores + 1) / 2;
+    req.hasExpectedDigest = true;
+    req.prepare = [](Machine &machine, AssetCache &) {
+        Addr cell = machine.dramAlloc(4, 4);
+        machine.mem().pokeAs<uint32_t>(cell, 0);
+        PreparedJob prep;
+        prep.rawBody = [cell](Core &core) {
+            core.tick(1 + core.id()); // skew the cores' finish times
+            core.amoAdd(cell, core.id() + 1);
+        };
+        prep.digest = [cell](Machine &m) {
+            return static_cast<uint64_t>(m.mem().peekAs<uint32_t>(cell));
+        };
+        return prep;
+    };
+    JobReport report = server.wait(server.submit(std::move(req)));
+    EXPECT_EQ(report.status, JobStatus::Ok) << report.error;
+    EXPECT_EQ(report.digest, cores * (cores + 1) / 2);
+    EXPECT_GT(report.cycles, 0u);
+}
+
+// prepare() must hand back exactly one of root/rawBody; both omissions
+// are deterministic setup failures (fail fast, quarantine, no retry).
+TEST(Fleet, PreparedJobNeedsExactlyOneBody)
+{
+    FleetConfig cfg;
+    cfg.workers = 1;
+    cfg.retry = instantRetry(3);
+    FleetServer server(cfg);
+
+    JobRequest neither;
+    neither.name = "raw/neither";
+    neither.cacheKey = "raw/neither";
+    neither.prepare = [](Machine &, AssetCache &) {
+        return PreparedJob{};
+    };
+    JobReport none = server.wait(server.submit(std::move(neither)));
+    EXPECT_EQ(none.status, JobStatus::SetupFailure);
+    EXPECT_EQ(none.attempts, 1u);
+    EXPECT_NE(none.error.find("neither"), std::string::npos)
+        << none.error;
+
+    JobRequest both;
+    both.name = "raw/both";
+    both.cacheKey = "raw/both";
+    both.prepare = [](Machine &, AssetCache &) {
+        PreparedJob prep;
+        prep.root = [](TaskContext &) {};
+        prep.rawBody = [](Core &) {};
+        return prep;
+    };
+    JobReport two = server.wait(server.submit(std::move(both)));
+    EXPECT_EQ(two.status, JobStatus::SetupFailure);
+    EXPECT_EQ(two.attempts, 1u);
+    EXPECT_NE(two.error.find("both"), std::string::npos) << two.error;
+}
+
 // ---- Graceful degradation ------------------------------------------------
 
 TEST(Fleet, OverflowShedsLowestPriority)

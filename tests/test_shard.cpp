@@ -18,6 +18,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <deque>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -291,10 +293,15 @@ struct EngineRun
 
 // Interleaved counters with uneven strides: every syncPoint admission
 // is order-sensitive, so any scheduling divergence shows up in `order`.
+// Pinned to the token scheduler: recording a global order from guest
+// bodies requires serialized guests, which only the grant token
+// provides (the windowed engine runs guests concurrently and gets its
+// order checked through the ShardMailbox commit log instead).
 EngineRun
 runCounters(uint32_t cores, uint32_t shards, int steps)
 {
     Engine engine(cores, 64 * 1024);
+    engine.setScheduler(SchedMode::Token);
     engine.setShards(shards);
     EngineRun out;
     for (CoreId i = 0; i < cores; ++i) {
@@ -336,6 +343,9 @@ TEST(ShardEngine, PerturbedScheduleReplaysUnderShards)
     for (uint64_t seed : {1ull, 42ull}) {
         auto run = [&](uint32_t shards) {
             Engine engine(6, 64 * 1024);
+            // Token pin as in runCounters; perturbation would force the
+            // fallback anyway, but the test should not depend on it.
+            engine.setScheduler(SchedMode::Token);
             engine.setShards(shards);
             engine.perturbSchedule(seed, 4);
             EngineRun out;
@@ -397,38 +407,290 @@ TEST(ShardEngine, BlockUnblockCrossesShards)
 
 TEST(ShardEngine, ReusableAcrossModeChanges)
 {
-    // One engine, alternating sequential and parallel runs: coroutine
-    // stacks parked under one mode must resume correctly under another,
-    // and clocks persist across runs in both modes.
+    // One engine, alternating sequential, token, and windowed runs:
+    // coroutine stacks parked under one scheduler must resume correctly
+    // under another, and clocks persist across runs in every mode.
+    // Counters are per core — windowed guests run concurrently, so
+    // bodies may not share host state.
     Engine engine(4, 64 * 1024);
-    int counter = 0;
+    int counters[4] = {0, 0, 0, 0};
     auto arm = [&] {
         for (CoreId i = 0; i < 4; ++i)
-            engine.setBody(i, [&engine, &counter, i] {
+            engine.setBody(i, [&engine, &counters, i] {
                 engine.advance(i, 10);
                 engine.syncPoint(i);
-                ++counter;
+                ++counters[i];
             });
     };
-    for (uint32_t shards : {1u, 4u, 2u, 1u, 4u}) {
+    const std::pair<SchedMode, uint32_t> runs[] = {
+        {SchedMode::Fast, 1},     {SchedMode::Token, 4},
+        {SchedMode::Windowed, 2}, {SchedMode::Fast, 1},
+        {SchedMode::Windowed, 4},
+    };
+    for (const auto &[mode, shards] : runs) {
+        engine.setScheduler(mode);
         engine.setShards(shards);
         arm();
         engine.run();
     }
-    EXPECT_EQ(counter, 20);
-    for (CoreId i = 0; i < 4; ++i)
-        EXPECT_EQ(engine.time(i), 50u);
+    for (CoreId i = 0; i < 4; ++i) {
+        EXPECT_EQ(counters[i], 5) << "core " << i;
+        EXPECT_EQ(engine.time(i), 50u) << "core " << i;
+    }
 }
 
 TEST(ShardEngine, MoreShardsThanCoresRunsSequential)
 {
     Engine engine(2, 64 * 1024);
     engine.setShards(8); // plan clamps to 2; still a valid parallel run
-    int ran = 0;
+    int ran[2] = {0, 0}; // per core: bodies may not share host state
     for (CoreId i = 0; i < 2; ++i)
-        engine.setBody(i, [&ran] { ++ran; });
+        engine.setBody(i, [&ran, i] { ++ran[i]; });
     engine.run();
-    EXPECT_EQ(ran, 2);
+    EXPECT_EQ(ran[0] + ran[1], 2);
+}
+
+TEST(ShardEngine, StaleGrantsFromPreviousRunsAreDiscarded)
+{
+    // Regression for the ShardExec reuse hazard: shutdown posts a stop
+    // grant to every shard, but a shard loop that exits on the relaxed
+    // runDone_ fast path never consumes its stop, latching it in the
+    // reused mailbox. Without generation tagging, the next run's
+    // takeGrant would consume the leftover stop and kill that shard's
+    // loop before it ran a single guest — hanging the run (the token
+    // eventually reaches the dead shard and is never consumed) or
+    // skipping its cores. Back-to-back parallel runs on one engine hit
+    // the latching path with high probability; every run must still
+    // execute every core. Token pin: this targets the grant mailboxes
+    // (the windowed barrier reuses ShardExec and is covered elsewhere),
+    // and the shared counter needs serialized guests.
+    constexpr uint32_t kCores = 8;
+    Engine engine(kCores, 64 * 1024);
+    engine.setScheduler(SchedMode::Token);
+    engine.setShards(4);
+    int counter = 0;
+    constexpr int kRuns = 20;
+    for (int run = 0; run < kRuns; ++run) {
+        for (CoreId i = 0; i < kCores; ++i)
+            engine.setBody(i, [&engine, &counter, i] {
+                engine.advance(i, 2 + i % 3);
+                engine.syncPoint(i);
+                ++counter;
+            });
+        engine.run();
+        ASSERT_EQ(counter, static_cast<int>(kCores) * (run + 1))
+            << "run " << run << " skipped cores";
+    }
+    EXPECT_EQ(counter, static_cast<int>(kCores) * kRuns);
+}
+
+// ---------------------------------------------------------------------
+// Mailbox-merge property: seeded random cross-shard traffic driven
+// through the engine's remote-op capture protocol — the exact call
+// sequence Core makes (issue-gate syncPoint, remoteInlineOk probe,
+// noteCapture / scheduleRemoteOp, Commit and Drain parks, commitWake,
+// completion-gate syncPoint) — against a deliberately order-sensitive
+// mock server. The server hands out completion times FIFO from one
+// busy-until register, so swapping any two commits changes every later
+// done time: the windowed scheduler's mailbox drain must replay the
+// literal sequential commit order or the logs diverge loudly and
+// permanently.
+
+constexpr Cycles kTrafficCommitDelta = 2;
+
+struct TrafficShared
+{
+    Cycles serverFree = 0; ///< FIFO server: busy-until watermark
+    /** (issuer, commit, done) in host execution order. */
+    std::vector<std::tuple<CoreId, Cycles, Cycles>> log;
+    uint64_t inlined = 0; ///< issue-site commits (never on shard threads)
+};
+
+class TrafficCore final : public CoreOpSink
+{
+  public:
+    void
+    init(Engine &engine, TrafficShared &shared, CoreId id)
+    {
+        engine_ = &engine;
+        shared_ = &shared;
+        id_ = id;
+        engine.setOpSink(id, this);
+    }
+
+    Cycles
+    executeHeadOp() override
+    {
+        Op op = fifo_.front();
+        fifo_.pop_front();
+        Cycles done = serve(op);
+        if (op.blocking)
+            engine_->commitWake(id_, done);
+        else if (--pendingPosted_ == 0 && fenceWaiting_)
+            engine_->commitWake(id_, 0);
+        return fifo_.empty() ? Engine::kNoPendingOp : fifo_.front().commit;
+    }
+
+    /** One globally visible op, blocking (load/AMO) or posted (store). */
+    void
+    issue(bool blocking, Cycles service)
+    {
+        engine_->syncPoint(id_); // issue gate, as in Core
+        const Cycles commit = engine_->time(id_) + kTrafficCommitDelta;
+        Op op{commit, service, blocking};
+        if (engine_->remoteInlineOk(id_, commit)) {
+            ++shared_->inlined;
+            Cycles done = serve(op);
+            if (blocking) {
+                engine_->advanceTo(id_, done);
+                engine_->syncPoint(id_); // completion gate, as in Core
+            } else {
+                engine_->advance(id_, 1); // posted issue cost
+            }
+            return;
+        }
+        ++captured_;
+        const bool was_empty = fifo_.empty();
+        fifo_.push_back(op);
+        engine_->noteCapture(id_, commit, blocking);
+        if (was_empty)
+            engine_->scheduleRemoteOp(id_, commit);
+        if (blocking) {
+            engine_->block(id_, Engine::ParkKind::Commit);
+            engine_->syncPoint(id_); // completion gate after the wake
+        } else {
+            ++pendingPosted_;
+            engine_->advance(id_, 1);
+        }
+    }
+
+    /** Drain posted stores, as Core::fence (minus the drain-time jump). */
+    void
+    fence()
+    {
+        if (pendingPosted_ != 0) {
+            fenceWaiting_ = true;
+            engine_->block(id_, Engine::ParkKind::Drain);
+            fenceWaiting_ = false;
+        }
+        engine_->syncPoint(id_); // completion gate, as in Core::fence
+    }
+
+    uint64_t captured() const { return captured_; }
+
+  private:
+    struct Op
+    {
+        Cycles commit;
+        Cycles service;
+        bool blocking;
+    };
+
+    Cycles
+    serve(const Op &op)
+    {
+        Cycles start = std::max(shared_->serverFree, op.commit);
+        Cycles done = start + op.service;
+        shared_->serverFree = done;
+        shared_->log.emplace_back(id_, op.commit, done);
+        return done;
+    }
+
+    Engine *engine_ = nullptr;
+    TrafficShared *shared_ = nullptr;
+    CoreId id_ = 0;
+    std::deque<Op> fifo_; ///< issue-order commit FIFO, as in Core
+    uint32_t pendingPosted_ = 0;
+    bool fenceWaiting_ = false;
+    uint64_t captured_ = 0;
+};
+
+struct TrafficResult
+{
+    std::vector<std::tuple<CoreId, Cycles, Cycles>> log;
+    std::vector<Cycles> clocks;
+    uint64_t switches = 0;
+    uint64_t syncPoints = 0;
+    uint64_t inlined = 0;
+    uint64_t captured = 0;
+};
+
+TrafficResult
+runTraffic(uint64_t seed, SchedMode mode, uint32_t shards)
+{
+    constexpr uint32_t kCores = 8;
+    constexpr int kSteps = 250;
+    Engine engine(kCores, 64 * 1024);
+    engine.setScheduler(mode);
+    engine.setShards(shards);
+    TrafficShared shared;
+    std::vector<TrafficCore> cores(kCores);
+    for (CoreId i = 0; i < kCores; ++i)
+        cores[i].init(engine, shared, i);
+    for (CoreId i = 0; i < kCores; ++i) {
+        engine.setBody(i, [&engine, &cores, i, seed] {
+            // Per-core stream: consumed only by this core's body, so
+            // the draw sequence is interleaving-independent.
+            Xoshiro256StarStar rng(hash64(seed * 8191 + i));
+            for (int step = 0; step < kSteps; ++step) {
+                engine.advance(i, 1 + rng.next() % 13);
+                engine.syncPoint(i);
+                uint64_t roll = rng.next() % 10;
+                Cycles service = 1 + rng.next() % 6;
+                if (roll < 4)
+                    cores[i].issue(true, service);
+                else if (roll < 7)
+                    cores[i].issue(false, service);
+                else if (roll == 7)
+                    cores[i].fence();
+                // else: pure compute segment
+            }
+            cores[i].fence(); // task-boundary drain before finishing
+        });
+    }
+    engine.run();
+    TrafficResult out;
+    out.log = std::move(shared.log);
+    for (CoreId i = 0; i < kCores; ++i)
+        out.clocks.push_back(engine.time(i));
+    out.switches = engine.switchCount();
+    out.syncPoints = engine.syncPointCount();
+    out.inlined = shared.inlined;
+    for (const TrafficCore &core : cores)
+        out.captured += core.captured();
+    return out;
+}
+
+TEST(ShardMailbox, WindowedDrainReplaysSequentialCommitOrder)
+{
+    for (uint64_t seed = 0; seed < 6; ++seed) {
+        TrafficResult oracle = runTraffic(seed, SchedMode::Fast, 1);
+        ASSERT_FALSE(oracle.log.empty()) << "seed " << seed;
+        // The oracle must exercise both commit paths, or the run says
+        // nothing about merging inline and drained traffic.
+        EXPECT_GT(oracle.inlined, 0u) << "seed " << seed;
+        EXPECT_GT(oracle.captured, 0u) << "seed " << seed;
+        for (uint32_t shards : {2u, 4u, 8u}) {
+            TrafficResult windowed =
+                runTraffic(seed, SchedMode::Windowed, shards);
+            EXPECT_EQ(windowed.log, oracle.log)
+                << shards << " shards, seed " << seed;
+            EXPECT_EQ(windowed.clocks, oracle.clocks)
+                << shards << " shards, seed " << seed;
+            EXPECT_EQ(windowed.switches, oracle.switches)
+                << shards << " shards, seed " << seed;
+            EXPECT_EQ(windowed.syncPoints, oracle.syncPoints)
+                << shards << " shards, seed " << seed;
+            // In-window shards have no global view, so the issue site
+            // may never commit inline: the drain is the only path.
+            EXPECT_EQ(windowed.inlined, 0u)
+                << shards << " shards, seed " << seed;
+        }
+        // The token scaffold must agree with both.
+        TrafficResult token = runTraffic(seed, SchedMode::Token, 4);
+        EXPECT_EQ(token.log, oracle.log) << "token, seed " << seed;
+        EXPECT_EQ(token.clocks, oracle.clocks) << "token, seed " << seed;
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -449,6 +711,25 @@ TEST(ParseShardCount, AcceptsPositiveIntegersWithinHost)
     // Unknown host (0) skips the upper bound.
     EXPECT_TRUE(parseShardCount("64", 0, out, error));
     EXPECT_EQ(out, 64u);
+}
+
+TEST(ParseShardCount, AutoResolvesToHostConcurrency)
+{
+    uint32_t out = 0;
+    std::string error;
+    EXPECT_TRUE(parseShardCount("auto", 8, out, error));
+    EXPECT_EQ(out, 8u);
+    EXPECT_TRUE(parseShardCount(" auto ", 3, out, error));
+    EXPECT_EQ(out, 3u);
+    // Unknown host concurrency: fall back to sequential, don't guess.
+    EXPECT_TRUE(parseShardCount("auto", 0, out, error));
+    EXPECT_EQ(out, 1u);
+    // Only the exact keyword; anything else alphabetic is an error.
+    EXPECT_FALSE(parseShardCount("automatic", 8, out, error));
+    EXPECT_NE(error.find("not a number"), std::string::npos);
+    EXPECT_FALSE(parseShardCount("auto 2", 8, out, error));
+    EXPECT_NE(error.find("not a number"), std::string::npos);
+    EXPECT_FALSE(parseShardCount("Auto", 8, out, error));
 }
 
 TEST(ParseShardCount, RejectsMalformedInput)

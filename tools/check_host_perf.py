@@ -32,6 +32,16 @@ byte-identity contract — remains gated strictly regardless of tolerance.
 carries no row of that series — CI uses it to ensure neither the fleet
 bench nor the parallel-engine legs silently drop out of the measurement.
 
+Parallel rows carry the measuring machine's ``host_cores``: a shard
+thread can only beat the sequential engine when a real host core backs
+it, so the speedup floor applies to a parallel row only when its
+``host_cores`` exceeds its ``shards`` (on an undersized host only the
+equivalence flag is gated — a wall ratio there measures the OS
+scheduler, not the engine). ``--require-parallel-speedup`` additionally
+demands that at least one eligible multi-shard parallel row actually
+clears 1.0x — the windowed engine's reason to exist — and is skipped
+with a notice when the host has no eligible rows to offer.
+
 Usage:
     check_host_perf.py <measured.json> <baseline.json>
         [--trajectory BENCH_host_perf.json] [--append <label>]
@@ -115,6 +125,16 @@ def row_tolerance(base, tolerance, throughput_tolerance,
     return tolerance
 
 
+def parallel_row_eligible(row):
+    """True when a parallel row's wall ratio is meaningful: each shard
+    thread backed by a real host core. Rows from old measurements with
+    no host_cores field stay eligible (the historical behaviour)."""
+    host_cores = row.get("host_cores")
+    if host_cores is None:
+        return True
+    return host_cores > row.get("shards", 1)
+
+
 def check(measured, reference, reference_name, tolerance,
           throughput_tolerance, parallel_tolerance):
     """Gate measured rows against one reference row set."""
@@ -127,20 +147,47 @@ def check(measured, reference, reference_name, tolerance,
         if row is None:
             failures.append(f"{key}: missing from measured results")
             continue
+        waived = (base.get("series") == "parallel" and
+                  not parallel_row_eligible(row))
         floor = row_tolerance(base, tolerance, throughput_tolerance,
                               parallel_tolerance) * base["speedup"]
-        ok = row["speedup"] >= floor and row.get("equivalent", False)
+        speedup_ok = waived or row["speedup"] >= floor
+        ok = speedup_ok and row.get("equivalent", False)
         status = "ok" if ok else "FAIL"
+        if waived and row.get("equivalent", False):
+            status = "ok (speedup waived: host_cores <= shards)"
         print(f"  {key[0]:<10} {key[1]:>6} {row['speedup']:>8.2f}x "
               f"{base['speedup']:>8.2f}x {floor:>6.2f}x  {status}")
         if not row.get("equivalent", False):
             failures.append(f"{key}: results diverged (equivalent=false)")
-        elif row["speedup"] < floor:
+        elif not speedup_ok:
             failures.append(
                 f"{key}: speedup {row['speedup']:.2f}x below floor "
                 f"{floor:.2f}x ({reference_name} {base['speedup']:.2f}x)")
     print()
     return failures
+
+
+def check_parallel_speedup(rows, source):
+    """--require-parallel-speedup: at least one eligible multi-shard
+    parallel row must beat the sequential engine outright."""
+    eligible = [r for r in rows
+                if r.get("series") == "parallel" and r.get("shards", 1) > 1
+                and parallel_row_eligible(r)]
+    if not eligible:
+        print("parallel-speedup gate skipped: no parallel row has "
+              "host_cores > shards (undersized host)")
+        return []
+    best = max(eligible, key=lambda r: r["speedup"])
+    print(f"parallel-speedup gate: best eligible row "
+          f"{best['workload']}/{best.get('shards')} shards at "
+          f"{best['speedup']:.2f}x")
+    if best["speedup"] > 1.0:
+        return []
+    return [f"{source}: no eligible parallel row beats the sequential "
+            f"engine (best {best['workload']} at {best['speedup']:.2f}x "
+            f"with {best.get('shards')} shards on "
+            f"{best.get('host_cores')} host cores)"]
 
 
 def append_point(trajectory_path, measured_doc, label):
@@ -188,6 +235,11 @@ def main():
                         help="fail unless the measured file contains at "
                              "least one row with this series tag "
                              "(repeatable)")
+    parser.add_argument("--require-parallel-speedup", action="store_true",
+                        help="fail unless at least one parallel row with "
+                             "shards > 1 and host_cores > shards clears a "
+                             "1.0x wall ratio (skipped when no row is "
+                             "eligible)")
     args = parser.parse_args()
     if args.append and not args.trajectory:
         parser.error("--append requires --trajectory")
@@ -205,6 +257,10 @@ def main():
                 f"{args.measured}: no row tagged series="
                 f"{series!r} — the bench that produces that "
                 "series did not run (was it filtered out?)")
+
+    if args.require_parallel_speedup:
+        failures += check_parallel_speedup(measured_doc["rows"],
+                                           args.measured)
 
     failures += check(measured, baseline, args.baseline, args.tolerance,
                       args.throughput_tolerance, args.parallel_tolerance)
