@@ -14,9 +14,21 @@
  * Expected shape (paper): NQueens and CilkSort scale best; MatMul scales
  * well (high arithmetic intensity); the memory-bound graph/sparse
  * kernels flatten as they saturate the single DRAM channel.
+ *
+ * Beyond the paper's figure, the "saturation" section exploits the
+ * free-parameter machine geometry: the same workloads at full machine
+ * width on the paper 128-core machine and the big256/big1024 presets,
+ * each at 1/2/4 DRAM channels, work-stealing against the static
+ * fork-join runtime. Each work-stealing leg exports per-geometry NoC
+ * and LLC heatmap CSVs for offline plotting. SPMRT_MACHINE overrides
+ * the base machine of both sections (the CI geometry-smoke job runs the
+ * quick sweep on a 16x16 dual-channel rucheY machine this way).
  */
 
+#include "bench/fleet_util.hpp"
 #include "bench/rows.hpp"
+#include "common/env.hpp"
+#include "obs/heatmap.hpp"
 #include "serve/server.hpp"
 
 using namespace spmrt;
@@ -70,16 +82,62 @@ cellRequest(const WorkloadRow &row, const MachineConfig &machine_cfg,
     req.hasExpectedDigest = true;
     auto prepare_row = row.prepare;
     req.prepare = [prepare_row](Machine &machine, serve::AssetCache &) {
+        maybeArmTrace(machine);
         auto instance =
             std::make_shared<RowInstance>(prepare_row(machine));
         serve::PreparedJob prep;
         prep.root = [instance](TaskContext &tc) { instance->root(tc); };
         prep.digest = [instance](Machine &m) {
+            maybeWriteTrace(m);
             return instance->verify(m) ? 1ull : 0ull;
         };
         return prep;
     };
     return req;
+}
+
+/**
+ * Wrap a cell request so the digest stage (the last point the worker's
+ * machine is alive — the fig06 idiom) also exports the run's NoC-link
+ * and LLC-bank heatmaps, tagged by workload and machine geometry.
+ */
+void
+addHeatmapExport(serve::JobRequest &req, const std::string &workload)
+{
+    auto inner = req.prepare;
+    req.prepare = [inner, workload](Machine &machine,
+                                    serve::AssetCache &assets) {
+        serve::PreparedJob prep = inner(machine, assets);
+        auto digest = prep.digest;
+        prep.digest = [digest, workload](Machine &m) {
+            std::string tag = log::format(
+                "%s_%s", workload.c_str(), m.config().geometry().c_str());
+            obs::Heatmap noc_map = m.mem().noc().linkHeatmap();
+            noc_map.writeCsv(
+                log::format("BENCH_fig11_noc_heatmap_%s.csv", tag.c_str())
+                    .c_str());
+            obs::Heatmap llc_map = m.mem().llc().bankHeatmap();
+            llc_map.writeCsv(
+                log::format("BENCH_fig11_llc_heatmap_%s.csv", tag.c_str())
+                    .c_str());
+            return digest(m);
+        };
+        return prep;
+    };
+}
+
+/** The saturation study's workload subset: one compute-bound and one
+ *  mixed divide-and-conquer row, picked out of the Fig. 11 set (every
+ *  extra row multiplies a sweep that already spans up to 1024 simulated
+ *  cores). */
+std::vector<WorkloadRow>
+saturationRows()
+{
+    std::vector<WorkloadRow> rows;
+    for (WorkloadRow &row : scalingRows())
+        if (row.workload == "NQueens" || row.workload == "CilkSort")
+            rows.push_back(std::move(row));
+    return rows;
 }
 
 } // namespace
@@ -88,20 +146,28 @@ int
 main(int argc, char **argv)
 {
     Report report("fig11_scaling", argc, argv);
-    std::vector<uint32_t> core_counts = {1, 2, 4, 8, 16, 32, 64, 128};
+
+    // The base machine: the paper's 16x8 platform unless SPMRT_MACHINE
+    // names another geometry. Only N cores participate per cell; the
+    // sweep runs over every power of two up to the full machine.
+    MachineConfig machine_cfg = MachineConfig::fromEnv(MachineConfig{});
+    std::vector<uint32_t> core_counts;
+    for (uint32_t n = 1; n <= machine_cfg.numCores(); n *= 2)
+        core_counts.push_back(n);
     if (quickMode())
-        core_counts = {1, 8, 128};
+        core_counts = {1, 8, machine_cfg.numCores()};
 
     report.comment("Fig. 11: speedup over one active core, work-stealing "
                    "runtime, both in SPM");
-    report.comment("ideal speedup at 128 cores: 128x");
+    report.comment("machine: %s; ideal speedup at %u cores: %ux",
+                   machine_cfg.geometry().c_str(), machine_cfg.numCores(),
+                   machine_cfg.numCores());
 
-    serve::FleetServer server;
+    serve::FleetServer server(benchFleetConfig());
     report.comment("batch of supervised fleet jobs across %u host workers",
                    server.workerCount());
 
     // Submit the whole sweep up front, then settle row by row.
-    MachineConfig machine_cfg; // full mesh; only N cores participate
     struct PendingRow
     {
         std::string workload;
@@ -120,7 +186,9 @@ main(int argc, char **argv)
     }
 
     for (const PendingRow &p : pending) {
-        Report &r = report.row().cell("workload", p.workload);
+        Report &r = report.row()
+                        .cell("workload", p.workload)
+                        .cell("geometry", machine_cfg.geometry());
         double serial = 0;
         bool all_ok = true;
         for (size_t i = 0; i < core_counts.size(); ++i) {
@@ -140,6 +208,92 @@ main(int argc, char **argv)
                        : 0.0);
         }
         r.cell("ok", all_ok);
+    }
+
+    // ---- Saturation study: WS vs static across machine scales ----------
+    // The scaling question the paper's fixed platform cannot ask: does
+    // the work-stealing runtime's advantage over the static schedule
+    // survive as the machine grows from 128 to 1024 cores, and how much
+    // of the gap is the DRAM channel count? Each (geometry, workload)
+    // work-stealing leg exports per-geometry heatmap CSVs.
+    if (report.wants("saturation")) {
+        std::vector<MachineConfig> scales;
+        if (!env::stringValue("SPMRT_MACHINE").empty()) {
+            // An explicit machine spec pins the study to that machine
+            // (the CI geometry-smoke path); only the channel axis sweeps.
+            scales = {machine_cfg};
+        } else {
+            scales = {MachineConfig::paper(), MachineConfig::big256()};
+            if (!quickMode())
+                scales.push_back(MachineConfig::big1024());
+        }
+        std::vector<uint32_t> channel_counts = {1, 2, 4};
+        if (quickMode())
+            channel_counts = {1, 2};
+
+        struct SatCell
+        {
+            std::string workload;
+            std::string geometry;
+            serve::FleetServer::JobId ws;
+            serve::FleetServer::JobId st;
+        };
+        std::vector<SatCell> cells;
+        const std::vector<WorkloadRow> sat_rows = saturationRows();
+        for (const MachineConfig &base : scales) {
+            for (uint32_t channels : channel_counts) {
+                MachineConfig cfg = base;
+                cfg.dramChannels = channels;
+                for (const WorkloadRow &row : sat_rows) {
+                    SatCell cell;
+                    cell.workload = row.workload;
+                    cell.geometry = cfg.geometry();
+                    serve::JobRequest ws =
+                        cellRequest(row, cfg, cfg.numCores());
+                    ws.name = log::format("fig11sat/%s/%s/ws",
+                                          row.workload.c_str(),
+                                          cell.geometry.c_str());
+                    ws.cacheKey = ws.name;
+                    addHeatmapExport(ws, row.workload);
+                    serve::JobRequest st =
+                        cellRequest(row, cfg, cfg.numCores());
+                    st.name = log::format("fig11sat/%s/%s/static",
+                                          row.workload.c_str(),
+                                          cell.geometry.c_str());
+                    st.cacheKey = st.name;
+                    st.staticRuntime = true;
+                    cell.ws = server.submit(std::move(ws));
+                    cell.st = server.submit(std::move(st));
+                    cells.push_back(std::move(cell));
+                }
+            }
+        }
+
+        report.comment("saturation: WS vs static fork-join at full "
+                       "machine width; ws_over_static > 1 means dynamic "
+                       "task parallelism still pays at that scale");
+        for (const SatCell &cell : cells) {
+            serve::JobReport ws = server.wait(cell.ws);
+            serve::JobReport st = server.wait(cell.st);
+            bool ok = ws.status == serve::JobStatus::Ok &&
+                      st.status == serve::JobStatus::Ok;
+            if (!ok)
+                report.fail("%s on %s: ws=%s static=%s",
+                            cell.workload.c_str(), cell.geometry.c_str(),
+                            serve::jobStatusName(ws.status),
+                            serve::jobStatusName(st.status));
+            report.row()
+                .cell("workload", cell.workload + "-sat")
+                .cell("geometry", cell.geometry)
+                .cell("cycles_ws", ws.cycles)
+                .cell("cycles_static", st.cycles)
+                .cell("ws_over_static",
+                      ok && ws.cycles != 0
+                          ? static_cast<double>(st.cycles) /
+                                static_cast<double>(ws.cycles)
+                          : 0.0)
+                .cell("ok", ok);
+        }
     }
 
     serve::FleetServer::Totals totals = server.totals();

@@ -272,13 +272,14 @@ main(int argc, char **argv)
             first = false;
             json += log::format(
                 "    {\"workload\": \"%s\", \"cores\": %u, "
-                "\"host_cores\": %u, "
+                "\"geometry\": \"%s\", \"host_cores\": %u, "
                 "\"wall_ms\": %.3f, \"wall_ms_reference\": %.3f, "
                 "\"speedup\": %.3f, \"switches\": %llu, "
                 "\"syncpoints\": %llu, \"sim_cycles\": %llu, "
                 "\"equivalent\": %s}",
-                workload.name, cores, host_cores, fast.wallMs, ref.wallMs,
-                speedup,
+                workload.name, cores,
+                machineFor(cores).geometry().c_str(), host_cores,
+                fast.wallMs, ref.wallMs, speedup,
                 static_cast<unsigned long long>(fast.switches),
                 static_cast<unsigned long long>(fast.syncPoints),
                 static_cast<unsigned long long>(fast.simCycles),
@@ -326,12 +327,14 @@ main(int argc, char **argv)
                     .cell("ok", ok);
                 json += log::format(
                     "%s\n    {\"workload\": \"%s\", \"cores\": 128, "
+                    "\"geometry\": \"%s\", "
                     "\"series\": \"parallel\", \"shards\": %u, "
                     "\"host_cores\": %u, "
                     "\"wall_ms\": %.3f, \"speedup\": %.3f, "
                     "\"switches\": %llu, \"syncpoints\": %llu, "
                     "\"sim_cycles\": %llu, \"equivalent\": %s}",
-                    first ? "" : ",", name.c_str(), shards, host_cores,
+                    first ? "" : ",", name.c_str(),
+                    machineFor(128).geometry().c_str(), shards, host_cores,
                     par.wallMs, speedup,
                     static_cast<unsigned long long>(par.switches),
                     static_cast<unsigned long long>(par.syncPoints),
@@ -369,20 +372,24 @@ main(int argc, char **argv)
                     serial.simsPerSec, multi.simsPerSec, scaling);
         json += log::format(
             "%s\n    {\"workload\": \"fleet\", \"cores\": 1, "
+            "\"geometry\": \"%s\", "
             "\"series\": \"throughput\", \"host_cores\": %u, "
             "\"wall_ms\": %.3f, "
             "\"sims_per_sec\": %.3f, \"jobs\": %llu, \"speedup\": 1.0, "
             "\"equivalent\": %s}",
-            first ? "" : ",", host_cores, serial.wallMs, serial.simsPerSec,
+            first ? "" : ",", machineFor(16).geometry().c_str(),
+            host_cores, serial.wallMs, serial.simsPerSec,
             static_cast<unsigned long long>(serial.jobs),
             serial.allOk ? "true" : "false");
         first = false;
         json += log::format(
             ",\n    {\"workload\": \"fleet\", \"cores\": 4, "
+            "\"geometry\": \"%s\", "
             "\"series\": \"throughput\", \"host_cores\": %u, "
             "\"wall_ms\": %.3f, "
             "\"sims_per_sec\": %.3f, \"jobs\": %llu, \"speedup\": %.3f, "
             "\"equivalent\": %s}",
+            machineFor(16).geometry().c_str(),
             host_cores, multi.wallMs, multi.simsPerSec,
             static_cast<unsigned long long>(multi.jobs), scaling,
             multi.allOk ? "true" : "false");

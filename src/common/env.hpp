@@ -9,6 +9,9 @@
  *  - SPMRT_BENCH_QUICK       bool  shrink bench inputs for smoke runs
  *  - SPMRT_ENGINE_REFERENCE  bool  default to the linear-scan scheduler
  *  - SPMRT_TRACE_OUT         str   arm telemetry and write a Chrome trace
+ *  - SPMRT_MACHINE           str   machine-geometry spec override; parsed
+ *                                  by MachineConfig::fromSpec (fatal on a
+ *                                  malformed spec)
  *
  * Environment reads happen on the host setup path only — never on the
  * simulated path — so they cannot perturb timing or determinism.

@@ -8,6 +8,16 @@
  * therefore address its own SPM, any remote SPM, or DRAM with plain
  * loads/stores; the *timing* of the access depends on which region the
  * address falls in.
+ *
+ * The region bases and the SPM window stride are *derived* from the
+ * MachineConfig rather than fixed constants: the stride is the config's
+ * spmWindowBytes (any power of two >= spmBytes), and the DRAM base stays
+ * at the historical 0x4000'0000 unless a large machine's SPM region grows
+ * past it, in which case DRAM moves up (MachineConfig::dramBase()). The
+ * constructor re-checks the 32-bit fit so a hand-built config that skipped
+ * validate() still cannot alias regions. The historic constants remain as
+ * the defaults every paper-shaped machine resolves to, so existing
+ * setup code addressing AddressMap::kDramBase stays exact on those.
  */
 
 #ifndef SPMRT_MEM_ADDRESS_MAP_HPP
@@ -35,27 +45,45 @@ struct DecodedAddr
 };
 
 /**
- * Address-space layout constants and decode logic.
+ * Address-space layout and decode logic (derived from the machine config).
  */
 class AddressMap
 {
   public:
-    /** Base of the SPM window array. */
-    static constexpr Addr kSpmBase = 0x1000'0000;
-    /** Address stride between consecutive cores' SPM windows. */
+    /** Base of the SPM window array (fixed across all geometries). */
+    static constexpr Addr kSpmBase =
+        static_cast<Addr>(MachineConfig::kSpmRegionBase);
+    /** Default stride between consecutive cores' SPM windows. */
     static constexpr Addr kSpmStride = 0x1000;
-    /** Base of the DRAM region. */
-    static constexpr Addr kDramBase = 0x4000'0000;
+    /** Default base of the DRAM region. */
+    static constexpr Addr kDramBase =
+        static_cast<Addr>(MachineConfig::kDefaultDramBase);
 
     explicit AddressMap(const MachineConfig &cfg)
         : numCores_(cfg.numCores()), spmBytes_(cfg.spmBytes),
+          spmStride_(cfg.spmWindowBytes != 0 ? cfg.spmWindowBytes
+                                             : kSpmStride),
           dramBytes_(cfg.dramBytes)
     {
-        SPMRT_ASSERT(spmBytes_ <= kSpmStride,
+        SPMRT_ASSERT((spmStride_ & (spmStride_ - 1)) == 0,
+                     "SPM window stride %u is not a power of two",
+                     spmStride_);
+        SPMRT_ASSERT(spmBytes_ <= spmStride_,
                      "SPM size exceeds its address window");
-        SPMRT_ASSERT(kDramBase + dramBytes_ > kDramBase &&
-                     kDramBase + dramBytes_ <= 0xffff'ffffull,
+        spmStrideShift_ = 0;
+        while ((1u << spmStrideShift_) < spmStride_)
+            ++spmStrideShift_;
+        uint64_t spm_end = cfg.spmRegionEnd();
+        SPMRT_ASSERT(spm_end <= 0xffff'ffffull + 1,
+                     "SPM region overflows the 32-bit address space");
+        uint64_t dram_base = cfg.dramBase();
+        SPMRT_ASSERT(dram_base >= spm_end,
+                     "DRAM base 0x%llx overlaps the SPM region",
+                     static_cast<unsigned long long>(dram_base));
+        SPMRT_ASSERT(dram_base + dramBytes_ > dram_base &&
+                     dram_base + dramBytes_ <= 0xffff'ffffull + 1,
                      "DRAM does not fit in the 32-bit address space");
+        dramBase_ = static_cast<Addr>(dram_base);
     }
 
     /** Base address of core @p id's scratchpad window. */
@@ -63,22 +91,31 @@ class AddressMap
     spmBase(CoreId id) const
     {
         SPMRT_ASSERT(id < numCores_, "spmBase: bad core %u", id);
-        return kSpmBase + id * kSpmStride;
+        return kSpmBase + id * spmStride_;
     }
+
+    /** Stride between consecutive cores' SPM windows. */
+    Addr spmStride() const { return spmStride_; }
+
+    /** log2(spmStride()): owner decode is a shift. */
+    uint32_t spmStrideShift() const { return spmStrideShift_; }
+
+    /** Base address of the DRAM region for this machine. */
+    Addr dramBase() const { return dramBase_; }
 
     /** True iff @p addr falls in some core's SPM window. */
     bool
     isSpm(Addr addr) const
     {
         return addr >= kSpmBase &&
-               addr < kSpmBase + numCores_ * kSpmStride;
+               addr - kSpmBase < numCores_ * spmStride_;
     }
 
     /** True iff @p addr falls in DRAM. */
     bool
     isDram(Addr addr) const
     {
-        return addr >= kDramBase && addr - kDramBase < dramBytes_;
+        return addr >= dramBase_ && addr - dramBase_ < dramBytes_;
     }
 
     /**
@@ -89,15 +126,15 @@ class AddressMap
     decode(Addr addr, uint32_t size) const
     {
         if (isSpm(addr)) {
-            CoreId owner = (addr - kSpmBase) / kSpmStride;
-            uint32_t offset = (addr - kSpmBase) % kSpmStride;
+            CoreId owner = (addr - kSpmBase) >> spmStrideShift_;
+            uint32_t offset = (addr - kSpmBase) & (spmStride_ - 1);
             SPMRT_ASSERT(offset + size <= spmBytes_,
                          "SPM access [0x%x,+%u) past implemented %u bytes "
                          "of core %u", addr, size, spmBytes_, owner);
             return {MemRegion::Spm, owner, offset};
         }
         if (isDram(addr)) {
-            uint32_t offset = addr - kDramBase;
+            uint32_t offset = addr - dramBase_;
             SPMRT_ASSERT(static_cast<uint64_t>(offset) + size <= dramBytes_,
                          "DRAM access [0x%x,+%u) out of bounds", addr, size);
             return {MemRegion::Dram, kInvalidCore, offset};
@@ -113,6 +150,9 @@ class AddressMap
   private:
     uint32_t numCores_;
     uint32_t spmBytes_;
+    uint32_t spmStride_;
+    uint32_t spmStrideShift_ = 0;
+    Addr dramBase_ = kDramBase;
     uint64_t dramBytes_;
 };
 

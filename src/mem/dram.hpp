@@ -33,7 +33,8 @@ class DramModel
         : latency_(cfg.dramLatency), bytesPerCycle_(cfg.dramBytesPerCycle),
           lineBytes_(cfg.llcLineBytes),
           channels_(cfg.dramChannels == 0 ? 1 : cfg.dramChannels,
-                    FluidServer(cfg.dramBytesPerCycle))
+                    FluidServer(cfg.dramBytesPerCycle)),
+          channelBytes_(channels_.size(), 0)
     {
     }
 
@@ -47,12 +48,41 @@ class DramModel
     Cycles
     access(Cycles start, uint64_t line_offset, uint32_t bytes)
     {
-        size_t channel = (line_offset / lineBytes_) % channels_.size();
+        size_t channel = channelOf(line_offset);
         Cycles wait = channels_[channel].charge(start, bytes);
         Cycles occupancy = divCeil<Cycles>(bytes, bytesPerCycle_);
         ++transfers_;
         bytesMoved_ += bytes;
+        channelBytes_[channel] += bytes;
         return start + wait + occupancy + latency_;
+    }
+
+    /** Number of independent channels. */
+    uint32_t
+    numChannels() const
+    {
+        return static_cast<uint32_t>(channels_.size());
+    }
+
+    /** Channel serving DRAM offset @p line_offset (line-interleaved). */
+    uint32_t
+    channelOf(uint64_t line_offset) const
+    {
+        return static_cast<uint32_t>((line_offset / lineBytes_) %
+                                     channels_.size());
+    }
+
+    /** Bytes transferred through channel @p channel (diagnostics; shows
+     *  whether line interleaving actually spreads the traffic). */
+    uint64_t channelBytes(uint32_t channel) const
+    {
+        return channelBytes_[channel];
+    }
+
+    /** Current backlog of channel @p channel in bytes (diagnostics). */
+    uint64_t channelBacklog(uint32_t channel) const
+    {
+        return channels_[channel].backlogUnits();
     }
 
     /** Total bytes transferred (diagnostics). */
@@ -70,6 +100,8 @@ class DramModel
     {
         for (FluidServer &channel : channels_)
             channel.reset();
+        for (uint64_t &bytes : channelBytes_)
+            bytes = 0;
         bytesMoved_ = 0;
         transfers_ = 0;
     }
@@ -79,6 +111,7 @@ class DramModel
     uint32_t bytesPerCycle_;
     uint32_t lineBytes_;
     std::vector<FluidServer> channels_;
+    std::vector<uint64_t> channelBytes_;
     uint64_t bytesMoved_ = 0;
     uint64_t transfers_ = 0;
 };

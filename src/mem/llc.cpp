@@ -11,8 +11,10 @@ LlcModel::LlcModel(const MachineConfig &cfg, DramModel &dram)
       bankLatency_(cfg.llcLatency), bankOccupancy_(cfg.llcBankOccupancy)
 {
     SPMRT_ASSERT(isPowerOfTwo(lineBytes_), "LLC line size not a power of 2");
-    SPMRT_ASSERT(numBanks_ >= 2 && numBanks_ % 2 == 0,
-                 "LLC banks must be even (split between top and bottom)");
+    // Bank count vs. edge placement (even split across two edges, any
+    // count on one) is MachineConfig::validate()'s job; the model itself
+    // stripes lines over any nonzero bank count.
+    SPMRT_ASSERT(numBanks_ >= 1, "LLC needs at least one bank");
     banks_.assign(numBanks_, FluidServer(1));
     tags_.assign(static_cast<size_t>(numBanks_) * setsPerBank_ * ways_,
                  Way{});

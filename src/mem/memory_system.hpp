@@ -292,7 +292,10 @@ class MemorySystem
     void
     invalidateDecodeCache()
     {
-        spmSpan_ = cfg_.numCores() * AddressMap::kSpmStride;
+        spmStride_ = static_cast<uint32_t>(map_.spmStride());
+        spmShift_ = map_.spmStrideShift();
+        spmSpan_ = cfg_.numCores() * spmStride_;
+        dramStart_ = map_.dramBase();
         spmBase_ = spmData_.data();
         dramBase_ = dramData_.data();
     }
@@ -329,9 +332,9 @@ class MemorySystem
     {
         uint32_t spm_off = addr - AddressMap::kSpmBase;
         if (spm_off < spmSpan_) {
-            uint32_t off = spm_off & (AddressMap::kSpmStride - 1);
+            uint32_t off = spm_off & (spmStride_ - 1);
             if (off + size <= cfg_.spmBytes) {
-                CoreId owner = spm_off / AddressMap::kSpmStride;
+                CoreId owner = spm_off >> spmShift_;
                 decoded.region = MemRegion::Spm;
                 decoded.owner = owner;
                 decoded.offset = off;
@@ -340,8 +343,8 @@ class MemorySystem
             }
             return resolveSlow(addr, size, decoded);
         }
-        uint32_t dram_off = addr - AddressMap::kDramBase;
-        if (addr >= AddressMap::kDramBase &&
+        uint32_t dram_off = addr - dramStart_;
+        if (addr >= dramStart_ &&
             static_cast<uint64_t>(dram_off) + size <= cfg_.dramBytes) {
             decoded.region = MemRegion::Dram;
             decoded.owner = kInvalidCore;
@@ -405,7 +408,10 @@ class MemorySystem
     std::atomic<uint64_t> decodeMisses_{0};
 
     // Precomputed decode constants (see invalidateDecodeCache()).
-    uint32_t spmSpan_ = 0;          ///< numCores * kSpmStride
+    uint32_t spmSpan_ = 0;          ///< numCores * spmStride
+    uint32_t spmStride_ = 0;        ///< map_.spmStride() (power of two)
+    uint32_t spmShift_ = 0;         ///< log2(spmStride_)
+    Addr dramStart_ = 0;            ///< map_.dramBase()
     uint8_t *spmBase_ = nullptr;    ///< spmData_.data()
     uint8_t *dramBase_ = nullptr;   ///< dramData_.data()
 };

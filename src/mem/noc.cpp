@@ -60,8 +60,8 @@ MeshNoc::registerStats(obs::StatRegistry &registry) const
 std::string
 MeshNoc::linkName(size_t index) const
 {
-    static const char *kDirNames[kNumDirs] = {"E", "W", "N",
-                                              "S", "RE", "RW"};
+    static const char *kDirNames[kNumDirs] = {"E",  "W",  "N",  "S",
+                                              "RE", "RW", "RN", "RS"};
     uint32_t dir = index % kNumDirs;
     uint32_t node = static_cast<uint32_t>(index / kNumDirs);
     uint32_t x = node % cfg_.meshCols;
@@ -120,9 +120,24 @@ MeshNoc::buildRoute(Route &route, uint32_t x, int32_t y,
     }
 
     // --- Then the Y dimension, possibly exiting the core array at the top
-    // (y = -1) or bottom (y = meshRows) to reach an LLC bank.
+    // (y = -1) or bottom (y = meshRows) to reach an LLC bank. Y express
+    // links exist only between core-array rows, so the hop is taken only
+    // when the landing row stays inside the array; the exit hop toward an
+    // LLC row is always a single link.
     while (y != dst.y) {
         bool north = y > dst.y;
+        uint32_t dist =
+            static_cast<uint32_t>(north ? y - dst.y : dst.y - y);
+        int32_t landing = north ? y - static_cast<int32_t>(cfg_.rucheY)
+                                : y + static_cast<int32_t>(cfg_.rucheY);
+        if (cfg_.rucheY > 1 && dist >= cfg_.rucheY && landing >= 0 &&
+            landing < static_cast<int32_t>(cfg_.meshRows)) {
+            routeLinks_.push_back(static_cast<uint32_t>(
+                linkIndex(x, static_cast<uint32_t>(y),
+                          north ? kRucheNorth : kRucheSouth)));
+            y = landing;
+            continue;
+        }
         // The exit hop is charged on the edge core node's N/S link.
         uint32_t link_row = static_cast<uint32_t>(
             north ? (y > 0 ? y : 0)
@@ -162,6 +177,17 @@ MeshNoc::traverseWalk(uint32_t x, int32_t y, const NocEndpoint &dst,
 
     while (y != dst.y) {
         bool north = y > dst.y;
+        uint32_t dist =
+            static_cast<uint32_t>(north ? y - dst.y : dst.y - y);
+        int32_t landing = north ? y - static_cast<int32_t>(cfg_.rucheY)
+                                : y + static_cast<int32_t>(cfg_.rucheY);
+        if (cfg_.rucheY > 1 && dist >= cfg_.rucheY && landing >= 0 &&
+            landing < static_cast<int32_t>(cfg_.meshRows)) {
+            t = hop(x, static_cast<uint32_t>(y),
+                    north ? kRucheNorth : kRucheSouth, t, flits);
+            y = landing;
+            continue;
+        }
         uint32_t link_row = static_cast<uint32_t>(
             north ? (y > 0 ? y : 0)
                   : (y < static_cast<int32_t>(cfg_.meshRows) - 1

@@ -1,8 +1,8 @@
 /**
  * @file
  * 2-D mesh on-chip network with dimension-ordered (X-Y) routing, optional
- * ruche (multi-hop express) channels in the X dimension, and per-link
- * occupancy tracking.
+ * ruche (multi-hop express) channels in the X and Y dimensions, and
+ * per-link occupancy tracking.
  *
  * The timing model is wormhole-like at a first order: a packet of F flits
  * loads every link on its path with F flit-cycles of service, and its
@@ -95,16 +95,14 @@ class MeshNoc
         return {cfg_.coreX(id), static_cast<int32_t>(cfg_.coreY(id))};
     }
 
-    /** Endpoint of LLC bank @p bank (top half first, then bottom). */
+    /** Endpoint of LLC bank @p bank (placement per the machine config:
+     *  MachineConfig::llcBankX/llcBankY are the single source of truth,
+     *  shared with ShardPlan's lookahead). */
     NocEndpoint
     bankEndpoint(uint32_t bank) const
     {
         SPMRT_ASSERT(bank < cfg_.llcBanks, "bad LLC bank %u", bank);
-        uint32_t half = cfg_.llcBanks / 2;
-        bool top = bank < half;
-        uint32_t index = top ? bank : bank - half;
-        uint32_t x = index % cfg_.meshCols;
-        return {x, top ? -1 : static_cast<int32_t>(cfg_.meshRows)};
+        return {cfg_.llcBankX(bank), cfg_.llcBankY(bank)};
     }
 
     /** Total link-cycles of occupancy charged so far (diagnostics). */
@@ -143,8 +141,8 @@ class MeshNoc
     /** Number of links (rows of the occupancy heatmap). */
     size_t numLinks() const { return links_.size(); }
 
-    /** Mesh coordinates and direction code (0..5 = E/W/N/S/RE/RW) of
-     *  link @p index. */
+    /** Mesh coordinates and direction code (0..7 = E/W/N/S/RE/RW/RN/RS)
+     *  of link @p index. */
     void linkCoords(size_t index, uint32_t &x, uint32_t &y,
                     uint32_t &dir) const;
 
@@ -190,6 +188,8 @@ class MeshNoc
         kSouth,
         kRucheEast,
         kRucheWest,
+        kRucheNorth,
+        kRucheSouth,
         kNumDirs
     };
 

@@ -103,12 +103,14 @@ FleetServer::specKeyFor(const JobRequest &req) const
         return "";
     // engineShards is deliberately absent: sharding is a host execution
     // detail with a byte-identical contract (see JobRequest::engineShards),
-    // so cache entries revalidate runs across shard counts.
+    // so cache entries revalidate runs across shard counts. The machine
+    // is its full geometry string: two configs differing in any timed
+    // parameter (ruche factors, LLC placement, DRAM channels, window
+    // stride) must never share a digest cache entry.
     return log::format(
-        "%s|m%ux%u/spm%u/llc%u|rt:%s/a%u/wd%llu:%llu/s%llu|"
+        "%s|m:%s|rt:%s/a%u/wd%llu:%llu/s%llu|"
         "sched:%llu/%llu|fault:%llu/%llu|ck:%d|st:%d",
-        req.cacheKey.c_str(), req.machine.meshCols, req.machine.meshRows,
-        req.machine.spmBytes, req.machine.llcBanks,
+        req.cacheKey.c_str(), req.machine.geometry().c_str(),
         req.runtime.name().c_str(), req.runtime.activeCores,
         static_cast<unsigned long long>(req.runtime.watchdogCycles),
         static_cast<unsigned long long>(req.runtime.watchdogSwitches),

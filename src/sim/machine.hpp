@@ -32,9 +32,9 @@ class Machine
 {
   public:
     explicit Machine(const MachineConfig &cfg)
-        : cfg_(cfg), engine_(cfg.numCores(), cfg.hostStackBytes),
+        : cfg_(validated(cfg)), engine_(cfg.numCores(), cfg.hostStackBytes),
           mem_(cfg),
-          dramHeap_(AddressMap::kDramBase,
+          dramHeap_(mem_.map().dramBase(),
                     cfg.dramBytes)
     {
         engine_.setMachineConfig(&cfg_);
@@ -271,6 +271,17 @@ class Machine
     }
 
   private:
+    /** Fail fast on an inconsistent geometry, before any layer sizes
+     *  itself from it. The heap base comes from the memory system's
+     *  AddressMap, which moves DRAM up when a big machine's SPM region
+     *  outgrows the historical base. */
+    static const MachineConfig &
+    validated(const MachineConfig &cfg)
+    {
+        cfg.validate();
+        return cfg;
+    }
+
     /**
      * Engine run plus the counter folds every run tail owes: windowed
      * parallel runs accumulate per-core memory and fault-injection

@@ -106,22 +106,52 @@ ShardPlan::ShardPlan(uint32_t num_cores, uint32_t num_shards)
                                     "all cores");
 }
 
+namespace {
+
+/** Greedy-ruche hop count over distance @p dist with factor @p ruche:
+ *  express hops while the remaining distance allows, then singles. */
+uint32_t
+ruchedHops(uint32_t dist, uint32_t ruche)
+{
+    if (ruche <= 1)
+        return dist;
+    return dist / ruche + dist % ruche;
+}
+
+} // namespace
+
 Cycles
 ShardPlan::routeLatency(const MachineConfig &cfg, uint32_t src_x,
                         int32_t src_y, uint32_t dst_x, int32_t dst_y)
 {
-    // Closed form of the router's dimension-ordered walk (noc.cpp): the
-    // X distance is covered greedily by ruche express hops of length
-    // rucheX while the remaining distance allows, then single links;
-    // the Y distance is always single links (LLC rows included).
+    // Closed form of the router's dimension-ordered walk (noc.cpp): each
+    // dimension's distance is covered greedily by ruche express hops
+    // while the remaining distance allows, then single links. Y express
+    // links exist only between core-array rows, so a route into a
+    // virtual LLC row (dst_y of -1 or meshRows) ruches across the core
+    // array to the edge row and always exits on a single link — which is
+    // exactly the router's landing-row constraint, making this an exact
+    // hop count (not merely a bound) under every geometry.
     uint32_t dx = src_x < dst_x ? dst_x - src_x : src_x - dst_x;
-    uint32_t x_hops;
-    if (cfg.rucheX > 1)
-        x_hops = dx / cfg.rucheX + dx % cfg.rucheX;
-    else
-        x_hops = dx;
-    uint32_t y_hops = static_cast<uint32_t>(
-        src_y < dst_y ? dst_y - src_y : src_y - dst_y);
+    uint32_t x_hops = ruchedHops(dx, cfg.rucheX);
+
+    // The router clamps the injection row into the core array; mirror it
+    // so the closed form stays exact for edge-row sources too.
+    int32_t rows = static_cast<int32_t>(cfg.meshRows);
+    int32_t sy = src_y < 0 ? 0 : (src_y >= rows ? rows - 1 : src_y);
+    uint32_t y_hops;
+    if (dst_y < 0) {
+        // Ruche to row 0, then the single exit link to the top LLC row.
+        y_hops = ruchedHops(static_cast<uint32_t>(sy), cfg.rucheY) + 1;
+    } else if (dst_y >= rows) {
+        y_hops =
+            ruchedHops(static_cast<uint32_t>(rows - 1 - sy), cfg.rucheY) +
+            1;
+    } else {
+        uint32_t dy = static_cast<uint32_t>(
+            sy < dst_y ? dst_y - sy : sy - dst_y);
+        y_hops = ruchedHops(dy, cfg.rucheY);
+    }
     return static_cast<Cycles>(x_hops + y_hops) * cfg.linkLatency;
 }
 
@@ -150,15 +180,12 @@ ShardPlan::lookahead(const MachineConfig &cfg) const
         }
         // Shared LLC banks: traffic into a bank perturbs queueing state
         // every shard observes, so a bank is cross-shard-visible ground
-        // regardless of which shard the packet came from.
-        uint32_t half = cfg.llcBanks / 2;
+        // regardless of which shard the packet came from. Placement comes
+        // from the config helpers — the same ones MeshNoc::bankEndpoint
+        // routes to — so the bound tracks any edge layout.
         for (uint32_t bank = 0; bank < cfg.llcBanks; ++bank) {
-            bool top = bank < half;
-            uint32_t index = top ? bank : bank - half;
-            uint32_t bx = index % cfg.meshCols;
-            int32_t by =
-                top ? -1 : static_cast<int32_t>(cfg.meshRows);
-            Cycles lat = routeLatency(cfg, sx, sy, bx, by);
+            Cycles lat = routeLatency(cfg, sx, sy, cfg.llcBankX(bank),
+                                      cfg.llcBankY(bank));
             if (lat < best)
                 best = lat;
         }

@@ -150,17 +150,17 @@ makeWorkloads()
 }
 
 /**
- * Run @p workload once under @p regime on the chosen scheduler.
- * @p compiled_routes additionally toggles the NoC's compiled route
- * tables, so the memory fast paths can be crossed against the uncached
- * per-hop reference walk.
+ * Run @p workload once under @p regime on the chosen scheduler, on an
+ * arbitrary machine geometry. @p compiled_routes additionally toggles
+ * the NoC's compiled route tables, so the memory fast paths can be
+ * crossed against the uncached per-hop reference walk.
  */
 Outcome
-runOnce(const Workload &workload, const Regime &regime, bool reference,
-        bool compiled_routes = true, uint32_t shards = 1,
-        SchedMode mode = SchedMode::Token)
+runOnceOn(const MachineConfig &cfg, const Workload &workload,
+          const Regime &regime, bool reference, bool compiled_routes = true,
+          uint32_t shards = 1, SchedMode mode = SchedMode::Token)
 {
-    Machine machine(MachineConfig::tiny());
+    Machine machine(cfg);
     machine.engine().setScheduler(reference ? SchedMode::Reference : mode);
     machine.engine().setShards(shards);
     machine.mem().noc().setCompiledRoutes(compiled_routes);
@@ -190,6 +190,16 @@ runOnce(const Workload &workload, const Regime &regime, bool reference,
         out.report = ck->report();
     }
     return out;
+}
+
+/** The historical single-geometry entry point: runs on tiny(). */
+Outcome
+runOnce(const Workload &workload, const Regime &regime, bool reference,
+        bool compiled_routes = true, uint32_t shards = 1,
+        SchedMode mode = SchedMode::Token)
+{
+    return runOnceOn(MachineConfig::tiny(), workload, regime, reference,
+                     compiled_routes, shards, mode);
 }
 
 class SchedulerEquivalence : public ::testing::TestWithParam<size_t>
@@ -349,6 +359,101 @@ TEST_P(WindowedEngineEquivalence, WindowedMatchesSequentialBitForBit)
 
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, WindowedEngineEquivalence,
                          ::testing::Range<size_t>(0, 4), workloadName);
+
+// ---- Free machine geometry: equivalence off the paper floorplan ----------
+
+/**
+ * A machine the paper never built: Y-ruched, single-edge LLC, dual
+ * DRAM channel. Nothing in the engine-equivalence contract is allowed
+ * to depend on the floorplan, and the windowed engine's conservative
+ * lookahead is computed from the closed-form route latency — which must
+ * stay an exact lower bound under every geometry or the windowed runs
+ * drift. This leg crosses both sharded engines against the sequential
+ * fast engine on such a machine, checker armed.
+ */
+MachineConfig
+offPaperConfig()
+{
+    MachineConfig cfg = MachineConfig::small(); // 8x4, 32 cores
+    cfg.rucheY = 2;
+    cfg.dramChannels = 2;
+    cfg.llcPlacement = LlcPlacement::Top;
+    cfg.validate();
+    return cfg;
+}
+
+TEST(GeometryEquivalence, OffPaperMachineMatchesSequentialBitForBit)
+{
+    const MachineConfig cfg = offPaperConfig();
+    const std::vector<Workload> workloads = makeWorkloads();
+    const Regime regimes[] = {
+        {"strict", false, 0, false, 0},
+        {"faulted", false, 0, true, 5},
+    };
+    for (size_t wi : {size_t{0}, size_t{1}}) { // fib, cilksort
+        const Workload &workload = workloads[wi];
+        SCOPED_TRACE(workload.name);
+        for (const Regime &regime : regimes) {
+            SCOPED_TRACE(regime.name);
+            Outcome sequential = runOnceOn(cfg, workload, regime, false);
+            EXPECT_EQ(sequential.digest, workload.reference)
+                << "sequential run computed a wrong result off-paper";
+
+            for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+                SCOPED_TRACE(std::to_string(shards) + " shards");
+                for (SchedMode mode :
+                     {SchedMode::Token, SchedMode::Windowed}) {
+                    SCOPED_TRACE(mode == SchedMode::Token ? "token"
+                                                          : "windowed");
+                    Outcome run = runOnceOn(cfg, workload, regime, false,
+                                            true, shards, mode);
+                    EXPECT_EQ(run.digest, sequential.digest)
+                        << "result diverged off the paper floorplan";
+                    EXPECT_EQ(run.cycles, sequential.cycles)
+                        << "cycle counts diverged off the paper floorplan";
+                    EXPECT_EQ(run.switches, sequential.switches);
+                    EXPECT_EQ(run.syncPoints, sequential.syncPoints);
+#if SPMRT_CHECKER_ENABLED
+                    EXPECT_EQ(run.violations, 0u) << run.report;
+#endif
+                }
+            }
+        }
+    }
+}
+
+/**
+ * The scale acceptance gate: the 32x32 four-channel big1024() preset
+ * must run every equivalence workload windowed byte-identical to the
+ * sequential fast engine — digests, cycle counts, and switch/syncPoint
+ * counts — with the checker armed. A 1024-core machine is where a
+ * lookahead that is merely *approximately* a lower bound, or a route
+ * table compiled for the 16x8 floorplan, actually breaks.
+ */
+TEST(GeometryEquivalence, Big1024WindowedMatchesSequentialFast)
+{
+    const MachineConfig cfg = MachineConfig::big1024();
+    const Regime strict{"strict", false, 0, false, 0};
+    for (const Workload &workload : makeWorkloads()) {
+        SCOPED_TRACE(workload.name);
+        Outcome sequential = runOnceOn(cfg, workload, strict, false);
+        EXPECT_EQ(sequential.digest, workload.reference)
+            << "sequential run computed a wrong result on big1024";
+
+        Outcome windowed = runOnceOn(cfg, workload, strict, false, true, 4,
+                                     SchedMode::Windowed);
+        EXPECT_EQ(windowed.digest, sequential.digest)
+            << "windowed result diverged on big1024";
+        EXPECT_EQ(windowed.cycles, sequential.cycles)
+            << "windowed cycle count diverged on big1024";
+        EXPECT_EQ(windowed.switches, sequential.switches);
+        EXPECT_EQ(windowed.syncPoints, sequential.syncPoints);
+#if SPMRT_CHECKER_ENABLED
+        EXPECT_EQ(windowed.violations, 0u) << windowed.report;
+        EXPECT_EQ(sequential.violations, 0u) << sequential.report;
+#endif
+    }
+}
 
 // ---- Memory fast paths vs. the fully-uncached reference ------------------
 

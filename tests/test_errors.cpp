@@ -254,6 +254,133 @@ TEST(ErrorsDeathTest, ShardEnvBeyondHostCoresPanics)
         "SPMRT_ENGINE_SHARDS.*exceeds the .* host cores");
 }
 
+// ---- machine-geometry validation -----------------------------------------
+//
+// MachineConfig::validate() is the single choke point for inconsistent
+// geometries: Machine's constructor calls it before any layer sizes
+// itself from the config, so every broken free parameter must die with a
+// diagnostic naming the parameter — never a mis-sized array later.
+
+TEST(ErrorsDeathTest, ZeroMeshDimensionPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    MachineConfig cfg = MachineConfig::tiny();
+    cfg.meshRows = 0;
+    EXPECT_DEATH(Machine machine(cfg), "mesh has a zero dimension");
+}
+
+TEST(ErrorsDeathTest, RucheXWiderThanMeshPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    MachineConfig cfg = MachineConfig::tiny(); // 4x2 mesh
+    cfg.rucheX = 4;
+    EXPECT_DEATH(Machine machine(cfg), "ruche factor X=4 >= mesh width");
+}
+
+TEST(ErrorsDeathTest, RucheYTallerThanMeshPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    MachineConfig cfg = MachineConfig::tiny();
+    cfg.rucheY = 2;
+    EXPECT_DEATH(Machine machine(cfg), "ruche factor Y=2 >= mesh height");
+}
+
+TEST(ErrorsDeathTest, NonPowerOfTwoSpmWindowPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    MachineConfig cfg = MachineConfig::tiny();
+    cfg.spmWindowBytes = 0x1800;
+    EXPECT_DEATH(Machine machine(cfg), "not a power of two");
+}
+
+TEST(ErrorsDeathTest, SpmLargerThanWindowPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    MachineConfig cfg = MachineConfig::tiny();
+    cfg.spmBytes = 8192; // > the 4 KiB window stride
+    EXPECT_DEATH(Machine machine(cfg), "exceed the 4096-byte window");
+}
+
+TEST(ErrorsDeathTest, IndivisibleLlcBankSplitPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    MachineConfig cfg = MachineConfig::tiny();
+    cfg.llcBanks = 3; // TopBottom placement needs an even count
+    EXPECT_DEATH(Machine machine(cfg),
+                 "3 LLC banks not divisible across 2 edge rows");
+}
+
+TEST(ErrorsDeathTest, ZeroDramChannelsPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    MachineConfig cfg = MachineConfig::tiny();
+    cfg.dramChannels = 0;
+    EXPECT_DEATH(Machine machine(cfg), "zero DRAM channels");
+}
+
+TEST(ErrorsDeathTest, ZeroDramBandwidthPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    MachineConfig cfg = MachineConfig::tiny();
+    cfg.dramBytesPerCycle = 0;
+    EXPECT_DEATH(Machine machine(cfg), "zero DRAM bandwidth");
+}
+
+TEST(ErrorsDeathTest, MalformedMachineEnvSpecIsFatal)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            ::setenv("SPMRT_MACHINE", "16x", 1);
+            MachineConfig cfg = MachineConfig::fromEnv(MachineConfig{});
+            (void)cfg;
+        },
+        "SPMRT_MACHINE");
+}
+
+TEST(MachineSpec, PresetsAndOverridesParse)
+{
+    MachineConfig cfg;
+    std::string error;
+    ASSERT_TRUE(MachineConfig::fromSpec("big256", cfg, error)) << error;
+    EXPECT_EQ(cfg.numCores(), 256u);
+    EXPECT_EQ(cfg.dramChannels, 2u);
+    EXPECT_EQ(cfg.rucheY, 3u);
+
+    ASSERT_TRUE(
+        MachineConfig::fromSpec("16x16, rx=3, ry=2, llc=16, place=t, "
+                                "ch=4, bw=20, spm=4096, win=8192",
+                                cfg, error))
+        << error;
+    EXPECT_EQ(cfg.meshCols, 16u);
+    EXPECT_EQ(cfg.meshRows, 16u);
+    EXPECT_EQ(cfg.rucheY, 2u);
+    EXPECT_EQ(cfg.llcBanks, 16u);
+    EXPECT_EQ(cfg.llcPlacement, LlcPlacement::Top);
+    EXPECT_EQ(cfg.dramChannels, 4u);
+    EXPECT_EQ(cfg.dramBytesPerCycle, 20u);
+    EXPECT_EQ(cfg.spmWindowBytes, 8192u);
+
+    EXPECT_FALSE(MachineConfig::fromSpec("paper, bogus=1", cfg, error));
+    EXPECT_FALSE(MachineConfig::fromSpec("notapreset", cfg, error));
+    EXPECT_FALSE(MachineConfig::fromSpec("", cfg, error));
+}
+
+TEST(MachineSpec, EveryPresetValidatesAndRoundTripsGeometry)
+{
+    for (const MachineConfig &cfg :
+         {MachineConfig::paper(), MachineConfig::tiny(),
+          MachineConfig::small(), MachineConfig::big256(),
+          MachineConfig::big1024()}) {
+        cfg.validate();
+        EXPECT_FALSE(cfg.geometry().empty());
+    }
+    // The paper default's canonical geometry string is part of the
+    // BENCH_host_perf.json row identity; pin it.
+    EXPECT_EQ(MachineConfig{}.geometry(),
+              "16x8-rx3-ry0-llc32tb-d1x10-spm4096w4096");
+}
+
 TEST(BulkAccess, SpmToSpmCopyStaysLocal)
 {
     Machine machine(MachineConfig::tiny());

@@ -194,6 +194,27 @@ TEST(Llc, EvictsLruAndWritesBackDirty)
     EXPECT_EQ(llc.misses(), 4u);
 }
 
+TEST(Llc, OddBankCountOnOneEdgeStripes)
+{
+    // A single-edge placement admits bank counts the historical
+    // top/bottom split could not (validate() only demands divisibility
+    // across the chosen edge rows); the model stripes lines over any
+    // nonzero count.
+    MachineConfig cfg = MachineConfig::small();
+    cfg.llcPlacement = LlcPlacement::Top;
+    cfg.llcBanks = 5;
+    cfg.validate();
+    DramModel dram(cfg);
+    LlcModel llc(cfg, dram);
+    EXPECT_EQ(llc.numBanks(), 5u);
+    for (uint32_t line = 0; line < 10; ++line) {
+        uint64_t offset = static_cast<uint64_t>(line) * cfg.llcLineBytes;
+        EXPECT_EQ(llc.bankOf(offset), line % 5) << "line " << line;
+        llc.access(0, offset, 4, false);
+    }
+    EXPECT_EQ(llc.misses(), 10u);
+}
+
 TEST(Dram, BandwidthServerQueues)
 {
     MachineConfig cfg;
@@ -210,6 +231,124 @@ TEST(Dram, LatencyDominatesSmallTransfers)
     DramModel dram(cfg);
     Cycles done = dram.access(0, 0, 4);
     EXPECT_GE(done, cfg.dramLatency);
+}
+
+TEST(Dram, LineInterleavesAcrossChannels)
+{
+    MachineConfig cfg;
+    cfg.dramChannels = 4;
+    DramModel dram(cfg);
+    ASSERT_EQ(dram.numChannels(), 4u);
+    // Consecutive LLC lines round-robin the channels; offsets within a
+    // line stay on that line's channel.
+    for (uint64_t line = 0; line < 16; ++line) {
+        uint64_t offset = line * cfg.llcLineBytes;
+        EXPECT_EQ(dram.channelOf(offset), line % 4)
+            << "line " << line;
+        EXPECT_EQ(dram.channelOf(offset + cfg.llcLineBytes - 1),
+                  dram.channelOf(offset))
+            << "line " << line;
+    }
+}
+
+TEST(Dram, IndependentChannelsDoNotQueueEachOther)
+{
+    MachineConfig cfg;
+    cfg.dramChannels = 2;
+    DramModel dual(cfg);
+    // Two same-cycle transfers to adjacent lines land on different
+    // channels: neither waits, so both complete at the single-transfer
+    // time. On a single channel the second must queue behind the first.
+    Cycles a = dual.access(0, 0, 64);
+    Cycles b = dual.access(0, 64, 64);
+    EXPECT_EQ(a, b) << "adjacent lines should use disjoint channels";
+    EXPECT_EQ(dual.channelBytes(0), 64u);
+    EXPECT_EQ(dual.channelBytes(1), 64u);
+
+    MachineConfig mono;
+    DramModel single(mono);
+    Cycles c = single.access(0, 0, 64);
+    Cycles d = single.access(0, 64, 64);
+    EXPECT_GT(d, c) << "one channel must serialize the pair";
+}
+
+TEST(Dram, SameChannelTrafficStillQueues)
+{
+    MachineConfig cfg;
+    cfg.dramChannels = 2;
+    DramModel dram(cfg);
+    // Lines 0 and 2 both map to channel 0; the bus serializes them even
+    // though channel 1 is idle.
+    ASSERT_EQ(dram.channelOf(0), dram.channelOf(2 * cfg.llcLineBytes));
+    Cycles a = dram.access(0, 0, 64);
+    Cycles b = dram.access(0, 2 * cfg.llcLineBytes, 64);
+    EXPECT_GT(b, a);
+    EXPECT_EQ(dram.channelBytes(0), 128u);
+    EXPECT_EQ(dram.channelBytes(1), 0u);
+}
+
+TEST(Dram, ResetClearsPerChannelCounters)
+{
+    MachineConfig cfg;
+    cfg.dramChannels = 2;
+    DramModel dram(cfg);
+    dram.access(0, 0, 64);
+    dram.access(0, 64, 64);
+    dram.reset();
+    EXPECT_EQ(dram.bytesMoved(), 0u);
+    EXPECT_EQ(dram.channelBytes(0), 0u);
+    EXPECT_EQ(dram.channelBytes(1), 0u);
+    EXPECT_EQ(dram.channelBacklog(0), 0u);
+}
+
+// ---- derived address-map geometry --------------------------------------
+
+TEST(AddressMap, WideSpmWindowStrideDecodes)
+{
+    MachineConfig cfg = MachineConfig::tiny();
+    cfg.spmBytes = 8192;
+    cfg.spmWindowBytes = 16384;
+    cfg.validate();
+    AddressMap map(cfg);
+    EXPECT_EQ(map.spmStride(), 16384u);
+    for (CoreId id = 0; id < cfg.numCores(); ++id) {
+        EXPECT_EQ(map.spmBase(id),
+                  AddressMap::kSpmBase + static_cast<Addr>(id) * 16384u);
+        DecodedAddr d = map.decode(map.spmBase(id) + 8000, 4);
+        EXPECT_EQ(d.region, MemRegion::Spm);
+        EXPECT_EQ(d.owner, id);
+        EXPECT_EQ(d.offset, 8000u);
+    }
+}
+
+TEST(AddressMap, DramMovesUpWhenSpmRegionOutgrowsTheDefaultBase)
+{
+    // 1024 cores at a 1 MiB window stride put the SPM region end at
+    // 0x1000'0000 + 0x4000'0000, past the historical DRAM base; the map
+    // must relocate DRAM above the SPM region instead of aliasing it.
+    MachineConfig cfg = MachineConfig::big1024();
+    cfg.spmWindowBytes = 1u << 20;
+    cfg.dramBytes = 64ull * 1024 * 1024;
+    cfg.validate();
+    AddressMap map(cfg);
+    EXPECT_GE(map.dramBase(), cfg.spmRegionEnd());
+    EXPECT_GT(map.dramBase(), AddressMap::kDramBase);
+    DecodedAddr d = map.decode(map.dramBase() + 64, 4);
+    EXPECT_EQ(d.region, MemRegion::Dram);
+    EXPECT_EQ(d.offset, 64u);
+    // The last core's window still decodes to its owner.
+    DecodedAddr s = map.decode(map.spmBase(cfg.numCores() - 1), 4);
+    EXPECT_EQ(s.owner, cfg.numCores() - 1);
+}
+
+TEST(AddressMap, PaperGeometryKeepsHistoricalConstants)
+{
+    // The free-parameter map must be bit-identical on the paper machine:
+    // the derived bases resolve to the historical constants every
+    // existing setup path still references.
+    AddressMap map((MachineConfig()));
+    EXPECT_EQ(map.spmStride(), AddressMap::kSpmStride);
+    EXPECT_EQ(map.dramBase(), AddressMap::kDramBase);
 }
 
 TEST(MemorySystem, PokePeekRoundTrip)

@@ -122,6 +122,61 @@ TEST(NocRoutes, CompiledMatchesWalkOnFullMachine)
     expectEquivalent(MachineConfig{}, 11, nullptr); // 16x8, ruche 3
 }
 
+/** The free-geometry matrix: wide, tall, Y-ruched, asymmetric-LLC and
+ *  stacked-bank machines. Every shape the config layer admits must keep
+ *  the compiled tables bit-equal to the per-hop walk — the route
+ *  compiler and the walker share no generalized-placement code beyond
+ *  MachineConfig's helpers, so this is the test that catches one of
+ *  them hard-coding the paper's floorplan. */
+TEST(NocRoutes, CompiledMatchesWalkAcrossGeometries)
+{
+    struct Shape
+    {
+        uint32_t cols, rows, rucheX, rucheY, banks;
+        LlcPlacement place;
+    };
+    const Shape shapes[] = {
+        {32, 2, 5, 0, 8, LlcPlacement::TopBottom},  // wide, long X ruche
+        {2, 32, 0, 5, 4, LlcPlacement::TopBottom},  // tall, long Y ruche
+        {16, 16, 3, 3, 32, LlcPlacement::TopBottom}, // big256 shape
+        {8, 8, 2, 2, 8, LlcPlacement::Top},          // one-edge LLC
+        {8, 8, 3, 3, 8, LlcPlacement::Bottom},       // other edge
+        {4, 4, 2, 2, 16, LlcPlacement::TopBottom},   // stacked banks
+        {5, 7, 3, 4, 10, LlcPlacement::TopBottom},   // non-power-of-two
+    };
+    uint64_t seed = 21;
+    for (const Shape &s : shapes) {
+        MachineConfig cfg = MachineConfig::tiny();
+        cfg.meshCols = s.cols;
+        cfg.meshRows = s.rows;
+        cfg.rucheX = s.rucheX;
+        cfg.rucheY = s.rucheY;
+        cfg.llcBanks = s.banks;
+        cfg.llcPlacement = s.place;
+        cfg.validate();
+        expectEquivalent(cfg, seed++, nullptr);
+    }
+}
+
+TEST(NocRoutes, CompiledMatchesWalkOn1024Cores)
+{
+    expectEquivalent(MachineConfig::big1024(), 31, nullptr);
+}
+
+TEST(NocRoutes, RucheYFaultWindowsStillMatchWalk)
+{
+    // Chaos plans force the per-hop walk; a Y-ruched mesh must inject
+    // identical delays on both sides (the Y express hop is charged on
+    // the launching node, exactly like the X express hop).
+    MachineConfig cfg = MachineConfig::small(); // 8x4
+    cfg.rucheY = 2;
+    cfg.validate();
+    for (uint64_t plan_seed = 1; plan_seed <= 3; ++plan_seed) {
+        FaultPlan plan = FaultPlan::chaos(plan_seed, cfg);
+        expectEquivalent(cfg, 200 + plan_seed, &plan);
+    }
+}
+
 TEST(NocRoutes, FaultMatrixMatchesWalkCycleForCycle)
 {
     // Chaos plans include link-delay windows, so the compiled instance

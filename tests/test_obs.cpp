@@ -233,7 +233,7 @@ TEST(Heatmaps, GeometryMatchesMesh)
         noc.linkCoords(i, x, y, dir);
         EXPECT_LT(x, cfg.meshCols);
         EXPECT_LT(y, cfg.meshRows);
-        EXPECT_LT(dir, 6u);
+        EXPECT_LT(dir, 8u); // E/W/N/S + ruche X and Y expresses
         ASSERT_EQ(links.rows[i].size(), links.columns.size());
         EXPECT_EQ(links.rows[i][0], x);
         EXPECT_EQ(links.rows[i][1], y);

@@ -106,7 +106,19 @@ walkLatencyOracle(const MachineConfig &cfg, uint32_t x, int32_t y,
         t += cfg.linkLatency;
     }
     while (y != dst_y) {
-        y += y > dst_y ? -1 : 1;
+        // Y express links exist only between core-array rows: the hop is
+        // taken only when the landing row stays inside the array, and
+        // the exit hop toward an LLC row is always a single link —
+        // exactly the router's rule (noc.cpp).
+        bool north = y > dst_y;
+        uint32_t dist = static_cast<uint32_t>(north ? y - dst_y : dst_y - y);
+        int32_t landing = north ? y - static_cast<int32_t>(cfg.rucheY)
+                                : y + static_cast<int32_t>(cfg.rucheY);
+        if (cfg.rucheY > 1 && dist >= cfg.rucheY && landing >= 0 &&
+            landing < static_cast<int32_t>(cfg.meshRows))
+            y = landing;
+        else
+            y += north ? -1 : 1;
         t += cfg.linkLatency;
     }
     return t;
@@ -119,9 +131,11 @@ meshSweep()
     for (uint32_t ruche : {1u, 2u, 3u, 5u}) {
         for (Cycles link : {Cycles(1), Cycles(2)}) {
             MachineConfig tiny = MachineConfig::tiny();
-            tiny.rucheX = ruche;
-            tiny.linkLatency = link;
-            sweep.push_back(tiny);
+            if (ruche < tiny.meshCols) { // validate(): factor < width
+                tiny.rucheX = ruche;
+                tiny.linkLatency = link;
+                sweep.push_back(tiny);
+            }
             MachineConfig small = MachineConfig::small();
             small.rucheX = ruche;
             small.linkLatency = link;
@@ -130,6 +144,30 @@ meshSweep()
     }
     MachineConfig paper; // the default 16x8 mesh with ruche 3
     sweep.push_back(paper);
+    // Free-geometry shapes: Y ruche (including factors that strand a
+    // remainder against the edge rows), one-sided LLC placement, a tall
+    // mesh where Y express hops dominate, and the big256 preset shape.
+    for (uint32_t ruche_y : {2u, 3u}) {
+        MachineConfig small = MachineConfig::small(); // 8x4
+        small.rucheY = ruche_y;
+        sweep.push_back(small);
+    }
+    MachineConfig tall = MachineConfig::tiny();
+    tall.meshCols = 2;
+    tall.meshRows = 32;
+    tall.rucheX = 0;
+    tall.rucheY = 5;
+    sweep.push_back(tall);
+    MachineConfig top_only = MachineConfig::small();
+    top_only.llcPlacement = LlcPlacement::Top;
+    sweep.push_back(top_only);
+    MachineConfig bottom_only = MachineConfig::small();
+    bottom_only.llcPlacement = LlcPlacement::Bottom;
+    bottom_only.rucheY = 2;
+    sweep.push_back(bottom_only);
+    sweep.push_back(MachineConfig::big256()); // 16x16, rx3, ry3
+    for (const MachineConfig &cfg : sweep)
+        cfg.validate();
     return sweep;
 }
 
@@ -175,18 +213,12 @@ lookaheadOracle(const MachineConfig &cfg, const ShardPlan &plan)
                           cfg.coreX(dst),
                           static_cast<int32_t>(cfg.coreY(dst))));
         }
-        uint32_t half = cfg.llcBanks / 2;
-        for (uint32_t bank = 0; bank < cfg.llcBanks; ++bank) {
-            bool top = bank < half;
-            uint32_t index = top ? bank : bank - half;
+        for (uint32_t bank = 0; bank < cfg.llcBanks; ++bank)
             best = std::min(
                 best,
                 walkLatencyOracle(cfg, cfg.coreX(src),
                                   static_cast<int32_t>(cfg.coreY(src)),
-                                  index % cfg.meshCols,
-                                  top ? -1
-                                      : static_cast<int32_t>(cfg.meshRows)));
-        }
+                                  cfg.llcBankX(bank), cfg.llcBankY(bank)));
     }
     return best;
 }

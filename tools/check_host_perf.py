@@ -2,8 +2,10 @@
 """Gate host-perf regressions against the committed baseline + trajectory.
 
 Compares a freshly measured BENCH_host_perf.json against
-bench/baseline_host_perf.json row by row (matched on workload + cores),
-and optionally against the *latest point* of the committed perf
+bench/baseline_host_perf.json row by row (matched on workload + cores +
+machine geometry; reference rows written before the ``geometry`` field
+existed fall back to workload + cores alone), and optionally against
+the *latest point* of the committed perf
 trajectory (repo-root BENCH_host_perf.json, schema
 spmrt-host-perf-trajectory-v1). The gated quantity is the
 fast-vs-reference *speedup ratio*, not absolute wall-clock: both
@@ -58,8 +60,30 @@ TRAJECTORY_SCHEMA = "spmrt-host-perf-trajectory-v1"
 POINT_SCHEMA = "spmrt-host-perf-v1"
 
 
+def row_key(r):
+    """Identity of one measurement row. The machine geometry string is
+    part of it: the same workload at the same simulated core count on a
+    different machine shape is a different measurement. Rows written
+    before the geometry field existed key under geometry=None."""
+    return (r["workload"], r["cores"], r.get("geometry"))
+
+
 def key_rows(rows):
-    return {(r["workload"], r["cores"]): r for r in rows}
+    return {row_key(r): r for r in rows}
+
+
+def find_row(measured, key):
+    """Look up a measured row for a reference key. A legacy reference
+    row (no geometry) matches any measured geometry for its workload and
+    core count, so old baselines keep gating new measurements."""
+    row = measured.get(key)
+    if row is not None:
+        return row
+    if key[2] is None:
+        for k, r in measured.items():
+            if k[0] == key[0] and k[1] == key[1]:
+                return r
+    return None
 
 
 def load_json(path, what):
@@ -142,8 +166,10 @@ def check(measured, reference, reference_name, tolerance,
     print(f"vs {reference_name}:")
     print(f"  {'workload':<10} {'cores':>6} {'speedup':>9} {'expected':>9} "
           f"{'floor':>7}  status")
-    for key, base in sorted(reference.items()):
-        row = measured.get(key)
+    for key, base in sorted(reference.items(),
+                            key=lambda kv: (kv[0][0], kv[0][1],
+                                            kv[0][2] or "")):
+        row = find_row(measured, key)
         if row is None:
             failures.append(f"{key}: missing from measured results")
             continue

@@ -18,7 +18,8 @@ Checks, per the schema contract in DESIGN.md Sec. 11:
 
 With ``--heatmap`` (a CSV from MeshNoc::linkHeatmap) plus ``--mesh-cols``
 and ``--mesh-rows``, additionally checks that every link's coordinates
-are inside the mesh and its direction index below 6 (E/W/N/S/RE/RW).
+are inside the mesh and its direction index below 8
+(E/W/N/S/RE/RW/RN/RS).
 
 Usage:
     check_trace.py <trace.json> [--heatmap <links.csv>
@@ -31,7 +32,7 @@ import json
 import sys
 
 KNOWN_PHASES = {"B", "E", "i", "X", "M"}
-NUM_LINK_DIRS = 6
+NUM_LINK_DIRS = 8
 
 
 def fail(message):
