@@ -118,6 +118,7 @@ struct Sample
     uint64_t switches = 0;
     uint64_t syncPoints = 0;
     Cycles simCycles = 0;
+    std::string winJson; ///< window telemetry (windowed runs only)
 };
 
 /** One fleet batch at @p workers threads: sims/sec + all-verified. */
@@ -189,6 +190,8 @@ measureOnce(const HostWorkload &workload, uint32_t cores, bool reference,
     sample.simCycles = machine.engine().maxTime();
     sample.switches = machine.engine().switchCount() - switches0;
     sample.syncPoints = machine.engine().syncPointCount() - syncs0;
+    if (windowed)
+        sample.winJson = machine.engine().windowStats().json();
     return sample;
 }
 
@@ -296,9 +299,27 @@ main(int argc, char **argv)
     // 1.0 only when real host cores back the shard threads (host_cores >
     // shards), which is exactly the condition check_host_perf.py gates
     // on.
+    std::string win_telemetry;
     if (report.wants("parallel")) {
         const uint32_t shard_counts[] = {1, 2, 4, 8};
-        for (const auto &workload : workloads) {
+        // The syncPoint-dense leg: a fib small enough that nearly every
+        // simulated cycle sits next to a gate, so windows are short and
+        // the run is dominated by admission checks and barriers — the
+        // worst case for the windowed engine and the leg that batched
+        // admission and the cheaper barrier exist for.
+        std::vector<HostWorkload> par_workloads = workloads;
+        const int fib_tiny_n = bench::scaled(12, 9);
+        par_workloads.push_back(
+            {"fib-tiny",
+             [fib_tiny_n](Machine &machine, WorkStealingRuntime &rt) {
+                 Addr out = machine.dramAlloc(8, 8);
+                 rt.run([&](TaskContext &tc) {
+                     fibKernel(tc, fib_tiny_n, out);
+                 });
+                 return static_cast<uint64_t>(
+                     machine.mem().peekAs<int64_t>(out));
+             }});
+        for (const auto &workload : par_workloads) {
             Sample seq = measure(workload, 128, false);
             for (uint32_t shards : shard_counts) {
                 Sample par = shards == 1
@@ -341,6 +362,12 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(par.simCycles),
                     ok ? "true" : "false");
                 first = false;
+                if (shards > 1)
+                    win_telemetry += log::format(
+                        "%s\n    {\"workload\": \"%s\", \"shards\": %u, "
+                        "\"telemetry\": %s}",
+                        win_telemetry.empty() ? "" : ",",
+                        workload.name, shards, par.winJson.c_str());
             }
         }
     }
@@ -404,6 +431,25 @@ main(int argc, char **argv)
             std::printf("wrote %s\n", path);
         } else {
             report.fail("cannot write %s", path);
+        }
+        if (!win_telemetry.empty()) {
+            // One window-telemetry object per multi-shard windowed leg;
+            // CI's bench-smoke job uploads this as an artifact so
+            // barrier/spin behaviour on real multi-core runners stays
+            // inspectable after the fact.
+            const char *win_path = "BENCH_window_telemetry.json";
+            if (FILE *f = std::fopen(win_path, "w")) {
+                std::fputs("{\n  \"schema\": "
+                           "\"spmrt-window-telemetry-file-v1\",\n"
+                           "  \"legs\": [",
+                           f);
+                std::fputs(win_telemetry.c_str(), f);
+                std::fputs("\n  ]\n}\n", f);
+                std::fclose(f);
+                std::printf("wrote %s\n", win_path);
+            } else {
+                report.fail("cannot write %s", win_path);
+            }
         }
     }
     return report.finish();

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Window telemetry for the windowed parallel engine.
+ *
+ * The windowed scheduler's performance story lives or dies on three
+ * numbers: how long windows are (events admitted between barriers), how
+ * much host wall time the serial barrier phase costs, and how often the
+ * stick path resolves by spinning versus a futex park. This group
+ * collects all of them, plus per-shard admitted/stalled occupancy — the
+ * profile the adaptive shard rebalancer feeds back into ShardPlan.
+ *
+ * The counters are engine-resident and *always* counted: the in-window
+ * increments touch shard-private fields folded by the coordinator at
+ * each barrier, so counting never adds cross-thread traffic to the hot
+ * path and never perturbs the simulation. Arming telemetry only
+ * *registers* the addresses in the StatRegistry (registerWindowStats),
+ * so armed-vs-off runs stay bit-identical by construction —
+ * tests/test_obs.cpp enforces it. Host-side values (barrier wall ns,
+ * spin/park outcomes) are genuinely host-nondeterministic; simulation
+ * results never depend on them.
+ */
+
+#ifndef SPMRT_OBS_WINSTATS_HPP
+#define SPMRT_OBS_WINSTATS_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/log.hpp"
+#include "obs/stats.hpp"
+
+namespace spmrt {
+namespace obs {
+
+/**
+ * Aggregated profile of one engine's windowed runs. Accumulates across
+ * runs, like the engine's switch and syncPoint counters.
+ */
+struct WindowStats
+{
+    /** Per-shard slots registered in the StatRegistry; shards beyond
+     *  this fold into the last slot. */
+    static constexpr uint32_t kShardSlots = 16;
+    /** Log2 window-length histogram buckets; bucket k counts windows
+     *  admitting in [2^(k-1), 2^k) events (bucket 0: empty windows). */
+    static constexpr uint32_t kLenBuckets = 16;
+
+    uint64_t windows = 0;   ///< barriers executed
+    uint64_t admitted = 0;  ///< gates admitted across all shards/windows
+    uint64_t batchRefreshes = 0; ///< horizon refreshes (one per batch)
+    uint64_t stallSticks = 0;    ///< shard stick episodes (barrier joins)
+    uint64_t spinFree = 0;  ///< sticks resolved by the horizon spin
+    uint64_t futexParks = 0;     ///< sticks that parked in a futex wait
+    uint64_t barrierNs = 0; ///< serial-phase wall nanoseconds (host)
+    uint64_t winLenMax = 0; ///< largest events-admitted of any window
+    std::array<uint64_t, kLenBuckets> winLenBuckets{};
+    std::array<uint64_t, kShardSlots> shardAdmitted{};
+    std::array<uint64_t, kShardSlots> shardStalled{};
+
+    /** Fold one window's admitted-event total into the distribution. */
+    void
+    noteWindow(uint64_t events)
+    {
+        windows += 1;
+        if (events > winLenMax)
+            winLenMax = events;
+        uint32_t bucket = 0;
+        while (bucket + 1 < kLenBuckets && (uint64_t(1) << bucket) <= events)
+            ++bucket;
+        winLenBuckets[bucket] += 1;
+    }
+
+    /** Shard slot for shard @p s (overflow folds into the last slot). */
+    static uint32_t
+    shardSlot(uint32_t s)
+    {
+        return s < kShardSlots ? s : kShardSlots - 1;
+    }
+
+    /**
+     * One JSON object (spmrt-window-telemetry-v1) for bench export: the
+     * scalar counters, the window-length histogram, and the per-shard
+     * occupancy rows that carry any data.
+     */
+    std::string
+    json() const
+    {
+        std::string out = "{";
+        out += "\"schema\": \"spmrt-window-telemetry-v1\"";
+        auto field = [&](const char *name, uint64_t value) {
+            out += log::format(", \"%s\": %llu", name,
+                               static_cast<unsigned long long>(value));
+        };
+        field("windows", windows);
+        field("admitted", admitted);
+        field("batch_refreshes", batchRefreshes);
+        field("stall_sticks", stallSticks);
+        field("spin_free", spinFree);
+        field("futex_parks", futexParks);
+        field("barrier_ns", barrierNs);
+        field("win_len_max", winLenMax);
+        out += ", \"win_len_buckets\": [";
+        for (uint32_t b = 0; b < kLenBuckets; ++b)
+            out += log::format("%s%llu", b == 0 ? "" : ", ",
+                               static_cast<unsigned long long>(
+                                   winLenBuckets[b]));
+        out += "], \"shards\": [";
+        bool first = true;
+        for (uint32_t s = 0; s < kShardSlots; ++s) {
+            if (shardAdmitted[s] == 0 && shardStalled[s] == 0)
+                continue;
+            out += log::format(
+                "%s{\"shard\": %u, \"admitted\": %llu, \"stalled\": %llu}",
+                first ? "" : ", ", s,
+                static_cast<unsigned long long>(shardAdmitted[s]),
+                static_cast<unsigned long long>(shardStalled[s]));
+            first = false;
+        }
+        out += "]}";
+        return out;
+    }
+};
+
+/**
+ * Register every window counter under engine/win/. The stats object must
+ * outlive the registry (it is an Engine member; the engine does).
+ */
+inline void
+registerWindowStats(StatRegistry &stats, const WindowStats &w)
+{
+    stats.add("engine/win/windows", &w.windows);
+    stats.add("engine/win/admitted", &w.admitted);
+    stats.add("engine/win/batch_refreshes", &w.batchRefreshes);
+    stats.add("engine/win/stall_sticks", &w.stallSticks);
+    stats.add("engine/win/spin_free", &w.spinFree);
+    stats.add("engine/win/futex_parks", &w.futexParks);
+    stats.add("engine/win/barrier_ns", &w.barrierNs);
+    stats.add("engine/win/len_max", &w.winLenMax);
+    for (uint32_t b = 0; b < WindowStats::kLenBuckets; ++b)
+        stats.add(log::format("engine/win/len_bucket/%02u", b),
+                  &w.winLenBuckets[b]);
+    for (uint32_t s = 0; s < WindowStats::kShardSlots; ++s) {
+        stats.add(log::format("engine/win/shard/%02u/admitted", s),
+                  &w.shardAdmitted[s]);
+        stats.add(log::format("engine/win/shard/%02u/stalled", s),
+                  &w.shardStalled[s]);
+    }
+}
+
+} // namespace obs
+} // namespace spmrt
+
+#endif // SPMRT_OBS_WINSTATS_HPP

@@ -52,6 +52,26 @@ defaultShardCount()
     return shards;
 }
 
+/**
+ * Default for window-aware shard rebalancing: SPMRT_ENGINE_REBALANCE
+ * turns it on explicitly, and SPMRT_ENGINE_SHARDS=auto implies it —
+ * "auto" asks for the host-derived plan, and the profile-weighted plan
+ * is its between-runs refinement (equivalence holds under any
+ * contiguous plan, so the implication is free).
+ */
+bool
+defaultShardRebalance()
+{
+    if (env::boolValue("SPMRT_ENGINE_REBALANCE", false))
+        return true;
+    std::string text = env::stringValue("SPMRT_ENGINE_SHARDS");
+    const size_t first = text.find_first_not_of(" \t");
+    if (first == std::string::npos)
+        return false;
+    const size_t last = text.find_last_not_of(" \t");
+    return text.substr(first, last - first + 1) == "auto";
+}
+
 /** One idle iteration of a host spin-wait. */
 inline void
 cpuRelax()
@@ -110,7 +130,7 @@ defaultSchedMode()
 
 Engine::Engine(uint32_t num_cores, size_t host_stack_bytes)
     : stackBytes_(host_stack_bytes), referenceMode_(false),
-      shards_(defaultShardCount())
+      shards_(defaultShardCount()), rebalance_(defaultShardRebalance())
 {
     setScheduler(defaultSchedMode());
     numCores_ = num_cores;
@@ -230,7 +250,21 @@ Engine::run()
     // stream has no deterministic decomposition across free-running
     // shard threads.
     if (live_ > 0 && shards_ > 1 && mode_ != SchedMode::Fast) {
-        plan_ = std::make_unique<ShardPlan>(numCores_, shards_);
+        if (rebalance_ && winCoreAdmitted_.size() == numCores_) {
+            // Weighted re-plan from the admitted-gate profile of the
+            // previous windowed runs (or a primed profile). The +1
+            // keeps every core's weight positive, so cores the profile
+            // never saw still spread across shards instead of piling
+            // into one. Any contiguous plan is result-equivalent; only
+            // the host load balance changes.
+            std::vector<uint64_t> weights(winCoreAdmitted_);
+            for (uint64_t &w : weights)
+                w += 1;
+            plan_ = std::make_unique<ShardPlan>(numCores_, shards_,
+                                                weights);
+        } else {
+            plan_ = std::make_unique<ShardPlan>(numCores_, shards_);
+        }
         if (plan_->numShards() > 1) {
             if (mode_ == SchedMode::Windowed && !schedPerturb_)
                 runWindowed();
@@ -755,6 +789,12 @@ Engine::executeOneEvent()
     std::pop_heap(events_.begin(), events_.end(), std::greater<HeapKey>());
     const HeapKey key = events_.back();
     events_.pop_back();
+    executeEventKey(key);
+}
+
+void
+Engine::executeEventKey(HeapKey key)
+{
     const CoreId issuer = keyId(key);
     SPMRT_ASSERT(issuer < opSinks_.size() && opSinks_[issuer] != nullptr,
                  "remote op scheduled by core %u without a sink", issuer);

@@ -85,6 +85,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "obs/trace.hpp"
+#include "obs/winstats.hpp"
 #include "sim/abort.hpp"
 #include "sim/context.hpp"
 #include "sim/shard.hpp"
@@ -446,6 +447,69 @@ class Engine
      * a standalone engine runs parallel with the default wait policy.
      */
     void setMachineConfig(const MachineConfig *cfg) { machineCfg_ = cfg; }
+
+    /**
+     * Enable/disable batched admission in the windowed scheduler. On
+     * (the default), a shard caches the minimum over the other shards'
+     * promises (its horizon) and admits every gate strictly below it
+     * with no atomic traffic at all, publishing its own promise once
+     * per batch — when the cache stops admitting — instead of once per
+     * gate. Off restores the one-promise-per-gate protocol; both admit
+     * exactly the same event set in the same order (a stale horizon is
+     * a *lower* bound on the fresh one, so the fast path admits a
+     * subset of what a fresh scan would, and the refresh retries with
+     * fresh state — tests/test_shard.cpp proves the equivalence).
+     */
+    void setWindowBatching(bool on) { windowBatch_ = on; }
+
+    /** True while batched admission is enabled (the default). */
+    bool windowBatching() const { return windowBatch_; }
+
+    /**
+     * Enable/disable window-aware shard rebalancing: when enabled, the
+     * next parallel run's ShardPlan minimizes the maximum per-shard
+     * admitted-gate weight observed by previous windowed runs (each
+     * core's weight is its admitted count + 1) instead of balancing
+     * core counts. The profile is itself deterministic — a core's
+     * admitted count is its syncPoint count, a pure function of the
+     * simulated program — and any contiguous plan is result-equivalent
+     * by construction, so rebalanced runs stay byte-identical. Defaults
+     * on when SPMRT_ENGINE_SHARDS=auto or SPMRT_ENGINE_REBALANCE is
+     * set truthy in the environment.
+     */
+    void setShardRebalance(bool on) { rebalance_ = on; }
+
+    /** True while window-aware shard rebalancing is enabled. */
+    bool shardRebalance() const { return rebalance_; }
+
+    /**
+     * Inject a per-core occupancy profile (one weight per core) as if
+     * windowed runs had observed it, so tests and tools can exercise a
+     * specific rebalanced plan deterministically. An empty vector
+     * clears the profile (the next plan is balanced again).
+     */
+    void
+    primeShardProfile(std::vector<uint64_t> weights)
+    {
+        SPMRT_ASSERT(weights.empty() || weights.size() == numCores_,
+                     "primeShardProfile: %zu weights for %u cores",
+                     weights.size(), numCores_);
+        winCoreAdmitted_ = std::move(weights);
+    }
+
+    /** The accumulated per-core admitted-gate profile (may be empty). */
+    const std::vector<uint64_t> &shardProfile() const
+    {
+        return winCoreAdmitted_;
+    }
+
+    /**
+     * Window telemetry accumulated by windowed runs (barrier costs,
+     * window length distribution, spin-vs-park outcomes, per-shard
+     * occupancy). Always counted; arming telemetry only registers the
+     * addresses, so counting never perturbs the simulation.
+     */
+    const obs::WindowStats &windowStats() const { return winStats_; }
     /** @} */
 
     /**
@@ -688,6 +752,12 @@ class Engine
      *  next head, if any. */
     void executeOneEvent();
 
+    /** Execute op @p key (already removed from whatever queue held it):
+     *  the shared tail of executeOneEvent and the windowed barrier's
+     *  k-way merge drain, which commits shard-outbox keys without first
+     *  round-tripping them through the events_ heap. */
+    void executeEventKey(HeapKey key);
+
     /** Execute every pending op with commit time <= @p limit. */
     void
     drainDueEvents(Cycles limit)
@@ -889,6 +959,8 @@ class Engine
     // but the load must not race formally. Relaxed ordering suffices:
     // every decision that *matters* rides the release/acquire grant.
     uint32_t shards_ = 1;
+    bool windowBatch_ = true;  ///< batched admission (see the setter)
+    bool rebalance_ = false;   ///< weighted shard plans from the profile
     bool parallelActive_ = false; ///< inside runParallel()
     std::atomic<bool> runDone_{false}; ///< set under the token
     uint32_t spinBudget_ = 0;     ///< takeGrant() spins before parking
@@ -900,6 +972,15 @@ class Engine
     std::vector<std::thread> shardThreads_;
     std::unique_ptr<WindowedState, WindowedStateDeleter>
         win_; ///< live across one runWindowed()
+    obs::WindowStats winStats_; ///< window telemetry (always counted)
+    /**
+     * Per-core admitted-gate counts from windowed runs, the rebalancing
+     * profile. During a window each element is written only by the
+     * owning shard's thread (cores are partitioned), read only between
+     * runs — no synchronization needed beyond the barrier handshake.
+     * Accumulates across runs; primeShardProfile overwrites it.
+     */
+    std::vector<uint64_t> winCoreAdmitted_;
 
     // Indexed-heap scheduler state.
     std::vector<HeapKey> heap_;      ///< runnable cores, packed (time, id)

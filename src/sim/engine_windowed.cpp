@@ -41,6 +41,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 
 #include "obs/defer.hpp"
@@ -108,6 +109,23 @@ struct Engine::WindowedState
         std::vector<HeapKey> outbox; ///< head captures (commit, issuer)
         std::vector<DeferredWake> deferredWakes;
         /**
+         * Cached minimum over the *other* shards' promises, refreshed
+         * only when it stops admitting (reloadCeiling). Because every
+         * published promise is monotone non-decreasing within a window,
+         * the cache is a lower bound on the fresh value: the batched
+         * fast path admits a subset of what a fresh scan would, and the
+         * refresh retries with fresh state — so batched and unbatched
+         * admission accept exactly the same event set.
+         */
+        Cycles horizon = 0;
+        // Window-local telemetry, folded by mergeShardState at each
+        // barrier (shard-private in-window: no cross-thread traffic).
+        uint64_t admitted = 0;  ///< gates admitted this window
+        uint64_t refreshes = 0; ///< horizon refreshes (batch boundaries)
+        uint64_t sticks = 0;    ///< stick episodes entered
+        uint64_t spinFreed = 0; ///< sticks resolved by the horizon spin
+        uint64_t parks = 0;     ///< sticks that reached a futex park
+        /**
          * The conservative horizon bound other shards read while this
          * shard runs. Monotone non-decreasing within a window (gates only
          * rise, erases only raise the min, in-window captures commit at
@@ -143,6 +161,9 @@ struct Engine::WindowedState
         rWakeTime.assign(eng.numCores_, 0);
         rCaps.resize(eng.numCores_);
         rLive = eng.live_;
+        drainCursor.assign(numShards, 0);
+        spinBudget = spinPark ? 1 : 4096;
+        coordSpin = spinPark ? 0 : 2048;
         for (uint32_t i = 0; i < eng.numCores_; ++i) {
             winKey[i] = eng.slots_[i].time;
             rTime[i] = eng.slots_[i].time;
@@ -157,6 +178,20 @@ struct Engine::WindowedState
     Cycles delta;       ///< uniform capture commit delta (issue + delta)
     bool spinPark;      ///< oversubscribed host: skip the unstick spin
     bool muzzleWatchdog = false; ///< watchdog precheck already cleared
+    /**
+     * Adaptive spin-vs-park policy: the coordinator retunes the stick
+     * spin budget between windows from an EWMA of the window length
+     * (events admitted). Short windows are barrier-dominated — a rising
+     * promise is expected within the spin, and a futex round-trip would
+     * cost more than the whole window — so spin long; long windows make
+     * the stick spin dead time, so park quickly. Written only in the
+     * serial phase; shards read it after the cmd acquire, so the
+     * release on cmd carries it.
+     */
+    uint32_t spinBudget = 4096;
+    uint32_t coordSpin = 2048; ///< coordinator pre-futex spin budget
+    uint64_t ewmaLen = 0;      ///< EWMA of events admitted per window
+    std::vector<size_t> drainCursor; ///< serialDrain outbox cursors
 
     std::unique_ptr<Shard[]> shards;
     std::vector<Cycles> winKey; ///< per-core pending-gate / resume key
@@ -283,14 +318,17 @@ struct Engine::WindowedState
     }
 
     /**
-     * The shard's admission ceiling: min over the other shards' promises
-     * and its own pending commits. Strict: a gate at the ceiling could
-     * tie an undrained commit, and ops precede gates at equal times.
+     * Freshly reload shard @p s's cached horizon (the min over the
+     * other shards' promises) and return the resulting admission
+     * ceiling: min(horizon, own pending commits). Strict use: a gate at
+     * the ceiling could tie an undrained commit, and ops precede gates
+     * at equal times.
      */
     Cycles
-    ceiling(uint32_t s) const
+    reloadCeiling(uint32_t s)
     {
-        Cycles h = shards[s].ownEventMin;
+        Shard &sh = shards[s];
+        Cycles h = kNoOtherCore;
         for (uint32_t o = 0; o < numShards; ++o) {
             if (o == s)
                 continue;
@@ -298,7 +336,35 @@ struct Engine::WindowedState
             if (p < h)
                 h = p;
         }
-        return h;
+        sh.horizon = h;
+        return sh.ownEventMin < h ? sh.ownEventMin : h;
+    }
+
+    /**
+     * Batched admission check for shard @p s at time @p t. Fast path:
+     * strictly below the cached ceiling — no atomic loads at all (the
+     * horizon caches the other shards' promises; ownEventMin is always
+     * read fresh, it can drop mid-window on a capture). On a cache
+     * miss, publish our promise once for the whole batch just drained
+     * (the batch boundary — local progress since the last publish is
+     * exactly what other shards are waiting to see) and retry against
+     * fresh promises. With batching disabled the miss path skips the
+     * publish (the per-gate call sites publish instead), reproducing
+     * the one-at-a-time protocol exactly.
+     */
+    bool
+    admitAt(uint32_t s, Cycles t)
+    {
+        Shard &sh = shards[s];
+        const Cycles c =
+            sh.ownEventMin < sh.horizon ? sh.ownEventMin : sh.horizon;
+        if (t < c)
+            return true;
+        if (eng.windowBatch_) {
+            publishPromise(s);
+            ++sh.refreshes;
+        }
+        return t < reloadCeiling(s);
     }
 
     /** Publish this shard's promise from its current local state. */
@@ -336,7 +402,7 @@ struct Engine::WindowedState
     void shardThreadMain(uint32_t s);
     void runWindow(uint32_t s);
     void runCoordinator();
-    void mergeShardState();
+    uint64_t mergeShardState();
     void applyPendingWakes();
     void serialDrain();
     Cycles globalRootMin() const;
@@ -386,7 +452,7 @@ Engine::WindowedState::leaveGuest(uint32_t s, GuestContext &from)
     Cycles root_time;
     const CoreId root = scanRoot(s, root_time);
     if (root != kInvalidCore && root != sh.running &&
-        root_time < ceiling(s) && !interruptStick(root_time)) {
+        !interruptStick(root_time) && admitAt(s, root_time)) {
         sh.running = root;
         obs::tlWinLog = &logs[root];
         GuestContext::switchTo(from, eng.slots_[root].ctx);
@@ -412,7 +478,10 @@ Engine::windowedSyncPoint(CoreId id)
     const Cycles u = slot.time;
     w.logs[id].push(obs::WinRecord::kGate, u);
     w.winKey[id] = u;
-    w.publishPromise(s);
+    // Batched admission publishes once per batch, inside admitAt; the
+    // one-at-a-time protocol publishes here, at every gate.
+    if (!windowBatch_)
+        w.publishPromise(s);
     while (true) {
         if (!windowedActive_) {
             // The windowed run ended while this core waited; a later
@@ -422,8 +491,15 @@ Engine::windowedSyncPoint(CoreId id)
             return;
         }
         const Cycles other = w.shardMinExcluding(s, id);
-        if (u <= other && u < w.ceiling(s) && !w.interruptStick(u))
-            return; // admitted: run free to the next gate
+        if (u <= other && !w.interruptStick(u) && w.admitAt(s, u)) {
+            // Admitted: run free to the next gate. The per-core count
+            // is the rebalancing profile (each element written only by
+            // the owning shard's thread) and equals the core's
+            // syncPoint count — deterministic across hosts.
+            ++sh.admitted;
+            winCoreAdmitted_[id] += 1;
+            return;
+        }
         w.leaveGuest(s, slot.ctx);
     }
 }
@@ -437,13 +513,14 @@ Engine::windowedYield(CoreId id)
     const Cycles u = slot.time;
     w.logs[id].push(obs::WinRecord::kYield, u);
     w.winKey[id] = u;
-    w.publishPromise(s);
+    if (!windowBatch_)
+        w.publishPromise(s);
     while (true) {
         if (!windowedActive_)
             return;
         Cycles root_time;
         const CoreId root = w.scanRoot(s, root_time);
-        if (root == id && u < w.ceiling(s) && !w.interruptStick(u))
+        if (root == id && !w.interruptStick(u) && w.admitAt(s, u))
             return; // re-picked
         w.leaveGuest(s, slot.ctx);
     }
@@ -619,8 +696,8 @@ Engine::WindowedState::runWindow(uint32_t s)
         Cycles root_time;
         CoreId root = scanRoot(s, root_time);
         const bool admissible = root != kInvalidCore &&
-                                root_time < ceiling(s) &&
-                                !interruptStick(root_time);
+                                !interruptStick(root_time) &&
+                                admitAt(s, root_time);
         if (admissible) {
             sh.running = root;
             obs::tlWinLog = &logs[root];
@@ -633,24 +710,29 @@ Engine::WindowedState::runWindow(uint32_t s)
             continue;
         }
         // Stick: final promise, then try to catch a rising horizon
-        // before joining the barrier. With the host oversubscribed the
-        // spin only steals cycles from whoever would raise it.
+        // before joining the barrier. The budget is retuned by the
+        // coordinator between windows (see spinBudget); with the host
+        // oversubscribed it is 1 — the spin only steals cycles from
+        // whoever would raise the horizon.
         publishPromise(s);
+        ++sh.sticks;
         bool freed = false;
-        const uint32_t budget = spinPark ? 1 : 4096;
+        const uint32_t budget = spinBudget;
         for (uint32_t spin = 0; spin < budget; ++spin) {
             if (windowClosed.load(std::memory_order_acquire))
                 break;
             root = scanRoot(s, root_time);
-            if (root != kInvalidCore && root_time < ceiling(s) &&
-                !interruptStick(root_time)) {
+            if (root != kInvalidCore && !interruptStick(root_time) &&
+                root_time < reloadCeiling(s)) {
                 freed = true;
                 break;
             }
             winCpuRelax();
         }
-        if (freed)
+        if (freed) {
+            ++sh.spinFreed;
             continue;
+        }
         stuckCount.fetch_add(1, std::memory_order_seq_cst);
         stuckCount.notify_one();
         // Last admissibility recheck: a promise published between our
@@ -659,12 +741,15 @@ Engine::WindowedState::runWindow(uint32_t s)
         // the real barrier).
         if (!windowClosed.load(std::memory_order_seq_cst)) {
             root = scanRoot(s, root_time);
-            if (root != kInvalidCore && root_time < ceiling(s) &&
-                !interruptStick(root_time)) {
+            if (root != kInvalidCore && !interruptStick(root_time) &&
+                root_time < reloadCeiling(s)) {
                 stuckCount.fetch_sub(1, std::memory_order_seq_cst);
+                ++sh.spinFreed;
                 continue;
             }
         }
+        if (!windowClosed.load(std::memory_order_acquire))
+            ++sh.parks;
         windowClosed.wait(false, std::memory_order_acquire);
         // Release everything this shard wrote this window to the
         // coordinator's matching acquire on the ack count.
@@ -700,18 +785,36 @@ Engine::WindowedState::stopThreads()
 
 // ---- Coordinator: the serial barrier phase --------------------------------
 
-/** Fold every shard's window-local counters into the engine's. */
-void
+/** Fold every shard's window-local counters into the engine's. Returns
+ *  the window length (gates admitted across all shards), which also
+ *  feeds the window-telemetry histogram and the spin-budget EWMA. */
+uint64_t
 Engine::WindowedState::mergeShardState()
 {
     Cycles prog = 0;
     bool progressed = false;
+    uint64_t win_admitted = 0;
+    obs::WindowStats &st = eng.winStats_;
     for (uint32_t s = 0; s < numShards; ++s) {
         Shard &sh = shards[s];
         eng.syncPoints_ += sh.syncPoints;
         sh.syncPoints = 0;
         eng.live_ -= sh.finishedCount;
         sh.finishedCount = 0;
+        const uint32_t slot = obs::WindowStats::shardSlot(s);
+        st.admitted += sh.admitted;
+        st.shardAdmitted[slot] += sh.admitted;
+        win_admitted += sh.admitted;
+        sh.admitted = 0;
+        st.batchRefreshes += sh.refreshes;
+        sh.refreshes = 0;
+        st.stallSticks += sh.sticks;
+        st.shardStalled[slot] += sh.sticks;
+        sh.sticks = 0;
+        st.spinFree += sh.spinFreed;
+        sh.spinFreed = 0;
+        st.futexParks += sh.parks;
+        sh.parks = 0;
         if (sh.progressed) {
             progressed = true;
             if (sh.progressTime > prog)
@@ -719,10 +822,12 @@ Engine::WindowedState::mergeShardState()
             sh.progressed = false;
         }
     }
+    st.noteWindow(win_admitted);
     if (progressed)
         eng.noteProgressAt(prog);
     for (uint32_t i = 0; i < eng.numCores_; ++i)
         eng.foldHighWater(eng.slots_[i].time);
+    return win_admitted;
 }
 
 /** Apply deferred cross-shard wakes with the guest-wake rule: Barrier
@@ -777,21 +882,68 @@ Engine::WindowedState::globalRootMin() const
 void
 Engine::WindowedState::serialDrain()
 {
+    // K-way merge over the per-shard outboxes and the carried-over
+    // global queue, instead of heap-pushing every mailbox key first. An
+    // outbox is nearly sorted (captures are appended in shard-local
+    // issue order), so the sort is close to linear; the cursors and the
+    // outbox buffers themselves are reused across windows, so the
+    // steady-state barrier allocates nothing. Safe to execute outbox
+    // keys directly: an outbox holds only capture-FIFO *heads*, and the
+    // global queue holds at most one entry per issuer, so an outbox
+    // key's issuer has no entry in events_ and key order alone decides.
+    for (uint32_t s = 0; s < numShards; ++s)
+        std::sort(shards[s].outbox.begin(), shards[s].outbox.end());
+    std::fill(drainCursor.begin(), drainCursor.end(), size_t(0));
+    while (true) {
+        bool found = false;
+        HeapKey best = 0;
+        uint32_t best_shard = kNoShard;
+        if (!eng.events_.empty()) {
+            best = eng.events_[0];
+            found = true;
+        }
+        for (uint32_t s = 0; s < numShards; ++s) {
+            const Shard &sh = shards[s];
+            if (drainCursor[s] >= sh.outbox.size())
+                continue;
+            const HeapKey key = sh.outbox[drainCursor[s]];
+            if (!found || key < best) {
+                best = key;
+                best_shard = s;
+                found = true;
+            }
+        }
+        // Drain every op at or below the earliest runnable gate — the
+        // bound is recomputed each iteration because commit wakes
+        // reshape the runnable set (nothing runnable drains all).
+        if (!found || eng.keyTime(best) > globalRootMin())
+            break;
+        if (best_shard == kNoShard) {
+            eng.executeOneEvent();
+        } else {
+            ++drainCursor[best_shard];
+            eng.executeEventKey(best);
+        }
+    }
+    // Leftover mailbox keys (above the bound) join the carried-over
+    // queue in one bulk append + heapify.
+    bool appended = false;
     for (uint32_t s = 0; s < numShards; ++s) {
         Shard &sh = shards[s];
-        for (HeapKey key : sh.outbox) {
-            eng.events_.push_back(key);
-            std::push_heap(eng.events_.begin(), eng.events_.end(),
-                           std::greater<HeapKey>());
+        if (drainCursor[s] < sh.outbox.size()) {
+            eng.events_.insert(eng.events_.end(),
+                               sh.outbox.begin() + drainCursor[s],
+                               sh.outbox.end());
+            appended = true;
         }
         sh.outbox.clear();
     }
+    if (appended)
+        std::make_heap(eng.events_.begin(), eng.events_.end(),
+                       std::greater<HeapKey>());
     eng.cachedEventMin_ = eng.events_.empty()
                               ? kNoOtherCore
                               : eng.keyTime(eng.events_[0]);
-    while (!eng.events_.empty() &&
-           eng.cachedEventMin_ <= globalRootMin())
-        eng.executeOneEvent();
 }
 
 /** Seed every shard's horizon state for the next window. */
@@ -817,6 +969,20 @@ Engine::WindowedState::seedWindow()
             p = own;
         sh.promise.store(p, std::memory_order_relaxed);
     }
+    // Second pass, once every promise is stored: seed each shard's
+    // cached horizon so the first window opens on fresh state.
+    for (uint32_t s = 0; s < numShards; ++s) {
+        Cycles h = kNoOtherCore;
+        for (uint32_t o = 0; o < numShards; ++o) {
+            if (o == s)
+                continue;
+            const Cycles p =
+                shards[o].promise.load(std::memory_order_relaxed);
+            if (p < h)
+                h = p;
+        }
+        shards[s].horizon = h;
+    }
 }
 
 void
@@ -826,25 +992,51 @@ Engine::WindowedState::runCoordinator()
     for (uint32_t s = 0; s < numShards; ++s)
         threads.emplace_back([this, s] { shardThreadMain(s); });
 
+    // Spin briefly before the futex wait on either barrier counter: on
+    // short windows the last shard's increment is nanoseconds away and
+    // a park would put the whole barrier through two syscalls. Budget 0
+    // (oversubscribed host) parks immediately.
+    const auto awaitCount = [this](std::atomic<uint32_t> &count) {
+        uint32_t v;
+        for (uint32_t spin = 0; spin < coordSpin; ++spin) {
+            if (count.load(std::memory_order_acquire) == numShards)
+                return;
+            winCpuRelax();
+        }
+        while ((v = count.load(std::memory_order_acquire)) != numShards)
+            count.wait(v, std::memory_order_acquire);
+    };
+
     seedWindow();
     while (true) {
         launchWindow();
-        uint32_t v;
-        while ((v = stuckCount.load(std::memory_order_acquire)) !=
-               numShards)
-            stuckCount.wait(v, std::memory_order_acquire);
+        awaitCount(stuckCount);
         windowClosed.store(true, std::memory_order_seq_cst);
         windowClosed.notify_all();
-        while ((v = ackCount.load(std::memory_order_acquire)) != numShards)
-            ackCount.wait(v, std::memory_order_acquire);
+        awaitCount(ackCount);
 
         // Serial phase: every shard is parked past its ack; this thread
         // owns all state until the next launchWindow().
-        mergeShardState();
+        const auto serial_start = std::chrono::steady_clock::now();
+        const uint64_t win_admitted = mergeShardState();
         applyPendingWakes();
         serialDrain();
         runReplay();
         compactLogs();
+        eng.winStats_.barrierNs += static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - serial_start)
+                .count());
+
+        // Retune the stick spin budget from an EWMA of the window
+        // length: short windows are barrier-dominated (spin long), long
+        // windows make the stick spin dead time (park fast).
+        if (!spinPark) {
+            ewmaLen = ewmaLen == 0 ? win_admitted
+                                   : (3 * ewmaLen + win_admitted) / 4;
+            spinBudget =
+                ewmaLen < 64 ? 8192 : ewmaLen < 1024 ? 2048 : 256;
+        }
 
         if (eng.live_ == 0) {
             stopThreads();
@@ -879,6 +1071,11 @@ Engine::WindowedState::runCoordinator()
 void
 Engine::runWindowed()
 {
+    // The rebalancing profile accumulates across runs (a second run
+    // re-plans from the first run's gate counts); size it lazily so a
+    // primed profile of the right size survives.
+    if (winCoreAdmitted_.size() != numCores_)
+        winCoreAdmitted_.assign(numCores_, 0);
     win_.reset(new WindowedState(*this));
     windowedActive_ = true;
     win_->runCoordinator();
@@ -1228,24 +1425,39 @@ Engine::WindowedState::runReplay()
 }
 
 /** Drop fully consumed log prefixes (the logs otherwise grow with the
- *  whole run; the replay's lag behind real time is small). */
+ *  whole run; the replay's lag behind real time is small). A fully
+ *  consumed log is clear()ed — O(1), capacity kept for the next window
+ *  — and a partially consumed one keeps its prefix until the dead span
+ *  crosses a threshold, so the common barrier does no erase-moves. */
 void
 Engine::WindowedState::compactLogs()
 {
+    constexpr size_t kKeepThreshold = 1024;
     for (uint32_t i = 0; i < eng.numCores_; ++i) {
         obs::WinLog &lg = logs[i];
-        if (rCursor[i] > 0) {
-            lg.records.erase(lg.records.begin(),
-                             lg.records.begin() + rCursor[i]);
+        if (rCursor[i] == lg.records.size() &&
+            rTraceCursor[i] == lg.traces.size()) {
+            lg.records.clear();
+            lg.traces.clear();
             rCursor[i] = 0;
-        }
-        if (rTraceCursor[i] > 0) {
-            lg.traces.erase(lg.traces.begin(),
-                            lg.traces.begin() + rTraceCursor[i]);
             rTraceCursor[i] = 0;
+        } else {
+            if (rCursor[i] >= kKeepThreshold) {
+                lg.records.erase(lg.records.begin(),
+                                 lg.records.begin() + rCursor[i]);
+                rCursor[i] = 0;
+            }
+            if (rTraceCursor[i] >= kKeepThreshold) {
+                lg.traces.erase(lg.traces.begin(),
+                                lg.traces.begin() + rTraceCursor[i]);
+                rTraceCursor[i] = 0;
+            }
         }
-        if (rCommitCursor[i] > 0) {
-            obs::WinLog &cl = commitLogs[i];
+        obs::WinLog &cl = commitLogs[i];
+        if (rCommitCursor[i] == cl.records.size()) {
+            cl.records.clear();
+            rCommitCursor[i] = 0;
+        } else if (rCommitCursor[i] >= kKeepThreshold) {
             cl.records.erase(cl.records.begin(),
                              cl.records.begin() + rCommitCursor[i]);
             rCommitCursor[i] = 0;

@@ -236,6 +236,8 @@ class Machine
                                   engine_.switchCountPtr());
             telemetry_->stats.add("engine/sync_points",
                                   engine_.syncPointCountPtr());
+            obs::registerWindowStats(telemetry_->stats,
+                                     engine_.windowStats());
         }
         telemetry_->tracer.setCategories(categories);
         engine_.setTracer(&telemetry_->tracer);

@@ -106,6 +106,76 @@ ShardPlan::ShardPlan(uint32_t num_cores, uint32_t num_shards)
                                     "all cores");
 }
 
+ShardPlan::ShardPlan(uint32_t num_cores, uint32_t num_shards,
+                     const std::vector<uint64_t> &weights)
+    : ShardPlan(num_cores, num_shards)
+{
+    if (weights.empty())
+        return; // balanced fallback (delegating ctor already built it)
+    SPMRT_ASSERT(weights.size() == num_cores,
+                 "ShardPlan: %zu weights for %u cores", weights.size(),
+                 num_cores);
+    if (numShards_ <= 1)
+        return;
+
+    // Minimal feasible capacity: the smallest per-shard weight ceiling
+    // under which a leftmost greedy fill needs at most numShards_
+    // groups. The answer lies in [max(w), sum(w)]; both bounds and the
+    // feasibility probe are exact, so the search is O(n log sum).
+    uint64_t lo = 0, hi = 0;
+    for (uint64_t w : weights) {
+        if (w > lo)
+            lo = w;
+        hi += w;
+    }
+    auto feasible = [&](uint64_t cap) {
+        uint32_t groups = 1;
+        uint64_t acc = 0;
+        for (uint32_t i = 0; i < num_cores; ++i) {
+            if (acc + weights[i] > cap && acc > 0) {
+                if (++groups > numShards_)
+                    return false;
+                acc = 0;
+            }
+            acc += weights[i];
+        }
+        return true;
+    };
+    while (lo < hi) {
+        uint64_t mid = lo + (hi - lo) / 2;
+        if (feasible(mid))
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    const uint64_t cap = lo;
+
+    // Leftmost greedy fill at the optimal capacity, additionally capped
+    // so every remaining shard keeps at least one core (all-zero or
+    // heavily skewed weights would otherwise starve the tail shards).
+    CoreId next = 0;
+    for (uint32_t s = 0; s < numShards_; ++s) {
+        begin_[s] = next;
+        uint64_t acc = 0;
+        uint32_t size = 0;
+        while (next < num_cores) {
+            const uint32_t shards_after = numShards_ - s - 1;
+            if (size > 0 && num_cores - next <= shards_after)
+                break;
+            if (size > 0 && s + 1 < numShards_ &&
+                acc + weights[next] > cap)
+                break;
+            acc += weights[next];
+            shardOf_[next++] = s;
+            ++size;
+        }
+        SPMRT_ASSERT(size > 0, "weighted ShardPlan starved shard %u", s);
+    }
+    begin_[numShards_] = next;
+    SPMRT_ASSERT(next == num_cores, "weighted ShardPlan does not cover "
+                                    "all cores");
+}
+
 namespace {
 
 /** Greedy-ruche hop count over distance @p dist with factor @p ruche:

@@ -86,6 +86,22 @@ class ShardPlan
      */
     ShardPlan(uint32_t num_cores, uint32_t num_shards);
 
+    /**
+     * Weighted contiguous partition: place the @p num_shards - 1
+     * boundaries so the maximum per-shard weight sum is minimized
+     * (binary search over the capacity, then a leftmost greedy fill
+     * that always leaves at least one core per remaining shard). Every
+     * shard stays non-empty and contiguous, so the windowed engine —
+     * which consults only shardOf/shardBegin/shardEnd — produces
+     * byte-identical results under any profile: the plan is a pure
+     * deterministic function of (num_cores, num_shards, weights).
+     * @p weights must have one entry per core; an empty vector falls
+     * back to the balanced partition. Zero weights are allowed (a
+     * weightless tail still spreads one core per remaining shard).
+     */
+    ShardPlan(uint32_t num_cores, uint32_t num_shards,
+              const std::vector<uint64_t> &weights);
+
     /** Number of shards. */
     uint32_t numShards() const { return numShards_; }
 

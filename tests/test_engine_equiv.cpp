@@ -158,11 +158,21 @@ makeWorkloads()
 Outcome
 runOnceOn(const MachineConfig &cfg, const Workload &workload,
           const Regime &regime, bool reference, bool compiled_routes = true,
-          uint32_t shards = 1, SchedMode mode = SchedMode::Token)
+          uint32_t shards = 1, SchedMode mode = SchedMode::Token,
+          bool rebalance = false)
 {
     Machine machine(cfg);
     machine.engine().setScheduler(reference ? SchedMode::Reference : mode);
     machine.engine().setShards(shards);
+    if (rebalance) {
+        // Profile-driven boundary re-planning with a deliberately skewed
+        // primed profile: any contiguous plan must be result-equivalent.
+        machine.engine().setShardRebalance(true);
+        std::vector<uint64_t> profile(cfg.numCores());
+        for (uint32_t i = 0; i < cfg.numCores(); ++i)
+            profile[i] = 1 + (i * 7) % 13;
+        machine.engine().primeShardProfile(std::move(profile));
+    }
     machine.mem().noc().setCompiledRoutes(compiled_routes);
     ConcurrencyChecker *ck = machine.armChecker();
     if (regime.perturb)
@@ -352,6 +362,24 @@ TEST_P(WindowedEngineEquivalence, WindowedMatchesSequentialBitForBit)
 #if SPMRT_CHECKER_ENABLED
             EXPECT_EQ(windowed.violations, 0u)
                 << shards << " shards:\n" << windowed.report;
+#endif
+        }
+
+        // Rebalanced leg: a skewed primed profile moves the shard
+        // boundaries, which must not move a single byte of the result.
+        {
+            SCOPED_TRACE("4 shards, rebalanced");
+            Outcome rebalanced =
+                runOnceOn(MachineConfig::tiny(), workload, regime, false,
+                          true, 4, SchedMode::Windowed, true);
+            EXPECT_EQ(rebalanced.digest, sequential.digest)
+                << "result diverged under a rebalanced plan";
+            EXPECT_EQ(rebalanced.cycles, sequential.cycles)
+                << "cycle counts diverged under a rebalanced plan";
+            EXPECT_EQ(rebalanced.switches, sequential.switches);
+            EXPECT_EQ(rebalanced.syncPoints, sequential.syncPoints);
+#if SPMRT_CHECKER_ENABLED
+            EXPECT_EQ(rebalanced.violations, 0u) << rebalanced.report;
 #endif
         }
     }

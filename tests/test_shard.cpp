@@ -647,40 +647,56 @@ struct TrafficResult
     uint64_t captured = 0;
 };
 
+struct TrafficOpts
+{
+    bool batch = true;      ///< batched admission (the default protocol)
+    bool rebalance = false; ///< re-plan boundaries from the gate profile
+    int runs = 1;           ///< back-to-back runs on the same engine
+    std::vector<uint64_t> profile; ///< primed per-core gate weights
+};
+
 TrafficResult
-runTraffic(uint64_t seed, SchedMode mode, uint32_t shards)
+runTraffic(uint64_t seed, SchedMode mode, uint32_t shards,
+           TrafficOpts opts = {})
 {
     constexpr uint32_t kCores = 8;
     constexpr int kSteps = 250;
     Engine engine(kCores, 64 * 1024);
     engine.setScheduler(mode);
     engine.setShards(shards);
+    engine.setWindowBatching(opts.batch);
+    engine.setShardRebalance(opts.rebalance);
+    if (!opts.profile.empty())
+        engine.primeShardProfile(opts.profile);
     TrafficShared shared;
     std::vector<TrafficCore> cores(kCores);
     for (CoreId i = 0; i < kCores; ++i)
         cores[i].init(engine, shared, i);
-    for (CoreId i = 0; i < kCores; ++i) {
-        engine.setBody(i, [&engine, &cores, i, seed] {
-            // Per-core stream: consumed only by this core's body, so
-            // the draw sequence is interleaving-independent.
-            Xoshiro256StarStar rng(hash64(seed * 8191 + i));
-            for (int step = 0; step < kSteps; ++step) {
-                engine.advance(i, 1 + rng.next() % 13);
-                engine.syncPoint(i);
-                uint64_t roll = rng.next() % 10;
-                Cycles service = 1 + rng.next() % 6;
-                if (roll < 4)
-                    cores[i].issue(true, service);
-                else if (roll < 7)
-                    cores[i].issue(false, service);
-                else if (roll == 7)
-                    cores[i].fence();
-                // else: pure compute segment
-            }
-            cores[i].fence(); // task-boundary drain before finishing
-        });
+    for (int run = 0; run < opts.runs; ++run) {
+        for (CoreId i = 0; i < kCores; ++i) {
+            engine.setBody(i, [&engine, &cores, i, seed, run] {
+                // Per-core stream: consumed only by this core's body, so
+                // the draw sequence is interleaving-independent.
+                Xoshiro256StarStar rng(
+                    hash64(seed * 8191 + i + run * 131071));
+                for (int step = 0; step < kSteps; ++step) {
+                    engine.advance(i, 1 + rng.next() % 13);
+                    engine.syncPoint(i);
+                    uint64_t roll = rng.next() % 10;
+                    Cycles service = 1 + rng.next() % 6;
+                    if (roll < 4)
+                        cores[i].issue(true, service);
+                    else if (roll < 7)
+                        cores[i].issue(false, service);
+                    else if (roll == 7)
+                        cores[i].fence();
+                    // else: pure compute segment
+                }
+                cores[i].fence(); // task-boundary drain before finishing
+            });
+        }
+        engine.run();
     }
-    engine.run();
     TrafficResult out;
     out.log = std::move(shared.log);
     for (CoreId i = 0; i < kCores; ++i)
@@ -723,6 +739,173 @@ TEST(ShardMailbox, WindowedDrainReplaysSequentialCommitOrder)
         EXPECT_EQ(token.log, oracle.log) << "token, seed " << seed;
         EXPECT_EQ(token.clocks, oracle.clocks) << "token, seed " << seed;
     }
+}
+
+// ---------------------------------------------------------------------
+// Batched admission: the cached-horizon fast path must admit exactly
+// the same event set, in the same key order, as the one-at-a-time
+// protocol (which publishes the promise at every gate and always
+// re-scans fresh). The traffic oracle's FIFO server makes any admission
+// divergence permanent in the commit log, so byte-equality of the logs
+// across 16 seeded runs is equality of the admitted event sequences.
+
+TEST(ShardBatching, BatchedAdmitsExactlyTheOneAtATimeSet)
+{
+    for (uint64_t seed = 0; seed < 16; ++seed) {
+        TrafficResult oracle = runTraffic(seed, SchedMode::Fast, 1);
+        TrafficOpts one_at_a_time;
+        one_at_a_time.batch = false;
+        TrafficResult unbatched =
+            runTraffic(seed, SchedMode::Windowed, 4, one_at_a_time);
+        TrafficResult batched = runTraffic(seed, SchedMode::Windowed, 4);
+        EXPECT_EQ(unbatched.log, oracle.log) << "seed " << seed;
+        EXPECT_EQ(batched.log, unbatched.log) << "seed " << seed;
+        EXPECT_EQ(batched.clocks, unbatched.clocks) << "seed " << seed;
+        EXPECT_EQ(batched.switches, unbatched.switches) << "seed " << seed;
+        EXPECT_EQ(batched.syncPoints, unbatched.syncPoints)
+            << "seed " << seed;
+        EXPECT_EQ(batched.clocks, oracle.clocks) << "seed " << seed;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Weighted ShardPlan: partition invariants, optimality against a
+// brute-force boundary search, and the engine-level rebalancing loop.
+
+TEST(ShardPlan, WeightedPartitionInvariants)
+{
+    Xoshiro256StarStar rng(hash64(0x9e1dULL));
+    for (uint32_t cores : {2u, 7u, 8u, 32u, 129u}) {
+        for (uint32_t shards : {1u, 2u, 3u, 4u, 8u}) {
+            std::vector<uint64_t> weights(cores);
+            for (uint64_t &w : weights)
+                w = rng.next() % 100;
+            ShardPlan plan(cores, shards, weights);
+            ShardPlan again(cores, shards, weights);
+            CoreId expect_begin = 0;
+            for (uint32_t s = 0; s < plan.numShards(); ++s) {
+                EXPECT_EQ(plan.shardBegin(s), expect_begin)
+                    << "shard " << s << " not contiguous under " << cores
+                    << "/" << shards;
+                EXPECT_GT(plan.shardSize(s), 0u)
+                    << "shard " << s << " starved under " << cores << "/"
+                    << shards;
+                EXPECT_EQ(again.shardBegin(s), plan.shardBegin(s))
+                    << "weighted plan not deterministic";
+                expect_begin = plan.shardEnd(s);
+            }
+            EXPECT_EQ(expect_begin, cores);
+        }
+    }
+}
+
+TEST(ShardPlan, WeightedMinimizesMaxShardWeight)
+{
+    // Brute force over every contiguous boundary placement on small
+    // instances; the plan's bottleneck shard must match the optimum.
+    Xoshiro256StarStar rng(hash64(77));
+    for (int trial = 0; trial < 40; ++trial) {
+        const uint32_t cores = 3 + rng.next() % 8;   // 3..10
+        const uint32_t shards = 2 + rng.next() % 3;  // 2..4
+        if (shards > cores)
+            continue;
+        std::vector<uint64_t> weights(cores);
+        for (uint64_t &w : weights)
+            w = 1 + rng.next() % 50;
+        ShardPlan plan(cores, shards, weights);
+        auto maxShard = [&](const std::vector<uint32_t> &sizes) {
+            uint64_t worst = 0;
+            uint32_t at = 0;
+            for (uint32_t size : sizes) {
+                uint64_t acc = 0;
+                for (uint32_t i = 0; i < size; ++i)
+                    acc += weights[at++];
+                worst = std::max(worst, acc);
+            }
+            return worst;
+        };
+        // Enumerate all compositions of `cores` into `shards` positive
+        // parts (small: C(9,3) at most).
+        uint64_t best = ~uint64_t(0);
+        std::vector<uint32_t> sizes(shards, 1);
+        auto recurse = [&](auto &&self, uint32_t s, uint32_t left) -> void {
+            if (s + 1 == shards) {
+                sizes[s] = left;
+                best = std::min(best, maxShard(sizes));
+                return;
+            }
+            for (uint32_t take = 1; take <= left - (shards - s - 1);
+                 ++take) {
+                sizes[s] = take;
+                self(self, s + 1, left - take);
+            }
+        };
+        recurse(recurse, 0, cores);
+        std::vector<uint32_t> plan_sizes;
+        for (uint32_t s = 0; s < plan.numShards(); ++s)
+            plan_sizes.push_back(plan.shardSize(s));
+        EXPECT_EQ(maxShard(plan_sizes), best)
+            << "trial " << trial << ": " << cores << " cores / " << shards
+            << " shards";
+    }
+}
+
+TEST(ShardPlan, WeightedFallbacksMatchBalanced)
+{
+    // Empty weights: the weighted ctor is the balanced partition.
+    ShardPlan balanced(32, 4);
+    ShardPlan empty(32, 4, {});
+    for (uint32_t s = 0; s < 4; ++s) {
+        EXPECT_EQ(empty.shardBegin(s), balanced.shardBegin(s));
+        EXPECT_EQ(empty.shardEnd(s), balanced.shardEnd(s));
+    }
+    // All-zero weights (a run that admitted nothing): every shard still
+    // gets at least one core.
+    ShardPlan zeros(8, 4, std::vector<uint64_t>(8, 0));
+    for (uint32_t s = 0; s < 4; ++s)
+        EXPECT_GT(zeros.shardSize(s), 0u) << "shard " << s;
+}
+
+TEST(ShardRebalance, ProfiledReplanStaysBitIdentical)
+{
+    // Two back-to-back runs on one engine: the first run records the
+    // per-core gate profile, the second re-plans the shard boundaries
+    // from it. The rebalanced engine must still replay the sequential
+    // commit order byte for byte — any contiguous plan is
+    // result-equivalent by construction, and this checks the
+    // construction.
+    for (uint64_t seed : {3ull, 11ull}) {
+        TrafficOpts two_runs;
+        two_runs.runs = 2;
+        TrafficResult oracle =
+            runTraffic(seed, SchedMode::Fast, 1, two_runs);
+        TrafficOpts rebalanced = two_runs;
+        rebalanced.rebalance = true;
+        TrafficResult windowed =
+            runTraffic(seed, SchedMode::Windowed, 4, rebalanced);
+        EXPECT_EQ(windowed.log, oracle.log) << "seed " << seed;
+        EXPECT_EQ(windowed.clocks, oracle.clocks) << "seed " << seed;
+        EXPECT_EQ(windowed.switches, oracle.switches) << "seed " << seed;
+        EXPECT_EQ(windowed.syncPoints, oracle.syncPoints)
+            << "seed " << seed;
+    }
+}
+
+TEST(ShardRebalance, PrimedSkewedProfileStaysBitIdentical)
+{
+    // A deliberately skewed primed profile forces lopsided boundaries
+    // from the very first run.
+    TrafficResult oracle = runTraffic(5, SchedMode::Fast, 1);
+    TrafficOpts skewed;
+    skewed.rebalance = true;
+    for (uint32_t i = 0; i < 8; ++i)
+        skewed.profile.push_back(1 + (i * 7) % 13);
+    TrafficResult windowed =
+        runTraffic(5, SchedMode::Windowed, 4, skewed);
+    EXPECT_EQ(windowed.log, oracle.log);
+    EXPECT_EQ(windowed.clocks, oracle.clocks);
+    EXPECT_EQ(windowed.switches, oracle.switches);
+    EXPECT_EQ(windowed.syncPoints, oracle.syncPoints);
 }
 
 // ---------------------------------------------------------------------

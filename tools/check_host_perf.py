@@ -140,6 +140,25 @@ def load_trajectory(path):
     return doc
 
 
+def describe_row(key, base=None, row=None):
+    """Human-readable identity of a failing row: which series and leg,
+    not just the key tuple. ``workload/cores`` plus the series tag and
+    shard count when present, e.g. ``fib-tiny/128 (series=parallel,
+    shards=8)``."""
+    name = f"{key[0]}/{key[1]}"
+    tags = []
+    source = base or row or {}
+    series = source.get("series") or (row or {}).get("series")
+    if series:
+        tags.append(f"series={series}")
+    shards = (row or {}).get("shards", source.get("shards"))
+    if shards is not None:
+        tags.append(f"shards={shards}")
+    if key[2]:
+        tags.append(f"geometry={key[2]}")
+    return name + (f" ({', '.join(tags)})" if tags else "")
+
+
 def row_tolerance(base, tolerance, throughput_tolerance,
                   parallel_tolerance):
     if base.get("series") == "throughput":
@@ -171,7 +190,9 @@ def check(measured, reference, reference_name, tolerance,
                                             kv[0][2] or "")):
         row = find_row(measured, key)
         if row is None:
-            failures.append(f"{key}: missing from measured results")
+            failures.append(f"{describe_row(key, base)}: missing from "
+                            "measured results — the leg did not run or "
+                            "was filtered out")
             continue
         waived = (base.get("series") == "parallel" and
                   not parallel_row_eligible(row))
@@ -185,11 +206,14 @@ def check(measured, reference, reference_name, tolerance,
         print(f"  {key[0]:<10} {key[1]:>6} {row['speedup']:>8.2f}x "
               f"{base['speedup']:>8.2f}x {floor:>6.2f}x  {status}")
         if not row.get("equivalent", False):
-            failures.append(f"{key}: results diverged (equivalent=false)")
+            failures.append(f"{describe_row(key, base, row)}: results "
+                            "diverged (equivalent=false) — the leg's "
+                            "byte-identity contract broke")
         elif not speedup_ok:
             failures.append(
-                f"{key}: speedup {row['speedup']:.2f}x below floor "
-                f"{floor:.2f}x ({reference_name} {base['speedup']:.2f}x)")
+                f"{describe_row(key, base, row)}: speedup "
+                f"{row['speedup']:.2f}x below floor {floor:.2f}x "
+                f"({reference_name} recorded {base['speedup']:.2f}x)")
     print()
     return failures
 
@@ -234,7 +258,78 @@ def append_point(trajectory_path, measured_doc, label):
           f"({len(doc['points'])} points)")
 
 
+def self_test():
+    """Unit-style checks of the gating logic itself (run from ctest).
+    Synthetic rows, no files: every branch the CI gate depends on —
+    keying, legacy-geometry fallback, per-series tolerances, the
+    host_cores waiver, the parallel-speedup gate, and the failure
+    messages naming the series and leg."""
+    def expect(cond, what):
+        if not cond:
+            sys.exit(f"check_host_perf.py --self-test FAILED: {what}")
+
+    # Row keying and the legacy-geometry fallback.
+    new = {"workload": "fib", "cores": 128, "geometry": "16x8",
+           "speedup": 2.0, "equivalent": True}
+    expect(row_key(new) == ("fib", 128, "16x8"), "row_key with geometry")
+    measured = key_rows([new])
+    expect(find_row(measured, ("fib", 128, None)) is new,
+           "legacy baseline row must match any measured geometry")
+    expect(find_row(measured, ("fib", 64, None)) is None,
+           "legacy fallback must still match workload and cores")
+
+    # Per-series tolerances.
+    expect(row_tolerance({}, 0.75, 0.5, 0.25) == 0.75, "main tolerance")
+    expect(row_tolerance({"series": "throughput"}, 0.75, 0.5, 0.25) == 0.5,
+           "throughput tolerance")
+    expect(row_tolerance({"series": "parallel"}, 0.75, 0.5, 0.25) == 0.25,
+           "parallel tolerance")
+
+    # The host_cores waiver.
+    expect(parallel_row_eligible({"host_cores": 8, "shards": 4}),
+           "8 host cores back 4 shards")
+    expect(not parallel_row_eligible({"host_cores": 4, "shards": 4}),
+           "oversubscribed host must be waived")
+    expect(parallel_row_eligible({}), "legacy rows stay eligible")
+
+    # The parallel-speedup gate.
+    rows = [{"workload": "fib", "series": "parallel", "shards": 4,
+             "host_cores": 16, "speedup": 1.4, "equivalent": True}]
+    expect(check_parallel_speedup(rows, "t") == [],
+           "a 1.4x eligible row passes the speedup gate")
+    rows[0]["speedup"] = 0.9
+    expect(len(check_parallel_speedup(rows, "t")) == 1,
+           "a 0.9x best row fails the speedup gate")
+    rows[0]["host_cores"] = 4
+    expect(check_parallel_speedup(rows, "t") == [],
+           "an undersized host skips the speedup gate")
+
+    # A failing row's message must name its series and leg.
+    base = {"workload": "fib-tiny", "cores": 128, "geometry": "16x8",
+            "series": "parallel", "speedup": 1.2, "equivalent": True}
+    bad = dict(base, speedup=0.1, shards=8, host_cores=64,
+               equivalent=False)
+    failures = check(key_rows([bad]), key_rows([base]), "baseline",
+                     0.75, 0.5, 0.25)
+    expect(len(failures) == 1, "one divergent row, one failure")
+    expect("fib-tiny/128" in failures[0] and
+           "series=parallel" in failures[0] and
+           "shards=8" in failures[0],
+           f"failure must name series and leg, got: {failures[0]}")
+
+    # A missing leg names the series it came from.
+    failures = check({}, key_rows([base]), "baseline", 0.75, 0.5, 0.25)
+    expect(len(failures) == 1 and "series=parallel" in failures[0] and
+           "missing" in failures[0],
+           f"missing-leg failure must name the series: {failures}")
+
+    print("check_host_perf.py --self-test passed")
+    return 0
+
+
 def main():
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("measured")
     parser.add_argument("baseline")
